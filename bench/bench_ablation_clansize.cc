@@ -1,0 +1,34 @@
+// Ablation: security/throughput trade-off of the clan size, sweeping the
+// failure-probability budget mu (clan size grows with mu; throughput falls
+// as the clan grows — the design knob behind Figure 1 and §5).
+
+#include "bench/bench_util.h"
+#include "stats/clan_sizing.h"
+
+using namespace clandag;
+using namespace clandag::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  const uint32_t n = quick ? 50 : 100;
+  const uint32_t txs = 2000;
+  const std::vector<double> mus = quick ? std::vector<double>{10} : std::vector<double>{6, 10, 20, 30};
+
+  std::printf("== Ablation: clan size vs throughput at n = %u, %u txs/proposal ==\n", n, txs);
+  std::printf("%8s %10s %22s %12s %12s\n", "mu", "clan n_c", "Pr(dishonest clan)", "kTPS",
+              "mean ms");
+  for (double mu : mus) {
+    const int64_t nc =
+        MinClanSizeForTribe(n, mu, MajorityRule::kStrictMajority);
+    ScenarioOptions options = PaperOptions(n, DisseminationMode::kSingleClan, txs);
+    options.clan_size = static_cast<uint32_t>(nc);
+    ScenarioResult r = RunScenario(options);
+    std::printf("%8.0f %10lld %22.3e %12.1f %12.0f\n", mu, static_cast<long long>(nc),
+                DishonestMajorityProbability(n, DefaultTribeFaults(n), nc,
+                                             MajorityRule::kStrictMajority),
+                r.throughput_ktps, r.mean_latency_ms);
+    std::fflush(stdout);
+  }
+  std::printf("\nsmaller mu => smaller clan => higher throughput, weaker guarantee.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Ablation: two-round signed tribe-assisted RBC (Figure 3, the paper's
+// implementation choice) vs the three-round signature-free variant
+// (Figure 2) as the dissemination layer of single-clan Sailfish.
+//
+// The two-round protocol should show one network delay less per round and
+// therefore lower commit latency at equal throughput.
+
+#include "bench/bench_util.h"
+
+using namespace clandag;
+using namespace clandag::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  const uint32_t n = quick ? 50 : 100;
+  const std::vector<uint32_t> loads =
+      quick ? std::vector<uint32_t>{500} : std::vector<uint32_t>{1, 500, 2000};
+
+  PrintFigureHeader("Ablation: 2-round (Fig 3) vs 3-round (Fig 2) tribe-assisted RBC");
+  for (uint32_t txs : loads) {
+    ScenarioOptions two = PaperOptions(n, DisseminationMode::kSingleClan, txs);
+    two.flavor = RbcFlavor::kTwoRound;
+    RunPoint("two-round (signed)", two);
+
+    ScenarioOptions three = PaperOptions(n, DisseminationMode::kSingleClan, txs);
+    three.flavor = RbcFlavor::kBracha;
+    three.multicast_cert = true;  // Bracha has no certificates to suppress.
+    RunPoint("three-round (bracha)", three);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Baseline comparison (§1 straw-man, §8 Arete discussion): a separate
+// PoA dissemination layer feeding a Jolteon-style leader BFT, versus the
+// single-clan DAG design that pipelines dissemination with consensus.
+//
+// The paper's arithmetic: PoA (2δ) + queuing (≥1δ) + leader-BFT commit (5δ)
+// ≥ 8δ end-to-end, versus 1 RBC + 1δ (3δ leader / 5δ average) for the
+// clan-DAG. This bench measures both pipelines at equal network delay.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "consensus/poa_baseline.h"
+#include "sim/network.h"
+
+using namespace clandag;
+using namespace clandag::bench;
+
+namespace {
+
+double RunPoaBaseline(uint32_t n, uint32_t clan_size, uint32_t txs, TimeMicros delta,
+                      double* out_ktps) {
+  Keychain keychain(5, n);
+  ClanTopology topology = ClanTopology::SingleClanSpread(n, clan_size);
+  Scheduler scheduler;
+  SimNetwork network(scheduler, LatencyMatrix::Uniform(n, delta), NetworkConfig{125e6, 64});
+  std::vector<std::unique_ptr<SimRuntime>> runtimes;
+  std::vector<std::unique_ptr<PoaBftNode>> nodes;
+  double latency_sum = 0;
+  uint64_t samples = 0;
+  uint64_t committed_txs = 0;
+  PoaBftConfig config;
+  config.num_nodes = n;
+  config.num_faults = (n - 1) / 3;
+  config.txs_per_block = txs;
+  config.proposal_interval = Millis(100);
+  for (NodeId id = 0; id < n; ++id) {
+    runtimes.push_back(std::make_unique<SimRuntime>(network, id));
+    PoaBftCallbacks callbacks;
+    if (id == 0) {
+      callbacks.on_committed_cert = [&](const PoaCert& cert, TimeMicros now) {
+        if (cert.tx_count > 0) {
+          latency_sum += ToMillis(now - cert.created_at);
+          ++samples;
+          committed_txs += cert.tx_count;
+        }
+      };
+    }
+    nodes.push_back(std::make_unique<PoaBftNode>(*runtimes[id], keychain, topology, config,
+                                                 std::move(callbacks)));
+    network.RegisterHandler(id, nodes[id].get());
+  }
+  for (auto& node : nodes) {
+    node->Start();
+  }
+  const TimeMicros horizon = Seconds(20);
+  scheduler.RunUntil(horizon);
+  if (out_ktps != nullptr) {
+    *out_ktps = static_cast<double>(committed_txs) / ToSeconds(horizon) / 1000.0;
+  }
+  return samples == 0 ? 0.0 : latency_sum / static_cast<double>(samples);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  const uint32_t n = quick ? 20 : 50;
+  const uint32_t clan = PaperClanSize(n);
+  const TimeMicros delta = Millis(50);  // Uniform one-way delay for clean ratios.
+
+  std::printf("== Baseline: PoA + leader BFT vs single-clan DAG (n=%u, clan=%u, delta=50ms) ==\n",
+              n, clan);
+  std::printf("%-26s %10s %12s %14s\n", "pipeline", "txs/prop", "kTPS", "mean latency ms");
+
+  for (uint32_t txs : {100u, 1000u}) {
+    double poa_ktps = 0;
+    const double poa_ms = RunPoaBaseline(n, clan, txs, delta, &poa_ktps);
+    std::printf("%-26s %10u %12.1f %14.0f\n", "poa+leader-bft", txs, poa_ktps, poa_ms);
+    std::fflush(stdout);
+
+    ScenarioOptions dag = PaperOptions(n, DisseminationMode::kSingleClan, txs);
+    dag.topology = ScenarioOptions::Topology::kUniform;
+    dag.uniform_latency = delta;
+    dag.cost.enabled = false;  // Equal footing: pure network pipelines.
+    ScenarioResult r = RunScenario(dag);
+    std::printf("%-26s %10u %12.1f %14.0f\n", "single-clan-dag", txs, r.throughput_ktps,
+                r.mean_latency_ms);
+    std::fflush(stdout);
+  }
+  std::printf("\npaper arithmetic: PoA pipeline >= 8 delta end-to-end; clan-DAG commits\n"
+              "leader vertices at 3 delta (5 delta average) — the DAG rows should show\n"
+              "clearly lower latency at comparable throughput.\n");
+  return 0;
+}

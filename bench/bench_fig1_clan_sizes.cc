@@ -1,0 +1,27 @@
+// Figure 1: clan sizes required to keep an honest majority with failure
+// probability below 1e-9, for tribes of 100..1000 nodes.
+
+#include <cstdio>
+
+#include "stats/clan_sizing.h"
+
+using namespace clandag;
+
+int main() {
+  constexpr double kMu = 29.897352853986263;  // -log2(1e-9).
+  std::printf("== Figure 1: clan size for honest majority (failure < 1e-9) ==\n");
+  std::printf("%8s %8s %12s %14s %22s\n", "n", "f", "clan n_c", "n_c / n",
+              "achieved Pr(dishonest)");
+  for (int64_t n = 100; n <= 1000; n += 50) {
+    const int64_t f = DefaultTribeFaults(n);
+    const int64_t nc = MinClanSize(n, f, kMu);
+    const double p = DishonestMajorityProbability(n, f, nc);
+    std::printf("%8lld %8lld %12lld %14.3f %22.3e\n", static_cast<long long>(n),
+                static_cast<long long>(f), static_cast<long long>(nc),
+                static_cast<double>(nc) / static_cast<double>(n), p);
+  }
+  std::printf("\npaper anchor: n=500, f=166 -> clan of ~184 members (intro example)\n");
+  std::printf("this build  : n=500 -> %lld\n",
+              static_cast<long long>(MinClanSizeForTribe(500, kMu)));
+  return 0;
+}

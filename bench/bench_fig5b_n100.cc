@@ -1,0 +1,23 @@
+// Figure 5b: throughput vs latency at n = 100 (Sailfish vs single-clan
+// Sailfish, clan of 60).
+
+#include "bench/bench_util.h"
+
+using namespace clandag;
+using namespace clandag::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  const std::vector<uint32_t> loads = quick
+                                          ? std::vector<uint32_t>{1, 1000}
+                                          : std::vector<uint32_t>{1, 250, 1000, 2000, 4000, 6000};
+
+  PrintFigureHeader("Figure 5b: throughput vs latency, n = 100 (clan 60)");
+  for (uint32_t txs : loads) {
+    RunPoint("sailfish", PaperOptions(100, DisseminationMode::kFull, txs));
+  }
+  for (uint32_t txs : loads) {
+    RunPoint("single-clan-sailfish", PaperOptions(100, DisseminationMode::kSingleClan, txs));
+  }
+  return 0;
+}

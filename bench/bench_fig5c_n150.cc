@@ -1,0 +1,33 @@
+// Figure 5c: throughput vs latency at n = 150 — Sailfish, single-clan
+// Sailfish (clan 80), and multi-clan Sailfish (2 clans of 75).
+//
+// As in the paper, Sailfish is not swept past 1000 txs/proposal (its latency
+// is already disproportionate there).
+
+#include "bench/bench_util.h"
+
+using namespace clandag;
+using namespace clandag::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  const std::vector<uint32_t> sailfish_loads =
+      quick ? std::vector<uint32_t>{1} : std::vector<uint32_t>{1, 250, 1000};
+  const std::vector<uint32_t> clan_loads =
+      quick ? std::vector<uint32_t>{1, 1000} : std::vector<uint32_t>{1, 250, 1000, 3000, 6000};
+
+  PrintFigureHeader("Figure 5c: throughput vs latency, n = 150 (clan 80 / 2x75)");
+  for (uint32_t txs : sailfish_loads) {
+    RunPoint("sailfish", PaperOptions(150, DisseminationMode::kFull, txs));
+  }
+  for (uint32_t txs : clan_loads) {
+    RunPoint("single-clan-sailfish", PaperOptions(150, DisseminationMode::kSingleClan, txs));
+  }
+  for (uint32_t txs : clan_loads) {
+    RunPoint("multi-clan-sailfish", PaperOptions(150, DisseminationMode::kMultiClan, txs));
+  }
+  std::printf(
+      "\nexpected shape (paper): single-clan sustains markedly more throughput than\n"
+      "Sailfish; multi-clan roughly doubles single-clan at somewhat higher latency.\n");
+  return 0;
+}

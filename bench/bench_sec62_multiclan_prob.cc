@@ -1,0 +1,36 @@
+// Section 6.2 concrete numbers: probability that some clan of a multi-clan
+// partition has a dishonest majority, computed exactly (Eqs. 3-8), plus the
+// naive per-clan hypergeometric treatment the paper criticizes in Arete.
+
+#include <cstdio>
+
+#include "stats/clan_sizing.h"
+#include "stats/multiclan.h"
+
+using namespace clandag;
+
+int main() {
+  std::printf("== Section 6.2: multi-clan dishonest-majority probabilities ==\n");
+  std::printf("%8s %6s %8s %8s %18s %18s %20s\n", "n", "q", "n_c", "f", "exact (DP)",
+              "exact (enum)", "naive per-clan");
+
+  struct Case {
+    int64_t n;
+    int64_t q;
+  };
+  for (const Case c : {Case{150, 2}, Case{387, 3}, Case{150, 3}, Case{300, 2}, Case{300, 3}}) {
+    const int64_t f = DefaultTribeFaults(c.n);
+    const int64_t nc = c.n / c.q;
+    const double dp = MultiClanDishonestProbability(c.n, f, c.q, nc);
+    const double en = c.q <= 3 ? MultiClanDishonestProbabilityEnumerated(c.n, f, c.q, nc) : dp;
+    const double naive = NaivePerClanHypergeometricEstimate(c.n, f, c.q, nc);
+    std::printf("%8lld %6lld %8lld %8lld %18.4e %18.4e %20.4e\n", static_cast<long long>(c.n),
+                static_cast<long long>(c.q), static_cast<long long>(nc),
+                static_cast<long long>(f), dp, en, naive);
+  }
+  std::printf(
+      "\npaper anchors: n=150, q=2 -> 4.015e-6 ; n=387, q=3 -> 1.11e-6\n"
+      "(the naive column applies the single-committee hypergeometric per clan,\n"
+      " which §8 argues is not well-founded for partitions)\n");
+  return 0;
+}

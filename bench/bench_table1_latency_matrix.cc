@@ -1,0 +1,31 @@
+// Table 1: the GCP inter-region ping RTTs used by the simulator's latency
+// model, printed alongside the derived one-way delays and the mean one-way
+// delay of an evenly spread 150-node deployment.
+
+#include <cstdio>
+
+#include "sim/latency.h"
+
+using namespace clandag;
+
+int main() {
+  std::printf("== Table 1: ping latencies between GCP regions (ms, RTT) ==\n");
+  std::printf("%-26s", "source \\ dest");
+  for (int b = 0; b < kNumGcpRegions; ++b) {
+    std::printf(" %10.10s", kGcpRegionNames[b]);
+  }
+  std::printf("\n");
+  for (int a = 0; a < kNumGcpRegions; ++a) {
+    std::printf("%-26s", kGcpRegionNames[a]);
+    for (int b = 0; b < kNumGcpRegions; ++b) {
+      std::printf(" %10.2f", kGcpPingRttMs[a][b]);
+    }
+    std::printf("\n");
+  }
+
+  LatencyMatrix m = LatencyMatrix::GcpGeoDistributed(150);
+  std::printf("\nderived one-way delays (ms): RTT / 2\n");
+  std::printf("mean one-way delay across an evenly-spread 150-node tribe: %.2f ms\n",
+              ToMillis(m.MeanOneWay()));
+  return 0;
+}

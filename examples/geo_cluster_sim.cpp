@@ -1,0 +1,50 @@
+// Geo-distributed comparison demo: Sailfish vs single-clan vs multi-clan on
+// the paper's five-region GCP latency matrix, under bandwidth pressure.
+// A miniature of the paper's Figure 5 experiment, sized to run in seconds.
+//
+//   ./build/examples/geo_cluster_sim [n] [txs_per_proposal]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/scenario.h"
+
+using namespace clandag;
+
+int main(int argc, char** argv) {
+  const uint32_t n = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 20;
+  const uint32_t txs = argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 2000;
+
+  ScenarioOptions base;
+  base.num_nodes = n;
+  base.txs_per_proposal = txs;
+  base.topology = ScenarioOptions::Topology::kGcpGeo;
+  base.uplink_bytes_per_sec = 125e6;  // 1 Gbps effective goodput.
+  base.warmup_rounds = 3;
+  base.measure_rounds = 6;
+
+  std::printf("n=%u, %u txs/proposal (512 B each), GCP 5-region latency, 1 Gbps uplink\n\n", n,
+              txs);
+  std::printf("%-14s %10s %12s %12s %14s\n", "protocol", "kTPS", "mean ms", "p95 ms",
+              "node Gbps");
+
+  for (DisseminationMode mode : {DisseminationMode::kFull, DisseminationMode::kSingleClan,
+                                 DisseminationMode::kMultiClan}) {
+    ScenarioOptions options = base;
+    options.mode = mode;
+    options.clan_size = (n * 3) / 5;  // Roughly the paper's clan fraction.
+    options.num_clans = 2;
+    ScenarioResult r = RunScenario(options);
+    if (!r.ok) {
+      std::printf("%-14s failed: %s\n", DisseminationModeName(mode), r.error.c_str());
+      continue;
+    }
+    std::printf("%-14s %10.1f %12.0f %12.0f %14.2f\n", DisseminationModeName(mode),
+                r.throughput_ktps, r.mean_latency_ms, r.p95_latency_ms,
+                r.mean_node_uplink_gbps);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 5): single-clan sustains more throughput than full\n"
+      "replication at equal or lower latency; multi-clan roughly doubles single-clan.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Scenario CLI: run any clan-DAG configuration from the command line and
+// print the evaluation metrics. The generic entry point for custom
+// experiments beyond the canned benchmark binaries.
+//
+//   ./build/examples/scenario_cli --n=50 --mode=single --txs=2000
+//   ./build/examples/scenario_cli --n=150 --mode=multi --clans=2 --txs=1000 \
+//       --uplink-gbps=1 --cost --crash=0,7
+//
+// Flags (defaults in brackets):
+//   --n=<nodes>            tribe size [20]
+//   --mode=full|single|multi  dissemination mode [full]
+//   --clan=<size>          single-clan size [auto from --mu]
+//   --mu=<bits>            clan failure budget, 2^-mu [19.93 ~ 1e-6]
+//   --clans=<q>            number of clans in multi mode [2]
+//   --txs=<count>          transactions per proposal (512 B each) [500]
+//   --rbc=two|bracha       broadcast flavour [two]
+//   --topology=gcp|uniform latency model [gcp]
+//   --latency-ms=<ms>      uniform one-way delay [50]
+//   --uplink-gbps=<gbps>   per-node uplink [16]
+//   --cost                 enable the calibrated CPU cost model
+//   --crash=<id,id,...>    fail-stop these nodes from the start
+//   --rounds=<m>           measurement rounds [8]
+//   --timeout-ms=<ms>      round timeout (lower it when crashing leaders) [30000]
+//   --seed=<s>             deterministic seed [1]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/scenario.h"
+
+using namespace clandag;
+
+namespace {
+
+bool FlagValue(const char* arg, const char* name, std::string& out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScenarioOptions options;
+  options.num_nodes = 20;
+  options.txs_per_proposal = 500;
+  options.uniform_latency = Millis(50);
+  options.warmup_rounds = 3;
+  options.measure_rounds = 8;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (FlagValue(argv[i], "--n", value)) {
+      options.num_nodes = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (FlagValue(argv[i], "--mode", value)) {
+      if (value == "single") {
+        options.mode = DisseminationMode::kSingleClan;
+      } else if (value == "multi") {
+        options.mode = DisseminationMode::kMultiClan;
+      } else if (value == "full") {
+        options.mode = DisseminationMode::kFull;
+      } else {
+        std::fprintf(stderr, "unknown --mode=%s\n", value.c_str());
+        return 2;
+      }
+    } else if (FlagValue(argv[i], "--clan", value)) {
+      options.clan_size = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (FlagValue(argv[i], "--mu", value)) {
+      options.clan_mu = std::atof(value.c_str());
+    } else if (FlagValue(argv[i], "--clans", value)) {
+      options.num_clans = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (FlagValue(argv[i], "--txs", value)) {
+      options.txs_per_proposal = static_cast<uint32_t>(std::atoi(value.c_str()));
+    } else if (FlagValue(argv[i], "--rbc", value)) {
+      options.flavor = value == "bracha" ? RbcFlavor::kBracha : RbcFlavor::kTwoRound;
+    } else if (FlagValue(argv[i], "--topology", value)) {
+      options.topology = value == "uniform" ? ScenarioOptions::Topology::kUniform
+                                            : ScenarioOptions::Topology::kGcpGeo;
+    } else if (FlagValue(argv[i], "--latency-ms", value)) {
+      options.uniform_latency = Millis(std::atoi(value.c_str()));
+    } else if (FlagValue(argv[i], "--uplink-gbps", value)) {
+      options.uplink_bytes_per_sec = std::atof(value.c_str()) * 1e9 / 8.0;
+    } else if (std::strcmp(argv[i], "--cost") == 0) {
+      options.cost.enabled = true;
+      options.verify_signatures = false;
+    } else if (FlagValue(argv[i], "--crash", value)) {
+      size_t pos = 0;
+      while (pos < value.size()) {
+        options.crashed.push_back(static_cast<NodeId>(std::atoi(value.c_str() + pos)));
+        pos = value.find(',', pos);
+        if (pos == std::string::npos) {
+          break;
+        }
+        ++pos;
+      }
+    } else if (FlagValue(argv[i], "--rounds", value)) {
+      options.measure_rounds = static_cast<Round>(std::atoi(value.c_str()));
+    } else if (FlagValue(argv[i], "--timeout-ms", value)) {
+      options.round_timeout = Millis(std::atoi(value.c_str()));
+    } else if (FlagValue(argv[i], "--seed", value)) {
+      options.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (see header comment)\n", argv[i]);
+      return 2;
+    }
+  }
+
+  ClanTopology topology = TopologyFor(options);
+  std::printf("running: %s, n=%u, %u txs/proposal, %s topology, %.1f Gbps, cost model %s\n",
+              topology.Describe().c_str(), options.num_nodes, options.txs_per_proposal,
+              options.topology == ScenarioOptions::Topology::kGcpGeo ? "GCP" : "uniform",
+              options.uplink_bytes_per_sec * 8.0 / 1e9, options.cost.enabled ? "on" : "off");
+
+  ScenarioResult r = RunScenario(options);
+  if (!r.ok) {
+    std::printf("FAILED: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("throughput        : %.1f kTPS (%llu txs over %.2f s)\n", r.throughput_ktps,
+              static_cast<unsigned long long>(r.committed_txs), r.measure_seconds);
+  std::printf("latency           : mean %.0f ms, p50 %.0f, p95 %.0f\n", r.mean_latency_ms,
+              r.p50_latency_ms, r.p95_latency_ms);
+  std::printf("rounds committed  : %lld (anchors %llu committed, %llu skipped)\n",
+              static_cast<long long>(r.last_committed_round),
+              static_cast<unsigned long long>(r.anchors_committed),
+              static_cast<unsigned long long>(r.anchors_skipped));
+  std::printf("bandwidth         : %.2f GB total, %.2f Gbps mean per-node uplink\n",
+              r.total_gbytes_sent, r.mean_node_uplink_gbps);
+  std::printf("agreement         : %s (%llu ordered vertices cross-checked)\n",
+              r.agreement_ok ? "OK" : "VIOLATED",
+              static_cast<unsigned long long>(r.ordered_vertices_checked));
+  return 0;
+}

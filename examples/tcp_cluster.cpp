@@ -1,0 +1,121 @@
+// Live TCP cluster demo: four consensus nodes over real localhost sockets
+// (epoll, length-prefixed frames), committing and executing client
+// transfers submitted at runtime.
+//
+//   ./build/examples/tcp_cluster [base_port]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "core/app_node.h"
+#include "net/tcp_transport.h"
+
+using namespace clandag;
+
+namespace {
+
+struct Router : MessageHandler {
+  AppNode* app = nullptr;
+  void OnMessage(NodeId from, MsgType type, const Bytes& payload) override {
+    if (app != nullptr) {
+      app->OnMessage(from, type, payload);
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr uint32_t kNodes = 4;
+  const uint16_t base_port =
+      argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 23000;
+
+  Keychain keychain(7, kNodes);
+  ClanTopology topology = ClanTopology::Full(kNodes);
+
+  std::vector<Router> routers(kNodes);
+  std::vector<std::unique_ptr<TcpRuntime>> nets(kNodes);
+  std::vector<std::unique_ptr<AppNode>> apps(kNodes);
+
+  for (NodeId id = 0; id < kNodes; ++id) {
+    TcpConfig config;
+    config.id = id;
+    config.num_nodes = kNodes;
+    config.base_port = base_port;
+    nets[id] = std::make_unique<TcpRuntime>(config, &routers[id]);
+
+    AppNodeOptions options;
+    options.consensus.num_nodes = kNodes;
+    options.consensus.num_faults = 1;
+    options.consensus.round_timeout = Seconds(5);
+    AppNodeCallbacks callbacks;
+    if (id == 0) {
+      callbacks.on_receipt = [](const ExecutionReceipt& r) {
+        if (r.txs_executed > 0) {
+          std::printf("executed block (round %llu, proposer %u): %u txs, state %s\n",
+                      static_cast<unsigned long long>(r.round), r.proposer, r.txs_executed,
+                      r.state_digest.Brief().c_str());
+        }
+      };
+    }
+    apps[id] = std::make_unique<AppNode>(*nets[id], keychain, topology, options,
+                                         std::move(callbacks));
+    routers[id].app = apps[id].get();
+  }
+
+  std::printf("starting %u nodes on 127.0.0.1:%u..%u\n", kNodes, base_port,
+              base_port + kNodes - 1);
+  for (auto& net : nets) {
+    net->Start();
+  }
+  for (auto& net : nets) {
+    if (!net->WaitConnected(Seconds(10))) {
+      std::printf("mesh failed to connect (port collision?)\n");
+      return 1;
+    }
+  }
+  std::printf("mesh connected; submitting transactions and starting consensus\n");
+
+  for (NodeId id = 0; id < kNodes; ++id) {
+    nets[id]->Post([&apps, id] {
+      for (uint64_t t = 0; t < 25; ++t) {
+        apps[id]->SubmitTransaction(id * 1000 + t,
+                                    EncodeTransfer(static_cast<uint32_t>(t % 3),
+                                                   static_cast<uint32_t>(3 + t % 3), 2));
+      }
+      apps[id]->Start();
+    });
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool done = true;
+    for (auto& app : apps) {
+      if (app->execution().ExecutedTxs() < kNodes * 25) {
+        done = false;
+      }
+    }
+    if (done) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  for (auto& net : nets) {
+    net->Stop();
+  }
+
+  std::printf("\nfinal state digests:\n");
+  bool consistent = true;
+  for (NodeId id = 0; id < kNodes; ++id) {
+    std::printf("  node %u: %s (%llu txs executed)\n", id,
+                apps[id]->execution().StateDigest().Brief().c_str(),
+                static_cast<unsigned long long>(apps[id]->execution().ExecutedTxs()));
+    if (!(apps[id]->execution().StateDigest() == apps[0]->execution().StateDigest())) {
+      consistent = false;
+    }
+  }
+  std::printf("replica consistency: %s\n", consistent ? "OK" : "VIOLATED");
+  return consistent ? 0 : 1;
+}

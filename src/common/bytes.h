@@ -1,0 +1,26 @@
+// Byte-buffer alias and small helpers used across the codebase.
+
+#ifndef CLANDAG_COMMON_BYTES_H_
+#define CLANDAG_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clandag {
+
+using Bytes = std::vector<uint8_t>;
+
+// Builds a Bytes from a string literal / string view (no NUL terminator).
+Bytes ToBytes(std::string_view s);
+
+// Interprets a byte buffer as text (for logging / tests).
+std::string ToString(const Bytes& b);
+
+// Appends `src` to `dst`.
+void Append(Bytes& dst, const Bytes& src);
+
+}  // namespace clandag
+
+#endif  // CLANDAG_COMMON_BYTES_H_

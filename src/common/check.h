@@ -1,0 +1,30 @@
+// Lightweight invariant-checking macros.
+//
+// CLANDAG_CHECK is active in all build modes: protocol invariants in a BFT
+// stack must hold in release builds too, and the cost of the checks here is
+// negligible next to message handling.
+
+#ifndef CLANDAG_COMMON_CHECK_H_
+#define CLANDAG_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CLANDAG_CHECK(cond)                                                              \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #cond, __FILE__, __LINE__);    \
+      std::abort();                                                                      \
+    }                                                                                    \
+  } while (0)
+
+#define CLANDAG_CHECK_MSG(cond, msg)                                                     \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      std::fprintf(stderr, "CHECK failed: %s (%s) at %s:%d\n", #cond, msg, __FILE__,     \
+                   __LINE__);                                                            \
+      std::abort();                                                                      \
+    }                                                                                    \
+  } while (0)
+
+#endif  // CLANDAG_COMMON_CHECK_H_

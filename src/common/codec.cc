@@ -1,0 +1,161 @@
+#include "common/codec.h"
+
+#include <cstring>
+
+namespace clandag {
+
+void Writer::U8(uint8_t v) {
+  buf_.push_back(v);
+}
+
+void Writer::U16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void Writer::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::I64(int64_t v) {
+  U64(static_cast<uint64_t>(v));
+}
+
+void Writer::Varint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void Writer::Blob(const Bytes& b) {
+  Blob(b.data(), b.size());
+}
+
+void Writer::Blob(const uint8_t* data, size_t len) {
+  Varint(len);
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+void Writer::Str(const std::string& s) {
+  Blob(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+void Writer::Bool(bool v) {
+  U8(v ? 1 : 0);
+}
+
+void Writer::Raw(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+bool Reader::Need(size_t n) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t Reader::U8() {
+  if (!Need(1)) {
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+uint16_t Reader::U16() {
+  if (!Need(2)) {
+    return 0;
+  }
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) | (static_cast<uint16_t>(data_[pos_ + 1]) << 8);
+  pos_ += 2;
+  return v;
+}
+
+uint32_t Reader::U32() {
+  if (!Need(4)) {
+    return 0;
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+uint64_t Reader::U64() {
+  if (!Need(8)) {
+    return 0;
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+int64_t Reader::I64() {
+  return static_cast<int64_t>(U64());
+}
+
+uint64_t Reader::Varint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (!Need(1)) {
+      return 0;
+    }
+    uint8_t byte = data_[pos_++];
+    if (shift >= 64 || (shift == 63 && (byte & 0x7e) != 0)) {
+      ok_ = false;  // Overflow: more than 64 bits of payload.
+      return 0;
+    }
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+}
+
+Bytes Reader::Blob() {
+  uint64_t len = Varint();
+  if (!Need(len)) {
+    return {};
+  }
+  Bytes out(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+std::string Reader::Str() {
+  Bytes b = Blob();
+  return std::string(b.begin(), b.end());
+}
+
+bool Reader::Bool() {
+  return U8() != 0;
+}
+
+void Reader::Raw(uint8_t* out, size_t len) {
+  if (!Need(len)) {
+    std::memset(out, 0, len);
+    return;
+  }
+  std::memcpy(out, data_ + pos_, len);
+  pos_ += len;
+}
+
+}  // namespace clandag

@@ -1,0 +1,86 @@
+// Binary serialization primitives.
+//
+// All protocol messages are encoded with Writer and decoded with Reader.
+// Integers are little-endian fixed width or LEB128 varints; length-prefixed
+// byte strings use varint lengths. Reader is non-throwing: a malformed
+// buffer flips an `ok` flag and subsequent reads return zero values, so
+// message parsers can do a single `ok()` check at the end (important when
+// feeding attacker-controlled bytes from Byzantine peers).
+
+#ifndef CLANDAG_COMMON_CODEC_H_
+#define CLANDAG_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace clandag {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void U8(uint8_t v);
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v);
+  // LEB128 unsigned varint.
+  void Varint(uint64_t v);
+  // Varint length followed by raw bytes.
+  void Blob(const Bytes& b);
+  void Blob(const uint8_t* data, size_t len);
+  void Str(const std::string& s);
+  void Bool(bool v);
+  // Raw bytes, no length prefix (caller knows the width).
+  void Raw(const uint8_t* data, size_t len);
+
+  const Bytes& Buffer() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+  size_t Size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& buf) : data_(buf.data()), size_(buf.size()) {}
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64();
+  uint64_t Varint();
+  Bytes Blob();
+  std::string Str();
+  bool Bool();
+  // Copies `len` raw bytes into `out`; zero-fills on underflow.
+  void Raw(uint8_t* out, size_t len);
+
+  // True iff every read so far was in bounds and well-formed.
+  bool ok() const { return ok_; }
+  // Marks the stream malformed (parsers reject semantic garbage, e.g.
+  // absurd element counts, through the same failure channel).
+  void Invalidate() { ok_ = false; }
+  // True iff the whole buffer was consumed (useful to reject trailing junk).
+  bool AtEnd() const { return pos_ == size_; }
+  size_t Remaining() const { return size_ - pos_; }
+
+ private:
+  bool Need(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_COMMON_CODEC_H_

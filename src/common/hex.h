@@ -1,0 +1,24 @@
+// Hex encoding/decoding for digests and test fixtures.
+
+#ifndef CLANDAG_COMMON_HEX_H_
+#define CLANDAG_COMMON_HEX_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace clandag {
+
+// Lower-case hex encoding of `data`.
+std::string HexEncode(const uint8_t* data, size_t len);
+std::string HexEncode(const Bytes& b);
+
+// Decodes a hex string; returns std::nullopt on malformed input
+// (odd length or non-hex characters).
+std::optional<Bytes> HexDecode(std::string_view hex);
+
+}  // namespace clandag
+
+#endif  // CLANDAG_COMMON_HEX_H_

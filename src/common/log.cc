@@ -1,0 +1,47 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace clandag {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void LogImpl(LogLevel level, const char* fmt, ...) {
+  std::fprintf(stderr, "[%s] ", LevelName(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace clandag

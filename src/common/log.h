@@ -1,0 +1,41 @@
+// Minimal leveled logger.
+//
+// The hot path of the simulator must not pay for logging, so level checks are
+// branch-only and formatting is printf-style performed lazily.
+
+#ifndef CLANDAG_COMMON_LOG_H_
+#define CLANDAG_COMMON_LOG_H_
+
+#include <cstdarg>
+
+namespace clandag {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Process-wide log threshold; default kWarn so tests/benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+void LogImpl(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace clandag
+
+#define CLANDAG_LOG(level, ...)                            \
+  do {                                                     \
+    if (level >= ::clandag::GetLogLevel()) {               \
+      ::clandag::LogImpl(level, __VA_ARGS__);              \
+    }                                                      \
+  } while (0)
+
+#define CLANDAG_DEBUG(...) CLANDAG_LOG(::clandag::LogLevel::kDebug, __VA_ARGS__)
+#define CLANDAG_INFO(...) CLANDAG_LOG(::clandag::LogLevel::kInfo, __VA_ARGS__)
+#define CLANDAG_WARN(...) CLANDAG_LOG(::clandag::LogLevel::kWarn, __VA_ARGS__)
+#define CLANDAG_ERROR(...) CLANDAG_LOG(::clandag::LogLevel::kError, __VA_ARGS__)
+
+#endif  // CLANDAG_COMMON_LOG_H_

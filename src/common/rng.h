@@ -1,0 +1,69 @@
+// Deterministic RNG wrapper.
+//
+// Everything random in the library (clan election, workload generation,
+// network jitter) flows through DetRng so a scenario seed reproduces a run
+// bit-for-bit.
+
+#ifndef CLANDAG_COMMON_RNG_H_
+#define CLANDAG_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace clandag {
+
+class DetRng {
+ public:
+  explicit DetRng(uint64_t seed) : engine_(seed) {}
+
+  uint64_t Next() { return engine_(); }
+
+  // Uniform in [0, bound); bound must be positive.
+  uint64_t NextBelow(uint64_t bound) {
+    CLANDAG_CHECK(bound > 0);
+    std::uniform_int_distribution<uint64_t> dist(0, bound - 1);
+    return dist(engine_);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  // Derives an independent stream (e.g. per node) from this seed source.
+  DetRng Fork(uint64_t salt) { return DetRng(engine_() ^ (salt * 0x9e3779b97f4a7c15ULL)); }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  // Samples k distinct indices from [0, n) without replacement, sorted.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+inline std::vector<uint32_t> DetRng::SampleWithoutReplacement(uint32_t n, uint32_t k) {
+  CLANDAG_CHECK(k <= n);
+  std::vector<uint32_t> all(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    all[i] = i;
+  }
+  Shuffle(all);
+  all.resize(k);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace clandag
+
+#endif  // CLANDAG_COMMON_RNG_H_

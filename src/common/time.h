@@ -1,0 +1,37 @@
+// Time types shared between simulated and real runtimes.
+//
+// All protocol code measures time in integer microseconds (TimeMicros).
+// The simulated runtime advances a virtual clock; real runtimes map this to
+// steady_clock.
+
+#ifndef CLANDAG_COMMON_TIME_H_
+#define CLANDAG_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace clandag {
+
+using TimeMicros = int64_t;
+
+constexpr TimeMicros kMicrosPerMilli = 1000;
+constexpr TimeMicros kMicrosPerSecond = 1000 * 1000;
+
+constexpr TimeMicros Millis(int64_t ms) {
+  return ms * kMicrosPerMilli;
+}
+
+constexpr TimeMicros Seconds(int64_t s) {
+  return s * kMicrosPerSecond;
+}
+
+constexpr double ToSeconds(TimeMicros t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosPerSecond);
+}
+
+constexpr double ToMillis(TimeMicros t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosPerMilli);
+}
+
+}  // namespace clandag
+
+#endif  // CLANDAG_COMMON_TIME_H_

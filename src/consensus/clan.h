@@ -1,0 +1,93 @@
+// Clan topology: who receives whose blocks, and who proposes blocks.
+//
+// The three protocols of the paper are three topologies over the same
+// consensus core:
+//  - kFull       (baseline Sailfish): every block goes to every node and
+//                every node proposes blocks.
+//  - kSingleClan (§5): one elected clan receives all blocks; only clan
+//                members propose blocks; everyone still proposes vertices.
+//  - kMultiClan  (§6): the tribe is partitioned into q disjoint clans; every
+//                node proposes blocks, delivered to its own clan only.
+
+#ifndef CLANDAG_CONSENSUS_CLAN_H_
+#define CLANDAG_CONSENSUS_CLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/keychain.h"
+
+namespace clandag {
+
+enum class DisseminationMode {
+  kFull,
+  kSingleClan,
+  kMultiClan,
+};
+
+const char* DisseminationModeName(DisseminationMode mode);
+
+class ClanTopology {
+ public:
+  // Baseline: one clan containing everyone.
+  static ClanTopology Full(uint32_t num_nodes);
+
+  // Single elected clan (sorted member list).
+  static ClanTopology SingleClan(uint32_t num_nodes, std::vector<NodeId> members);
+
+  // Deterministic "even spread" election: members {0..clan_size-1}. With the
+  // simulator's round-robin region assignment this spreads the clan evenly
+  // across regions, matching the paper's evaluation setup.
+  static ClanTopology SingleClanSpread(uint32_t num_nodes, uint32_t clan_size);
+
+  // Uniformly random clan (the model the statistical analysis assumes).
+  static ClanTopology SingleClanRandom(uint32_t num_nodes, uint32_t clan_size, DetRng& rng);
+
+  // Partition into q clans, node i -> clan i % q (even region spread).
+  static ClanTopology MultiClan(uint32_t num_nodes, uint32_t num_clans);
+
+  // Uniformly random equal partition into q clans.
+  static ClanTopology MultiClanRandom(uint32_t num_nodes, uint32_t num_clans, DetRng& rng);
+
+  DisseminationMode mode() const { return mode_; }
+  uint32_t num_nodes() const { return num_nodes_; }
+  uint32_t num_clans() const { return static_cast<uint32_t>(clans_.size()); }
+  const std::vector<NodeId>& Clan(uint32_t index) const { return clans_[index]; }
+
+  // Clan index `node` belongs to; -1 for none (single-clan non-members).
+  int ClanIndexOf(NodeId node) const { return clan_index_of_[node]; }
+
+  // The clan that receives blocks proposed by `proposer`.
+  // kFull: everyone; kSingleClan: the designated clan regardless of
+  // proposer; kMultiClan: the proposer's own clan.
+  const std::vector<NodeId>& BlockRecipients(NodeId proposer) const;
+
+  // Is `node` among BlockRecipients(proposer)?
+  bool ReceivesBlocksOf(NodeId proposer, NodeId node) const;
+
+  // May `proposer` attach blocks to its vertices? (kSingleClan restricts
+  // block proposals to clan members; other modes allow everyone.)
+  bool ProposesBlocks(NodeId proposer) const;
+
+  // f_c + 1 for the clan serving `proposer`'s blocks.
+  uint32_t ClanQuorumFor(NodeId proposer) const;
+
+  std::string Describe() const;
+
+ private:
+  ClanTopology() = default;
+  void BuildIndex();
+
+  DisseminationMode mode_ = DisseminationMode::kFull;
+  uint32_t num_nodes_ = 0;
+  std::vector<std::vector<NodeId>> clans_;
+  std::vector<int> clan_index_of_;
+  // Per node: index of the clan serving its blocks (kFull/kSingleClan: 0).
+  std::vector<int> serving_clan_of_;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_CONSENSUS_CLAN_H_

@@ -1,0 +1,107 @@
+#include "consensus/committer.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace clandag {
+
+Committer::Committer(DagStore& dag, uint32_t num_nodes, uint32_t quorum, LeaderFn leader,
+                     OrderFn order)
+    : dag_(dag),
+      num_nodes_(num_nodes),
+      quorum_(quorum),
+      leader_(std::move(leader)),
+      order_(std::move(order)) {
+  CLANDAG_CHECK(leader_ != nullptr && order_ != nullptr);
+}
+
+void Committer::CountVote(const Vertex& voter) {
+  if (voter.round == 0) {
+    return;
+  }
+  const Round target = voter.round - 1;
+  if (static_cast<int64_t>(target) <= last_committed_) {
+    return;
+  }
+  const NodeId leader = leader_(target);
+  const StrongEdge* vote = nullptr;
+  for (const StrongEdge& e : voter.strong_edges) {
+    if (e.source == leader) {
+      vote = &e;
+      break;
+    }
+  }
+  if (vote == nullptr) {
+    return;
+  }
+  auto [it, inserted] = votes_[target].try_emplace(vote->digest, num_nodes_);
+  SignerBitmap& voters = it->second;
+  if (voters.Test(voter.source)) {
+    return;
+  }
+  voters.Set(voter.source);
+  if (voters.Count() >= quorum_ && !quorum_digest_.count(target)) {
+    quorum_digest_.emplace(target, vote->digest);
+    TryDirectCommit(target);
+  }
+}
+
+void Committer::OnVertexAdded(const Vertex& v) {
+  CountVote(v);
+  if (v.source == leader_(v.round) && quorum_digest_.count(v.round)) {
+    TryDirectCommit(v.round);
+  }
+}
+
+void Committer::TryDirectCommit(Round round) {
+  if (static_cast<int64_t>(round) <= last_committed_) {
+    return;
+  }
+  auto it = quorum_digest_.find(round);
+  if (it == quorum_digest_.end()) {
+    return;
+  }
+  const Digest* dag_digest = dag_.DigestOf(round, leader_(round));
+  if (dag_digest == nullptr || *dag_digest != it->second) {
+    // Leader vertex not (yet) in the DAG, or votes name an equivocated body
+    // that never completed; the commit fires from OnVertexAdded later.
+    return;
+  }
+  CommitChainTo(round);
+}
+
+void Committer::CommitChainTo(Round round) {
+  // Walk back to the last committed anchor, collecting every intermediate
+  // leader vertex reachable by a strong path from the newest anchor below it.
+  std::vector<Round> chain;
+  chain.push_back(round);
+  const Vertex* cur = dag_.Get(round, leader_(round));
+  CLANDAG_CHECK(cur != nullptr);
+  for (int64_t rr = static_cast<int64_t>(round) - 1; rr > last_committed_; --rr) {
+    const Round r = static_cast<Round>(rr);
+    const Vertex* cand = dag_.Get(r, leader_(r));
+    if (cand != nullptr && dag_.StrongPathExists(*cur, r, leader_(r))) {
+      chain.push_back(r);
+      cur = cand;
+    } else {
+      ++anchors_skipped_;
+    }
+  }
+  last_committed_ = static_cast<int64_t>(round);
+
+  // Order anchors oldest-first; each anchor linearizes its unordered history.
+  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+    ++anchors_committed_;
+    std::vector<const Vertex*> history = dag_.OrderHistory(*rit, leader_(*rit));
+    for (const Vertex* v : history) {
+      order_(*v);
+    }
+  }
+
+  // Vote bookkeeping below the commit frontier is dead.
+  votes_.erase(votes_.begin(), votes_.upper_bound(round));
+  quorum_digest_.erase(quorum_digest_.begin(), quorum_digest_.upper_bound(round));
+}
+
+}  // namespace clandag

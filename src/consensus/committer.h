@@ -1,0 +1,75 @@
+// Sailfish commit rule and total ordering.
+//
+// Every round r has a leader (round-robin). A round r+1 vertex votes for the
+// round-r leader vertex by carrying a strong edge to it. A leader vertex
+// commits *directly* once 2f+1 votes are observed — votes are counted from
+// the first (VAL) messages of round r+1 broadcasts, giving the paper's
+// 1 RBC + 1δ commit latency — and the leader vertex itself has been added to
+// the DAG.
+//
+// On a direct commit of round r, the committer walks the leader chain back
+// to the last committed round: an intermediate leader vertex is committed
+// iff a strong path reaches it from the newest committed anchor below it
+// (Bullshark-style; safety follows from quorum intersection between the
+// 2f+1 voters and the 2f+1 strong edges of later vertices). Each committed
+// anchor then orders its not-yet-ordered causal history deterministically.
+//
+// Safety of the chain walk relies on leader-vertex *justification* being
+// enforced at DAG admission (see SailfishNode): a leader vertex that skips
+// its predecessor leader must carry a no-vote or timeout certificate, so a
+// directly-committed predecessor can never be skipped by a justified chain.
+
+#ifndef CLANDAG_CONSENSUS_COMMITTER_H_
+#define CLANDAG_CONSENSUS_COMMITTER_H_
+
+#include <functional>
+#include <map>
+
+#include "crypto/multisig.h"
+#include "dag/dag_store.h"
+
+namespace clandag {
+
+class Committer {
+ public:
+  using LeaderFn = std::function<NodeId(Round)>;
+  using OrderFn = std::function<void(const Vertex&)>;
+
+  Committer(DagStore& dag, uint32_t num_nodes, uint32_t quorum, LeaderFn leader, OrderFn order);
+
+  // Counts the leader vote carried by `voter` (a round >= 1 vertex seen via
+  // VAL or added to the DAG). Idempotent per (voter round, voter source).
+  void CountVote(const Vertex& voter);
+
+  // Notifies that `v` entered the DAG; may release a commit waiting for the
+  // leader vertex body.
+  void OnVertexAdded(const Vertex& v);
+
+  NodeId LeaderOf(Round round) const { return leader_(round); }
+  int64_t LastCommittedRound() const { return last_committed_; }
+  uint64_t AnchorsCommitted() const { return anchors_committed_; }
+  uint64_t AnchorsSkipped() const { return anchors_skipped_; }
+
+ private:
+  void TryDirectCommit(Round round);
+  void CommitChainTo(Round round);
+
+  DagStore& dag_;
+  uint32_t num_nodes_;
+  uint32_t quorum_;
+  LeaderFn leader_;
+  OrderFn order_;
+
+  // Per leader round: votes per claimed leader-vertex digest.
+  std::map<Round, std::map<Digest, SignerBitmap>> votes_;
+  // Rounds whose leader digest reached the vote quorum.
+  std::map<Round, Digest> quorum_digest_;
+
+  int64_t last_committed_ = -1;
+  uint64_t anchors_committed_ = 0;
+  uint64_t anchors_skipped_ = 0;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_CONSENSUS_COMMITTER_H_

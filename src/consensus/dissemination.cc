@@ -1,0 +1,478 @@
+#include "consensus/dissemination.h"
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace clandag {
+
+VertexDisseminator::VertexDisseminator(Runtime& runtime, const Keychain& keychain,
+                                       const ClanTopology& topology, DisseminationConfig config,
+                                       DisseminationCallbacks callbacks)
+    : runtime_(runtime),
+      keychain_(keychain),
+      topology_(topology),
+      config_(config),
+      callbacks_(std::move(callbacks)) {
+  CLANDAG_CHECK(config_.num_nodes > 0);
+}
+
+VertexDisseminator::Instance& VertexDisseminator::GetInstance(NodeId source, Round round) {
+  return instances_[{source, round}];
+}
+
+const VertexDisseminator::Instance* VertexDisseminator::FindInstance(NodeId source,
+                                                                     Round round) const {
+  auto it = instances_.find({source, round});
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+void VertexDisseminator::Propose(const Vertex& v, std::optional<BlockInfo> block) {
+  CLANDAG_CHECK(v.source == runtime_.id());
+  CLANDAG_CHECK(v.HasBlock() == block.has_value());
+  if (block.has_value()) {
+    CLANDAG_CHECK_MSG(block->ComputeDigest() == v.block_digest, "block/vertex digest mismatch");
+  }
+
+  // Vertex (metadata) to the entire tribe.
+  Bytes vertex_bytes = EncodeVertex(v);
+  runtime_.Broadcast(kConsVertexVal, std::move(vertex_bytes));
+
+  // Block only to the serving clan, with its modelled wire size.
+  if (block.has_value()) {
+    const size_t wire = block->WireSize();
+    runtime_.Multicast(topology_.BlockRecipients(v.source), kConsBlock, EncodeBlock(*block),
+                       wire);
+  }
+}
+
+bool VertexDisseminator::HandleMessage(NodeId from, MsgType type, const Bytes& payload) {
+  switch (type) {
+    case kConsVertexVal:
+      OnVertexVal(from, payload);
+      return true;
+    case kConsBlock:
+      OnBlock(from, payload);
+      return true;
+    case kConsEcho:
+      OnEcho(from, payload);
+      return true;
+    case kConsReady:
+      OnReady(from, payload);
+      return true;
+    case kConsCert:
+      OnCert(from, payload);
+      return true;
+    case kConsVertexPullReq:
+      OnVertexPullReq(from, payload);
+      return true;
+    case kConsVertexPullResp:
+      OnVertexPullResp(from, payload);
+      return true;
+    case kConsBlockPullReq:
+      OnBlockPullReq(from, payload);
+      return true;
+    case kConsBlockPullResp:
+      OnBlockPullResp(from, payload);
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool VertexDisseminator::HasBlock(NodeId source, Round round) const {
+  const Instance* inst = FindInstance(source, round);
+  return inst != nullptr && inst->block.has_value() && inst->block_verified;
+}
+
+const BlockInfo* VertexDisseminator::GetBlock(NodeId source, Round round) const {
+  const Instance* inst = FindInstance(source, round);
+  if (inst == nullptr || !inst->block.has_value() || !inst->block_verified) {
+    return nullptr;
+  }
+  return &*inst->block;
+}
+
+bool VertexDisseminator::HasCompleted(NodeId source, Round round) const {
+  const Instance* inst = FindInstance(source, round);
+  return inst != nullptr && inst->completed;
+}
+
+void VertexDisseminator::PruneBelow(Round round) {
+  for (auto it = instances_.begin(); it != instances_.end();) {
+    if (it->first.second < round) {
+      it = instances_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool VertexDisseminator::NeedsBlockToEcho(const Vertex& v) const {
+  return v.HasBlock() && topology_.ReceivesBlocksOf(v.source, runtime_.id());
+}
+
+void VertexDisseminator::AcceptVertexBody(NodeId source, Round round, Instance& inst, Vertex v,
+                                          const Digest& digest) {
+  const bool first_body = !inst.vertex.has_value();
+  if (first_body) {
+    inst.vertex = std::move(v);
+    inst.vertex_digest = digest;
+  } else if (inst.vertex_digest != digest && inst.awaiting_vertex &&
+             digest == inst.decided_digest) {
+    // The sender equivocated and the quorum decided the other body.
+    inst.vertex = std::move(v);
+    inst.vertex_digest = digest;
+  }
+
+  if (first_body) {
+    // Verify any block that arrived ahead of its vertex.
+    if (inst.block.has_value() && !inst.block_verified) {
+      if (inst.block->ComputeDigest() == inst.vertex->block_digest) {
+        inst.block_verified = true;
+        callbacks_.on_block(*inst.block);
+      } else {
+        inst.block.reset();
+      }
+    }
+    callbacks_.on_vertex_val(*inst.vertex);
+  }
+
+  MaybeEcho(source, round, inst);
+  if (inst.awaiting_vertex && inst.vertex_digest == inst.decided_digest) {
+    Complete(source, round, inst);
+  }
+}
+
+void VertexDisseminator::OnVertexVal(NodeId from, const Bytes& payload) {
+  auto v = DecodeVertex(payload);
+  if (!v.has_value() || v->source != from || v->source >= config_.num_nodes) {
+    return;  // A vertex VAL must come from its own source.
+  }
+  // Non-clan proposers must not attach blocks in single-clan mode.
+  if (v->HasBlock() && !topology_.ProposesBlocks(v->source)) {
+    return;
+  }
+  Round round = v->round;
+  Digest digest = Digest::Of(payload);
+  Instance& inst = GetInstance(from, round);
+  AcceptVertexBody(from, round, inst, std::move(*v), digest);
+}
+
+void VertexDisseminator::AcceptBlock(Instance& inst, BlockInfo block) {
+  if (inst.block.has_value()) {
+    return;
+  }
+  if (inst.vertex.has_value()) {
+    if (block.ComputeDigest() != inst.vertex->block_digest) {
+      return;  // Block does not match the vertex; drop.
+    }
+    inst.block = std::move(block);
+    inst.block_verified = true;
+    callbacks_.on_block(*inst.block);
+  } else {
+    // Vertex not seen yet; hold the block, verify on vertex arrival.
+    inst.block = std::move(block);
+    inst.block_verified = false;
+  }
+}
+
+void VertexDisseminator::OnBlock(NodeId from, const Bytes& payload) {
+  auto block = DecodeBlock(payload);
+  if (!block.has_value() || block->proposer != from || block->proposer >= config_.num_nodes) {
+    return;
+  }
+  if (!topology_.ReceivesBlocksOf(block->proposer, runtime_.id())) {
+    return;  // Not our clan's payload.
+  }
+  NodeId source = block->proposer;
+  Round round = block->round;
+  Instance& inst = GetInstance(source, round);
+  AcceptBlock(inst, std::move(*block));
+  MaybeEcho(source, round, inst);
+}
+
+void VertexDisseminator::MaybeEcho(NodeId source, Round round, Instance& inst) {
+  if (inst.echoed || !inst.vertex.has_value()) {
+    return;
+  }
+  if (NeedsBlockToEcho(*inst.vertex) && !(inst.block.has_value() && inst.block_verified)) {
+    return;  // Clan members echo only with vertex AND block in hand (§5).
+  }
+  inst.echoed = true;
+  RbcVoteMsg echo;
+  echo.sender = source;
+  echo.round = round;
+  echo.digest = inst.vertex_digest;
+  if (config_.flavor == RbcFlavor::kTwoRound) {
+    echo.sig = keychain_.Sign(
+        runtime_.id(), RbcVoteMsg::SignedMessage(kConsEcho, source, round, inst.vertex_digest));
+  }
+  runtime_.Broadcast(kConsEcho, echo.Encode());
+}
+
+void VertexDisseminator::OnEcho(NodeId from, const Bytes& payload) {
+  auto msg = RbcVoteMsg::Decode(payload);
+  if (!msg.has_value() || msg->sender >= config_.num_nodes) {
+    return;
+  }
+  if (config_.flavor == RbcFlavor::kTwoRound) {
+    if (!msg->sig.has_value()) {
+      return;
+    }
+    if (config_.verify_signatures &&
+        !keychain_.Verify(from,
+                          RbcVoteMsg::SignedMessage(kConsEcho, msg->sender, msg->round,
+                                                    msg->digest),
+                          *msg->sig)) {
+      return;
+    }
+  }
+  Instance& inst = GetInstance(msg->sender, msg->round);
+  if (inst.completed) {
+    return;  // Late echo for a finished broadcast; nothing left to drive.
+  }
+  auto [it, inserted] = inst.echoes.try_emplace(msg->digest, config_.num_nodes);
+  VoteTracker& tracker = it->second;
+  if (!tracker.Add(from, topology_.ReceivesBlocksOf(msg->sender, from), msg->sig)) {
+    return;
+  }
+  const bool quorum = tracker.Count() >= config_.Quorum() &&
+                      tracker.ClanCount() >= topology_.ClanQuorumFor(msg->sender);
+  if (!quorum) {
+    return;
+  }
+  if (config_.flavor == RbcFlavor::kTwoRound) {
+    if (inst.completed || inst.awaiting_vertex) {
+      return;
+    }
+    if (config_.multicast_cert) {
+      RbcCertMsg cert;
+      cert.sender = msg->sender;
+      cert.round = msg->round;
+      cert.digest = msg->digest;
+      cert.sig = tracker.BuildCert();
+      runtime_.Broadcast(kConsCert, cert.Encode());
+    }
+    OnQuorum(msg->sender, msg->round, inst, msg->digest);
+  } else {
+    // Bracha: 2f+1 ECHO (with clan threshold) triggers READY.
+    if (!inst.ready_sent) {
+      inst.ready_sent = true;
+      RbcVoteMsg ready;
+      ready.sender = msg->sender;
+      ready.round = msg->round;
+      ready.digest = msg->digest;
+      runtime_.Broadcast(kConsReady, ready.Encode());
+    }
+  }
+}
+
+void VertexDisseminator::OnReady(NodeId from, const Bytes& payload) {
+  if (config_.flavor != RbcFlavor::kBracha) {
+    return;
+  }
+  auto msg = RbcVoteMsg::Decode(payload);
+  if (!msg.has_value() || msg->sender >= config_.num_nodes) {
+    return;
+  }
+  Instance& inst = GetInstance(msg->sender, msg->round);
+  auto [it, inserted] = inst.readies.try_emplace(msg->digest, config_.num_nodes);
+  VoteTracker& tracker = it->second;
+  if (!tracker.Add(from, topology_.ReceivesBlocksOf(msg->sender, from), std::nullopt)) {
+    return;
+  }
+  if (tracker.Count() >= config_.ReadyAmplify() && !inst.ready_sent) {
+    inst.ready_sent = true;
+    RbcVoteMsg ready;
+    ready.sender = msg->sender;
+    ready.round = msg->round;
+    ready.digest = msg->digest;
+    runtime_.Broadcast(kConsReady, ready.Encode());
+  }
+  if (tracker.Count() >= config_.Quorum()) {
+    OnQuorum(msg->sender, msg->round, inst, msg->digest);
+  }
+}
+
+void VertexDisseminator::OnCert(NodeId /*from*/, const Bytes& payload) {
+  if (config_.flavor != RbcFlavor::kTwoRound) {
+    return;
+  }
+  auto msg = RbcCertMsg::Decode(payload);
+  if (!msg.has_value() || msg->sender >= config_.num_nodes) {
+    return;
+  }
+  Instance& inst = GetInstance(msg->sender, msg->round);
+  if (inst.completed || inst.awaiting_vertex) {
+    return;
+  }
+  if (msg->sig.Count() < config_.Quorum()) {
+    return;
+  }
+  uint32_t clan_signers = 0;
+  for (NodeId id : topology_.BlockRecipients(msg->sender)) {
+    if (msg->sig.signers().Test(id)) {
+      ++clan_signers;
+    }
+  }
+  if (clan_signers < topology_.ClanQuorumFor(msg->sender)) {
+    return;
+  }
+  if (config_.verify_signatures &&
+      !msg->sig.Verify(keychain_,
+                       RbcVoteMsg::SignedMessage(kConsEcho, msg->sender, msg->round,
+                                                 msg->digest))) {
+    return;
+  }
+  OnQuorum(msg->sender, msg->round, inst, msg->digest);
+}
+
+void VertexDisseminator::OnQuorum(NodeId source, Round round, Instance& inst,
+                                  const Digest& digest) {
+  if (inst.completed || inst.awaiting_vertex) {
+    return;
+  }
+  inst.decided_digest = digest;
+  if (inst.vertex.has_value() && inst.vertex_digest == digest) {
+    Complete(source, round, inst);
+    return;
+  }
+  // Quorum reached without (a matching) vertex body: download it off the
+  // critical path and complete on arrival.
+  inst.awaiting_vertex = true;
+  StartVertexPull(source, round);
+}
+
+void VertexDisseminator::Complete(NodeId source, Round round, Instance& inst) {
+  if (inst.completed) {
+    return;
+  }
+  inst.completed = true;
+  inst.awaiting_vertex = false;
+  // Kick off the block download for clan members that still miss it; this
+  // gates execution only, never consensus progress.
+  if (NeedsBlockToEcho(*inst.vertex) && !(inst.block.has_value() && inst.block_verified)) {
+    StartBlockPull(source, round);
+  }
+  callbacks_.on_vertex_complete(*inst.vertex, inst.vertex_digest);
+}
+
+void VertexDisseminator::StartVertexPull(NodeId source, Round round) {
+  Instance& inst = GetInstance(source, round);
+  if (!inst.awaiting_vertex || inst.completed) {
+    return;
+  }
+  // Every echoer of the decided digest holds the vertex body.
+  std::vector<NodeId> holders;
+  auto it = inst.echoes.find(inst.decided_digest);
+  if (it != inst.echoes.end()) {
+    holders = it->second.voters().Ids();
+  }
+  if (holders.empty()) {
+    return;
+  }
+  ConsPullMsg req;
+  req.source = source;
+  req.round = round;
+  Bytes req_bytes = req.Encode();
+  for (uint32_t i = 0; i < config_.pull_fanout; ++i) {
+    NodeId target = holders[(inst.pull_rr + i) % holders.size()];
+    if (target != runtime_.id()) {
+      runtime_.Send(target, kConsVertexPullReq, req_bytes);
+    }
+  }
+  inst.pull_rr += config_.pull_fanout;
+  runtime_.Schedule(config_.pull_retry, [this, source, round] { StartVertexPull(source, round); });
+}
+
+void VertexDisseminator::StartBlockPull(NodeId source, Round round) {
+  Instance& inst = GetInstance(source, round);
+  if (inst.block.has_value() && inst.block_verified) {
+    return;
+  }
+  inst.pulling_block = true;
+  // Ask clan members that echoed (they held the block when echoing); fall
+  // back to the whole clan when no echo is recorded locally.
+  std::vector<NodeId> holders;
+  if (inst.vertex.has_value()) {
+    auto it = inst.echoes.find(inst.vertex_digest);
+    if (it != inst.echoes.end()) {
+      holders = it->second.ClanVoters(topology_.BlockRecipients(source));
+    }
+  }
+  if (holders.empty()) {
+    holders = topology_.BlockRecipients(source);
+  }
+  ConsPullMsg req;
+  req.source = source;
+  req.round = round;
+  Bytes req_bytes = req.Encode();
+  for (uint32_t i = 0; i < config_.pull_fanout; ++i) {
+    NodeId target = holders[(inst.pull_rr + i) % holders.size()];
+    if (target != runtime_.id()) {
+      runtime_.Send(target, kConsBlockPullReq, req_bytes);
+    }
+  }
+  inst.pull_rr += config_.pull_fanout;
+  runtime_.Schedule(config_.pull_retry, [this, source, round] {
+    Instance& retry_inst = GetInstance(source, round);
+    if (retry_inst.pulling_block && !(retry_inst.block.has_value() && retry_inst.block_verified)) {
+      StartBlockPull(source, round);
+    }
+  });
+}
+
+void VertexDisseminator::OnVertexPullReq(NodeId from, const Bytes& payload) {
+  auto msg = ConsPullMsg::Decode(payload);
+  if (!msg.has_value()) {
+    return;
+  }
+  const Instance* inst = FindInstance(msg->source, msg->round);
+  if (inst == nullptr || !inst->vertex.has_value()) {
+    return;
+  }
+  runtime_.Send(from, kConsVertexPullResp, EncodeVertex(*inst->vertex));
+}
+
+void VertexDisseminator::OnVertexPullResp(NodeId /*from*/, const Bytes& payload) {
+  auto v = DecodeVertex(payload);
+  if (!v.has_value() || v->source >= config_.num_nodes) {
+    return;
+  }
+  NodeId source = v->source;
+  Round round = v->round;
+  Digest digest = Digest::Of(payload);
+  Instance& inst = GetInstance(source, round);
+  AcceptVertexBody(source, round, inst, std::move(*v), digest);
+}
+
+void VertexDisseminator::OnBlockPullReq(NodeId from, const Bytes& payload) {
+  auto msg = ConsPullMsg::Decode(payload);
+  if (!msg.has_value()) {
+    return;
+  }
+  const Instance* inst = FindInstance(msg->source, msg->round);
+  if (inst == nullptr || !inst->block.has_value() || !inst->block_verified) {
+    return;
+  }
+  const size_t wire = inst->block->WireSize();
+  auto shared = std::make_shared<const Bytes>(EncodeBlock(*inst->block));
+  runtime_.Send(from, kConsBlockPullResp, shared, wire);
+}
+
+void VertexDisseminator::OnBlockPullResp(NodeId /*from*/, const Bytes& payload) {
+  auto block = DecodeBlock(payload);
+  if (!block.has_value() || block->proposer >= config_.num_nodes) {
+    return;
+  }
+  NodeId source = block->proposer;
+  Round round = block->round;
+  Instance& inst = GetInstance(source, round);
+  AcceptBlock(inst, std::move(*block));
+  if (inst.block.has_value() && inst.block_verified) {
+    inst.pulling_block = false;  // Ends the retry loop.
+  }
+  MaybeEcho(source, round, inst);
+}
+
+}  // namespace clandag

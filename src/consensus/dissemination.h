@@ -1,0 +1,153 @@
+// Merged vertex + block dissemination (paper §5, "Efficiently propagating
+// the vertex and the block").
+//
+// One broadcast instance per (source, round) integrates the standard RBC of
+// the vertex with the tribe-assisted RBC of its block:
+//  - the sender broadcasts the vertex to the whole tribe and the block only
+//    to BlockRecipients(sender) (its clan);
+//  - recipients of the block ECHO only once they hold vertex AND block;
+//    everyone else ECHOes after the vertex alone (the vertex carries the
+//    block digest);
+//  - completion needs 2f+1 ECHOs including f_c+1 from the clan (two-round
+//    flavour assembles/accepts an echo-certificate, Bracha flavour runs the
+//    READY phase).
+//
+// Completion is independent of holding the block: consensus progress never
+// waits on a payload download (paper §5). Clan members missing a block pull
+// it off the critical path; a vertex body missing at completion (Byzantine
+// sender) is pulled from echoers.
+//
+// With ClanTopology::Full this is exactly the baseline Sailfish vertex RBC
+// where payloads travel inside proposals.
+
+#ifndef CLANDAG_CONSENSUS_DISSEMINATION_H_
+#define CLANDAG_CONSENSUS_DISSEMINATION_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "consensus/clan.h"
+#include "consensus/wire.h"
+#include "crypto/keychain.h"
+#include "net/runtime.h"
+#include "rbc/quorum.h"
+
+namespace clandag {
+
+enum class RbcFlavor {
+  kTwoRound,  // Signed, certificate-based (paper Figure 3; evaluation default).
+  kBracha,    // Signature-free, READY-based (paper Figure 2).
+};
+
+struct DisseminationConfig {
+  uint32_t num_nodes = 0;
+  uint32_t num_faults = 0;
+  RbcFlavor flavor = RbcFlavor::kTwoRound;
+  // Multicast the echo-certificate (Figure 3 step 3). Off = good-case
+  // optimization where every party assembles its own certificate.
+  bool multicast_cert = true;
+  // Cryptographically check echo signatures / certificates. Large-scale
+  // simulation benches turn this off: the simulator models verification
+  // *time* through its CPU-cost hook, and burning host CPU on HMACs would
+  // only slow the experiment down. Always on in tests and real transports.
+  bool verify_signatures = true;
+  uint32_t pull_fanout = 2;
+  TimeMicros pull_retry = Millis(250);
+
+  uint32_t Quorum() const { return 2 * num_faults + 1; }
+  uint32_t ReadyAmplify() const { return num_faults + 1; }
+};
+
+struct DisseminationCallbacks {
+  // First sight of a vertex body (the VAL "first message"): Sailfish counts
+  // leader votes from these to reach its 1 RBC + 1δ commit latency.
+  std::function<void(const Vertex&)> on_vertex_val;
+  // Broadcast completion: non-equivocation + guaranteed delivery established
+  // for this vertex; safe to add to the DAG.
+  std::function<void(const Vertex&, const Digest&)> on_vertex_complete;
+  // A block this node is responsible for has been received (via push or pull).
+  std::function<void(const BlockInfo&)> on_block;
+};
+
+class VertexDisseminator {
+ public:
+  VertexDisseminator(Runtime& runtime, const Keychain& keychain, const ClanTopology& topology,
+                     DisseminationConfig config, DisseminationCallbacks callbacks);
+
+  VertexDisseminator(const VertexDisseminator&) = delete;
+  VertexDisseminator& operator=(const VertexDisseminator&) = delete;
+
+  // Broadcasts this node's vertex for a round; `block` must be set iff the
+  // vertex carries a block digest.
+  void Propose(const Vertex& v, std::optional<BlockInfo> block);
+
+  // Routes a consensus dissemination message; false if not ours.
+  bool HandleMessage(NodeId from, MsgType type, const Bytes& payload);
+
+  bool HasBlock(NodeId source, Round round) const;
+  const BlockInfo* GetBlock(NodeId source, Round round) const;
+  bool HasCompleted(NodeId source, Round round) const;
+
+  // Drops bookkeeping for instances below `round` (post-commit GC).
+  void PruneBelow(Round round);
+
+ private:
+  struct Instance {
+    std::optional<Vertex> vertex;  // First body received.
+    Digest vertex_digest;
+    std::optional<BlockInfo> block;
+    bool block_verified = false;  // Matches vertex.block_digest.
+    bool echoed = false;
+    bool ready_sent = false;
+    bool completed = false;
+    bool awaiting_vertex = false;  // Quorum met, body missing.
+    bool pulling_block = false;
+    Digest decided_digest;
+    std::map<Digest, VoteTracker> echoes;
+    std::map<Digest, VoteTracker> readies;
+    uint32_t pull_rr = 0;
+  };
+
+  Instance& GetInstance(NodeId source, Round round);
+  const Instance* FindInstance(NodeId source, Round round) const;
+
+  bool NeedsBlockToEcho(const Vertex& v) const;
+  void MaybeEcho(NodeId source, Round round, Instance& inst);
+  void OnQuorum(NodeId source, Round round, Instance& inst, const Digest& digest);
+  void Complete(NodeId source, Round round, Instance& inst);
+  void StartVertexPull(NodeId source, Round round);
+  void StartBlockPull(NodeId source, Round round);
+
+  void OnVertexVal(NodeId from, const Bytes& payload);
+  void OnBlock(NodeId from, const Bytes& payload);
+  void OnEcho(NodeId from, const Bytes& payload);
+  void OnReady(NodeId from, const Bytes& payload);
+  void OnCert(NodeId from, const Bytes& payload);
+  void OnVertexPullReq(NodeId from, const Bytes& payload);
+  void OnVertexPullResp(NodeId from, const Bytes& payload);
+  void OnBlockPullReq(NodeId from, const Bytes& payload);
+  void OnBlockPullResp(NodeId from, const Bytes& payload);
+
+  void AcceptVertexBody(NodeId source, Round round, Instance& inst, Vertex v,
+                        const Digest& digest);
+  void AcceptBlock(Instance& inst, BlockInfo block);
+
+  struct InstanceKeyHash {
+    size_t operator()(const std::pair<NodeId, Round>& key) const {
+      return std::hash<uint64_t>()((static_cast<uint64_t>(key.first) << 40) ^ key.second);
+    }
+  };
+
+  Runtime& runtime_;
+  const Keychain& keychain_;
+  const ClanTopology& topology_;
+  DisseminationConfig config_;
+  DisseminationCallbacks callbacks_;
+  std::unordered_map<std::pair<NodeId, Round>, Instance, InstanceKeyHash> instances_;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_CONSENSUS_DISSEMINATION_H_

@@ -1,0 +1,313 @@
+#include "consensus/poa_baseline.h"
+
+#include "common/check.h"
+
+namespace clandag {
+
+namespace {
+
+Bytes VoteMessage(uint64_t view, const Digest& digest) {
+  Writer w;
+  w.Str("BFTV");
+  w.U64(view);
+  digest.Serialize(w);
+  return w.Take();
+}
+
+}  // namespace
+
+Bytes PoaCert::AckMessage(NodeId proposer, uint64_t batch, const Digest& digest) {
+  Writer w;
+  w.Str("POAA");
+  w.U32(proposer);
+  w.U64(batch);
+  digest.Serialize(w);
+  return w.Take();
+}
+
+void PoaCert::Serialize(Writer& w) const {
+  w.U32(proposer);
+  w.U64(batch);
+  digest.Serialize(w);
+  w.U32(tx_count);
+  w.I64(created_at);
+  acks.Serialize(w);
+}
+
+PoaCert PoaCert::Parse(Reader& r) {
+  PoaCert c;
+  c.proposer = r.U32();
+  c.batch = r.U64();
+  c.digest = Digest::Parse(r);
+  c.tx_count = r.U32();
+  c.created_at = r.I64();
+  c.acks = MultiSig::Parse(r);
+  return c;
+}
+
+PoaBftNode::PoaBftNode(Runtime& runtime, const Keychain& keychain, const ClanTopology& topology,
+                       PoaBftConfig config, PoaBftCallbacks callbacks)
+    : runtime_(runtime),
+      keychain_(keychain),
+      topology_(topology),
+      config_(config),
+      callbacks_(std::move(callbacks)) {
+  CLANDAG_CHECK(config_.num_nodes > 0);
+}
+
+void PoaBftNode::Start() {
+  if (topology_.ProposesBlocks(runtime_.id()) && config_.txs_per_block > 0) {
+    runtime_.Schedule(config_.proposal_interval, [this] { ProposeBlockBatch(); });
+  }
+  if (LeaderOf(0) == runtime_.id()) {
+    MaybePropose();
+  }
+}
+
+void PoaBftNode::OnMessage(NodeId from, MsgType type, const Bytes& payload) {
+  switch (type) {
+    case kPoaBlock:
+      OnBlock(from, payload);
+      return;
+    case kPoaAck:
+      OnAck(from, payload);
+      return;
+    case kPoaCert:
+      OnCert(from, payload);
+      return;
+    case kBftProposal:
+      OnProposal(from, payload);
+      return;
+    case kBftVote:
+      OnVote(from, payload);
+      return;
+    default:
+      return;
+  }
+}
+
+void PoaBftNode::ProposeBlockBatch() {
+  const TimeMicros now = runtime_.Now();
+  const uint64_t batch = next_batch_++;
+
+  // Synthetic batch: metadata identifies it, wire size models the payload.
+  Writer content;
+  content.U32(runtime_.id());
+  content.U64(batch);
+  content.U32(config_.txs_per_block);
+  const Digest digest = Digest::Of(content.Buffer());
+
+  pending_acks_.emplace(batch, std::make_pair(digest, VoteTracker(config_.num_nodes)));
+  pending_meta_.emplace(batch, std::make_pair(config_.txs_per_block, (last_batch_time_ + now) / 2));
+  last_batch_time_ = now;
+
+  Writer w;
+  w.U64(batch);
+  digest.Serialize(w);
+  w.U32(config_.txs_per_block);
+  const size_t wire =
+      w.Size() + static_cast<size_t>(config_.txs_per_block) * config_.tx_size;
+  runtime_.Multicast(topology_.BlockRecipients(runtime_.id()), kPoaBlock, w.Take(), wire);
+
+  runtime_.Schedule(config_.proposal_interval, [this] { ProposeBlockBatch(); });
+}
+
+void PoaBftNode::OnBlock(NodeId from, const Bytes& payload) {
+  Reader r(payload);
+  const uint64_t batch = r.U64();
+  const Digest digest = Digest::Parse(r);
+  r.U32();  // tx_count.
+  if (!r.ok()) {
+    return;
+  }
+  // Holding the block, acknowledge availability to the proposer.
+  Writer w;
+  w.U64(batch);
+  digest.Serialize(w);
+  keychain_.Sign(runtime_.id(), PoaCert::AckMessage(from, batch, digest)).Serialize(w);
+  runtime_.Send(from, kPoaAck, w.Take());
+}
+
+void PoaBftNode::OnAck(NodeId from, const Bytes& payload) {
+  Reader r(payload);
+  const uint64_t batch = r.U64();
+  const Digest digest = Digest::Parse(r);
+  const Signature sig = Signature::Parse(r);
+  if (!r.ok()) {
+    return;
+  }
+  auto it = pending_acks_.find(batch);
+  if (it == pending_acks_.end() || it->second.first != digest) {
+    return;
+  }
+  if (!keychain_.Verify(from, PoaCert::AckMessage(runtime_.id(), batch, digest), sig)) {
+    return;
+  }
+  VoteTracker& tracker = it->second.second;
+  if (!tracker.Add(from, topology_.ReceivesBlocksOf(runtime_.id(), from), sig)) {
+    return;
+  }
+  if (tracker.ClanCount() < topology_.ClanQuorumFor(runtime_.id())) {
+    return;
+  }
+  // f_c+1 acks: the proof of availability is complete; hand the certificate
+  // to the ordering layer (multicast so any upcoming leader can include it).
+  PoaCert cert;
+  cert.proposer = runtime_.id();
+  cert.batch = batch;
+  cert.digest = digest;
+  auto meta = pending_meta_.find(batch);
+  if (meta != pending_meta_.end()) {
+    cert.tx_count = meta->second.first;
+    cert.created_at = meta->second.second;
+    pending_meta_.erase(meta);
+  }
+  cert.acks = tracker.BuildCert();
+  Writer w;
+  cert.Serialize(w);
+  runtime_.Broadcast(kPoaCert, w.Take());
+  pending_acks_.erase(it);
+}
+
+void PoaBftNode::OnCert(NodeId /*from*/, const Bytes& payload) {
+  Reader r(payload);
+  PoaCert cert = PoaCert::Parse(r);
+  if (!r.ok() || !r.AtEnd()) {
+    return;
+  }
+  if (cert.acks.Count() < topology_.ClanQuorumFor(cert.proposer)) {
+    return;
+  }
+  cert_queue_.push_back(std::move(cert));
+  MaybePropose();
+}
+
+void PoaBftNode::MaybePropose() {
+  if (LeaderOf(view_) != runtime_.id()) {
+    return;
+  }
+  if (view_ > 0 && !qcs_.count(view_ - 1)) {
+    return;  // Chain not yet certified up to the previous view.
+  }
+  Writer w;
+  w.U64(view_);
+  w.Varint(cert_queue_.size());
+  for (const PoaCert& cert : cert_queue_) {
+    cert.Serialize(w);
+  }
+  w.Bool(view_ > 0);
+  if (view_ > 0) {
+    proposal_digests_[view_ - 1].Serialize(w);
+    qcs_[view_ - 1].Serialize(w);
+  }
+  cert_queue_.clear();
+  runtime_.Broadcast(kBftProposal, w.Take());
+}
+
+void PoaBftNode::OnProposal(NodeId from, const Bytes& payload) {
+  Reader r(payload);
+  const uint64_t view = r.U64();
+  if (from != LeaderOf(view)) {
+    return;
+  }
+  const uint64_t num_certs = r.Varint();
+  if (num_certs > 1u << 20 || proposals_.count(view)) {
+    return;
+  }
+  std::vector<PoaCert> certs;
+  certs.reserve(num_certs);
+  for (uint64_t i = 0; i < num_certs && r.ok(); ++i) {
+    certs.push_back(PoaCert::Parse(r));
+  }
+  const bool has_qc = r.Bool();
+  if (has_qc) {
+    const Digest prev_digest = Digest::Parse(r);
+    const MultiSig qc = MultiSig::Parse(r);
+    if (!r.ok() || qc.Count() < config_.Quorum() ||
+        !qc.Verify(keychain_, VoteMessage(view - 1, prev_digest))) {
+      return;
+    }
+  } else if (view != 0) {
+    return;
+  }
+  if (!r.ok()) {
+    return;
+  }
+
+  const Digest digest = Digest::Of(payload);
+  proposal_digests_[view] = digest;
+  proposals_.emplace(view, std::move(certs));
+  if (view + 1 > view_) {
+    view_ = view + 1;
+  }
+
+  // Certificates carried by any proposal leave local queues (dedup).
+  const std::vector<PoaCert>& included = proposals_[view];
+  for (const PoaCert& cert : included) {
+    for (auto it = cert_queue_.begin(); it != cert_queue_.end();) {
+      it = (it->proposer == cert.proposer && it->batch == cert.batch) ? cert_queue_.erase(it)
+                                                                      : std::next(it);
+    }
+  }
+
+  // Two-chain commit: the QC carried here certifies view-1, whose proposal
+  // carried a QC for view-2 — everything through view-2 is final.
+  if (view >= 2) {
+    const uint64_t commit_upto = view - 2;
+    const TimeMicros now = runtime_.Now();
+    for (uint64_t v = committed_any_ ? last_committed_view_ + 1 : 0; v <= commit_upto; ++v) {
+      auto it = proposals_.find(v);
+      if (it == proposals_.end()) {
+        continue;  // Good-case code path; gaps only before startup settles.
+      }
+      for (const PoaCert& cert : it->second) {
+        ++committed_certs_;
+        if (callbacks_.on_committed_cert) {
+          callbacks_.on_committed_cert(cert, now);
+        }
+      }
+      proposals_.erase(it);
+    }
+    last_committed_view_ = commit_upto;
+    committed_any_ = true;
+    // Bookkeeping below the commit frontier is dead.
+    if (commit_upto > 1) {
+      proposal_digests_.erase(proposal_digests_.begin(),
+                              proposal_digests_.lower_bound(commit_upto - 1));
+      votes_.erase(votes_.begin(), votes_.lower_bound(commit_upto - 1));
+      qcs_.erase(qcs_.begin(), qcs_.lower_bound(commit_upto - 1));
+    }
+  }
+
+  // Vote to the next leader.
+  Writer w;
+  w.U64(view);
+  digest.Serialize(w);
+  keychain_.Sign(runtime_.id(), VoteMessage(view, digest)).Serialize(w);
+  runtime_.Send(LeaderOf(view + 1), kBftVote, w.Take());
+  MaybePropose();
+}
+
+void PoaBftNode::OnVote(NodeId from, const Bytes& payload) {
+  Reader r(payload);
+  const uint64_t view = r.U64();
+  const Digest digest = Digest::Parse(r);
+  const Signature sig = Signature::Parse(r);
+  if (!r.ok() || LeaderOf(view + 1) != runtime_.id()) {
+    return;
+  }
+  if (!keychain_.Verify(from, VoteMessage(view, digest), sig)) {
+    return;
+  }
+  auto [it, inserted] = votes_.try_emplace(view, config_.num_nodes);
+  if (!it->second.Add(from, false, sig)) {
+    return;
+  }
+  if (it->second.Count() >= config_.Quorum() && !qcs_.count(view)) {
+    qcs_.emplace(view, it->second.BuildCert());
+    proposal_digests_[view] = digest;
+    MaybePropose();
+  }
+}
+
+}  // namespace clandag

@@ -1,0 +1,128 @@
+// PoA-based sequencing baseline (the paper's §1 straw-man, §8's Arete /
+// Autobahn family): a *separate* data-dissemination layer collects
+// proof-of-availability certificates from a clan, and a leader-based
+// two-chain BFT (Jolteon-style) orders the certificates.
+//
+// The paper's point: the sequential dissemination → PoA → queue → commit
+// pipeline costs at least 2δ + 1δ + 5δ = 8δ, while the clan-DAG design
+// pipelines dissemination with consensus for 3δ leader commits. This module
+// exists to measure exactly that comparison (bench_baseline_poa).
+//
+// Scope: good-case path only — rotating leaders, chained quorum
+// certificates, two-chain commit; no view-change machinery (the benchmark
+// and tests run fault-free, mirroring the latency arithmetic in the paper's
+// §1/§8 which is also good-case).
+//
+// Message flow per proposer block:
+//   proposer --block--> clan members               (1δ)
+//   clan --signed ack--> proposer                  (1δ)  => PoA certificate
+//   proposer --cert--> current leader queue        (≈1δ, amortized queuing)
+//   leader --proposal(certs, QC_prev)--> all       (1δ)
+//   all --vote--> next leader                      (1δ)  => QC
+//   commit of view v when the proposal of view v+2 (carrying QC_{v+1})
+//   arrives: observed ≈ 3δ after the proposal, 5δ leader-BFT total.
+
+#ifndef CLANDAG_CONSENSUS_POA_BASELINE_H_
+#define CLANDAG_CONSENSUS_POA_BASELINE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "consensus/clan.h"
+#include "consensus/wire.h"
+#include "rbc/quorum.h"
+
+namespace clandag {
+
+inline constexpr MsgType kPoaBlock = 30;
+inline constexpr MsgType kPoaAck = 31;
+inline constexpr MsgType kPoaCert = 32;
+inline constexpr MsgType kBftProposal = 33;
+inline constexpr MsgType kBftVote = 34;
+
+// Availability certificate: f_c+1 clan members hold the block.
+struct PoaCert {
+  NodeId proposer = 0;
+  uint64_t batch = 0;  // Proposer-local sequence number.
+  Digest digest;
+  uint32_t tx_count = 0;
+  TimeMicros created_at = 0;
+  MultiSig acks;
+
+  static Bytes AckMessage(NodeId proposer, uint64_t batch, const Digest& digest);
+  void Serialize(Writer& w) const;
+  static PoaCert Parse(Reader& r);
+};
+
+struct PoaBftConfig {
+  uint32_t num_nodes = 0;
+  uint32_t num_faults = 0;
+  // A proposer issues a new block every `proposal_interval` (the layer's
+  // batching clock; the paper's queuing delay comes from here).
+  TimeMicros proposal_interval = Millis(100);
+  uint32_t txs_per_block = 0;
+  uint32_t tx_size = 512;
+
+  uint32_t Quorum() const { return 2 * num_faults + 1; }
+};
+
+struct PoaBftCallbacks {
+  // A certificate committed in the global order; `now - cert.created_at`
+  // is the end-to-end sequencing latency of its transactions.
+  std::function<void(const PoaCert&, TimeMicros now)> on_committed_cert;
+};
+
+class PoaBftNode final : public MessageHandler {
+ public:
+  PoaBftNode(Runtime& runtime, const Keychain& keychain, const ClanTopology& topology,
+             PoaBftConfig config, PoaBftCallbacks callbacks);
+
+  void Start();
+  void OnMessage(NodeId from, MsgType type, const Bytes& payload) override;
+
+  uint64_t CommittedCerts() const { return committed_certs_; }
+  uint64_t CurrentView() const { return view_; }
+
+ private:
+  NodeId LeaderOf(uint64_t view) const { return static_cast<NodeId>(view % config_.num_nodes); }
+
+  void ProposeBlockBatch();
+  void OnBlock(NodeId from, const Bytes& payload);
+  void OnAck(NodeId from, const Bytes& payload);
+  void OnCert(NodeId from, const Bytes& payload);
+  void OnProposal(NodeId from, const Bytes& payload);
+  void OnVote(NodeId from, const Bytes& payload);
+  void MaybePropose();
+
+  Runtime& runtime_;
+  const Keychain& keychain_;
+  const ClanTopology& topology_;
+  PoaBftConfig config_;
+  PoaBftCallbacks callbacks_;
+
+  // -- PoA layer state --
+  uint64_t next_batch_ = 0;
+  TimeMicros last_batch_time_ = 0;
+  // Pending own batches awaiting f_c+1 acks.
+  std::map<uint64_t, std::pair<Digest, VoteTracker>> pending_acks_;
+  std::map<uint64_t, std::pair<uint32_t, TimeMicros>> pending_meta_;  // tx_count, created_at.
+
+  // -- BFT layer state --
+  uint64_t view_ = 0;  // Highest view this node has seen a proposal for + 1.
+  std::deque<PoaCert> cert_queue_;  // Leader mempool of certificates.
+  // Proposals by view (kept briefly for commit bookkeeping).
+  std::map<uint64_t, std::vector<PoaCert>> proposals_;
+  std::map<uint64_t, Digest> proposal_digests_;
+  std::map<uint64_t, VoteTracker> votes_;  // Collected by the next leader.
+  std::map<uint64_t, MultiSig> qcs_;
+  uint64_t last_committed_view_ = 0;
+  bool committed_any_ = false;
+  uint64_t committed_certs_ = 0;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_CONSENSUS_POA_BASELINE_H_

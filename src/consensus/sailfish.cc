@@ -1,0 +1,368 @@
+#include "consensus/sailfish.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace clandag {
+
+SailfishNode::SailfishNode(Runtime& runtime, const Keychain& keychain,
+                           const ClanTopology& topology, SailfishConfig config,
+                           BlockSource* block_source, SailfishCallbacks callbacks)
+    : runtime_(runtime),
+      keychain_(keychain),
+      topology_(topology),
+      config_(config),
+      block_source_(block_source),
+      callbacks_(std::move(callbacks)),
+      dag_(config.num_nodes),
+      committer_(
+          dag_, config.num_nodes, config.Quorum(),
+          [this](Round r) { return LeaderOf(r); },
+          [this](const Vertex& v) {
+            if (callbacks_.on_ordered) {
+              callbacks_.on_ordered(v);
+            }
+          }) {
+  CLANDAG_CHECK(config_.num_nodes > 0);
+  CLANDAG_CHECK(config_.num_faults * 3 < config_.num_nodes);
+  DisseminationCallbacks cbs;
+  cbs.on_vertex_val = [this](const Vertex& v) { OnVertexVal(v); };
+  cbs.on_vertex_complete = [this](const Vertex& v, const Digest& d) { OnVertexComplete(v, d); };
+  cbs.on_block = [this](const BlockInfo& b) { OnBlock(b); };
+  DisseminationConfig dcfg = config_.dissemination;
+  dcfg.num_nodes = config_.num_nodes;
+  dcfg.num_faults = config_.num_faults;
+  dissem_ = std::make_unique<VertexDisseminator>(runtime_, keychain_, topology_, dcfg,
+                                                 std::move(cbs));
+}
+
+void SailfishNode::Start() {
+  ProposeForRound(0);
+  ScheduleTimeout(0);
+}
+
+void SailfishNode::OnMessage(NodeId from, MsgType type, const Bytes& payload) {
+  if (dissem_->HandleMessage(from, type, payload)) {
+    return;
+  }
+  switch (type) {
+    case kConsTimeout:
+      OnTimeoutMsg(from, payload);
+      return;
+    case kConsNoVote:
+      OnNoVoteMsg(from, payload);
+      return;
+    default:
+      CLANDAG_DEBUG("node %u: unknown message type %u from %u", runtime_.id(), type, from);
+  }
+}
+
+void SailfishNode::OnVertexVal(const Vertex& v) {
+  // Sailfish's latency trick: leader votes are counted from the broadcast's
+  // first message, one network delay before the RBC completes.
+  committer_.CountVote(v);
+}
+
+void SailfishNode::OnVertexComplete(const Vertex& v, const Digest& digest) {
+  if (!StructurallyValid(v)) {
+    CLANDAG_WARN("node %u: rejecting structurally invalid vertex (%llu, %u)", runtime_.id(),
+                 static_cast<unsigned long long>(v.round), v.source);
+    return;
+  }
+  TryAdmit(v, digest);
+}
+
+void SailfishNode::OnBlock(const BlockInfo& /*block*/) {
+  // Blocks gate execution, not consensus; the SMR layer queries the
+  // disseminator's block store when ordered vertices are executed.
+}
+
+bool SailfishNode::StructurallyValid(const Vertex& v) const {
+  if (v.source >= config_.num_nodes) {
+    return false;
+  }
+  if (v.round == 0) {
+    return v.strong_edges.empty() && v.weak_edges.empty();
+  }
+  if (v.strong_edges.size() < config_.Quorum()) {
+    return false;
+  }
+  // No duplicate strong-edge sources.
+  std::set<NodeId> seen;
+  for (const StrongEdge& e : v.strong_edges) {
+    if (e.source >= config_.num_nodes || !seen.insert(e.source).second) {
+      return false;
+    }
+  }
+  for (const WeakEdge& e : v.weak_edges) {
+    if (e.source >= config_.num_nodes || e.round + 1 >= v.round) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SailfishNode::Justified(const Vertex& v) const {
+  if (v.round == 0 || v.source != LeaderOf(v.round)) {
+    return true;  // Only leader vertices need justification.
+  }
+  const Round prev = v.round - 1;
+  if (v.HasStrongEdgeTo(LeaderOf(prev))) {
+    return true;
+  }
+  if (v.nvc.has_value() && v.nvc->round == prev &&
+      v.nvc->Verify(keychain_, config_.Quorum())) {
+    return true;
+  }
+  if (v.tc.has_value() && v.tc->round == prev && v.tc->Verify(keychain_, config_.Quorum())) {
+    return true;
+  }
+  return false;
+}
+
+void SailfishNode::TryAdmit(Vertex v, const Digest& digest) {
+  if (dag_.Has(v.round, v.source)) {
+    return;
+  }
+  if (!dag_.ParentsPresent(v)) {
+    buffer_.emplace(std::make_pair(v.round, v.source), std::make_pair(std::move(v), digest));
+    return;
+  }
+  if (AdmitNow(v, digest)) {
+    DrainBuffer();
+    MaybeAdvance();
+    TryPendingProposal();
+  }
+}
+
+bool SailfishNode::AdmitNow(const Vertex& v, const Digest& /*digest*/) {
+  // Edge digests must match the vertices actually in the DAG (a Byzantine
+  // vertex cannot smuggle in references to equivocated bodies).
+  for (const StrongEdge& e : v.strong_edges) {
+    const Digest* d = dag_.DigestOf(v.round - 1, e.source);
+    if (d == nullptr || *d != e.digest) {
+      return false;
+    }
+  }
+  for (const WeakEdge& e : v.weak_edges) {
+    const Digest* d = dag_.DigestOf(e.round, e.source);
+    if (d == nullptr || *d != e.digest) {
+      return false;
+    }
+  }
+  if (!Justified(v)) {
+    CLANDAG_WARN("node %u: rejecting unjustified leader vertex (%llu, %u)", runtime_.id(),
+                 static_cast<unsigned long long>(v.round), v.source);
+    return false;
+  }
+  Vertex copy = v;
+  if (!dag_.Insert(std::move(copy))) {
+    return false;
+  }
+  const Vertex* stored = dag_.Get(v.round, v.source);
+  committer_.OnVertexAdded(*stored);
+  return true;
+}
+
+void SailfishNode::DrainBuffer() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (auto it = buffer_.begin(); it != buffer_.end();) {
+      Vertex& v = it->second.first;
+      if (dag_.Has(v.round, v.source)) {
+        it = buffer_.erase(it);
+        continue;
+      }
+      if (dag_.ParentsPresent(v)) {
+        Vertex taken = std::move(v);
+        Digest d = it->second.second;
+        it = buffer_.erase(it);
+        if (AdmitNow(taken, d)) {
+          progressed = true;
+        }
+        continue;
+      }
+      ++it;
+    }
+  }
+}
+
+void SailfishNode::MaybeAdvance() {
+  while (true) {
+    const Round r = current_round_;
+    if (dag_.CountAtRound(r) < config_.Quorum()) {
+      break;
+    }
+    const bool leader_seen = dag_.Has(r, LeaderOf(r));
+    if (!leader_seen && !timeout_fired_.count(r)) {
+      break;
+    }
+    current_round_ = r + 1;
+    if (callbacks_.on_round_advance) {
+      callbacks_.on_round_advance(current_round_);
+    }
+    if (!ProposeForRound(current_round_)) {
+      pending_proposal_ = current_round_;
+    }
+    ScheduleTimeout(current_round_);
+    GarbageCollect();
+  }
+}
+
+void SailfishNode::TryPendingProposal() {
+  if (pending_proposal_.has_value() && ProposeForRound(*pending_proposal_)) {
+    pending_proposal_.reset();
+  }
+}
+
+bool SailfishNode::ProposeForRound(Round round) {
+  if (proposed_any_ && round <= last_proposed_) {
+    return true;
+  }
+  Vertex v;
+  v.round = round;
+  v.source = runtime_.id();
+
+  if (round > 0) {
+    const Round prev = round - 1;
+    const NodeId prev_leader = LeaderOf(prev);
+    const bool exclude_prev_leader = no_voted_.count(prev) > 0;
+    for (const Vertex* parent : dag_.VerticesAtRound(prev)) {
+      if (exclude_prev_leader && parent->source == prev_leader) {
+        continue;  // Vote/no-vote exclusivity: a no-voter must not vote.
+      }
+      const Digest* d = dag_.DigestOf(prev, parent->source);
+      v.strong_edges.push_back(StrongEdge{parent->source, *d});
+    }
+    if (v.strong_edges.size() < config_.Quorum()) {
+      // Happens only when excluding the previous leader dropped us to 2f:
+      // wait for one more round-(r-1) vertex (TryPendingProposal retries).
+      return false;
+    }
+    if (v.source == LeaderOf(round) && !v.HasStrongEdgeTo(prev_leader)) {
+      // A leader skipping its predecessor must justify it.
+      auto nvc_it = nvcs_.find(prev);
+      auto tc_it = tcs_.find(prev);
+      if (nvc_it != nvcs_.end()) {
+        v.nvc = nvc_it->second;
+      } else if (tc_it != tcs_.end()) {
+        v.tc = tc_it->second;
+      } else {
+        return false;  // Wait for an NVC/TC.
+      }
+    }
+    v.weak_edges = dag_.SelectWeakEdges(round);
+  }
+
+  std::optional<BlockInfo> block;
+  if (topology_.ProposesBlocks(v.source) && block_source_ != nullptr) {
+    block = block_source_->NextBlock(round, runtime_.Now());
+    if (block.has_value()) {
+      block->proposer = v.source;
+      block->round = round;
+      v.block_digest = block->ComputeDigest();
+      v.block_tx_count = block->tx_count;
+      v.block_created_at = block->created_at;
+    }
+  }
+
+  proposed_any_ = true;
+  last_proposed_ = round;
+  dissem_->Propose(v, std::move(block));
+  return true;
+}
+
+void SailfishNode::ScheduleTimeout(Round round) {
+  runtime_.Schedule(config_.round_timeout, [this, round] { OnTimeout(round); });
+}
+
+void SailfishNode::OnTimeout(Round round) {
+  if (current_round_ != round || dag_.Has(round, LeaderOf(round))) {
+    return;
+  }
+  if (!timeout_fired_.insert(round).second) {
+    return;
+  }
+  no_voted_.insert(round);
+  TimeoutMsg to;
+  to.round = round;
+  to.sig = keychain_.Sign(runtime_.id(), TimeoutCert::SignedMessage(round));
+  runtime_.Broadcast(kConsTimeout, to.Encode());
+  NoVoteMsg nv;
+  nv.round = round;
+  nv.sig = keychain_.Sign(runtime_.id(), NoVoteCert::SignedMessage(round));
+  runtime_.Send(LeaderOf(round + 1), kConsNoVote, nv.Encode());
+  MaybeAdvance();
+}
+
+void SailfishNode::OnTimeoutMsg(NodeId from, const Bytes& payload) {
+  auto msg = TimeoutMsg::Decode(payload);
+  if (!msg.has_value() ||
+      !keychain_.Verify(from, TimeoutCert::SignedMessage(msg->round), msg->sig)) {
+    return;
+  }
+  auto [it, inserted] = timeout_votes_.try_emplace(msg->round, config_.num_nodes);
+  if (!it->second.Add(from, false, msg->sig)) {
+    return;
+  }
+  if (it->second.Count() >= config_.Quorum() && !tcs_.count(msg->round)) {
+    TimeoutCert tc;
+    tc.round = msg->round;
+    tc.sig = it->second.BuildCert();
+    tcs_.emplace(msg->round, std::move(tc));
+    TryPendingProposal();
+  }
+}
+
+void SailfishNode::OnNoVoteMsg(NodeId from, const Bytes& payload) {
+  auto msg = NoVoteMsg::Decode(payload);
+  if (!msg.has_value() ||
+      !keychain_.Verify(from, NoVoteCert::SignedMessage(msg->round), msg->sig)) {
+    return;
+  }
+  if (LeaderOf(msg->round + 1) != runtime_.id()) {
+    return;  // Only the next leader aggregates no-votes.
+  }
+  auto [it, inserted] = novote_votes_.try_emplace(msg->round, config_.num_nodes);
+  if (!it->second.Add(from, false, msg->sig)) {
+    return;
+  }
+  if (it->second.Count() >= config_.Quorum() && !nvcs_.count(msg->round)) {
+    NoVoteCert nvc;
+    nvc.round = msg->round;
+    nvc.sig = it->second.BuildCert();
+    nvcs_.emplace(msg->round, std::move(nvc));
+    TryPendingProposal();
+  }
+}
+
+void SailfishNode::GarbageCollect() {
+  const int64_t committed = committer_.LastCommittedRound();
+  if (committed < static_cast<int64_t>(config_.gc_depth)) {
+    return;
+  }
+  const Round floor = static_cast<Round>(committed) - config_.gc_depth;
+  dag_.PruneBelow(floor);
+  dissem_->PruneBelow(floor);
+  for (auto it = buffer_.begin(); it != buffer_.end();) {
+    it = it->first.first < floor ? buffer_.erase(it) : std::next(it);
+  }
+  auto prune_round_map = [floor](auto& m) {
+    m.erase(m.begin(), m.lower_bound(floor));
+  };
+  prune_round_map(timeout_votes_);
+  prune_round_map(tcs_);
+  prune_round_map(novote_votes_);
+  prune_round_map(nvcs_);
+  while (!timeout_fired_.empty() && *timeout_fired_.begin() < floor) {
+    timeout_fired_.erase(timeout_fired_.begin());
+  }
+  while (!no_voted_.empty() && *no_voted_.begin() < floor) {
+    no_voted_.erase(no_voted_.begin());
+  }
+}
+
+}  // namespace clandag

@@ -1,0 +1,142 @@
+// Sailfish-style DAG BFT node (paper §5/§6 over the §7 baseline).
+//
+// One SailfishNode per party, written against the Runtime abstraction so the
+// identical code runs in simulation and over real transports. The node owns:
+//  - a VertexDisseminator (merged vertex+block broadcast; the dissemination
+//    mode — full / single-clan / multi-clan — comes from the ClanTopology);
+//  - a DagStore of causally-complete vertices;
+//  - a Committer implementing the 1 RBC + 1δ commit rule and total ordering.
+//
+// Round structure: every party proposes one vertex per round. The node moves
+// from round r to r+1 once 2f+1 round-r vertices completed broadcast AND the
+// round-r leader vertex arrived or the round timeout fired. A party that
+// timed out sends a signed TIMEOUT to everyone and a signed NO-VOTE to the
+// round-(r+1) leader, and must not strong-edge (vote for) the round-r leader
+// vertex afterwards — vote/no-vote exclusivity is what makes skipping a
+// leader provably safe.
+//
+// Leader justification: a round-r leader vertex without a strong edge to the
+// round-(r-1) leader vertex is admitted to the DAG only if it carries a
+// valid no-vote or timeout certificate for r-1.
+
+#ifndef CLANDAG_CONSENSUS_SAILFISH_H_
+#define CLANDAG_CONSENSUS_SAILFISH_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "consensus/clan.h"
+#include "consensus/committer.h"
+#include "consensus/dissemination.h"
+#include "dag/dag_store.h"
+#include "net/runtime.h"
+
+namespace clandag {
+
+// Supplies the transaction block for this node's next proposal.
+class BlockSource {
+ public:
+  virtual ~BlockSource() = default;
+  // Returns the block to attach at `round` (std::nullopt to propose an empty
+  // vertex). `now` is the proposal time.
+  virtual std::optional<BlockInfo> NextBlock(Round round, TimeMicros now) = 0;
+};
+
+struct SailfishConfig {
+  uint32_t num_nodes = 0;
+  uint32_t num_faults = 0;  // f = floor((n-1)/3) unless overridden.
+  TimeMicros round_timeout = Millis(1500);
+  DisseminationConfig dissemination;
+  // Rounds of history kept below the commit frontier before pruning.
+  Round gc_depth = 64;
+
+  uint32_t Quorum() const { return 2 * num_faults + 1; }
+};
+
+struct SailfishCallbacks {
+  // Vertices in the agreed total order (same sequence at every honest node).
+  std::function<void(const Vertex&)> on_ordered;
+  std::function<void(Round)> on_round_advance;  // Optional.
+};
+
+class SailfishNode final : public MessageHandler {
+ public:
+  SailfishNode(Runtime& runtime, const Keychain& keychain, const ClanTopology& topology,
+               SailfishConfig config, BlockSource* block_source, SailfishCallbacks callbacks);
+
+  SailfishNode(const SailfishNode&) = delete;
+  SailfishNode& operator=(const SailfishNode&) = delete;
+
+  // Proposes the round-0 vertex and starts the round timer.
+  void Start();
+
+  // MessageHandler.
+  void OnMessage(NodeId from, MsgType type, const Bytes& payload) override;
+
+  // Round-robin leader schedule shared by all parties.
+  NodeId LeaderOf(Round round) const { return static_cast<NodeId>(round % config_.num_nodes); }
+
+  Round CurrentRound() const { return current_round_; }
+  int64_t LastCommittedRound() const { return committer_.LastCommittedRound(); }
+  const DagStore& dag() const { return dag_; }
+  const Committer& committer() const { return committer_; }
+  VertexDisseminator& disseminator() { return *dissem_; }
+
+ private:
+  void OnVertexVal(const Vertex& v);
+  void OnVertexComplete(const Vertex& v, const Digest& digest);
+  void OnBlock(const BlockInfo& block);
+
+  bool StructurallyValid(const Vertex& v) const;
+  bool Justified(const Vertex& v) const;
+  // Admits `v` if its parents are present (else buffers); drains dependents.
+  void TryAdmit(Vertex v, const Digest& digest);
+  bool AdmitNow(const Vertex& v, const Digest& digest);
+  void DrainBuffer();
+
+  void MaybeAdvance();
+  // Attempts the proposal for `round`; returns false when it must wait (for
+  // more round-(r-1) vertices or for a justification certificate).
+  bool ProposeForRound(Round round);
+  void TryPendingProposal();
+  void ScheduleTimeout(Round round);
+  void OnTimeout(Round round);
+  void OnTimeoutMsg(NodeId from, const Bytes& payload);
+  void OnNoVoteMsg(NodeId from, const Bytes& payload);
+  void GarbageCollect();
+
+  Runtime& runtime_;
+  const Keychain& keychain_;
+  const ClanTopology& topology_;
+  SailfishConfig config_;
+  BlockSource* block_source_;
+  SailfishCallbacks callbacks_;
+
+  DagStore dag_;
+  Committer committer_;
+  std::unique_ptr<VertexDisseminator> dissem_;
+
+  Round current_round_ = 0;
+  Round last_proposed_ = 0;
+  bool proposed_any_ = false;
+  // Proposal that could not be issued yet (missing parents after a no-vote
+  // exclusion, or missing NVC/TC justification for a leader skip).
+  std::optional<Round> pending_proposal_;
+
+  // Completed vertices waiting for parents, keyed (round, source).
+  std::map<std::pair<Round, NodeId>, std::pair<Vertex, Digest>> buffer_;
+
+  std::set<Round> timeout_fired_;
+  std::set<Round> no_voted_;  // Rounds whose leader this node refused to vote for.
+  std::map<Round, VoteTracker> timeout_votes_;
+  std::map<Round, TimeoutCert> tcs_;
+  std::map<Round, VoteTracker> novote_votes_;
+  std::map<Round, NoVoteCert> nvcs_;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_CONSENSUS_SAILFISH_H_

@@ -1,0 +1,89 @@
+#include "consensus/wire.h"
+
+namespace clandag {
+
+Bytes TimeoutMsg::Encode() const {
+  Writer w;
+  w.U64(round);
+  sig.Serialize(w);
+  return w.Take();
+}
+
+std::optional<TimeoutMsg> TimeoutMsg::Decode(const Bytes& payload) {
+  Reader r(payload);
+  TimeoutMsg m;
+  m.round = r.U64();
+  m.sig = Signature::Parse(r);
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+Bytes NoVoteMsg::Encode() const {
+  Writer w;
+  w.U64(round);
+  sig.Serialize(w);
+  return w.Take();
+}
+
+std::optional<NoVoteMsg> NoVoteMsg::Decode(const Bytes& payload) {
+  Reader r(payload);
+  NoVoteMsg m;
+  m.round = r.U64();
+  m.sig = Signature::Parse(r);
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+Bytes ConsPullMsg::Encode() const {
+  Writer w;
+  w.U32(source);
+  w.U64(round);
+  return w.Take();
+}
+
+std::optional<ConsPullMsg> ConsPullMsg::Decode(const Bytes& payload) {
+  Reader r(payload);
+  ConsPullMsg m;
+  m.source = r.U32();
+  m.round = r.U64();
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+Bytes EncodeVertex(const Vertex& v) {
+  Writer w;
+  v.Serialize(w);
+  return w.Take();
+}
+
+std::optional<Vertex> DecodeVertex(const Bytes& payload) {
+  Reader r(payload);
+  Vertex v = Vertex::Parse(r);
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+Bytes EncodeBlock(const BlockInfo& b) {
+  Writer w;
+  b.Serialize(w);
+  return w.Take();
+}
+
+std::optional<BlockInfo> DecodeBlock(const Bytes& payload) {
+  Reader r(payload);
+  BlockInfo b = BlockInfo::Parse(r);
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return b;
+}
+
+}  // namespace clandag

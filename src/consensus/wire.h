@@ -1,0 +1,66 @@
+// Wire messages of the DAG consensus layer.
+//
+// Vertex ECHO/READY/certificate messages reuse the RBC vote structures
+// (rbc/wire.h) under consensus-specific type tags; this header adds the
+// vertex/block payload messages and the no-vote / timeout machinery.
+
+#ifndef CLANDAG_CONSENSUS_WIRE_H_
+#define CLANDAG_CONSENSUS_WIRE_H_
+
+#include <optional>
+
+#include "dag/types.h"
+#include "rbc/wire.h"
+
+namespace clandag {
+
+inline constexpr MsgType kConsVertexVal = 1;
+inline constexpr MsgType kConsBlock = 2;
+inline constexpr MsgType kConsEcho = 3;
+inline constexpr MsgType kConsReady = 4;
+inline constexpr MsgType kConsCert = 5;
+inline constexpr MsgType kConsVertexPullReq = 6;
+inline constexpr MsgType kConsVertexPullResp = 7;
+inline constexpr MsgType kConsBlockPullReq = 8;
+inline constexpr MsgType kConsBlockPullResp = 9;
+inline constexpr MsgType kConsNoVote = 10;
+inline constexpr MsgType kConsTimeout = 11;
+
+// Signed vote that the sender timed out on `round` without the leader vertex
+// (multicast; 2f+1 form a TimeoutCert).
+struct TimeoutMsg {
+  Round round = 0;
+  Signature sig;
+
+  Bytes Encode() const;
+  static std::optional<TimeoutMsg> Decode(const Bytes& payload);
+};
+
+// Signed refusal to vote for `round`'s leader (sent to the next leader;
+// 2f+1 form a NoVoteCert).
+struct NoVoteMsg {
+  Round round = 0;
+  Signature sig;
+
+  Bytes Encode() const;
+  static std::optional<NoVoteMsg> Decode(const Bytes& payload);
+};
+
+// Pull of a vertex / block identified by (source, round).
+struct ConsPullMsg {
+  NodeId source = 0;
+  Round round = 0;
+
+  Bytes Encode() const;
+  static std::optional<ConsPullMsg> Decode(const Bytes& payload);
+};
+
+Bytes EncodeVertex(const Vertex& v);
+std::optional<Vertex> DecodeVertex(const Bytes& payload);
+
+Bytes EncodeBlock(const BlockInfo& b);
+std::optional<BlockInfo> DecodeBlock(const Bytes& payload);
+
+}  // namespace clandag
+
+#endif  // CLANDAG_CONSENSUS_WIRE_H_

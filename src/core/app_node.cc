@@ -1,0 +1,70 @@
+#include "core/app_node.h"
+
+namespace clandag {
+
+AppNode::AppNode(Runtime& runtime, const Keychain& keychain, const ClanTopology& topology,
+                 AppNodeOptions options, AppNodeCallbacks callbacks)
+    : runtime_(runtime),
+      topology_(topology),
+      options_(options),
+      callbacks_(std::move(callbacks)),
+      mempool_(Mempool::Options{options.max_txs_per_block}) {
+  SailfishCallbacks consensus_callbacks;
+  consensus_callbacks.on_ordered = [this](const Vertex& v) { OnOrdered(v); };
+  consensus_ = std::make_unique<SailfishNode>(runtime_, keychain, topology_, options_.consensus,
+                                              &mempool_, std::move(consensus_callbacks));
+}
+
+void AppNode::Start() {
+  consensus_->Start();
+}
+
+void AppNode::OnMessage(NodeId from, MsgType type, const Bytes& payload) {
+  consensus_->OnMessage(from, type, payload);
+}
+
+void AppNode::SubmitTransaction(uint64_t id, Bytes data) {
+  Transaction tx;
+  tx.id = id;
+  tx.created_at = runtime_.Now();
+  tx.data = std::move(data);
+  mempool_.Submit(std::move(tx));
+}
+
+void AppNode::OnOrdered(const Vertex& v) {
+  ++ordered_count_;
+  if (callbacks_.on_ordered) {
+    callbacks_.on_ordered(v);
+  }
+  if (v.HasBlock() && topology_.ReceivesBlocksOf(v.source, runtime_.id())) {
+    execution_queue_.push_back(v);
+    DrainExecutionQueue();
+  }
+}
+
+void AppNode::DrainExecutionQueue() {
+  while (!execution_queue_.empty()) {
+    const Vertex& head = execution_queue_.front();
+    const BlockInfo* block = consensus_->disseminator().GetBlock(head.source, head.round);
+    if (block == nullptr) {
+      // Block still downloading; poll until it lands (the disseminator's
+      // pull protocol is already chasing it).
+      if (!poll_armed_) {
+        poll_armed_ = true;
+        runtime_.Schedule(options_.execution_poll, [this] {
+          poll_armed_ = false;
+          DrainExecutionQueue();
+        });
+      }
+      return;
+    }
+    ExecutionReceipt receipt = execution_.ExecuteBlock(*block);
+    ++executed_blocks_;
+    if (callbacks_.on_receipt) {
+      callbacks_.on_receipt(receipt);
+    }
+    execution_queue_.pop_front();
+  }
+}
+
+}  // namespace clandag

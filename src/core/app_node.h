@@ -1,0 +1,78 @@
+// AppNode: the library's top-level building block for applications.
+//
+// Wires a SailfishNode, a real Mempool, and an ExecutionEngine over any
+// Runtime (simulated, in-process, or TCP). Clients submit raw transactions;
+// the node proposes them (when its role allows), and — if it belongs to the
+// clan serving a proposer — executes ordered blocks in order and emits
+// receipts for client reply matching.
+//
+// Execution strictly follows the total order: an ordered vertex whose block
+// has not arrived yet (Byzantine-sender download path) stalls the execution
+// queue, never the consensus.
+
+#ifndef CLANDAG_CORE_APP_NODE_H_
+#define CLANDAG_CORE_APP_NODE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "consensus/sailfish.h"
+#include "smr/execution.h"
+#include "smr/mempool.h"
+
+namespace clandag {
+
+struct AppNodeOptions {
+  SailfishConfig consensus;
+  uint32_t max_txs_per_block = 1000;
+  // How often to re-check the block store for a stalled execution head.
+  TimeMicros execution_poll = Millis(50);
+};
+
+struct AppNodeCallbacks {
+  // Receipt for every block this node executed (clan duty).
+  std::function<void(const ExecutionReceipt&)> on_receipt;
+  // Every ordered vertex (all nodes, block or not).
+  std::function<void(const Vertex&)> on_ordered;
+};
+
+class AppNode final : public MessageHandler {
+ public:
+  AppNode(Runtime& runtime, const Keychain& keychain, const ClanTopology& topology,
+          AppNodeOptions options, AppNodeCallbacks callbacks);
+
+  void Start();
+  void OnMessage(NodeId from, MsgType type, const Bytes& payload) override;
+
+  // Queues a client transaction for inclusion in this node's next proposal.
+  void SubmitTransaction(uint64_t id, Bytes data);
+
+  uint64_t OrderedVertices() const { return ordered_count_; }
+  uint64_t ExecutedBlocks() const { return executed_blocks_; }
+  const ExecutionEngine& execution() const { return execution_; }
+  SailfishNode& consensus() { return *consensus_; }
+
+ private:
+  void OnOrdered(const Vertex& v);
+  void DrainExecutionQueue();
+
+  Runtime& runtime_;
+  const ClanTopology& topology_;
+  AppNodeOptions options_;
+  AppNodeCallbacks callbacks_;
+
+  Mempool mempool_;
+  ExecutionEngine execution_;
+  std::unique_ptr<SailfishNode> consensus_;
+
+  // Ordered vertices with blocks this node must execute, in order.
+  std::deque<Vertex> execution_queue_;
+  bool poll_armed_ = false;
+  uint64_t ordered_count_ = 0;
+  uint64_t executed_blocks_ = 0;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_CORE_APP_NODE_H_

@@ -1,0 +1,64 @@
+#include "core/byzantine.h"
+
+#include "consensus/wire.h"
+
+namespace clandag {
+
+void ByzantineRuntime::Send(NodeId to, MsgType type, std::shared_ptr<const Bytes> payload,
+                            size_t wire_size) {
+  if (type == kConsVertexVal) {
+    auto vertex = DecodeVertex(*payload);
+    if (vertex.has_value()) {
+      if (Has(ByzantineBehavior::kSilentLeader) &&
+          vertex->round % num_nodes() == id()) {
+        ++dropped_sends_;
+        return;  // The leader goes silent exactly in its own rounds.
+      }
+      if (Has(ByzantineBehavior::kUnjustifiedLeader) &&
+          vertex->round % num_nodes() == id() && vertex->round > 0) {
+        const NodeId prev_leader =
+            static_cast<NodeId>((vertex->round - 1) % num_nodes());
+        Vertex stripped = *vertex;
+        stripped.nvc.reset();
+        stripped.tc.reset();
+        for (auto it = stripped.strong_edges.begin(); it != stripped.strong_edges.end(); ++it) {
+          if (it->source == prev_leader) {
+            stripped.strong_edges.erase(it);
+            break;
+          }
+        }
+        Bytes encoded = EncodeVertex(stripped);
+        ++corrupted_sends_;
+        inner_.Send(to, type, std::make_shared<const Bytes>(std::move(encoded)), wire_size);
+        return;
+      }
+      if (Has(ByzantineBehavior::kEquivocateVertices) && to % 2 == 1) {
+        // A second body for the same (source, round): flip a metadata field
+        // so the digest differs while the vertex stays structurally valid.
+        Vertex other = *vertex;
+        other.block_created_at += 1;
+        Bytes encoded = EncodeVertex(other);
+        ++corrupted_sends_;
+        inner_.Send(to, type, std::make_shared<const Bytes>(std::move(encoded)), wire_size);
+        return;
+      }
+    }
+  }
+  if (type == kConsBlock && Has(ByzantineBehavior::kWithholdBlocks)) {
+    auto block = DecodeBlock(*payload);
+    if (block.has_value()) {
+      if (block->round != withhold_round_) {
+        withhold_round_ = block->round;
+        withhold_sent_ = 0;
+      }
+      if (withhold_sent_ >= withhold_keep_) {
+        ++dropped_sends_;
+        return;  // Remaining clan members must pull the block.
+      }
+      ++withhold_sent_;
+    }
+  }
+  inner_.Send(to, type, std::move(payload), wire_size);
+}
+
+}  // namespace clandag

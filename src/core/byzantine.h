@@ -1,0 +1,75 @@
+// Scripted Byzantine behaviours for fault-injection testing.
+//
+// A ByzantineRuntime wraps a node's Runtime and corrupts its *outbound*
+// traffic, turning an honest SailfishNode into a scripted adversary without
+// forking the protocol implementation (the paper's static adversary is
+// exactly a fixed corruption of up to f nodes' behaviour):
+//
+//  - kEquivocateVertices: sends conflicting vertex bodies for the same
+//    (source, round) to different halves of the network. Tribe-assisted RBC
+//    must prevent any two honest parties from completing different bodies.
+//  - kWithholdBlocks: pushes each block to only the first `withhold_keep`
+//    recipients of its clan; the rest must download it off the critical
+//    path (Figure 2/3 step "download value m from parties in P_c").
+//  - kSilentLeader: suppresses this node's vertex broadcast in rounds where
+//    it is the leader, forcing timeouts, no-vote certificates, and leader
+//    skipping downstream.
+
+#ifndef CLANDAG_CORE_BYZANTINE_H_
+#define CLANDAG_CORE_BYZANTINE_H_
+
+#include <set>
+
+#include "dag/types.h"
+#include "net/runtime.h"
+
+namespace clandag {
+
+enum class ByzantineBehavior {
+  kEquivocateVertices,
+  kWithholdBlocks,
+  kSilentLeader,
+  // In its own leader rounds, strips the strong edge to the predecessor
+  // leader (and any NVC/TC) from its vertex — an unjustified leader skip
+  // that honest nodes must reject at DAG admission (Sailfish safety).
+  kUnjustifiedLeader,
+};
+
+class ByzantineRuntime final : public Runtime {
+ public:
+  ByzantineRuntime(Runtime& inner, std::set<ByzantineBehavior> behaviors)
+      : inner_(inner), behaviors_(std::move(behaviors)) {}
+
+  // How many clan recipients still receive withheld blocks (must stay
+  // >= f_c+1 for the instance to complete; the default exercises the
+  // download path while preserving liveness).
+  void SetWithholdKeep(uint32_t keep) { withhold_keep_ = keep; }
+
+  uint64_t CorruptedSends() const { return corrupted_sends_; }
+  uint64_t DroppedSends() const { return dropped_sends_; }
+
+  using Runtime::Send;
+  NodeId id() const override { return inner_.id(); }
+  uint32_t num_nodes() const override { return inner_.num_nodes(); }
+  TimeMicros Now() const override { return inner_.Now(); }
+  void Schedule(TimeMicros delay, std::function<void()> fn) override {
+    inner_.Schedule(delay, std::move(fn));
+  }
+  void Send(NodeId to, MsgType type, std::shared_ptr<const Bytes> payload,
+            size_t wire_size) override;
+
+ private:
+  bool Has(ByzantineBehavior b) const { return behaviors_.count(b) > 0; }
+
+  Runtime& inner_;
+  std::set<ByzantineBehavior> behaviors_;
+  uint32_t withhold_keep_ = UINT32_MAX;
+  uint32_t withhold_sent_ = 0;
+  Round withhold_round_ = UINT64_MAX;
+  uint64_t corrupted_sends_ = 0;
+  uint64_t dropped_sends_ = 0;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_CORE_BYZANTINE_H_

@@ -1,0 +1,65 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace clandag {
+
+void LatencyStats::Add(double value_ms, uint64_t weight) {
+  if (weight == 0) {
+    return;
+  }
+  samples_.push_back(Sample{value_ms, weight});
+  sorted_ = false;
+  total_weight_ += weight;
+  weighted_sum_ += value_ms * static_cast<double>(weight);
+}
+
+double LatencyStats::Mean() const {
+  if (total_weight_ == 0) {
+    return 0.0;
+  }
+  return weighted_sum_ / static_cast<double>(total_weight_);
+}
+
+void LatencyStats::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end(),
+              [](const Sample& a, const Sample& b) { return a.value_ms < b.value_ms; });
+    sorted_ = true;
+  }
+}
+
+double LatencyStats::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  const double target = p / 100.0 * static_cast<double>(total_weight_);
+  uint64_t cumulative = 0;
+  for (const Sample& s : samples_) {
+    cumulative += s.weight;
+    if (static_cast<double>(cumulative) >= target) {
+      return s.value_ms;
+    }
+  }
+  return samples_.back().value_ms;
+}
+
+double LatencyStats::Min() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  return samples_.front().value_ms;
+}
+
+double LatencyStats::Max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  return samples_.back().value_ms;
+}
+
+}  // namespace clandag

@@ -1,0 +1,40 @@
+// Measurement helpers for the benchmark harness.
+
+#ifndef CLANDAG_CORE_METRICS_H_
+#define CLANDAG_CORE_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace clandag {
+
+// Weighted latency samples (weight = transactions in the block).
+class LatencyStats {
+ public:
+  void Add(double value_ms, uint64_t weight = 1);
+
+  uint64_t TotalWeight() const { return total_weight_; }
+  size_t SampleCount() const { return samples_.size(); }
+  double Mean() const;
+  // Weighted percentile in [0, 100].
+  double Percentile(double p) const;
+  double Min() const;
+  double Max() const;
+
+ private:
+  struct Sample {
+    double value_ms;
+    uint64_t weight;
+  };
+  mutable std::vector<Sample> samples_;
+  mutable bool sorted_ = false;
+  uint64_t total_weight_ = 0;
+  double weighted_sum_ = 0.0;
+
+  void EnsureSorted() const;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_CORE_METRICS_H_

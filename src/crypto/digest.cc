@@ -1,0 +1,11 @@
+#include "crypto/digest.h"
+
+#include "common/hex.h"
+
+namespace clandag {
+
+std::string Digest::ToHex() const {
+  return HexEncode(bytes_.data(), bytes_.size());
+}
+
+}  // namespace clandag

@@ -1,0 +1,69 @@
+// 32-byte digest value type used for vertex ids, block digests and MACs.
+
+#ifndef CLANDAG_CRYPTO_DIGEST_H_
+#define CLANDAG_CRYPTO_DIGEST_H_
+
+#include <array>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/codec.h"
+#include "crypto/sha256.h"
+
+namespace clandag {
+
+class Digest {
+ public:
+  static constexpr size_t kSize = Sha256::kDigestSize;
+
+  Digest() { bytes_.fill(0); }
+  explicit Digest(const Sha256::DigestBytes& b) : bytes_(b) {}
+
+  static Digest Of(const Bytes& data) { return Digest(Sha256::Hash(data)); }
+  static Digest Of(const uint8_t* data, size_t len) { return Digest(Sha256::Hash(data, len)); }
+
+  const std::array<uint8_t, kSize>& bytes() const { return bytes_; }
+  bool IsZero() const {
+    for (uint8_t b : bytes_) {
+      if (b != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string ToHex() const;
+  // Short prefix for logging.
+  std::string Brief() const { return ToHex().substr(0, 8); }
+
+  void Serialize(Writer& w) const { w.Raw(bytes_.data(), kSize); }
+  static Digest Parse(Reader& r) {
+    Digest d;
+    r.Raw(d.bytes_.data(), kSize);
+    return d;
+  }
+
+  friend bool operator==(const Digest& a, const Digest& b) { return a.bytes_ == b.bytes_; }
+  friend bool operator!=(const Digest& a, const Digest& b) { return !(a == b); }
+  friend bool operator<(const Digest& a, const Digest& b) { return a.bytes_ < b.bytes_; }
+
+  // Cheap hash for unordered containers: digests are uniform, take a prefix.
+  size_t FastHash() const {
+    size_t h;
+    std::memcpy(&h, bytes_.data(), sizeof(h));
+    return h;
+  }
+
+ private:
+  std::array<uint8_t, kSize> bytes_;
+};
+
+struct DigestHasher {
+  size_t operator()(const Digest& d) const { return d.FastHash(); }
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_CRYPTO_DIGEST_H_

@@ -1,0 +1,36 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace clandag {
+
+Sha256::DigestBytes HmacSha256(const Bytes& key, const uint8_t* data, size_t len) {
+  constexpr size_t kBlockSize = 64;
+  uint8_t key_block[kBlockSize];
+  std::memset(key_block, 0, kBlockSize);
+  if (key.size() > kBlockSize) {
+    Sha256::DigestBytes kd = Sha256::Hash(key);
+    std::memcpy(key_block, kd.data(), kd.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  uint8_t ipad[kBlockSize];
+  uint8_t opad[kBlockSize];
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, kBlockSize);
+  inner.Update(data, len);
+  Sha256::DigestBytes inner_digest = inner.Finalize();
+
+  Sha256 outer;
+  outer.Update(opad, kBlockSize);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finalize();
+}
+
+}  // namespace clandag

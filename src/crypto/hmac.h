@@ -1,0 +1,20 @@
+// HMAC-SHA256 (RFC 2104).
+
+#ifndef CLANDAG_CRYPTO_HMAC_H_
+#define CLANDAG_CRYPTO_HMAC_H_
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace clandag {
+
+// Computes HMAC-SHA256(key, data).
+Sha256::DigestBytes HmacSha256(const Bytes& key, const uint8_t* data, size_t len);
+
+inline Sha256::DigestBytes HmacSha256(const Bytes& key, const Bytes& data) {
+  return HmacSha256(key, data.data(), data.size());
+}
+
+}  // namespace clandag
+
+#endif  // CLANDAG_CRYPTO_HMAC_H_

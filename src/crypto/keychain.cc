@@ -1,0 +1,38 @@
+#include "crypto/keychain.h"
+
+#include "common/check.h"
+#include "common/codec.h"
+#include "crypto/hmac.h"
+
+namespace clandag {
+
+Keychain::Keychain(uint64_t system_seed, uint32_t num_parties) {
+  keys_.reserve(num_parties);
+  for (uint32_t i = 0; i < num_parties; ++i) {
+    Writer w;
+    w.Str("clandag-key");
+    w.U64(system_seed);
+    w.U32(i);
+    Sha256::DigestBytes key = Sha256::Hash(w.Buffer());
+    keys_.emplace_back(key.begin(), key.end());
+  }
+}
+
+Signature Keychain::Sign(NodeId signer, const Bytes& message) const {
+  CLANDAG_CHECK(signer < keys_.size());
+  return Signature{Digest(HmacSha256(keys_[signer], message))};
+}
+
+bool Keychain::Verify(NodeId signer, const Bytes& message, const Signature& sig) const {
+  if (signer >= keys_.size()) {
+    return false;
+  }
+  return Digest(HmacSha256(keys_[signer], message)) == sig.mac;
+}
+
+const Bytes& Keychain::KeyOf(NodeId id) const {
+  CLANDAG_CHECK(id < keys_.size());
+  return keys_[id];
+}
+
+}  // namespace clandag

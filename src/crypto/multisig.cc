@@ -1,0 +1,102 @@
+#include "crypto/multisig.h"
+
+#include "common/check.h"
+#include "common/codec.h"
+#include "crypto/hmac.h"
+
+namespace clandag {
+
+void SignerBitmap::Set(NodeId id) {
+  CLANDAG_CHECK(id < num_parties_);
+  bits_[id / 8] |= static_cast<uint8_t>(1u << (id % 8));
+}
+
+bool SignerBitmap::Test(NodeId id) const {
+  if (id >= num_parties_) {
+    return false;
+  }
+  return (bits_[id / 8] >> (id % 8)) & 1u;
+}
+
+uint32_t SignerBitmap::Count() const {
+  uint32_t total = 0;
+  for (uint8_t byte : bits_) {
+    total += static_cast<uint32_t>(__builtin_popcount(byte));
+  }
+  return total;
+}
+
+std::vector<NodeId> SignerBitmap::Ids() const {
+  std::vector<NodeId> out;
+  out.reserve(Count());
+  for (NodeId id = 0; id < num_parties_; ++id) {
+    if (Test(id)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+void SignerBitmap::Serialize(Writer& w) const {
+  w.U32(num_parties_);
+  w.Blob(bits_.data(), bits_.size());
+}
+
+SignerBitmap SignerBitmap::Parse(Reader& r) {
+  SignerBitmap b;
+  b.num_parties_ = r.U32();
+  Bytes raw = r.Blob();
+  size_t expected = (b.num_parties_ + 7) / 8;
+  if (raw.size() != expected) {
+    b.num_parties_ = 0;
+    b.bits_.clear();
+    return b;
+  }
+  b.bits_ = std::move(raw);
+  return b;
+}
+
+MultiSig MultiSig::Aggregate(const SignerBitmap& signers, const std::vector<Signature>& parts) {
+  CLANDAG_CHECK(signers.Count() == parts.size());
+  Sha256::DigestBytes agg;
+  agg.fill(0);
+  for (const Signature& sig : parts) {
+    const auto& mac = sig.mac.bytes();
+    for (size_t i = 0; i < agg.size(); ++i) {
+      agg[i] ^= mac[i];
+    }
+  }
+  MultiSig out;
+  out.signers_ = signers;
+  out.aggregate_ = Digest(agg);
+  return out;
+}
+
+bool MultiSig::Verify(const Keychain& keychain, const Bytes& message) const {
+  Sha256::DigestBytes expected;
+  expected.fill(0);
+  for (NodeId id : signers_.Ids()) {
+    if (id >= keychain.num_parties()) {
+      return false;
+    }
+    Sha256::DigestBytes mac = HmacSha256(keychain.KeyOf(id), message);
+    for (size_t i = 0; i < expected.size(); ++i) {
+      expected[i] ^= mac[i];
+    }
+  }
+  return Digest(expected) == aggregate_;
+}
+
+void MultiSig::Serialize(Writer& w) const {
+  signers_.Serialize(w);
+  aggregate_.Serialize(w);
+}
+
+MultiSig MultiSig::Parse(Reader& r) {
+  MultiSig out;
+  out.signers_ = SignerBitmap::Parse(r);
+  out.aggregate_ = Digest::Parse(r);
+  return out;
+}
+
+}  // namespace clandag

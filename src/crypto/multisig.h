@@ -1,0 +1,76 @@
+// Aggregate "multi-signature" over a common message.
+//
+// Models the BLS multi-signature the paper uses for echo-certificates: the
+// wire format is one 32-byte aggregate plus a signer bit-vector, reproducing
+// the O(κ + n) certificate size that matters for the bandwidth model.
+// The aggregate is the XOR of the individual HMAC authenticators, which is
+// verifiable by any holder of the keychain and (like BLS aggregation)
+// rejects certificates that claim signers who did not sign.
+
+#ifndef CLANDAG_CRYPTO_MULTISIG_H_
+#define CLANDAG_CRYPTO_MULTISIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/keychain.h"
+
+namespace clandag {
+
+// Compact signer set as a bit-vector over node ids.
+class SignerBitmap {
+ public:
+  SignerBitmap() = default;
+  explicit SignerBitmap(uint32_t num_parties) : num_parties_(num_parties) {
+    bits_.assign((num_parties + 7) / 8, 0);
+  }
+
+  void Set(NodeId id);
+  bool Test(NodeId id) const;
+  uint32_t Count() const;
+  uint32_t num_parties() const { return num_parties_; }
+  std::vector<NodeId> Ids() const;
+
+  // Wire size in bytes (what enters the bandwidth model).
+  size_t ByteSize() const { return 4 + bits_.size(); }
+
+  void Serialize(Writer& w) const;
+  static SignerBitmap Parse(Reader& r);
+
+  friend bool operator==(const SignerBitmap& a, const SignerBitmap& b) {
+    return a.num_parties_ == b.num_parties_ && a.bits_ == b.bits_;
+  }
+
+ private:
+  uint32_t num_parties_ = 0;
+  std::vector<uint8_t> bits_;
+};
+
+// An aggregate signature over one message by the parties in `signers`.
+class MultiSig {
+ public:
+  MultiSig() = default;
+
+  // Aggregates individual signatures. `parts` must align with `signers.Ids()`.
+  static MultiSig Aggregate(const SignerBitmap& signers, const std::vector<Signature>& parts);
+
+  // Verifies the aggregate against the keychain, per the paper's optimization:
+  // one aggregate check instead of per-signer checks.
+  bool Verify(const Keychain& keychain, const Bytes& message) const;
+
+  const SignerBitmap& signers() const { return signers_; }
+  uint32_t Count() const { return signers_.Count(); }
+  size_t ByteSize() const { return Digest::kSize + signers_.ByteSize(); }
+
+  void Serialize(Writer& w) const;
+  static MultiSig Parse(Reader& r);
+
+ private:
+  SignerBitmap signers_;
+  Digest aggregate_;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_CRYPTO_MULTISIG_H_

@@ -1,0 +1,216 @@
+#include "crypto/reed_solomon.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace clandag {
+
+Gf256::Tables::Tables() {
+  // Generator 2 over the 0x11d polynomial.
+  uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp[i] = static_cast<uint8_t>(x);
+    log[x] = static_cast<uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) {
+      x ^= 0x11d;
+    }
+  }
+  for (int i = 255; i < 512; ++i) {
+    exp[i] = exp[i - 255];
+  }
+  log[0] = 0;  // Undefined; guarded by callers.
+}
+
+const Gf256::Tables& Gf256::tables() {
+  static const Tables t;
+  return t;
+}
+
+uint8_t Gf256::Mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const Tables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+uint8_t Gf256::Div(uint8_t a, uint8_t b) {
+  CLANDAG_CHECK(b != 0);
+  if (a == 0) {
+    return 0;
+  }
+  const Tables& t = tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+uint8_t Gf256::Inv(uint8_t a) {
+  return Div(1, a);
+}
+
+uint8_t Gf256::Pow(uint8_t base, uint32_t exp_value) {
+  uint8_t out = 1;
+  for (uint32_t i = 0; i < exp_value; ++i) {
+    out = Mul(out, base);
+  }
+  return out;
+}
+
+namespace {
+
+// Invert a k x k GF(256) matrix via Gauss-Jordan; returns false if singular.
+bool InvertMatrix(std::vector<uint8_t>& m, uint32_t k) {
+  std::vector<uint8_t> inv(k * k, 0);
+  for (uint32_t i = 0; i < k; ++i) {
+    inv[i * k + i] = 1;
+  }
+  for (uint32_t col = 0; col < k; ++col) {
+    // Find a pivot.
+    uint32_t pivot = col;
+    while (pivot < k && m[pivot * k + col] == 0) {
+      ++pivot;
+    }
+    if (pivot == k) {
+      return false;
+    }
+    if (pivot != col) {
+      for (uint32_t j = 0; j < k; ++j) {
+        std::swap(m[pivot * k + j], m[col * k + j]);
+        std::swap(inv[pivot * k + j], inv[col * k + j]);
+      }
+    }
+    const uint8_t scale = Gf256::Inv(m[col * k + col]);
+    for (uint32_t j = 0; j < k; ++j) {
+      m[col * k + j] = Gf256::Mul(m[col * k + j], scale);
+      inv[col * k + j] = Gf256::Mul(inv[col * k + j], scale);
+    }
+    for (uint32_t row = 0; row < k; ++row) {
+      if (row == col || m[row * k + col] == 0) {
+        continue;
+      }
+      const uint8_t factor = m[row * k + col];
+      for (uint32_t j = 0; j < k; ++j) {
+        m[row * k + j] ^= Gf256::Mul(factor, m[col * k + j]);
+        inv[row * k + j] ^= Gf256::Mul(factor, inv[col * k + j]);
+      }
+    }
+  }
+  m = std::move(inv);
+  return true;
+}
+
+// out[len] ^= coeff * in[len] over GF(256).
+void MulAdd(uint8_t* out, const uint8_t* in, uint8_t coeff, size_t len) {
+  if (coeff == 0) {
+    return;
+  }
+  for (size_t i = 0; i < len; ++i) {
+    out[i] ^= Gf256::Mul(coeff, in[i]);
+  }
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(uint32_t data_shards, uint32_t parity_shards)
+    : k_(data_shards), n_(data_shards + parity_shards) {
+  CLANDAG_CHECK(k_ >= 1 && n_ <= 255 && n_ >= k_);
+  // Vandermonde rows: row r = (x^0, x^1, ..., x^{k-1}) with x = r+1 (distinct
+  // nonzero points), then normalize so the top k x k block is the identity.
+  std::vector<uint8_t> vander(n_ * k_);
+  for (uint32_t r = 0; r < n_; ++r) {
+    const uint8_t x = static_cast<uint8_t>(r + 1);
+    for (uint32_t c = 0; c < k_; ++c) {
+      vander[r * k_ + c] = Gf256::Pow(x, c);
+    }
+  }
+  std::vector<uint8_t> top(vander.begin(), vander.begin() + k_ * k_);
+  CLANDAG_CHECK(InvertMatrix(top, k_));
+  matrix_.assign(n_ * k_, 0);
+  for (uint32_t r = 0; r < n_; ++r) {
+    for (uint32_t c = 0; c < k_; ++c) {
+      uint8_t acc = 0;
+      for (uint32_t i = 0; i < k_; ++i) {
+        acc ^= Gf256::Mul(vander[r * k_ + i], top[i * k_ + c]);
+      }
+      matrix_[r * k_ + c] = acc;
+    }
+  }
+}
+
+std::vector<RsShare> ReedSolomon::Encode(const Bytes& data) const {
+  // Prefix the payload with its length so Decode can strip the padding.
+  Bytes framed;
+  framed.reserve(data.size() + 4);
+  const uint32_t len = static_cast<uint32_t>(data.size());
+  for (int i = 0; i < 4; ++i) {
+    framed.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  }
+  framed.insert(framed.end(), data.begin(), data.end());
+  const size_t shard_len = (framed.size() + k_ - 1) / k_;
+  framed.resize(shard_len * k_, 0);
+
+  std::vector<RsShare> shares(n_);
+  for (uint32_t r = 0; r < n_; ++r) {
+    shares[r].index = r;
+    shares[r].data.assign(shard_len, 0);
+    for (uint32_t c = 0; c < k_; ++c) {
+      MulAdd(shares[r].data.data(), framed.data() + c * shard_len, Row(r)[c], shard_len);
+    }
+  }
+  return shares;
+}
+
+std::optional<Bytes> ReedSolomon::Decode(const std::vector<RsShare>& shares) const {
+  // Pick k distinct, size-consistent shares.
+  std::vector<const RsShare*> chosen;
+  std::vector<bool> seen(n_, false);
+  size_t shard_len = 0;
+  for (const RsShare& s : shares) {
+    if (s.index >= n_ || seen[s.index]) {
+      continue;
+    }
+    if (chosen.empty()) {
+      shard_len = s.data.size();
+    } else if (s.data.size() != shard_len) {
+      continue;
+    }
+    seen[s.index] = true;
+    chosen.push_back(&s);
+    if (chosen.size() == k_) {
+      break;
+    }
+  }
+  if (chosen.size() < k_ || shard_len == 0) {
+    return std::nullopt;
+  }
+
+  // Invert the k x k submatrix of the chosen rows.
+  std::vector<uint8_t> sub(k_ * k_);
+  for (uint32_t i = 0; i < k_; ++i) {
+    std::memcpy(sub.data() + i * k_, Row(chosen[i]->index), k_);
+  }
+  if (!InvertMatrix(sub, k_)) {
+    return std::nullopt;
+  }
+
+  Bytes framed(shard_len * k_, 0);
+  for (uint32_t c = 0; c < k_; ++c) {
+    for (uint32_t i = 0; i < k_; ++i) {
+      MulAdd(framed.data() + c * shard_len, chosen[i]->data.data(), sub[c * k_ + i], shard_len);
+    }
+  }
+  if (framed.size() < 4) {
+    return std::nullopt;
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(framed[i]) << (8 * i);
+  }
+  if (len > framed.size() - 4) {
+    return std::nullopt;
+  }
+  return Bytes(framed.begin() + 4, framed.begin() + 4 + len);
+}
+
+}  // namespace clandag

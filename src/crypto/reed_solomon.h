@@ -1,0 +1,71 @@
+// Systematic Reed-Solomon erasure coding over GF(256).
+//
+// Supports the erasure-coded broadcast comparison of the paper's §3 remark:
+// theoretical RBCs disperse a value as n coded shares of which any k
+// reconstruct it, trading bandwidth for encode/decode CPU. The encoding
+// matrix is an n x k Vandermonde transformed so its top k rows are the
+// identity (shares 0..k-1 are the data shards); any k rows remain
+// invertible, so any k shares decode.
+
+#ifndef CLANDAG_CRYPTO_REED_SOLOMON_H_
+#define CLANDAG_CRYPTO_REED_SOLOMON_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace clandag {
+
+// GF(2^8) with the 0x11d reduction polynomial (the classic RS field).
+class Gf256 {
+ public:
+  static uint8_t Mul(uint8_t a, uint8_t b);
+  static uint8_t Div(uint8_t a, uint8_t b);  // b != 0.
+  static uint8_t Inv(uint8_t a);             // a != 0.
+  static uint8_t Pow(uint8_t base, uint32_t exp);
+
+ private:
+  struct Tables {
+    uint8_t exp[512];
+    uint8_t log[256];
+    Tables();
+  };
+  static const Tables& tables();
+};
+
+struct RsShare {
+  uint32_t index = 0;
+  Bytes data;
+};
+
+class ReedSolomon {
+ public:
+  // `data_shards` (k) of n = data_shards + parity_shards total; requires
+  // 1 <= k, n <= 255.
+  ReedSolomon(uint32_t data_shards, uint32_t parity_shards);
+
+  uint32_t data_shards() const { return k_; }
+  uint32_t total_shards() const { return n_; }
+
+  // Splits (padding with a length header) and encodes `data` into n shares.
+  std::vector<RsShare> Encode(const Bytes& data) const;
+
+  // Reconstructs the original bytes from any k distinct shares (shares may
+  // arrive in any order). Returns std::nullopt if fewer than k distinct
+  // shares are provided or the shares are inconsistent in size.
+  std::optional<Bytes> Decode(const std::vector<RsShare>& shares) const;
+
+ private:
+  uint32_t k_;
+  uint32_t n_;
+  // Row-major n x k encoding matrix with identity top.
+  std::vector<uint8_t> matrix_;
+
+  const uint8_t* Row(uint32_t r) const { return matrix_.data() + r * k_; }
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_CRYPTO_REED_SOLOMON_H_

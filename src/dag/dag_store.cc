@@ -1,0 +1,218 @@
+#include "dag/dag_store.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace clandag {
+
+DagStore::DagStore(uint32_t num_nodes) : num_nodes_(num_nodes) {}
+
+DagStore::Stored* DagStore::Find(Round round, NodeId source) {
+  auto it = rounds_.find(round);
+  if (it == rounds_.end() || source >= it->second.by_source.size()) {
+    return nullptr;
+  }
+  return it->second.by_source[source].get();
+}
+
+const DagStore::Stored* DagStore::Find(Round round, NodeId source) const {
+  return const_cast<DagStore*>(this)->Find(round, source);
+}
+
+bool DagStore::Insert(Vertex v) {
+  CLANDAG_CHECK(v.source < num_nodes_);
+  CLANDAG_CHECK_MSG(ParentsPresent(v), "DagStore::Insert requires causally-complete vertices");
+  RoundSlot& slot = rounds_[v.round];
+  if (slot.by_source.empty()) {
+    slot.by_source.resize(num_nodes_);
+  }
+  if (slot.by_source[v.source] != nullptr) {
+    return false;
+  }
+  auto stored = std::make_unique<Stored>();
+  stored->digest = v.ComputeDigest();
+  // Update the weak-edge frontier: this vertex covers its parents and is
+  // itself now an uncovered tip.
+  for (const StrongEdge& e : v.strong_edges) {
+    uncovered_.erase({v.round - 1, e.source});
+  }
+  for (const WeakEdge& e : v.weak_edges) {
+    uncovered_.erase({e.round, e.source});
+  }
+  uncovered_.insert({v.round, v.source});
+  stored->v = std::move(v);
+  slot.by_source[stored->v.source] = std::move(stored);
+  ++slot.count;
+  ++total_;
+  return true;
+}
+
+const Vertex* DagStore::Get(Round round, NodeId source) const {
+  const Stored* s = Find(round, source);
+  return s != nullptr ? &s->v : nullptr;
+}
+
+const Digest* DagStore::DigestOf(Round round, NodeId source) const {
+  const Stored* s = Find(round, source);
+  return s != nullptr ? &s->digest : nullptr;
+}
+
+uint32_t DagStore::CountAtRound(Round round) const {
+  auto it = rounds_.find(round);
+  return it == rounds_.end() ? 0 : it->second.count;
+}
+
+std::vector<const Vertex*> DagStore::VerticesAtRound(Round round) const {
+  std::vector<const Vertex*> out;
+  auto it = rounds_.find(round);
+  if (it == rounds_.end()) {
+    return out;
+  }
+  for (const auto& stored : it->second.by_source) {
+    if (stored != nullptr) {
+      out.push_back(&stored->v);
+    }
+  }
+  return out;
+}
+
+bool DagStore::ParentsPresent(const Vertex& v) const {
+  if (v.round == 0) {
+    return true;  // Genesis round has no parents.
+  }
+  for (const StrongEdge& e : v.strong_edges) {
+    if (!Has(v.round - 1, e.source)) {
+      return false;
+    }
+  }
+  for (const WeakEdge& e : v.weak_edges) {
+    if (!Has(e.round, e.source)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DagStore::StrongPathExists(const Vertex& from, Round target_round,
+                                NodeId target_source) const {
+  if (from.round <= target_round) {
+    return from.round == target_round && from.source == target_source;
+  }
+  // BFS down the strong edges, level by level. Track visited (round, source)
+  // to stay linear in the sub-DAG between the two rounds.
+  std::set<std::pair<Round, NodeId>> visited;
+  std::deque<const Vertex*> frontier;
+  frontier.push_back(&from);
+  while (!frontier.empty()) {
+    const Vertex* v = frontier.front();
+    frontier.pop_front();
+    if (v->round == target_round + 1) {
+      if (v->HasStrongEdgeTo(target_source)) {
+        return true;
+      }
+      continue;
+    }
+    for (const StrongEdge& e : v->strong_edges) {
+      auto key = std::make_pair(v->round - 1, e.source);
+      if (!visited.insert(key).second) {
+        continue;
+      }
+      const Vertex* parent = Get(key.first, key.second);
+      if (parent != nullptr) {
+        frontier.push_back(parent);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<const Vertex*> DagStore::OrderHistory(Round root_round, NodeId root_source) {
+  Stored* root = Find(root_round, root_source);
+  CLANDAG_CHECK_MSG(root != nullptr, "OrderHistory root missing");
+  std::vector<Stored*> collected;
+  std::deque<Stored*> frontier;
+  if (!root->ordered) {
+    root->ordered = true;
+    frontier.push_back(root);
+    collected.push_back(root);
+  }
+  while (!frontier.empty()) {
+    Stored* s = frontier.front();
+    frontier.pop_front();
+    auto visit = [&](Round round, NodeId source) {
+      Stored* parent = Find(round, source);
+      // Parents are present by the store invariant unless pruned; pruned
+      // vertices are below the last commit and therefore already ordered.
+      if (parent != nullptr && !parent->ordered) {
+        parent->ordered = true;
+        frontier.push_back(parent);
+        collected.push_back(parent);
+      }
+    };
+    if (s->v.round > 0) {
+      for (const StrongEdge& e : s->v.strong_edges) {
+        visit(s->v.round - 1, e.source);
+      }
+    }
+    for (const WeakEdge& e : s->v.weak_edges) {
+      visit(e.round, e.source);
+    }
+  }
+  ordered_count_ += collected.size();
+  std::sort(collected.begin(), collected.end(), [](const Stored* a, const Stored* b) {
+    if (a->v.round != b->v.round) {
+      return a->v.round < b->v.round;
+    }
+    return a->v.source < b->v.source;
+  });
+  std::vector<const Vertex*> out;
+  out.reserve(collected.size());
+  for (Stored* s : collected) {
+    out.push_back(&s->v);
+  }
+  return out;
+}
+
+bool DagStore::IsOrdered(Round round, NodeId source) const {
+  const Stored* s = Find(round, source);
+  return s != nullptr && s->ordered;
+}
+
+std::vector<WeakEdge> DagStore::SelectWeakEdges(Round proposal_round) const {
+  std::vector<WeakEdge> out;
+  for (const auto& [round, source] : uncovered_) {
+    if (proposal_round < 1 || round >= proposal_round - 1) {
+      break;  // uncovered_ is sorted by round.
+    }
+    const Digest* d = DigestOf(round, source);
+    if (d != nullptr) {
+      out.push_back(WeakEdge{round, source, *d});
+    }
+  }
+  return out;
+}
+
+void DagStore::PruneBelow(Round round) {
+  for (auto it = rounds_.begin(); it != rounds_.end();) {
+    if (it->first >= round) {
+      break;
+    }
+    bool all_ordered = true;
+    for (const auto& stored : it->second.by_source) {
+      if (stored != nullptr && !stored->ordered) {
+        all_ordered = false;
+        break;
+      }
+    }
+    if (!all_ordered) {
+      ++it;
+      continue;
+    }
+    total_ -= it->second.count;
+    it = rounds_.erase(it);
+  }
+}
+
+}  // namespace clandag

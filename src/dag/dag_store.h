@@ -1,0 +1,92 @@
+// Per-node DAG storage.
+//
+// Holds only causally-complete vertices: the consensus layer buffers a
+// delivered vertex until all its parents are present, so every vertex in the
+// store has its full history in the store. That invariant lets the commit
+// logic order histories without blocking on missing data.
+//
+// Non-equivocation note: the broadcast layer guarantees at most one vertex
+// per (round, source), so (round, source) is the primary key and edges can
+// be resolved through it.
+
+#ifndef CLANDAG_DAG_DAG_STORE_H_
+#define CLANDAG_DAG_DAG_STORE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "dag/types.h"
+
+namespace clandag {
+
+class DagStore {
+ public:
+  explicit DagStore(uint32_t num_nodes);
+
+  // Inserts a vertex whose parents are all present (CHECKed). Returns false
+  // if a vertex from (round, source) already exists.
+  bool Insert(Vertex v);
+
+  bool Has(Round round, NodeId source) const { return Get(round, source) != nullptr; }
+  const Vertex* Get(Round round, NodeId source) const;
+  const Digest* DigestOf(Round round, NodeId source) const;
+
+  uint32_t CountAtRound(Round round) const;
+  std::vector<const Vertex*> VerticesAtRound(Round round) const;
+  size_t TotalVertices() const { return total_; }
+
+  // True iff every strong and weak parent of `v` is in the store.
+  bool ParentsPresent(const Vertex& v) const;
+
+  // True iff a strong-edge path exists from `from` down to the vertex
+  // (target_round, target_source). `from` itself does not need to be in the
+  // store, but its ancestry is resolved through it.
+  bool StrongPathExists(const Vertex& from, Round target_round, NodeId target_source) const;
+
+  // Collects every not-yet-ordered vertex in the causal history of `root`
+  // (following strong and weak edges, root included), marks them ordered,
+  // and returns them sorted by (round, source) — the deterministic total
+  // order shared by all honest nodes. `root` must be in the store.
+  std::vector<const Vertex*> OrderHistory(Round root_round, NodeId root_source);
+
+  bool IsOrdered(Round round, NodeId source) const;
+  size_t OrderedCount() const { return ordered_count_; }
+
+  // Weak-edge candidates for a proposal at `proposal_round`: vertices not
+  // referenced by any vertex inserted so far, from rounds < proposal_round-1.
+  std::vector<WeakEdge> SelectWeakEdges(Round proposal_round) const;
+
+  // Drops all rounds strictly below `round` that are fully ordered
+  // (long-running-simulation memory hygiene). Ordered/coverage bookkeeping
+  // for dropped vertices is retained implicitly: callers only garbage
+  // collect below the last committed anchor.
+  void PruneBelow(Round round);
+
+ private:
+  struct Stored {
+    Vertex v;
+    Digest digest;
+    bool ordered = false;
+  };
+  struct RoundSlot {
+    std::vector<std::unique_ptr<Stored>> by_source;
+    uint32_t count = 0;
+  };
+
+  Stored* Find(Round round, NodeId source);
+  const Stored* Find(Round round, NodeId source) const;
+
+  uint32_t num_nodes_;
+  size_t total_ = 0;
+  size_t ordered_count_ = 0;
+  std::map<Round, RoundSlot> rounds_;
+  // (round, source) pairs no vertex references yet (weak-edge frontier).
+  std::set<std::pair<Round, NodeId>> uncovered_;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_DAG_DAG_STORE_H_

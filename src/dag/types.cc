@@ -1,0 +1,196 @@
+#include "dag/types.h"
+
+namespace clandag {
+
+namespace {
+
+// Header bytes of a serialized block besides its payload (field widths below).
+constexpr size_t kBlockHeaderBytes = 4 + 8 + 8 + 4 + 4 + 1;
+
+void SerializeOptionalNvc(Writer& w, const std::optional<NoVoteCert>& nvc) {
+  w.Bool(nvc.has_value());
+  if (nvc.has_value()) {
+    nvc->Serialize(w);
+  }
+}
+
+void SerializeOptionalTc(Writer& w, const std::optional<TimeoutCert>& tc) {
+  w.Bool(tc.has_value());
+  if (tc.has_value()) {
+    tc->Serialize(w);
+  }
+}
+
+}  // namespace
+
+Bytes TimeoutCert::SignedMessage(Round round) {
+  Writer w;
+  w.Str("TO");
+  w.U64(round);
+  return w.Take();
+}
+
+bool TimeoutCert::Verify(const Keychain& keychain, uint32_t quorum) const {
+  return sig.Count() >= quorum && sig.Verify(keychain, SignedMessage(round));
+}
+
+void TimeoutCert::Serialize(Writer& w) const {
+  w.U64(round);
+  sig.Serialize(w);
+}
+
+TimeoutCert TimeoutCert::Parse(Reader& r) {
+  TimeoutCert c;
+  c.round = r.U64();
+  c.sig = MultiSig::Parse(r);
+  return c;
+}
+
+Bytes NoVoteCert::SignedMessage(Round round) {
+  Writer w;
+  w.Str("NV");
+  w.U64(round);
+  return w.Take();
+}
+
+bool NoVoteCert::Verify(const Keychain& keychain, uint32_t quorum) const {
+  return sig.Count() >= quorum && sig.Verify(keychain, SignedMessage(round));
+}
+
+void NoVoteCert::Serialize(Writer& w) const {
+  w.U64(round);
+  sig.Serialize(w);
+}
+
+NoVoteCert NoVoteCert::Parse(Reader& r) {
+  NoVoteCert c;
+  c.round = r.U64();
+  c.sig = MultiSig::Parse(r);
+  return c;
+}
+
+size_t BlockInfo::WireSize() const {
+  return kBlockHeaderBytes + PayloadSize();
+}
+
+Digest BlockInfo::ComputeDigest() const {
+  Writer w;
+  Serialize(w);
+  return Digest::Of(w.Buffer());
+}
+
+void BlockInfo::Serialize(Writer& w) const {
+  w.U32(proposer);
+  w.U64(round);
+  w.I64(created_at);
+  w.U32(tx_count);
+  w.U32(tx_size);
+  w.Bool(!payload.empty());
+  if (!payload.empty()) {
+    w.Blob(payload);
+  }
+}
+
+BlockInfo BlockInfo::Parse(Reader& r) {
+  BlockInfo b;
+  b.proposer = r.U32();
+  b.round = r.U64();
+  b.created_at = r.I64();
+  b.tx_count = r.U32();
+  b.tx_size = r.U32();
+  if (r.Bool()) {
+    b.payload = r.Blob();
+  }
+  return b;
+}
+
+bool operator==(const BlockInfo& a, const BlockInfo& b) {
+  return a.proposer == b.proposer && a.round == b.round && a.created_at == b.created_at &&
+         a.tx_count == b.tx_count && a.tx_size == b.tx_size && a.payload == b.payload;
+}
+
+bool Vertex::HasStrongEdgeTo(NodeId parent_source) const {
+  for (const StrongEdge& e : strong_edges) {
+    if (e.source == parent_source) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Digest Vertex::ComputeDigest() const {
+  Writer w;
+  Serialize(w);
+  return Digest::Of(w.Buffer());
+}
+
+void Vertex::Serialize(Writer& w) const {
+  w.U64(round);
+  w.U32(source);
+  block_digest.Serialize(w);
+  w.U32(block_tx_count);
+  w.I64(block_created_at);
+  w.Varint(strong_edges.size());
+  for (const StrongEdge& e : strong_edges) {
+    w.U32(e.source);
+    e.digest.Serialize(w);
+  }
+  w.Varint(weak_edges.size());
+  for (const WeakEdge& e : weak_edges) {
+    w.U64(e.round);
+    w.U32(e.source);
+    e.digest.Serialize(w);
+  }
+  SerializeOptionalNvc(w, nvc);
+  SerializeOptionalTc(w, tc);
+}
+
+Vertex Vertex::Parse(Reader& r) {
+  Vertex v;
+  v.round = r.U64();
+  v.source = r.U32();
+  v.block_digest = Digest::Parse(r);
+  v.block_tx_count = r.U32();
+  v.block_created_at = r.I64();
+  uint64_t num_strong = r.Varint();
+  if (num_strong > 1u << 20) {
+    r.Invalidate();  // Absurd edge count: reject without allocating.
+    return v;
+  }
+  v.strong_edges.reserve(num_strong);
+  for (uint64_t i = 0; i < num_strong && r.ok(); ++i) {
+    StrongEdge e;
+    e.source = r.U32();
+    e.digest = Digest::Parse(r);
+    v.strong_edges.push_back(e);
+  }
+  uint64_t num_weak = r.Varint();
+  if (num_weak > 1u << 20) {
+    r.Invalidate();
+    return v;
+  }
+  v.weak_edges.reserve(num_weak);
+  for (uint64_t i = 0; i < num_weak && r.ok(); ++i) {
+    WeakEdge e;
+    e.round = r.U64();
+    e.source = r.U32();
+    e.digest = Digest::Parse(r);
+    v.weak_edges.push_back(e);
+  }
+  if (r.Bool()) {
+    v.nvc = NoVoteCert::Parse(r);
+  }
+  if (r.Bool()) {
+    v.tc = TimeoutCert::Parse(r);
+  }
+  return v;
+}
+
+bool operator==(const Vertex& a, const Vertex& b) {
+  return a.round == b.round && a.source == b.source && a.block_digest == b.block_digest &&
+         a.block_tx_count == b.block_tx_count && a.block_created_at == b.block_created_at &&
+         a.strong_edges == b.strong_edges && a.weak_edges == b.weak_edges &&
+         a.nvc.has_value() == b.nvc.has_value() && a.tc.has_value() == b.tc.has_value();
+}
+
+}  // namespace clandag

@@ -1,0 +1,133 @@
+// Core DAG data structures (paper Figure 4).
+//
+// The vertex/block split is the heart of the paper's design: a vertex holds
+// consensus metadata (round, edges, certificates) plus only the *digest* of
+// its transaction block, so vertices can be broadcast to the whole tribe
+// while blocks travel only to a clan.
+//
+// Blocks support two payload modes:
+//  - real: `payload` holds serialized transactions (examples, SMR tests);
+//  - synthetic: `payload` is empty and (tx_count, tx_size) describe the
+//    modelled workload; the wire size fed to the simulator's bandwidth model
+//    is tx_count * tx_size, so benchmark runs move "3 MB" proposals without
+//    materializing the bytes.
+
+#ifndef CLANDAG_DAG_TYPES_H_
+#define CLANDAG_DAG_TYPES_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/codec.h"
+#include "common/time.h"
+#include "crypto/digest.h"
+#include "crypto/multisig.h"
+
+namespace clandag {
+
+using Round = uint64_t;
+
+// Certificate that 2f+1 parties timed out on `round` without delivering the
+// round's leader vertex. Signed message: "TO" || round.
+struct TimeoutCert {
+  Round round = 0;
+  MultiSig sig;
+
+  static Bytes SignedMessage(Round round);
+  bool Verify(const Keychain& keychain, uint32_t quorum) const;
+  void Serialize(Writer& w) const;
+  static TimeoutCert Parse(Reader& r);
+};
+
+// Certificate that 2f+1 parties declined to vote for round `round`'s leader.
+// Signed message: "NV" || round.
+struct NoVoteCert {
+  Round round = 0;
+  MultiSig sig;
+
+  static Bytes SignedMessage(Round round);
+  bool Verify(const Keychain& keychain, uint32_t quorum) const;
+  void Serialize(Writer& w) const;
+  static NoVoteCert Parse(Reader& r);
+};
+
+// Strong edge: reference to a round-(v.round - 1) vertex.
+struct StrongEdge {
+  NodeId source = 0;
+  Digest digest;
+
+  friend bool operator==(const StrongEdge& a, const StrongEdge& b) {
+    return a.source == b.source && a.digest == b.digest;
+  }
+};
+
+// Weak edge: reference to a vertex in a round < v.round - 1.
+struct WeakEdge {
+  Round round = 0;
+  NodeId source = 0;
+  Digest digest;
+
+  friend bool operator==(const WeakEdge& a, const WeakEdge& b) {
+    return a.round == b.round && a.source == b.source && a.digest == b.digest;
+  }
+};
+
+// A block of transactions (paper Figure 4's `struct block`), extended with
+// the workload metadata the benchmark harness measures with.
+struct BlockInfo {
+  NodeId proposer = 0;
+  Round round = 0;
+  // Mean creation time of the transactions batched into this block (commit
+  // latency is measured against this, reproducing the paper's
+  // creation-to-commit metric including queuing delay).
+  TimeMicros created_at = 0;
+  uint32_t tx_count = 0;
+  uint32_t tx_size = 0;
+  Bytes payload;  // Empty in synthetic mode.
+
+  bool IsSynthetic() const { return payload.empty() && tx_count > 0; }
+  size_t PayloadSize() const {
+    return payload.empty() ? static_cast<size_t>(tx_count) * tx_size : payload.size();
+  }
+  // Modelled bytes on the wire (header + payload).
+  size_t WireSize() const;
+
+  Digest ComputeDigest() const;
+  void Serialize(Writer& w) const;
+  static BlockInfo Parse(Reader& r);
+
+  friend bool operator==(const BlockInfo& a, const BlockInfo& b);
+};
+
+// A DAG vertex (paper Figure 4's `struct vertex`).
+struct Vertex {
+  Round round = 0;
+  NodeId source = 0;
+  Digest block_digest;  // Zero when the vertex carries no block.
+  // Block metadata mirrored into the vertex so every party (clan member or
+  // not) can account committed transactions and their latency.
+  uint32_t block_tx_count = 0;
+  TimeMicros block_created_at = 0;
+
+  std::vector<StrongEdge> strong_edges;
+  std::vector<WeakEdge> weak_edges;
+  std::optional<NoVoteCert> nvc;
+  std::optional<TimeoutCert> tc;
+
+  bool HasBlock() const { return !block_digest.IsZero(); }
+  bool HasStrongEdgeTo(NodeId parent_source) const;
+
+  // Digest over the full serialized contents; the vertex identity used by
+  // the broadcast layer and by edges.
+  Digest ComputeDigest() const;
+  void Serialize(Writer& w) const;
+  static Vertex Parse(Reader& r);
+
+  friend bool operator==(const Vertex& a, const Vertex& b);
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_DAG_TYPES_H_

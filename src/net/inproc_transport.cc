@@ -1,0 +1,188 @@
+#include "net/inproc_transport.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace clandag {
+
+namespace {
+
+struct Mail {
+  NodeId from;
+  MsgType type;
+  std::shared_ptr<const Bytes> payload;
+};
+
+struct Timer {
+  std::chrono::steady_clock::time_point at;
+  uint64_t seq;
+  std::function<void()> fn;
+  bool operator>(const Timer& other) const {
+    return at != other.at ? at > other.at : seq > other.seq;
+  }
+};
+
+}  // namespace
+
+class InProcCluster::NodeLoop final : public Runtime {
+ public:
+  NodeLoop(InProcCluster& cluster, NodeId id, uint32_t num_nodes)
+      : cluster_(cluster), id_(id), num_nodes_(num_nodes) {}
+
+  // -- Runtime --
+  using Runtime::Send;
+  NodeId id() const override { return id_; }
+  uint32_t num_nodes() const override { return num_nodes_; }
+
+  TimeMicros Now() const override {
+    auto d = std::chrono::steady_clock::now() - cluster_.epoch_;
+    return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  }
+
+  void Schedule(TimeMicros delay, std::function<void()> fn) override {
+    auto at = std::chrono::steady_clock::now() + std::chrono::microseconds(delay);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      timers_.push(Timer{at, next_seq_++, std::move(fn)});
+    }
+    cv_.notify_one();
+  }
+
+  void Send(NodeId to, MsgType type, std::shared_ptr<const Bytes> payload,
+            size_t /*wire_size*/) override {
+    CLANDAG_CHECK(to < cluster_.nodes_.size());
+    cluster_.nodes_[to]->Enqueue(Mail{id_, type, std::move(payload)});
+  }
+
+  // -- Loop management --
+  void SetHandler(MessageHandler* handler) { handler_ = handler; }
+
+  void Enqueue(Mail mail) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        return;
+      }
+      mailbox_.push(std::move(mail));
+    }
+    cv_.notify_one();
+  }
+
+  void PostTask(std::function<void()> fn) { Schedule(0, std::move(fn)); }
+
+  void Start() { thread_ = std::thread([this] { Run(); }); }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_one();
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+ private:
+  void Run() {
+    while (true) {
+      Mail mail{0, 0, nullptr};
+      std::function<void()> timer_fn;
+      bool have_mail = false;
+      bool have_timer = false;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (true) {
+          if (stopping_) {
+            return;
+          }
+          auto now = std::chrono::steady_clock::now();
+          if (!mailbox_.empty()) {
+            mail = std::move(mailbox_.front());
+            mailbox_.pop();
+            have_mail = true;
+            break;
+          }
+          if (!timers_.empty() && timers_.top().at <= now) {
+            timer_fn = std::move(const_cast<Timer&>(timers_.top()).fn);
+            timers_.pop();
+            have_timer = true;
+            break;
+          }
+          if (timers_.empty()) {
+            cv_.wait(lock);
+          } else {
+            cv_.wait_until(lock, timers_.top().at);
+          }
+        }
+      }
+      if (have_mail && handler_ != nullptr) {
+        handler_->OnMessage(mail.from, mail.type, *mail.payload);
+      } else if (have_timer) {
+        timer_fn();
+      }
+    }
+  }
+
+  InProcCluster& cluster_;
+  NodeId id_;
+  uint32_t num_nodes_;
+  MessageHandler* handler_ = nullptr;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<Mail> mailbox_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+InProcCluster::InProcCluster(uint32_t num_nodes) {
+  nodes_.reserve(num_nodes);
+  for (NodeId id = 0; id < num_nodes; ++id) {
+    nodes_.push_back(std::make_unique<NodeLoop>(*this, id, num_nodes));
+  }
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+InProcCluster::~InProcCluster() {
+  Stop();
+}
+
+void InProcCluster::RegisterHandler(NodeId id, MessageHandler* handler) {
+  CLANDAG_CHECK(id < nodes_.size());
+  nodes_[id]->SetHandler(handler);
+}
+
+Runtime& InProcCluster::RuntimeOf(NodeId id) {
+  CLANDAG_CHECK(id < nodes_.size());
+  return *nodes_[id];
+}
+
+void InProcCluster::Start() {
+  CLANDAG_CHECK(!started_);
+  started_ = true;
+  epoch_ = std::chrono::steady_clock::now();
+  for (auto& node : nodes_) {
+    node->Start();
+  }
+}
+
+void InProcCluster::Stop() {
+  if (!started_) {
+    return;
+  }
+  for (auto& node : nodes_) {
+    node->Stop();
+  }
+  started_ = false;
+}
+
+void InProcCluster::Post(NodeId id, std::function<void()> fn) {
+  CLANDAG_CHECK(id < nodes_.size());
+  nodes_[id]->PostTask(std::move(fn));
+}
+
+}  // namespace clandag

@@ -1,0 +1,53 @@
+// In-process threaded transport.
+//
+// Hosts an n-node cluster inside one process: each node runs a dedicated
+// event-loop thread draining a mailbox of messages and timers, so protocol
+// code stays single-threaded per node (the same execution model as the
+// simulator and the TCP transport). Used by the live examples and the
+// cross-transport integration tests.
+
+#ifndef CLANDAG_NET_INPROC_TRANSPORT_H_
+#define CLANDAG_NET_INPROC_TRANSPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "net/runtime.h"
+
+namespace clandag {
+
+class InProcCluster {
+ public:
+  explicit InProcCluster(uint32_t num_nodes);
+  ~InProcCluster();
+
+  InProcCluster(const InProcCluster&) = delete;
+  InProcCluster& operator=(const InProcCluster&) = delete;
+
+  // Must be called for every node before Start().
+  void RegisterHandler(NodeId id, MessageHandler* handler);
+
+  Runtime& RuntimeOf(NodeId id);
+
+  void Start();
+  void Stop();
+
+  // Runs `fn` on node `id`'s loop thread (e.g. to kick off a broadcast).
+  void Post(NodeId id, std::function<void()> fn);
+
+ private:
+  class NodeLoop;
+
+  std::vector<std::unique_ptr<NodeLoop>> nodes_;
+  std::chrono::steady_clock::time_point epoch_;
+  bool started_ = false;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_NET_INPROC_TRANSPORT_H_

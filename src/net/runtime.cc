@@ -1,0 +1,26 @@
+#include "net/runtime.h"
+
+namespace clandag {
+
+void Runtime::Multicast(const std::vector<NodeId>& targets, MsgType type, Bytes payload,
+                        size_t wire_size) {
+  if (wire_size == 0) {
+    wire_size = payload.size();
+  }
+  auto shared = std::make_shared<const Bytes>(std::move(payload));
+  for (NodeId to : targets) {
+    Send(to, type, shared, wire_size);
+  }
+}
+
+void Runtime::Broadcast(MsgType type, Bytes payload, size_t wire_size) {
+  if (wire_size == 0) {
+    wire_size = payload.size();
+  }
+  auto shared = std::make_shared<const Bytes>(std::move(payload));
+  for (NodeId to = 0; to < num_nodes(); ++to) {
+    Send(to, type, shared, wire_size);
+  }
+}
+
+}  // namespace clandag

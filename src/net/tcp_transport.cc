@@ -1,0 +1,463 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/codec.h"
+#include "common/log.h"
+
+namespace clandag {
+
+namespace {
+
+constexpr uint32_t kHelloMagic = 0xc1a9da60;
+// Frame header: u32 length of (type + payload).
+constexpr size_t kFrameHeader = 4;
+constexpr size_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound.
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  CLANDAG_CHECK(flags >= 0);
+  CLANDAG_CHECK(fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Bytes EncodeFrame(MsgType type, const Bytes& payload) {
+  Bytes frame;
+  frame.reserve(kFrameHeader + 2 + payload.size());
+  uint32_t len = static_cast<uint32_t>(2 + payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<uint8_t>(len >> (8 * i)));
+  }
+  frame.push_back(static_cast<uint8_t>(type));
+  frame.push_back(static_cast<uint8_t>(type >> 8));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+Bytes EncodeHello(NodeId id) {
+  Writer w;
+  w.U32(kHelloMagic);
+  w.U32(id);
+  Bytes payload = w.Take();
+  return EncodeFrame(0xffff, payload);
+}
+
+}  // namespace
+
+TcpRuntime::TcpRuntime(TcpConfig config, MessageHandler* handler)
+    : config_(std::move(config)), handler_(handler) {
+  CLANDAG_CHECK(config_.num_nodes > 0 && config_.id < config_.num_nodes);
+  outbound_fd_.assign(config_.num_nodes, -1);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+TcpRuntime::~TcpRuntime() {
+  Stop();
+}
+
+TimeMicros TcpRuntime::Now() const {
+  auto d = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+}
+
+void TcpRuntime::Start() {
+  CLANDAG_CHECK(!running_.load());
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  CLANDAG_CHECK(epoll_fd_ >= 0);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  CLANDAG_CHECK(wake_fd_ >= 0);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  CLANDAG_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+
+  StartListen();
+  running_.store(true);
+  thread_ = std::thread([this] { Loop(); });
+
+  // Kick off dialling from the loop thread.
+  Post([this] {
+    for (NodeId peer = 0; peer < config_.num_nodes; ++peer) {
+      if (peer != config_.id) {
+        DialPeer(peer);
+      }
+    }
+  });
+}
+
+void TcpRuntime::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  uint64_t one = 1;
+  ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  for (auto& [fd, conn] : conns_) {
+    close(fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+}
+
+bool TcpRuntime::WaitConnected(TimeMicros timeout) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(timeout);
+  while (connected_peers_.load() + 1 < config_.num_nodes) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+void TcpRuntime::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(command_mu_);
+    commands_.push_back(std::move(fn));
+  }
+  uint64_t one = 1;
+  ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+void TcpRuntime::Schedule(TimeMicros delay, std::function<void()> fn) {
+  auto at = std::chrono::steady_clock::now() + std::chrono::microseconds(delay);
+  Post([this, at, fn = std::move(fn)]() mutable {
+    timers_.push(Timer{at, next_timer_seq_++, std::move(fn)});
+  });
+}
+
+void TcpRuntime::Send(NodeId to, MsgType type, std::shared_ptr<const Bytes> payload,
+                      size_t /*wire_size*/) {
+  if (to == config_.id) {
+    // Loopback: deliver on the loop thread like any other message.
+    Post([this, type, payload = std::move(payload)] {
+      handler_->OnMessage(config_.id, type, *payload);
+    });
+    return;
+  }
+  Post([this, to, type, payload = std::move(payload)] {
+    int fd = outbound_fd_[to];
+    if (fd < 0) {
+      CLANDAG_DEBUG("node %u: dropping msg to %u (not connected)", config_.id, to);
+      return;
+    }
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) {
+      return;
+    }
+    it->second->out_queue.push_back(EncodeFrame(type, *payload));
+    FlushConn(*it->second);
+  });
+}
+
+void TcpRuntime::StartListen() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  CLANDAG_CHECK(listen_fd_ >= 0);
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.base_port + config_.id));
+  CLANDAG_CHECK(inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) == 1);
+  CLANDAG_CHECK_MSG(bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                    "bind failed (port in use?)");
+  CLANDAG_CHECK(listen(listen_fd_, 128) == 0);
+  SetNonBlocking(listen_fd_);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  CLANDAG_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
+}
+
+void TcpRuntime::DialPeer(NodeId peer) {
+  if (!running_.load() || outbound_fd_[peer] >= 0) {
+    return;
+  }
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  CLANDAG_CHECK(fd >= 0);
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.base_port + peer));
+  CLANDAG_CHECK(inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) == 1);
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    close(fd);
+    // Peer not up yet; retry later.
+    Schedule(config_.dial_retry, [this, peer] { DialPeer(peer); });
+    return;
+  }
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->peer = peer;
+  conn->outbound = true;
+  conn->connected = (rc == 0);
+  if (conn->connected) {
+    conn->out_queue.push_back(EncodeHello(config_.id));
+    connected_peers_.fetch_add(1);
+  }
+  outbound_fd_[peer] = fd;
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.fd = fd;
+  CLANDAG_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0);
+  conns_.emplace(fd, std::move(conn));
+}
+
+void TcpRuntime::HandleAccept() {
+  while (true) {
+    int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      break;
+    }
+    SetNoDelay(fd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->outbound = false;
+    conn->connected = true;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    CLANDAG_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0);
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void TcpRuntime::ProcessFrames(Conn& conn) {
+  size_t pos = 0;
+  while (conn.in_buf.size() - pos >= kFrameHeader) {
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(conn.in_buf[pos + i]) << (8 * i);
+    }
+    if (len < 2 || len > kMaxFrame) {
+      CLANDAG_WARN("node %u: bad frame length %u, closing", config_.id, len);
+      CloseConn(conn.fd);
+      return;
+    }
+    if (conn.in_buf.size() - pos - kFrameHeader < len) {
+      break;  // Incomplete frame.
+    }
+    const uint8_t* body = conn.in_buf.data() + pos + kFrameHeader;
+    MsgType type = static_cast<MsgType>(body[0]) | (static_cast<MsgType>(body[1]) << 8);
+    Bytes payload(body + 2, body + len);
+    pos += kFrameHeader + len;
+
+    if (type == 0xffff) {
+      // Hello frame identifying an inbound peer.
+      Reader r(payload);
+      uint32_t magic = r.U32();
+      NodeId peer = r.U32();
+      if (!r.ok() || magic != kHelloMagic || peer >= config_.num_nodes) {
+        CLANDAG_WARN("node %u: bad hello, closing", config_.id);
+        CloseConn(conn.fd);
+        return;
+      }
+      conn.peer = peer;
+      continue;
+    }
+    if (conn.peer == UINT32_MAX) {
+      CLANDAG_WARN("node %u: frame before hello, closing", config_.id);
+      CloseConn(conn.fd);
+      return;
+    }
+    handler_->OnMessage(conn.peer, type, payload);
+  }
+  if (pos > 0) {
+    conn.in_buf.erase(conn.in_buf.begin(), conn.in_buf.begin() + static_cast<long>(pos));
+  }
+}
+
+void TcpRuntime::HandleReadable(Conn& conn) {
+  uint8_t buf[64 * 1024];
+  while (true) {
+    ssize_t n = read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.in_buf.insert(conn.in_buf.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      CloseConn(conn.fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    CloseConn(conn.fd);
+    return;
+  }
+  ProcessFrames(conn);
+}
+
+void TcpRuntime::FlushConn(Conn& conn) {
+  if (!conn.connected) {
+    return;
+  }
+  while (!conn.out_queue.empty()) {
+    const Bytes& front = conn.out_queue.front();
+    ssize_t n = write(conn.fd, front.data() + conn.out_offset, front.size() - conn.out_offset);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      CloseConn(conn.fd);
+      return;
+    }
+    conn.out_offset += static_cast<size_t>(n);
+    if (conn.out_offset == front.size()) {
+      conn.out_queue.pop_front();
+      conn.out_offset = 0;
+    }
+  }
+  UpdateEpoll(conn);
+}
+
+void TcpRuntime::HandleWritable(Conn& conn) {
+  if (conn.outbound && !conn.connected) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      NodeId peer = conn.peer;
+      CloseConn(conn.fd);
+      Schedule(config_.dial_retry, [this, peer] { DialPeer(peer); });
+      return;
+    }
+    conn.connected = true;
+    conn.out_queue.push_front(EncodeHello(config_.id));
+    connected_peers_.fetch_add(1);
+  }
+  FlushConn(conn);
+}
+
+void TcpRuntime::UpdateEpoll(Conn& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  if (!conn.out_queue.empty() || (conn.outbound && !conn.connected)) {
+    ev.events |= EPOLLOUT;
+  }
+  ev.data.fd = conn.fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void TcpRuntime::CloseConn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    return;
+  }
+  Conn& conn = *it->second;
+  if (conn.outbound && conn.peer != UINT32_MAX && outbound_fd_[conn.peer] == fd) {
+    outbound_fd_[conn.peer] = -1;
+    if (conn.connected) {
+      connected_peers_.fetch_sub(1);
+    }
+    NodeId peer = conn.peer;
+    if (running_.load()) {
+      Schedule(config_.dial_retry, [this, peer] { DialPeer(peer); });
+    }
+  }
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  close(fd);
+  conns_.erase(it);
+}
+
+void TcpRuntime::DrainCommandQueue() {
+  std::deque<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(command_mu_);
+    batch.swap(commands_);
+  }
+  for (auto& fn : batch) {
+    fn();
+  }
+}
+
+void TcpRuntime::Loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (running_.load()) {
+    // Fire due timers; compute wait until the next one.
+    int timeout_ms = 100;
+    auto now = std::chrono::steady_clock::now();
+    while (!timers_.empty() && timers_.top().at <= now) {
+      auto fn = std::move(const_cast<Timer&>(timers_.top()).fn);
+      timers_.pop();
+      fn();
+      now = std::chrono::steady_clock::now();
+    }
+    if (!timers_.empty()) {
+      auto delta = std::chrono::duration_cast<std::chrono::milliseconds>(timers_.top().at - now);
+      timeout_ms = std::max(0, std::min<int>(100, static_cast<int>(delta.count()) + 1));
+    }
+
+    int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0 && errno != EINTR) {
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t junk;
+        ssize_t ignored = read(wake_fd_, &junk, sizeof(junk));
+        (void)ignored;
+        continue;
+      }
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) {
+        continue;
+      }
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        if (it->second->outbound && !it->second->connected) {
+          HandleWritable(*it->second);  // Surfaces the connect error.
+        } else {
+          CloseConn(fd);
+        }
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        HandleWritable(*it->second);
+      }
+      if (conns_.count(fd) && (events[i].events & EPOLLIN)) {
+        HandleReadable(*it->second);
+      }
+    }
+    DrainCommandQueue();
+  }
+}
+
+}  // namespace clandag

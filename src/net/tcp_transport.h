@@ -1,0 +1,128 @@
+// Epoll-based TCP transport.
+//
+// Hosts one protocol node over real sockets. Nodes form a full mesh: every
+// node listens on base_port + id and dials every peer; a dialled connection
+// starts with a hello frame carrying the dialler's node id and is used for
+// messages in that direction only, so each ordered pair (i, j) has its own
+// byte stream (matching the authenticated-channel model).
+//
+// Wire format per frame: u32 length (of the rest), u16 type, payload.
+//
+// Threading: a single event-loop thread owns all sockets and timers; the
+// registered MessageHandler and all timer callbacks run on that thread.
+// Send() is callable from any thread (handed to the loop via an eventfd).
+
+#ifndef CLANDAG_NET_TCP_TRANSPORT_H_
+#define CLANDAG_NET_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/runtime.h"
+
+namespace clandag {
+
+struct TcpConfig {
+  NodeId id = 0;
+  uint32_t num_nodes = 0;
+  uint16_t base_port = 19000;
+  std::string host = "127.0.0.1";
+  // How often to retry dialling peers that are not up yet.
+  TimeMicros dial_retry = Millis(100);
+};
+
+class TcpRuntime final : public Runtime {
+ public:
+  TcpRuntime(TcpConfig config, MessageHandler* handler);
+  ~TcpRuntime() override;
+
+  TcpRuntime(const TcpRuntime&) = delete;
+  TcpRuntime& operator=(const TcpRuntime&) = delete;
+
+  // Binds and starts the loop thread; dials peers in the background.
+  void Start();
+  void Stop();
+
+  // Blocks until outbound connections to all peers are established (returns
+  // false on timeout). Call before injecting the first proposal.
+  bool WaitConnected(TimeMicros timeout);
+
+  // Runs `fn` on the loop thread.
+  void Post(std::function<void()> fn);
+
+  // -- Runtime --
+  using Runtime::Send;  // Keep the by-value convenience overload visible.
+  NodeId id() const override { return config_.id; }
+  uint32_t num_nodes() const override { return config_.num_nodes; }
+  TimeMicros Now() const override;
+  void Schedule(TimeMicros delay, std::function<void()> fn) override;
+  void Send(NodeId to, MsgType type, std::shared_ptr<const Bytes> payload,
+            size_t wire_size) override;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    NodeId peer = UINT32_MAX;  // Unknown until the hello frame arrives.
+    bool outbound = false;
+    bool connected = false;  // Outbound: connect() completed.
+    Bytes in_buf;
+    std::deque<Bytes> out_queue;
+    size_t out_offset = 0;  // Bytes of out_queue.front() already written.
+  };
+
+  struct Timer {
+    std::chrono::steady_clock::time_point at;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Timer& other) const {
+      return at != other.at ? at > other.at : other.seq < seq;
+    }
+  };
+
+  void Loop();
+  void StartListen();
+  void DialPeer(NodeId peer);
+  void HandleAccept();
+  void HandleReadable(Conn& conn);
+  void HandleWritable(Conn& conn);
+  void CloseConn(int fd);
+  void FlushConn(Conn& conn);
+  void UpdateEpoll(Conn& conn);
+  void DrainCommandQueue();
+  void ProcessFrames(Conn& conn);
+  uint32_t CountConnectedPeers();
+
+  TcpConfig config_;
+  MessageHandler* handler_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+
+  std::map<int, std::unique_ptr<Conn>> conns_;       // By fd.
+  std::vector<int> outbound_fd_;                     // Peer id -> fd (-1 if down).
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  uint64_t next_timer_seq_ = 0;
+
+  std::mutex command_mu_;
+  std::deque<std::function<void()>> commands_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<uint32_t> connected_peers_{0};
+  std::thread thread_;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_NET_TCP_TRANSPORT_H_

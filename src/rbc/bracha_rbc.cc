@@ -1,0 +1,55 @@
+#include "rbc/bracha_rbc.h"
+
+namespace clandag {
+
+void BrachaRbc::OnEchoCounted(NodeId sender, Round round, Instance& inst, const Digest& digest,
+                              const VoteTracker& tracker) {
+  // Step 3: READY on 2f+1 ECHOs with at least f_c+1 from the clan.
+  if (MeetsEchoQuorum(tracker)) {
+    SendReady(sender, round, digest, inst);
+  }
+}
+
+void BrachaRbc::SendReady(NodeId sender, Round round, const Digest& digest, Instance& inst) {
+  if (inst.ready_sent) {
+    return;
+  }
+  inst.ready_sent = true;
+  RbcVoteMsg ready;
+  ready.sender = sender;
+  ready.round = round;
+  ready.digest = digest;
+  runtime_.Broadcast(kRbcReady, ready.Encode());
+}
+
+bool BrachaRbc::HandleExtra(NodeId from, MsgType type, const Bytes& payload) {
+  if (type == kRbcReady) {
+    OnReady(from, payload);
+    return true;
+  }
+  return false;
+}
+
+void BrachaRbc::OnReady(NodeId from, const Bytes& payload) {
+  auto msg = RbcVoteMsg::Decode(payload);
+  if (!msg.has_value()) {
+    return;
+  }
+  Instance& inst = GetInstance(msg->sender, msg->round);
+  auto [it, inserted] = inst.readies.try_emplace(msg->digest, config_.num_nodes);
+  VoteTracker& tracker = it->second;
+  if (!tracker.Add(from, config_.InClan(from), std::nullopt)) {
+    return;
+  }
+  // Step 4: READY amplification at f+1 (no honest party sends READY for a
+  // conflicting digest — Claim 1 — so amplifying is safe).
+  if (tracker.Count() >= config_.ReadyAmplify()) {
+    SendReady(msg->sender, msg->round, msg->digest, inst);
+  }
+  // Step 5: deliver on 2f+1 READYs.
+  if (tracker.Count() >= config_.Quorum()) {
+    CompleteQuorum(msg->sender, msg->round, inst, msg->digest);
+  }
+}
+
+}  // namespace clandag

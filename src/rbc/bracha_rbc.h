@@ -1,0 +1,34 @@
+// Tribe-assisted Byzantine reliable broadcast, three-round signature-free
+// flavour (paper Figure 2, based on Bracha's protocol).
+//
+// With `config.clan` equal to the full node set this is the practical
+// Bracha RBC existing DAG BFT implementations use (digest echoes, pull of
+// missing payloads); with a proper subset it is the paper's tribe-assisted
+// variant: READY requires 2f+1 ECHOs including at least f_c+1 from the clan.
+
+#ifndef CLANDAG_RBC_BRACHA_RBC_H_
+#define CLANDAG_RBC_BRACHA_RBC_H_
+
+#include "rbc/engine_base.h"
+
+namespace clandag {
+
+class BrachaRbc final : public RbcEngineBase {
+ public:
+  BrachaRbc(Runtime& runtime, const Keychain& keychain, RbcConfig config, RbcDeliverFn deliver)
+      : RbcEngineBase(runtime, keychain, std::move(config), std::move(deliver)) {
+    signed_mode_ = false;
+  }
+
+ private:
+  void OnEchoCounted(NodeId sender, Round round, Instance& inst, const Digest& digest,
+                     const VoteTracker& tracker) override;
+  bool HandleExtra(NodeId from, MsgType type, const Bytes& payload) override;
+
+  void SendReady(NodeId sender, Round round, const Digest& digest, Instance& inst);
+  void OnReady(NodeId from, const Bytes& payload);
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_RBC_BRACHA_RBC_H_

@@ -1,0 +1,46 @@
+// Configuration shared by the reliable-broadcast engines.
+
+#ifndef CLANDAG_RBC_CONFIG_H_
+#define CLANDAG_RBC_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "crypto/keychain.h"
+
+namespace clandag {
+
+struct RbcConfig {
+  uint32_t num_nodes = 0;
+  uint32_t num_faults = 0;  // f < n/3.
+
+  // The clan the full value is confined to, sorted by id. When it contains
+  // every node the engines degenerate to the corresponding standard RBC
+  // (Bracha / Abraham et al.); a proper subset yields the paper's
+  // tribe-assisted variants (Figures 2 and 3).
+  std::vector<NodeId> clan;
+
+  // Two-round engine: multicast the assembled echo-certificate (Figure 3,
+  // step 3). Disabling reproduces the good-case optimization where every
+  // party assembles its own certificate from the all-to-all ECHOs.
+  bool multicast_cert = true;
+
+  // Missing-value download: how many clan members to ask at once, and how
+  // long to wait before asking a different set (the paper's rate-limiting
+  // remark caps re-requests at the responder).
+  uint32_t pull_fanout = 2;
+  TimeMicros pull_retry = Millis(250);
+
+  uint32_t Quorum() const { return 2 * num_faults + 1; }  // 2f+1.
+  uint32_t ReadyAmplify() const { return num_faults + 1; }  // f+1.
+  // f_c + 1: echoes required from inside the clan.
+  uint32_t ClanQuorum() const {
+    return static_cast<uint32_t>((clan.size() + 1) / 2 - 1) + 1;
+  }
+  bool InClan(NodeId id) const;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_RBC_CONFIG_H_

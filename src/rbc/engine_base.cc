@@ -1,0 +1,246 @@
+#include "rbc/engine_base.h"
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace clandag {
+
+RbcEngineBase::RbcEngineBase(Runtime& runtime, const Keychain& keychain, RbcConfig config,
+                             RbcDeliverFn deliver)
+    : runtime_(runtime),
+      keychain_(keychain),
+      config_(std::move(config)),
+      deliver_(std::move(deliver)) {
+  CLANDAG_CHECK(config_.num_nodes > 0);
+  CLANDAG_CHECK(!config_.clan.empty());
+  CLANDAG_CHECK(deliver_ != nullptr);
+}
+
+RbcEngineBase::Instance& RbcEngineBase::GetInstance(NodeId sender, Round round) {
+  return instances_[{sender, round}];
+}
+
+bool RbcEngineBase::HasDelivered(NodeId sender, Round round) const {
+  auto it = instances_.find({sender, round});
+  return it != instances_.end() && it->second.delivered;
+}
+
+void RbcEngineBase::Broadcast(Round round, Bytes value) {
+  const NodeId self = runtime_.id();
+  const Digest digest = Digest::Of(value);
+
+  // Figure 2/3 step 1: VAL with the full value to the clan, digest-only to
+  // the rest of the tribe.
+  RbcValMsg full;
+  full.round = round;
+  full.digest = digest;
+  full.value = value;
+  Bytes full_bytes = full.Encode();
+
+  RbcValMsg digest_only;
+  digest_only.round = round;
+  digest_only.digest = digest;
+  Bytes digest_bytes = digest_only.Encode();
+
+  auto full_shared = std::make_shared<const Bytes>(std::move(full_bytes));
+  auto digest_shared = std::make_shared<const Bytes>(std::move(digest_bytes));
+  for (NodeId to = 0; to < config_.num_nodes; ++to) {
+    if (config_.InClan(to)) {
+      runtime_.Send(to, kRbcVal, full_shared, full_shared->size());
+    } else {
+      runtime_.Send(to, kRbcVal, digest_shared, digest_shared->size());
+    }
+  }
+}
+
+bool RbcEngineBase::HandleMessage(NodeId from, MsgType type, const Bytes& payload) {
+  switch (type) {
+    case kRbcVal:
+      OnVal(from, payload);
+      return true;
+    case kRbcEcho:
+      OnEcho(from, payload);
+      return true;
+    case kRbcPullReq:
+      OnPullReq(from, payload);
+      return true;
+    case kRbcPullResp:
+      OnPullResp(from, payload);
+      return true;
+    default:
+      return HandleExtra(from, type, payload);
+  }
+}
+
+void RbcEngineBase::OnVal(NodeId from, const Bytes& payload) {
+  auto msg = RbcValMsg::Decode(payload);
+  if (!msg.has_value()) {
+    return;
+  }
+  const NodeId sender = from;  // VAL always arrives from the designated sender.
+  Instance& inst = GetInstance(sender, msg->round);
+
+  if (msg->value.has_value()) {
+    if (!config_.InClan(runtime_.id())) {
+      return;  // Value pushed to a non-clan party: protocol violation, drop.
+    }
+    if (Digest::Of(*msg->value) != msg->digest) {
+      return;  // Inconsistent VAL.
+    }
+    if (!inst.value.has_value()) {
+      inst.value = std::move(*msg->value);
+      inst.value_digest = msg->digest;
+    }
+  }
+
+  // Echo the first VAL received for this instance (step 2).
+  SendEcho(sender, msg->round, msg->digest, inst);
+
+  // A value arriving after the quorum completed (e.g. slow VAL racing the
+  // certificate) finishes a pending delivery.
+  if (inst.awaiting_value && inst.value.has_value() &&
+      inst.value_digest == inst.decided_digest) {
+    DeliverNow(sender, msg->round, inst);
+  }
+}
+
+void RbcEngineBase::SendEcho(NodeId sender, Round round, const Digest& digest, Instance& inst) {
+  if (inst.echoed) {
+    return;
+  }
+  // Clan members echo only once they hold the value matching the digest;
+  // non-clan members echo on the digest alone (Figures 2 and 3, step 2).
+  if (config_.InClan(runtime_.id())) {
+    if (!inst.value.has_value() || inst.value_digest != digest) {
+      return;
+    }
+  }
+  inst.echoed = true;
+  RbcVoteMsg echo;
+  echo.sender = sender;
+  echo.round = round;
+  echo.digest = digest;
+  if (signed_mode_) {
+    echo.sig = keychain_.Sign(runtime_.id(),
+                              RbcVoteMsg::SignedMessage(kRbcEcho, sender, round, digest));
+  }
+  runtime_.Broadcast(kRbcEcho, echo.Encode());
+}
+
+void RbcEngineBase::OnEcho(NodeId from, const Bytes& payload) {
+  auto msg = RbcVoteMsg::Decode(payload);
+  if (!msg.has_value()) {
+    return;
+  }
+  if (signed_mode_) {
+    if (!msg->sig.has_value() ||
+        !keychain_.Verify(from, RbcVoteMsg::SignedMessage(kRbcEcho, msg->sender, msg->round,
+                                                          msg->digest),
+                          *msg->sig)) {
+      return;
+    }
+  }
+  Instance& inst = GetInstance(msg->sender, msg->round);
+  auto [it, inserted] = inst.echoes.try_emplace(msg->digest, config_.num_nodes);
+  VoteTracker& tracker = it->second;
+  if (!tracker.Add(from, config_.InClan(from), msg->sig)) {
+    return;
+  }
+  OnEchoCounted(msg->sender, msg->round, inst, msg->digest, tracker);
+}
+
+void RbcEngineBase::CompleteQuorum(NodeId sender, Round round, Instance& inst,
+                                   const Digest& digest) {
+  if (inst.delivered || inst.awaiting_value) {
+    return;
+  }
+  inst.decided_digest = digest;
+  if (!config_.InClan(runtime_.id())) {
+    // Parties outside the clan deliver the digest.
+    inst.delivered = true;
+    deliver_(sender, round, digest, nullptr);
+    return;
+  }
+  if (inst.value.has_value() && inst.value_digest == digest) {
+    DeliverNow(sender, round, inst);
+    return;
+  }
+  // Download the value from clan members that echoed it (at least one honest
+  // clan member holds it, except with negligible probability).
+  inst.awaiting_value = true;
+  StartPull(sender, round);
+}
+
+void RbcEngineBase::DeliverNow(NodeId sender, Round round, Instance& inst) {
+  if (inst.delivered) {
+    return;
+  }
+  inst.delivered = true;
+  inst.awaiting_value = false;
+  deliver_(sender, round, inst.decided_digest, &*inst.value);
+}
+
+void RbcEngineBase::StartPull(NodeId sender, Round round) {
+  Instance& inst = GetInstance(sender, round);
+  if (!inst.awaiting_value || inst.delivered) {
+    return;
+  }
+  std::vector<NodeId> holders;
+  auto echo_it = inst.echoes.find(inst.decided_digest);
+  if (echo_it != inst.echoes.end()) {
+    holders = echo_it->second.ClanVoters(config_.clan);
+  }
+  if (holders.empty()) {
+    // No clan echo seen locally (e.g. delivery via certificate while
+    // lagging): ask the clan at large; holders ignore unknown requests.
+    holders = config_.clan;
+  }
+  RbcPullReqMsg req;
+  req.sender = sender;
+  req.round = round;
+  Bytes req_bytes = req.Encode();
+  for (uint32_t i = 0; i < config_.pull_fanout; ++i) {
+    NodeId target = holders[(inst.pull_round_robin + i) % holders.size()];
+    if (target != runtime_.id()) {
+      runtime_.Send(target, kRbcPullReq, req_bytes);
+    }
+  }
+  inst.pull_round_robin += config_.pull_fanout;
+  // Retry against other holders until the value lands.
+  runtime_.Schedule(config_.pull_retry, [this, sender, round] { StartPull(sender, round); });
+}
+
+void RbcEngineBase::OnPullReq(NodeId from, const Bytes& payload) {
+  auto msg = RbcPullReqMsg::Decode(payload);
+  if (!msg.has_value()) {
+    return;
+  }
+  auto it = instances_.find({msg->sender, msg->round});
+  if (it == instances_.end() || !it->second.value.has_value()) {
+    return;
+  }
+  RbcPullRespMsg resp;
+  resp.sender = msg->sender;
+  resp.round = msg->round;
+  resp.value = *it->second.value;
+  runtime_.Send(from, kRbcPullResp, resp.Encode());
+}
+
+void RbcEngineBase::OnPullResp(NodeId /*from*/, const Bytes& payload) {
+  auto msg = RbcPullRespMsg::Decode(payload);
+  if (!msg.has_value()) {
+    return;
+  }
+  Instance& inst = GetInstance(msg->sender, msg->round);
+  if (!inst.awaiting_value || inst.delivered) {
+    return;
+  }
+  if (Digest::Of(msg->value) != inst.decided_digest) {
+    return;  // Wrong or corrupted value.
+  }
+  inst.value = std::move(msg->value);
+  inst.value_digest = inst.decided_digest;
+  DeliverNow(msg->sender, msg->round, inst);
+}
+
+}  // namespace clandag

@@ -1,0 +1,93 @@
+// Common machinery for the RBC engines: instance bookkeeping, VAL handling,
+// clan-aware delivery, and the missing-value download protocol.
+//
+// Delivery semantics follow Definition 2 of the paper: clan members deliver
+// the full value m, parties outside the clan deliver H(m). The deliver
+// callback receives `value == nullptr` for a digest-only delivery.
+
+#ifndef CLANDAG_RBC_ENGINE_BASE_H_
+#define CLANDAG_RBC_ENGINE_BASE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/keychain.h"
+#include "net/runtime.h"
+#include "rbc/config.h"
+#include "rbc/quorum.h"
+#include "rbc/wire.h"
+
+namespace clandag {
+
+using RbcDeliverFn =
+    std::function<void(NodeId sender, Round round, const Digest& digest, const Bytes* value)>;
+
+class RbcEngineBase {
+ public:
+  RbcEngineBase(Runtime& runtime, const Keychain& keychain, RbcConfig config,
+                RbcDeliverFn deliver);
+  virtual ~RbcEngineBase() = default;
+
+  RbcEngineBase(const RbcEngineBase&) = delete;
+  RbcEngineBase& operator=(const RbcEngineBase&) = delete;
+
+  // r_bcast_k(m, r): this node, as designated sender, broadcasts `value`.
+  void Broadcast(Round round, Bytes value);
+
+  // Routes an incoming message; returns false if `type` is not an RBC tag.
+  bool HandleMessage(NodeId from, MsgType type, const Bytes& payload);
+
+  bool HasDelivered(NodeId sender, Round round) const;
+
+ protected:
+  struct Instance {
+    std::optional<Bytes> value;  // Full value, once held.
+    Digest value_digest;         // Digest of `value` when present.
+    bool echoed = false;
+    bool ready_sent = false;     // Bracha flavour only.
+    bool delivered = false;
+    // Delivery condition met; value still being downloaded (clan members).
+    bool awaiting_value = false;
+    Digest decided_digest;
+    std::map<Digest, VoteTracker> echoes;
+    std::map<Digest, VoteTracker> readies;
+    uint32_t pull_round_robin = 0;
+  };
+
+  // Flavour-specific reaction to a counted ECHO.
+  virtual void OnEchoCounted(NodeId sender, Round round, Instance& inst, const Digest& digest,
+                             const VoteTracker& tracker) = 0;
+  // Flavour-specific extra messages (READY / certificates).
+  virtual bool HandleExtra(NodeId from, MsgType type, const Bytes& payload) = 0;
+
+  Instance& GetInstance(NodeId sender, Round round);
+  void SendEcho(NodeId sender, Round round, const Digest& digest, Instance& inst);
+  // Marks the delivery condition met for `digest`; delivers immediately or
+  // starts the value download.
+  void CompleteQuorum(NodeId sender, Round round, Instance& inst, const Digest& digest);
+  void DeliverNow(NodeId sender, Round round, Instance& inst);
+  void StartPull(NodeId sender, Round round);
+
+  bool MeetsEchoQuorum(const VoteTracker& t) const {
+    return t.Count() >= config_.Quorum() && t.ClanCount() >= config_.ClanQuorum();
+  }
+
+  Runtime& runtime_;
+  const Keychain& keychain_;
+  RbcConfig config_;
+  RbcDeliverFn deliver_;
+  bool signed_mode_ = false;
+  std::map<std::pair<NodeId, Round>, Instance> instances_;
+
+ private:
+  void OnVal(NodeId from, const Bytes& payload);
+  void OnEcho(NodeId from, const Bytes& payload);
+  void OnPullReq(NodeId from, const Bytes& payload);
+  void OnPullResp(NodeId from, const Bytes& payload);
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_RBC_ENGINE_BASE_H_

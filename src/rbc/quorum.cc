@@ -1,0 +1,40 @@
+#include "rbc/quorum.h"
+
+namespace clandag {
+
+bool VoteTracker::Add(NodeId voter, bool in_clan, std::optional<Signature> sig) {
+  if (voters_.Test(voter)) {
+    return false;
+  }
+  voters_.Set(voter);
+  if (in_clan) {
+    ++clan_count_;
+  }
+  if (sig.has_value()) {
+    sigs_.emplace(voter, *sig);
+  }
+  return true;
+}
+
+std::vector<NodeId> VoteTracker::ClanVoters(const std::vector<NodeId>& clan) const {
+  std::vector<NodeId> out;
+  for (NodeId id : clan) {
+    if (voters_.Test(id)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+MultiSig VoteTracker::BuildCert() const {
+  SignerBitmap signers(voters_.num_parties());
+  std::vector<Signature> parts;
+  parts.reserve(sigs_.size());
+  for (const auto& [id, sig] : sigs_) {
+    signers.Set(id);
+    parts.push_back(sig);
+  }
+  return MultiSig::Aggregate(signers, parts);
+}
+
+}  // namespace clandag

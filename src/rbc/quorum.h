@@ -1,0 +1,42 @@
+// Vote bookkeeping for broadcast quorums.
+
+#ifndef CLANDAG_RBC_QUORUM_H_
+#define CLANDAG_RBC_QUORUM_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "crypto/multisig.h"
+
+namespace clandag {
+
+// Counts distinct voters for one (instance, digest) pair, tracking how many
+// come from inside a clan and retaining signatures for certificate assembly.
+class VoteTracker {
+ public:
+  explicit VoteTracker(uint32_t num_nodes) : voters_(num_nodes) {}
+
+  // Returns true iff `voter` had not voted here before.
+  bool Add(NodeId voter, bool in_clan, std::optional<Signature> sig);
+
+  uint32_t Count() const { return voters_.Count(); }
+  uint32_t ClanCount() const { return clan_count_; }
+  bool Voted(NodeId voter) const { return voters_.Test(voter); }
+  const SignerBitmap& voters() const { return voters_; }
+
+  // Voters from the clan, in id order (value-holders for pulls).
+  std::vector<NodeId> ClanVoters(const std::vector<NodeId>& clan) const;
+
+  // Aggregates the retained signatures into a certificate.
+  MultiSig BuildCert() const;
+
+ private:
+  SignerBitmap voters_;
+  uint32_t clan_count_ = 0;
+  std::map<NodeId, Signature> sigs_;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_RBC_QUORUM_H_

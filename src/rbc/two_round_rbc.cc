@@ -1,0 +1,63 @@
+#include "rbc/two_round_rbc.h"
+
+namespace clandag {
+
+void TwoRoundRbc::OnEchoCounted(NodeId sender, Round round, Instance& inst, const Digest& digest,
+                                const VoteTracker& tracker) {
+  if (!MeetsEchoQuorum(tracker)) {
+    return;
+  }
+  if (inst.delivered || inst.awaiting_value) {
+    return;
+  }
+  // Step 3: assemble EC_r(m), multicast it, deliver.
+  if (config_.multicast_cert) {
+    RbcCertMsg cert;
+    cert.sender = sender;
+    cert.round = round;
+    cert.digest = digest;
+    cert.sig = tracker.BuildCert();
+    runtime_.Broadcast(kRbcCert, cert.Encode());
+  }
+  CompleteQuorum(sender, round, inst, digest);
+}
+
+bool TwoRoundRbc::HandleExtra(NodeId from, MsgType type, const Bytes& payload) {
+  if (type == kRbcCert) {
+    OnCert(from, payload);
+    return true;
+  }
+  return false;
+}
+
+uint32_t TwoRoundRbc::ClanSigners(const MultiSig& sig) const {
+  uint32_t count = 0;
+  for (NodeId id : config_.clan) {
+    if (sig.signers().Test(id)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void TwoRoundRbc::OnCert(NodeId /*from*/, const Bytes& payload) {
+  auto msg = RbcCertMsg::Decode(payload);
+  if (!msg.has_value()) {
+    return;
+  }
+  Instance& inst = GetInstance(msg->sender, msg->round);
+  if (inst.delivered || inst.awaiting_value) {
+    return;
+  }
+  if (msg->sig.Count() < config_.Quorum() || ClanSigners(msg->sig) < config_.ClanQuorum()) {
+    return;
+  }
+  const Bytes signed_msg =
+      RbcVoteMsg::SignedMessage(kRbcEcho, msg->sender, msg->round, msg->digest);
+  if (!msg->sig.Verify(keychain_, signed_msg)) {
+    return;
+  }
+  CompleteQuorum(msg->sender, msg->round, inst, msg->digest);
+}
+
+}  // namespace clandag

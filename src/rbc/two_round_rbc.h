@@ -1,0 +1,36 @@
+// Tribe-assisted Byzantine reliable broadcast, two-round signed flavour
+// (paper Figure 3, based on the good-case-optimal RBC of Abraham et al.).
+//
+// ECHO messages are signed; a party that assembles 2f+1 signed ECHOs with at
+// least f_c+1 from the clan holds the echo-certificate EC_r(m), multicasts it
+// (unless config.multicast_cert is off — the good-case optimization), and
+// delivers. Receiving a valid certificate also delivers.
+
+#ifndef CLANDAG_RBC_TWO_ROUND_RBC_H_
+#define CLANDAG_RBC_TWO_ROUND_RBC_H_
+
+#include "rbc/engine_base.h"
+
+namespace clandag {
+
+class TwoRoundRbc final : public RbcEngineBase {
+ public:
+  TwoRoundRbc(Runtime& runtime, const Keychain& keychain, RbcConfig config,
+              RbcDeliverFn deliver)
+      : RbcEngineBase(runtime, keychain, std::move(config), std::move(deliver)) {
+    signed_mode_ = true;
+  }
+
+ private:
+  void OnEchoCounted(NodeId sender, Round round, Instance& inst, const Digest& digest,
+                     const VoteTracker& tracker) override;
+  bool HandleExtra(NodeId from, MsgType type, const Bytes& payload) override;
+
+  // Counts clan members among a certificate's signers.
+  uint32_t ClanSigners(const MultiSig& sig) const;
+  void OnCert(NodeId from, const Bytes& payload);
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_RBC_TWO_ROUND_RBC_H_

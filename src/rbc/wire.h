@@ -1,0 +1,85 @@
+// Wire messages for the standalone RBC engines.
+//
+// Instances are keyed by (sender, round): the designated sender of an
+// instance is authenticated by the channel (VAL arrives from the sender
+// itself) and ECHO/READY messages name the instance explicitly.
+
+#ifndef CLANDAG_RBC_WIRE_H_
+#define CLANDAG_RBC_WIRE_H_
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/codec.h"
+#include "crypto/digest.h"
+#include "crypto/multisig.h"
+#include "net/runtime.h"
+
+namespace clandag {
+
+// Message type tags (100+ range; consensus uses 1..99).
+inline constexpr MsgType kRbcVal = 100;
+inline constexpr MsgType kRbcEcho = 101;
+inline constexpr MsgType kRbcReady = 102;
+inline constexpr MsgType kRbcCert = 103;
+inline constexpr MsgType kRbcPullReq = 104;
+inline constexpr MsgType kRbcPullResp = 105;
+
+using Round = uint64_t;
+
+// VAL: full value to clan members, digest-only to the rest of the tribe.
+struct RbcValMsg {
+  Round round = 0;
+  Digest digest;
+  std::optional<Bytes> value;  // Present iff the recipient is a clan member.
+
+  Bytes Encode() const;
+  static std::optional<RbcValMsg> Decode(const Bytes& payload);
+};
+
+// ECHO / READY: (sender, round, digest) plus a signature in signed mode.
+struct RbcVoteMsg {
+  NodeId sender = 0;  // Designated sender of the instance.
+  Round round = 0;
+  Digest digest;
+  std::optional<Signature> sig;
+
+  // Bytes covered by the signature in signed mode.
+  static Bytes SignedMessage(MsgType type, NodeId sender, Round round, const Digest& digest);
+
+  Bytes Encode() const;
+  static std::optional<RbcVoteMsg> Decode(const Bytes& payload);
+};
+
+// Echo-certificate EC_r(m) of the two-round protocol (Figure 3).
+struct RbcCertMsg {
+  NodeId sender = 0;
+  Round round = 0;
+  Digest digest;
+  MultiSig sig;
+
+  Bytes Encode() const;
+  static std::optional<RbcCertMsg> Decode(const Bytes& payload);
+};
+
+// Download of a missing value from clan members.
+struct RbcPullReqMsg {
+  NodeId sender = 0;
+  Round round = 0;
+
+  Bytes Encode() const;
+  static std::optional<RbcPullReqMsg> Decode(const Bytes& payload);
+};
+
+struct RbcPullRespMsg {
+  NodeId sender = 0;
+  Round round = 0;
+  Bytes value;
+
+  Bytes Encode() const;
+  static std::optional<RbcPullRespMsg> Decode(const Bytes& payload);
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_RBC_WIRE_H_

@@ -1,0 +1,56 @@
+#include "sim/latency.h"
+
+#include "common/check.h"
+
+namespace clandag {
+
+LatencyMatrix LatencyMatrix::Uniform(uint32_t num_nodes, TimeMicros one_way) {
+  LatencyMatrix m;
+  m.region_of_.assign(num_nodes, 0);
+  m.uniform_ = one_way;
+  return m;
+}
+
+LatencyMatrix LatencyMatrix::GcpGeoDistributed(uint32_t num_nodes) {
+  LatencyMatrix m;
+  m.region_of_.resize(num_nodes);
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    m.region_of_[i] = static_cast<int>(i % kNumGcpRegions);
+  }
+  for (int a = 0; a < kNumGcpRegions; ++a) {
+    for (int b = 0; b < kNumGcpRegions; ++b) {
+      m.region_delay_[a][b] =
+          static_cast<TimeMicros>(kGcpPingRttMs[a][b] * 1000.0 / 2.0);
+    }
+  }
+  return m;
+}
+
+TimeMicros LatencyMatrix::OneWay(NodeId from, NodeId to) const {
+  CLANDAG_CHECK(from < region_of_.size() && to < region_of_.size());
+  if (uniform_ >= 0) {
+    return from == to ? 0 : uniform_;
+  }
+  if (from == to) {
+    return 0;  // Loopback.
+  }
+  return region_delay_[region_of_[from]][region_of_[to]];
+}
+
+TimeMicros LatencyMatrix::MeanOneWay() const {
+  uint32_t n = num_nodes();
+  if (n < 2) {
+    return 0;
+  }
+  long double total = 0;
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i != j) {
+        total += static_cast<long double>(OneWay(i, j));
+      }
+    }
+  }
+  return static_cast<TimeMicros>(total / (static_cast<long double>(n) * (n - 1)));
+}
+
+}  // namespace clandag

@@ -1,0 +1,65 @@
+// Inter-node latency model.
+//
+// Reproduces the paper's Table 1: ping RTTs between the five GCP regions
+// the evaluation distributes nodes across. One-way latency is RTT/2.
+// Nodes are assigned to regions round-robin, matching the paper's even
+// spread, and a LatencyMatrix answers one-way delays between node pairs.
+
+#ifndef CLANDAG_SIM_LATENCY_H_
+#define CLANDAG_SIM_LATENCY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "crypto/keychain.h"
+
+namespace clandag {
+
+inline constexpr int kNumGcpRegions = 5;
+
+inline constexpr std::array<const char*, kNumGcpRegions> kGcpRegionNames = {
+    "us-east1-a", "us-west1-a", "europe-north1-a", "asia-northeast1-a",
+    "australia-southeast1-a",
+};
+
+// Table 1 of the paper: ping RTTs in milliseconds (source row, dest column).
+inline constexpr double kGcpPingRttMs[kNumGcpRegions][kNumGcpRegions] = {
+    {0.75, 66.14, 114.75, 160.28, 197.98},
+    {66.15, 0.66, 158.13, 89.56, 138.33},
+    {115.40, 158.38, 0.69, 245.15, 295.13},
+    {159.89, 90.05, 246.01, 0.66, 105.58},
+    {197.60, 139.02, 294.36, 108.26, 0.58},
+};
+
+class LatencyMatrix {
+ public:
+  // All pairs experience the same one-way delay (unit tests, ablations).
+  static LatencyMatrix Uniform(uint32_t num_nodes, TimeMicros one_way);
+
+  // Paper topology: nodes spread round-robin across the five GCP regions,
+  // one-way delay = Table 1 RTT / 2.
+  static LatencyMatrix GcpGeoDistributed(uint32_t num_nodes);
+
+  TimeMicros OneWay(NodeId from, NodeId to) const;
+  int RegionOf(NodeId id) const { return region_of_[id]; }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(region_of_.size()); }
+
+  // Mean one-way delay over ordered pairs (from != to); handy for picking
+  // round timeouts.
+  TimeMicros MeanOneWay() const;
+
+ private:
+  LatencyMatrix() = default;
+
+  std::vector<int> region_of_;
+  // region x region one-way micros.
+  std::array<std::array<TimeMicros, kNumGcpRegions>, kNumGcpRegions> region_delay_{};
+  TimeMicros uniform_ = -1;  // >= 0 selects the uniform model.
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_SIM_LATENCY_H_

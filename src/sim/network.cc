@@ -1,0 +1,95 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace clandag {
+
+SimNetwork::SimNetwork(Scheduler& scheduler, LatencyMatrix latency, NetworkConfig config)
+    : scheduler_(scheduler), latency_(std::move(latency)), config_(config) {
+  uint32_t n = latency_.num_nodes();
+  handlers_.assign(n, nullptr);
+  crashed_.assign(n, false);
+  uplink_free_.assign(n, 0);
+  cpu_free_.assign(n, 0);
+  bytes_sent_.assign(n, 0);
+  msgs_sent_.assign(n, 0);
+  scheduler_.SetMessageSink([this](const MsgEvent& ev) { Deliver(ev); });
+}
+
+void SimNetwork::RegisterHandler(NodeId id, MessageHandler* handler) {
+  CLANDAG_CHECK(id < handlers_.size());
+  handlers_[id] = handler;
+}
+
+void SimNetwork::SetCrashed(NodeId id, bool crashed) {
+  CLANDAG_CHECK(id < crashed_.size());
+  crashed_[id] = crashed;
+}
+
+void SimNetwork::Send(NodeId from, NodeId to, MsgType type,
+                      std::shared_ptr<const Bytes> payload, size_t wire_size) {
+  CLANDAG_CHECK(from < handlers_.size() && to < handlers_.size());
+  if (crashed_[from]) {
+    return;
+  }
+  const TimeMicros now = scheduler_.Now();
+  const size_t total_size = wire_size + config_.per_message_overhead_bytes;
+  bytes_sent_[from] += total_size;
+  ++msgs_sent_[from];
+
+  TimeMicros extra = 0;
+  if (adversary_) {
+    extra = adversary_(from, to, type, now);
+    if (extra == kDropMessage) {
+      return;
+    }
+  }
+
+  // Self-sends skip the uplink (loopback).
+  TimeMicros depart = now;
+  if (from != to) {
+    const TimeMicros serialization = static_cast<TimeMicros>(
+        static_cast<double>(total_size) / config_.uplink_bytes_per_sec * kMicrosPerSecond);
+    depart = std::max(now, uplink_free_[from]) + serialization;
+    uplink_free_[from] = depart;
+  }
+  const TimeMicros arrival = depart + latency_.OneWay(from, to) + extra;
+  scheduler_.ScheduleMessageAt(arrival, to, from, type, std::move(payload),
+                               static_cast<uint32_t>(wire_size));
+}
+
+void SimNetwork::Deliver(const MsgEvent& ev) {
+  if (crashed_[ev.to]) {
+    return;
+  }
+  MessageHandler* handler = handlers_[ev.to];
+  if (handler == nullptr) {
+    return;
+  }
+  if (cpu_cost_ && !ev.cpu_applied) {
+    const TimeMicros cost = cpu_cost_(ev.to, ev.type, ev.wire_size);
+    if (cost > 0) {
+      // Serialize processing at the receiver: the handler runs once the
+      // node's CPU is free and the modelled work is done.
+      const TimeMicros start = std::max(ev.at, cpu_free_[ev.to]);
+      const TimeMicros done = start + cost;
+      cpu_free_[ev.to] = done;
+      scheduler_.ScheduleMessageAt(done, ev.to, ev.from, ev.type, ev.payload, ev.wire_size,
+                                   /*cpu_applied=*/true);
+      return;
+    }
+  }
+  handler->OnMessage(ev.from, ev.type, *ev.payload);
+}
+
+uint64_t SimNetwork::TotalBytesSent() const {
+  uint64_t total = 0;
+  for (uint64_t b : bytes_sent_) {
+    total += b;
+  }
+  return total;
+}
+
+}  // namespace clandag

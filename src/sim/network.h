@@ -1,0 +1,114 @@
+// Simulated network with bandwidth, latency, and adversary modelling.
+//
+// Timing model for a message of `wire_size` bytes from i to j:
+//   depart  = max(now, uplink_free[i]) + wire_size / uplink_bandwidth
+//   arrival = depart + one_way_latency(i, j) [+ adversary delay]
+// Uplink serialization captures the effect the paper's evaluation hinges
+// on: replicating a 3 MB proposal to n parties costs n * 3 MB of uplink,
+// so the proposer's bandwidth bounds throughput and a smaller recipient
+// set (a clan) raises the saturation point.
+//
+// An optional per-receive CPU cost hook serializes message processing at
+// the receiver, modelling signature verification / storage costs (used by
+// the cost-model ablation to reproduce the paper's latency growth with n).
+//
+// A partial-synchrony adversary hook can delay or drop messages before GST.
+
+#ifndef CLANDAG_SIM_NETWORK_H_
+#define CLANDAG_SIM_NETWORK_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/time.h"
+#include "net/runtime.h"
+#include "sim/latency.h"
+#include "sim/scheduler.h"
+
+namespace clandag {
+
+struct NetworkConfig {
+  // Paper testbed: up to 16 Gbps per instance => 2e9 bytes/sec.
+  double uplink_bytes_per_sec = 2.0e9;
+  // Fixed per-message overhead added to every wire size (framing, TCP/IP).
+  size_t per_message_overhead_bytes = 64;
+};
+
+// Returned by an adversary hook to drop the message.
+inline constexpr TimeMicros kDropMessage = -1;
+
+class SimNetwork {
+ public:
+  // Extra one-way delay injected by the adversary (kDropMessage to drop).
+  using AdversaryHook =
+      std::function<TimeMicros(NodeId from, NodeId to, MsgType type, TimeMicros now)>;
+  // CPU time the receiver spends before processing a message.
+  using CpuCostHook = std::function<TimeMicros(NodeId to, MsgType type, size_t wire_size)>;
+
+  SimNetwork(Scheduler& scheduler, LatencyMatrix latency, NetworkConfig config);
+
+  void RegisterHandler(NodeId id, MessageHandler* handler);
+  void SetAdversary(AdversaryHook hook) { adversary_ = std::move(hook); }
+  void SetCpuCost(CpuCostHook hook) { cpu_cost_ = std::move(hook); }
+
+  // A crashed node stops sending and receiving (fail-stop fault injection).
+  void SetCrashed(NodeId id, bool crashed);
+  bool IsCrashed(NodeId id) const { return crashed_[id]; }
+
+  void Send(NodeId from, NodeId to, MsgType type, std::shared_ptr<const Bytes> payload,
+            size_t wire_size);
+
+  uint32_t num_nodes() const { return latency_.num_nodes(); }
+  Scheduler& scheduler() { return scheduler_; }
+  const LatencyMatrix& latency() const { return latency_; }
+
+  // Traffic accounting (for bandwidth-utilization reporting in benches).
+  uint64_t BytesSentBy(NodeId id) const { return bytes_sent_[id]; }
+  uint64_t MessagesSentBy(NodeId id) const { return msgs_sent_[id]; }
+  uint64_t TotalBytesSent() const;
+
+ private:
+  void Deliver(const MsgEvent& ev);
+
+  Scheduler& scheduler_;
+  LatencyMatrix latency_;
+  NetworkConfig config_;
+  AdversaryHook adversary_;
+  CpuCostHook cpu_cost_;
+  std::vector<MessageHandler*> handlers_;
+  std::vector<bool> crashed_;
+  std::vector<TimeMicros> uplink_free_;
+  std::vector<TimeMicros> cpu_free_;
+  std::vector<uint64_t> bytes_sent_;
+  std::vector<uint64_t> msgs_sent_;
+};
+
+// Runtime adapter giving one node's view of the simulated world.
+class SimRuntime final : public Runtime {
+ public:
+  SimRuntime(SimNetwork& network, NodeId id) : network_(network), id_(id) {}
+
+  using Runtime::Send;  // Keep the by-value convenience overload visible.
+
+  NodeId id() const override { return id_; }
+  uint32_t num_nodes() const override { return network_.num_nodes(); }
+  TimeMicros Now() const override { return network_.scheduler().Now(); }
+
+  void Schedule(TimeMicros delay, std::function<void()> fn) override {
+    network_.scheduler().ScheduleCallbackAt(Now() + delay, std::move(fn));
+  }
+
+  void Send(NodeId to, MsgType type, std::shared_ptr<const Bytes> payload,
+            size_t wire_size) override {
+    network_.Send(id_, to, type, std::move(payload), wire_size);
+  }
+
+ private:
+  SimNetwork& network_;
+  NodeId id_;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_SIM_NETWORK_H_

@@ -1,0 +1,102 @@
+#include "sim/scheduler.h"
+
+#include "common/check.h"
+
+namespace clandag {
+
+void Scheduler::ScheduleCallbackAt(TimeMicros at, std::function<void()> fn) {
+  CLANDAG_CHECK(at >= now_);
+  callbacks_.push(CallbackEvent{at, next_seq_++, std::move(fn)});
+}
+
+uint32_t Scheduler::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  pool_.emplace_back();
+  return static_cast<uint32_t>(pool_.size() - 1);
+}
+
+void Scheduler::ScheduleMessageAt(TimeMicros at, NodeId to, NodeId from, MsgType type,
+                                  std::shared_ptr<const Bytes> payload, uint32_t wire_size,
+                                  bool cpu_applied) {
+  CLANDAG_CHECK(at >= now_);
+  const uint32_t slot = AcquireSlot();
+  const uint64_t seq = next_seq_++;
+  pool_[slot] = MsgEvent{at, seq, to, from, type, cpu_applied, wire_size, std::move(payload)};
+  messages_.Push(MsgQueueEntry{at, seq, slot});
+}
+
+bool Scheduler::PeekNext(TimeMicros& at, uint64_t& seq, bool& is_message) {
+  bool have = false;
+  if (!callbacks_.empty()) {
+    at = callbacks_.top().at;
+    seq = callbacks_.top().seq;
+    is_message = false;
+    have = true;
+  }
+  MsgQueueEntry m{};
+  if (messages_.Peek(m)) {
+    if (!have || m.at < at || (m.at == at && m.seq < seq)) {
+      at = m.at;
+      seq = m.seq;
+      is_message = true;
+      have = true;
+    }
+  }
+  return have;
+}
+
+bool Scheduler::Step() {
+  TimeMicros at;
+  uint64_t seq;
+  bool is_message;
+  if (!PeekNext(at, seq, is_message)) {
+    return false;
+  }
+  now_ = at;
+  ++events_processed_;
+  if (is_message) {
+    const uint32_t slot = messages_.Pop().slot;
+    MsgEvent ev = std::move(pool_[slot]);
+    pool_[slot].payload.reset();
+    free_slots_.push_back(slot);
+    if (sink_) {
+      sink_(ev);
+    }
+  } else {
+    // The callback may schedule new events; detach it before running.
+    auto fn = std::move(const_cast<CallbackEvent&>(callbacks_.top()).fn);
+    callbacks_.pop();
+    fn();
+  }
+  return true;
+}
+
+void Scheduler::RunUntil(TimeMicros t) {
+  while (true) {
+    TimeMicros at;
+    uint64_t seq;
+    bool is_message;
+    if (!PeekNext(at, seq, is_message) || at > t) {
+      break;
+    }
+    Step();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+void Scheduler::RunUntilIdle(uint64_t max_events) {
+  uint64_t processed = 0;
+  while (Step()) {
+    if (max_events != 0 && ++processed >= max_events) {
+      break;
+    }
+  }
+}
+
+}  // namespace clandag

@@ -1,0 +1,41 @@
+#include "smr/client.h"
+
+#include <algorithm>
+
+namespace clandag {
+
+std::optional<ExecutionReceipt> ClientReplyCollector::AddReply(NodeId executor,
+                                                               const ExecutionReceipt& receipt) {
+  PendingRequest& req = requests_[{receipt.round, receipt.proposer}];
+  if (req.confirmed) {
+    return std::nullopt;
+  }
+  for (auto& [candidate, supporters] : req.candidates) {
+    if (candidate == receipt) {
+      if (std::find(supporters.begin(), supporters.end(), executor) != supporters.end()) {
+        return std::nullopt;  // Duplicate reply.
+      }
+      supporters.push_back(executor);
+      if (supporters.size() >= clan_quorum_) {
+        req.confirmed = true;
+        ++confirmed_count_;
+        return candidate;
+      }
+      return std::nullopt;
+    }
+  }
+  req.candidates.push_back({receipt, {executor}});
+  if (clan_quorum_ <= 1) {
+    req.confirmed = true;
+    ++confirmed_count_;
+    return receipt;
+  }
+  return std::nullopt;
+}
+
+bool ClientReplyCollector::IsConfirmed(Round round, NodeId proposer) const {
+  auto it = requests_.find({round, proposer});
+  return it != requests_.end() && it->second.confirmed;
+}
+
+}  // namespace clandag

@@ -1,0 +1,42 @@
+// Client-side reply matching (paper §1 key idea: a client accepts once
+// f_c+1 clan members return consistent execution results, so n_c >= 2f_c+1
+// suffices for the execution committee).
+
+#ifndef CLANDAG_SMR_CLIENT_H_
+#define CLANDAG_SMR_CLIENT_H_
+
+#include <map>
+#include <optional>
+
+#include "smr/execution.h"
+
+namespace clandag {
+
+class ClientReplyCollector {
+ public:
+  // `clan_quorum` = f_c + 1 for the serving clan.
+  explicit ClientReplyCollector(uint32_t clan_quorum) : clan_quorum_(clan_quorum) {}
+
+  // Records a receipt from `executor` for the request keyed (round,
+  // proposer). Returns the confirmed receipt the first time f_c+1 identical
+  // receipts have arrived; std::nullopt otherwise.
+  std::optional<ExecutionReceipt> AddReply(NodeId executor, const ExecutionReceipt& receipt);
+
+  bool IsConfirmed(Round round, NodeId proposer) const;
+  uint32_t ConfirmedCount() const { return confirmed_count_; }
+
+ private:
+  struct PendingRequest {
+    // Distinct receipt values seen, with their supporters.
+    std::vector<std::pair<ExecutionReceipt, std::vector<NodeId>>> candidates;
+    bool confirmed = false;
+  };
+
+  uint32_t clan_quorum_;
+  std::map<std::pair<Round, NodeId>, PendingRequest> requests_;
+  uint32_t confirmed_count_ = 0;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_SMR_CLIENT_H_

@@ -1,0 +1,105 @@
+#include "smr/execution.h"
+
+#include "crypto/sha256.h"
+
+namespace clandag {
+
+namespace {
+constexpr size_t kTransferSize = 4 + 4 + 8;
+}  // namespace
+
+Bytes EncodeTransfer(uint32_t from, uint32_t to, uint64_t amount) {
+  Writer w;
+  w.U32(from);
+  w.U32(to);
+  w.U64(amount);
+  return w.Take();
+}
+
+bool ParseTransfer(const Bytes& data, uint32_t& from, uint32_t& to, uint64_t& amount) {
+  if (data.size() != kTransferSize) {
+    return false;
+  }
+  Reader r(data);
+  from = r.U32();
+  to = r.U32();
+  amount = r.U64();
+  return r.ok();
+}
+
+ExecutionEngine::ExecutionEngine(uint64_t initial_balance) : initial_balance_(initial_balance) {}
+
+void ExecutionEngine::MixDigest(const uint8_t* data, size_t len) {
+  Sha256 h;
+  h.Update(state_digest_.bytes().data(), Digest::kSize);
+  h.Update(data, len);
+  state_digest_ = Digest(h.Finalize());
+}
+
+uint64_t ExecutionEngine::BalanceOf(uint32_t account) const {
+  auto it = balances_.find(account);
+  return it == balances_.end() ? initial_balance_ : it->second;
+}
+
+bool ExecutionEngine::ApplyTransfer(uint32_t from, uint32_t to, uint64_t amount) {
+  const uint64_t from_balance = BalanceOf(from);
+  if (from_balance < amount || from == to) {
+    return false;
+  }
+  balances_[from] = from_balance - amount;
+  balances_[to] = BalanceOf(to) + amount;
+  return true;
+}
+
+ExecutionReceipt ExecutionEngine::ExecuteBlock(const BlockInfo& block) {
+  ExecutionReceipt receipt;
+  receipt.round = block.round;
+  receipt.proposer = block.proposer;
+
+  if (block.payload.empty()) {
+    // Synthetic block: the modelled transactions are all opaque data txs.
+    Writer w;
+    w.U32(block.proposer);
+    w.U64(block.round);
+    w.U32(block.tx_count);
+    MixDigest(w.Buffer().data(), w.Buffer().size());
+    executed_txs_ += block.tx_count;
+    receipt.txs_executed = block.tx_count;
+    receipt.state_digest = state_digest_;
+    return receipt;
+  }
+
+  auto txs = DecodeTxBatch(block.payload);
+  if (!txs.has_value()) {
+    // Malformed payload executes as an empty block (deterministically).
+    MixDigest(nullptr, 0);
+    receipt.state_digest = state_digest_;
+    return receipt;
+  }
+  for (const Transaction& tx : *txs) {
+    uint32_t from = 0;
+    uint32_t to = 0;
+    uint64_t amount = 0;
+    bool applied = true;
+    if (ParseTransfer(tx.data, from, to, amount)) {
+      applied = ApplyTransfer(from, to, amount);
+    }
+    if (applied) {
+      ++executed_txs_;
+      ++receipt.txs_executed;
+    } else {
+      ++rejected_txs_;
+    }
+    // The digest chain covers rejected txs too: every honest executor must
+    // agree on the exact accept/reject sequence.
+    Writer w;
+    w.U64(tx.id);
+    w.Bool(applied);
+    w.Blob(tx.data);
+    MixDigest(w.Buffer().data(), w.Buffer().size());
+  }
+  receipt.state_digest = state_digest_;
+  return receipt;
+}
+
+}  // namespace clandag

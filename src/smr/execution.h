@@ -1,0 +1,66 @@
+// Deterministic execution engine (the paper's clan responsibility after
+// ordering: only clan members execute and answer clients).
+//
+// The state machine is an account-transfer ledger. A transaction whose data
+// parses as [u32 from][u32 to][u64 amount] moves balance; anything else is
+// an opaque data transaction that only extends the state digest. Synthetic
+// blocks (no payload) advance a transaction counter and the digest chain, so
+// every mode yields a comparable receipt.
+//
+// Receipts are what clients match f_c+1 ways (smr/client.h): equal receipts
+// from f_c+1 clan members prove the transaction executed consistently.
+
+#ifndef CLANDAG_SMR_EXECUTION_H_
+#define CLANDAG_SMR_EXECUTION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "dag/types.h"
+#include "smr/mempool.h"
+
+namespace clandag {
+
+struct ExecutionReceipt {
+  Round round = 0;
+  NodeId proposer = 0;
+  uint32_t txs_executed = 0;
+  Digest state_digest;  // Digest chain over every applied transaction.
+
+  friend bool operator==(const ExecutionReceipt& a, const ExecutionReceipt& b) {
+    return a.round == b.round && a.proposer == b.proposer &&
+           a.txs_executed == b.txs_executed && a.state_digest == b.state_digest;
+  }
+};
+
+class ExecutionEngine {
+ public:
+  // Every account starts with `initial_balance`.
+  explicit ExecutionEngine(uint64_t initial_balance = 1'000'000);
+
+  // Applies the block's transactions in order; returns the receipt.
+  ExecutionReceipt ExecuteBlock(const BlockInfo& block);
+
+  uint64_t BalanceOf(uint32_t account) const;
+  const Digest& StateDigest() const { return state_digest_; }
+  uint64_t ExecutedTxs() const { return executed_txs_; }
+  uint64_t RejectedTxs() const { return rejected_txs_; }
+
+ private:
+  void MixDigest(const uint8_t* data, size_t len);
+  bool ApplyTransfer(uint32_t from, uint32_t to, uint64_t amount);
+
+  uint64_t initial_balance_;
+  std::unordered_map<uint32_t, uint64_t> balances_;
+  Digest state_digest_;
+  uint64_t executed_txs_ = 0;
+  uint64_t rejected_txs_ = 0;
+};
+
+// Parses transaction data as a transfer; false if it is an opaque data tx.
+bool ParseTransfer(const Bytes& data, uint32_t& from, uint32_t& to, uint64_t& amount);
+Bytes EncodeTransfer(uint32_t from, uint32_t to, uint64_t amount);
+
+}  // namespace clandag
+
+#endif  // CLANDAG_SMR_EXECUTION_H_

@@ -1,0 +1,85 @@
+#include "smr/mempool.h"
+
+namespace clandag {
+
+std::optional<BlockInfo> SyntheticWorkload::NextBlock(Round /*round*/, TimeMicros now) {
+  if (options_.txs_per_proposal == 0) {
+    return std::nullopt;
+  }
+  BlockInfo b;
+  // Mean creation time of transactions accumulated since the last proposal:
+  // clients submit at a steady rate, so on average a transaction waited half
+  // the inter-proposal gap before being batched.
+  b.created_at = (last_proposal_ + now) / 2;
+  last_proposal_ = now;
+  b.tx_count = options_.txs_per_proposal;
+  b.tx_size = options_.tx_size;
+  total_txs_ += options_.txs_per_proposal;
+  return b;
+}
+
+void Transaction::Serialize(Writer& w) const {
+  w.U64(id);
+  w.I64(created_at);
+  w.Blob(data);
+}
+
+Transaction Transaction::Parse(Reader& r) {
+  Transaction tx;
+  tx.id = r.U64();
+  tx.created_at = r.I64();
+  tx.data = r.Blob();
+  return tx;
+}
+
+Bytes EncodeTxBatch(const std::vector<Transaction>& txs) {
+  Writer w;
+  w.Varint(txs.size());
+  for (const Transaction& tx : txs) {
+    tx.Serialize(w);
+  }
+  return w.Take();
+}
+
+std::optional<std::vector<Transaction>> DecodeTxBatch(const Bytes& payload) {
+  Reader r(payload);
+  uint64_t count = r.Varint();
+  if (count > 1u << 24) {
+    return std::nullopt;
+  }
+  std::vector<Transaction> txs;
+  txs.reserve(count);
+  for (uint64_t i = 0; i < count && r.ok(); ++i) {
+    txs.push_back(Transaction::Parse(r));
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return txs;
+}
+
+void Mempool::Submit(Transaction tx) {
+  queue_.push_back(std::move(tx));
+}
+
+std::optional<BlockInfo> Mempool::NextBlock(Round /*round*/, TimeMicros now) {
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  std::vector<Transaction> batch;
+  TimeMicros created_sum = 0;
+  while (!queue_.empty() && batch.size() < options_.max_txs_per_block) {
+    created_sum += queue_.front().created_at;
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  BlockInfo b;
+  b.created_at = created_sum / static_cast<TimeMicros>(batch.size());
+  b.tx_count = static_cast<uint32_t>(batch.size());
+  b.tx_size = 0;
+  b.payload = EncodeTxBatch(batch);
+  (void)now;
+  return b;
+}
+
+}  // namespace clandag

@@ -1,0 +1,75 @@
+// Transaction sources feeding block proposals.
+//
+// SyntheticWorkload reproduces the paper's benchmark setup: each proposal
+// carries a configurable number of `tx_size`-byte transactions (512 B in the
+// evaluation). Transactions are modelled as created uniformly between
+// consecutive proposals, so a block's `created_at` is the mean creation time
+// and commit latency includes the queuing delay the paper measures.
+//
+// Mempool is a real queue for the examples and SMR tests: clients submit
+// serialized transactions, proposals drain them.
+
+#ifndef CLANDAG_SMR_MEMPOOL_H_
+#define CLANDAG_SMR_MEMPOOL_H_
+
+#include <deque>
+#include <optional>
+
+#include "consensus/sailfish.h"
+
+namespace clandag {
+
+class SyntheticWorkload final : public BlockSource {
+ public:
+  struct Options {
+    uint32_t txs_per_proposal = 0;  // 0 => propose empty vertices.
+    uint32_t tx_size = 512;
+  };
+
+  explicit SyntheticWorkload(Options options) : options_(options) {}
+
+  std::optional<BlockInfo> NextBlock(Round round, TimeMicros now) override;
+
+  uint64_t TotalTxsIssued() const { return total_txs_; }
+
+ private:
+  Options options_;
+  TimeMicros last_proposal_ = 0;
+  uint64_t total_txs_ = 0;
+};
+
+// A client transaction queued for inclusion.
+struct Transaction {
+  uint64_t id = 0;
+  TimeMicros created_at = 0;
+  Bytes data;
+
+  void Serialize(Writer& w) const;
+  static Transaction Parse(Reader& r);
+};
+
+// Encodes a batch of transactions into a block payload and back.
+Bytes EncodeTxBatch(const std::vector<Transaction>& txs);
+std::optional<std::vector<Transaction>> DecodeTxBatch(const Bytes& payload);
+
+class Mempool final : public BlockSource {
+ public:
+  struct Options {
+    uint32_t max_txs_per_block = 1000;
+  };
+
+  explicit Mempool(Options options) : options_(options) {}
+
+  void Submit(Transaction tx);
+  size_t PendingCount() const { return queue_.size(); }
+
+  std::optional<BlockInfo> NextBlock(Round round, TimeMicros now) override;
+
+ private:
+  Options options_;
+  std::deque<Transaction> queue_;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_SMR_MEMPOOL_H_

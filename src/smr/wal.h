@@ -1,0 +1,48 @@
+// Append-only write-ahead log.
+//
+// Stands in for the paper's RocksDB persistence of consensus data: ordered
+// vertices (or any records) are framed, checksummed, and fsync-able, and a
+// restarting node replays them. Framing: u32 length, u32 checksum, payload.
+// A torn tail (partial final record) is tolerated and truncated on replay.
+
+#ifndef CLANDAG_SMR_WAL_H_
+#define CLANDAG_SMR_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace clandag {
+
+class Wal {
+ public:
+  explicit Wal(std::string path);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Opens (creating if needed) for appending. Returns false on IO error.
+  bool Open();
+  void Close();
+
+  bool Append(const Bytes& record);
+  bool Sync();
+
+  // Replays every intact record in order; stops at the first corrupt or
+  // truncated frame. Returns the number of records replayed, -1 on IO error.
+  static int64_t Replay(const std::string& path,
+                        const std::function<void(const Bytes&)>& fn);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_SMR_WAL_H_

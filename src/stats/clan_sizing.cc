@@ -1,0 +1,54 @@
+#include "stats/clan_sizing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/logmath.h"
+
+namespace clandag {
+
+int64_t MaxClanFaults(int64_t nc) {
+  // Honest majority requires byz < nc/2, i.e. byz <= ceil(nc/2) - 1.
+  return (nc + 1) / 2 - 1;
+}
+
+int64_t DefaultTribeFaults(int64_t n) {
+  return (n - 1) / 3;
+}
+
+double DishonestMajorityProbability(int64_t n, int64_t f, int64_t nc, MajorityRule rule) {
+  CLANDAG_CHECK(n > 0 && nc > 0 && nc <= n && f >= 0 && f <= n);
+  const int64_t threshold =
+      rule == MajorityRule::kTieIsDishonest ? (nc + 1) / 2 : nc / 2 + 1;
+  const double log_total = LogChoose(n, nc);
+  double acc = kNegInf;
+  const int64_t k_max = std::min(nc, f);
+  for (int64_t k = threshold; k <= k_max; ++k) {
+    double term = LogChoose(f, k) + LogChoose(n - f, nc - k) - log_total;
+    acc = LogAdd(acc, term);
+  }
+  if (acc == kNegInf) {
+    return 0.0;
+  }
+  return std::exp(acc);
+}
+
+int64_t MinClanSize(int64_t n, int64_t f, double mu, MajorityRule rule) {
+  const double target = std::exp2(-mu);
+  // The tail is not strictly monotone in nc (parity effects: growing an odd
+  // clan to even raises the majority threshold by zero), so scan linearly.
+  // n is at most a few thousand in practice; this is instantaneous.
+  for (int64_t nc = 1; nc <= n; ++nc) {
+    if (DishonestMajorityProbability(n, f, nc, rule) <= target) {
+      return nc;
+    }
+  }
+  return n;
+}
+
+int64_t MinClanSizeForTribe(int64_t n, double mu, MajorityRule rule) {
+  return MinClanSize(n, DefaultTribeFaults(n), mu, rule);
+}
+
+}  // namespace clandag

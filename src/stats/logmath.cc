@@ -1,0 +1,39 @@
+#include "stats/logmath.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clandag {
+
+double LogChoose(int64_t n, int64_t k) {
+  if (k < 0 || k > n || n < 0) {
+    return kNegInf;
+  }
+  if (k == 0 || k == n) {
+    return 0.0;
+  }
+  return std::lgamma(static_cast<double>(n) + 1.0) - std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double LogAdd(double a, double b) {
+  if (a == kNegInf) {
+    return b;
+  }
+  if (b == kNegInf) {
+    return a;
+  }
+  double hi = std::max(a, b);
+  double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double LogSum(const std::vector<double>& terms) {
+  double acc = kNegInf;
+  for (double t : terms) {
+    acc = LogAdd(acc, t);
+  }
+  return acc;
+}
+
+}  // namespace clandag

@@ -1,0 +1,30 @@
+// Log-domain combinatorics for the clan-sizing analysis.
+//
+// Binomial coefficients like C(1000, 200) overflow doubles, so the whole
+// analysis is carried out on natural logarithms (lgamma-based log-binomials
+// with log-sum-exp accumulation). Probabilities down to ~1e-12 keep ample
+// precision this way.
+
+#ifndef CLANDAG_STATS_LOGMATH_H_
+#define CLANDAG_STATS_LOGMATH_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace clandag {
+
+// Natural log of C(n, k); -inf when k < 0 or k > n.
+double LogChoose(int64_t n, int64_t k);
+
+// log(exp(a) + exp(b)) without overflow.
+double LogAdd(double a, double b);
+
+// log(sum_i exp(terms[i])); -inf on empty input.
+double LogSum(const std::vector<double>& terms);
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace clandag
+
+#endif  // CLANDAG_STATS_LOGMATH_H_

@@ -1,0 +1,149 @@
+#include "stats/multiclan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "stats/clan_sizing.h"
+#include "stats/logmath.h"
+
+namespace clandag {
+
+namespace {
+
+// log of the number of ways to give one clan w Byzantine members when
+// f_rem Byzantine and h_rem honest parties remain unassigned.
+double LogClanWays(int64_t f_rem, int64_t h_rem, int64_t nc, int64_t w) {
+  return LogChoose(f_rem, w) + LogChoose(h_rem, nc - w);
+}
+
+}  // namespace
+
+double MultiClanDishonestProbability(int64_t n, int64_t f, int64_t q, int64_t nc) {
+  CLANDAG_CHECK(q >= 1 && nc >= 1 && q * nc <= n && f >= 0 && f <= n);
+  const int64_t fc = MaxClanFaults(nc);
+  const int64_t nh = n - f;
+
+  // log N = sum_j log C(n - j*nc, nc) (Eqs. 3 and 6 generalized).
+  double log_total = 0.0;
+  for (int64_t j = 0; j < q; ++j) {
+    log_total += LogChoose(n - j * nc, nc);
+  }
+
+  // DP over the cumulative Byzantine count placed in clans so far.
+  // good[w_used] = log of #ways to fill the first j clans, all honest-majority,
+  // using w_used Byzantine members total.
+  std::vector<double> good(static_cast<size_t>(f) + 1, kNegInf);
+  good[0] = 0.0;
+  for (int64_t j = 0; j < q; ++j) {
+    std::vector<double> next(static_cast<size_t>(f) + 1, kNegInf);
+    for (int64_t used = 0; used <= f; ++used) {
+      if (good[used] == kNegInf) {
+        continue;
+      }
+      const int64_t f_rem = f - used;
+      const int64_t honest_used = j * nc - used;
+      const int64_t h_rem = nh - honest_used;
+      const int64_t w_max = std::min({fc, f_rem, nc});
+      for (int64_t w = 0; w <= w_max; ++w) {
+        if (nc - w > h_rem) {
+          continue;
+        }
+        next[used + w] = LogAdd(next[used + w], good[used] + LogClanWays(f_rem, h_rem, nc, w));
+      }
+    }
+    good = std::move(next);
+  }
+
+  // Clans beyond the partition (n - q*nc leftover parties) are unconstrained:
+  // the leftover assignment is forced once clans are chosen, contributing a
+  // factor of exactly 1 to both s and N.
+  double log_good = LogSum(good);
+  if (log_good == kNegInf) {
+    return 1.0;
+  }
+  double p_good = std::exp(log_good - log_total);
+  return std::clamp(1.0 - p_good, 0.0, 1.0);
+}
+
+double MultiClanDishonestProbabilityEnumerated(int64_t n, int64_t f, int64_t q, int64_t nc) {
+  CLANDAG_CHECK(q >= 1 && q <= 3 && nc >= 1 && q * nc <= n && f >= 0 && f <= n);
+  const int64_t fc = MaxClanFaults(nc);
+  const int64_t nh = n - f;
+
+  double log_total = 0.0;
+  for (int64_t j = 0; j < q; ++j) {
+    log_total += LogChoose(n - j * nc, nc);
+  }
+
+  double bad = kNegInf;
+  auto clan_ok = [&](int64_t w) { return w <= fc; };
+
+  if (q == 1) {
+    for (int64_t w1 = 0; w1 <= std::min(f, nc); ++w1) {
+      if (clan_ok(w1)) {
+        continue;
+      }
+      bad = LogAdd(bad, LogClanWays(f, nh, nc, w1));
+    }
+  } else if (q == 2) {
+    for (int64_t w1 = 0; w1 <= std::min(f, nc); ++w1) {
+      double ways1 = LogClanWays(f, nh, nc, w1);
+      if (ways1 == kNegInf) {
+        continue;
+      }
+      for (int64_t w2 = 0; w2 <= std::min(f - w1, nc); ++w2) {
+        if (clan_ok(w1) && clan_ok(w2)) {
+          continue;
+        }
+        double ways2 = LogClanWays(f - w1, nh - (nc - w1), nc, w2);
+        if (ways2 == kNegInf) {
+          continue;
+        }
+        bad = LogAdd(bad, ways1 + ways2);
+      }
+    }
+  } else {  // q == 3, Eq. 7's index structure.
+    for (int64_t w1 = 0; w1 <= std::min(f, nc); ++w1) {
+      double ways1 = LogClanWays(f, nh, nc, w1);
+      if (ways1 == kNegInf) {
+        continue;
+      }
+      for (int64_t w2 = 0; w2 <= std::min(f - w1, nc); ++w2) {
+        double ways2 = LogClanWays(f - w1, nh - (nc - w1), nc, w2);
+        if (ways2 == kNegInf) {
+          continue;
+        }
+        for (int64_t w3 = 0; w3 <= std::min(f - w1 - w2, nc); ++w3) {
+          if (clan_ok(w1) && clan_ok(w2) && clan_ok(w3)) {
+            continue;
+          }
+          double ways3 =
+              LogClanWays(f - w1 - w2, nh - (nc - w1) - (nc - w2), nc, w3);
+          if (ways3 == kNegInf) {
+            continue;
+          }
+          bad = LogAdd(bad, ways1 + ways2 + ways3);
+        }
+      }
+    }
+  }
+
+  if (bad == kNegInf) {
+    return 0.0;
+  }
+  return std::exp(bad - log_total);
+}
+
+double MultiClanDishonestProbabilityForTribe(int64_t n, int64_t q) {
+  return MultiClanDishonestProbability(n, DefaultTribeFaults(n), q, n / q);
+}
+
+double NaivePerClanHypergeometricEstimate(int64_t n, int64_t f, int64_t q, int64_t nc) {
+  // Union bound over q clans, each treated (incorrectly for q > 1 draws from
+  // a shrinking pool) as an independent hypergeometric sample from the tribe.
+  double per_clan = DishonestMajorityProbability(n, f, nc);
+  return std::min(1.0, static_cast<double>(q) * per_clan);
+}
+
+}  // namespace clandag

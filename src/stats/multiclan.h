@@ -1,0 +1,37 @@
+// Multi-clan statistical security analysis (paper §6.2, Eqs. 3–8).
+//
+// When the tribe is partitioned into q disjoint clans the per-clan
+// hypergeometric tail no longer applies (the paper's critique of Arete):
+// after the first clan is drawn the Byzantine count of the remainder is not
+// fixed. The correct probability counts, over all ways of forming the
+// partition, the fraction in which some clan loses its honest majority.
+
+#ifndef CLANDAG_STATS_MULTICLAN_H_
+#define CLANDAG_STATS_MULTICLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace clandag {
+
+// Probability that at least one of q disjoint clans of size nc each, drawn
+// from n parties with f Byzantine, has a dishonest majority. Requires
+// q * nc <= n. Implemented as 1 - s/N per Eqs. 3–7 with a log-domain DP
+// over the Byzantine counts assigned to successive clans (generalizes the
+// paper's q = 2, 3 derivation to any q).
+double MultiClanDishonestProbability(int64_t n, int64_t f, int64_t q, int64_t nc);
+
+// Direct enumeration of violating (w_1, ..., w_q) tuples; O(f^(q-1)) terms,
+// intended for q <= 3 as an independent cross-check of the DP.
+double MultiClanDishonestProbabilityEnumerated(int64_t n, int64_t f, int64_t q, int64_t nc);
+
+// Convenience: equal-size partition nc = floor(n/q), f = floor((n-1)/3).
+double MultiClanDishonestProbabilityForTribe(int64_t n, int64_t q);
+
+// The (incorrect) per-clan hypergeometric estimate Arete-style analyses use;
+// exposed so benches can show the discrepancy the paper points out in §8.
+double NaivePerClanHypergeometricEstimate(int64_t n, int64_t f, int64_t q, int64_t nc);
+
+}  // namespace clandag
+
+#endif  // CLANDAG_STATS_MULTICLAN_H_

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/codec.h"
+#include "common/hex.h"
+#include "common/rng.h"
+
+namespace clandag {
+namespace {
+
+TEST(Bytes, ToBytesRoundTrip) {
+  Bytes b = ToBytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(ToString(b), "hello");
+}
+
+TEST(Bytes, AppendConcatenates) {
+  Bytes a = ToBytes("foo");
+  Append(a, ToBytes("bar"));
+  EXPECT_EQ(ToString(a), "foobar");
+}
+
+TEST(Hex, EncodeKnown) {
+  Bytes b = {0x00, 0x0f, 0xa5, 0xff};
+  EXPECT_EQ(HexEncode(b), "000fa5ff");
+}
+
+TEST(Hex, DecodeKnown) {
+  auto decoded = HexDecode("000fa5ff");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, (Bytes{0x00, 0x0f, 0xa5, 0xff}));
+}
+
+TEST(Hex, DecodeUpperCase) {
+  auto decoded = HexDecode("A5FF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, (Bytes{0xa5, 0xff}));
+}
+
+TEST(Hex, DecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").has_value());
+}
+
+TEST(Hex, DecodeRejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").has_value());
+}
+
+TEST(Codec, FixedWidthRoundTrip) {
+  Writer w;
+  w.U8(0xab);
+  w.U16(0xbeef);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefULL);
+  w.I64(-42);
+  w.Bool(true);
+  Reader r(w.Buffer());
+  EXPECT_EQ(r.U8(), 0xab);
+  EXPECT_EQ(r.U16(), 0xbeef);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Codec, VarintBoundaries) {
+  for (uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL, 0xffffffffULL,
+                     0xffffffffffffffffULL}) {
+    Writer w;
+    w.Varint(v);
+    Reader r(w.Buffer());
+    EXPECT_EQ(r.Varint(), v);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(Codec, BlobAndStr) {
+  Writer w;
+  w.Blob(ToBytes("payload"));
+  w.Str("name");
+  Reader r(w.Buffer());
+  EXPECT_EQ(ToString(r.Blob()), "payload");
+  EXPECT_EQ(r.Str(), "name");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Codec, EmptyBlob) {
+  Writer w;
+  w.Blob(Bytes{});
+  Reader r(w.Buffer());
+  EXPECT_TRUE(r.Blob().empty());
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Codec, UnderflowFlipsOk) {
+  Bytes buf = {0x01, 0x02};
+  Reader r(buf);
+  r.U32();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, UnderflowReturnsZeroes) {
+  Bytes buf = {0x01};
+  Reader r(buf);
+  EXPECT_EQ(r.U64(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, TruncatedBlobFlipsOk) {
+  Writer w;
+  w.Varint(100);  // Claims 100 bytes; provides none.
+  Reader r(w.Buffer());
+  EXPECT_TRUE(r.Blob().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, VarintOverflowRejected) {
+  // 10 bytes of 0xff encodes more than 64 bits.
+  Bytes buf(10, 0xff);
+  Reader r(buf);
+  r.Varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, RawRoundTrip) {
+  Writer w;
+  uint8_t data[4] = {1, 2, 3, 4};
+  w.Raw(data, 4);
+  Reader r(w.Buffer());
+  uint8_t out[4];
+  r.Raw(out, 4);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(0, memcmp(data, out, 4));
+}
+
+TEST(Rng, Deterministic) {
+  DetRng a(42);
+  DetRng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  DetRng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  DetRng rng(3);
+  auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  EXPECT_TRUE(std::adjacent_find(sample.begin(), sample.end()) == sample.end());
+  EXPECT_LT(sample.back(), 100u);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  DetRng base(5);
+  DetRng f1 = base.Fork(1);
+  DetRng base2(5);
+  DetRng f2 = base2.Fork(1);
+  EXPECT_EQ(f1.Next(), f2.Next());
+}
+
+}  // namespace
+}  // namespace clandag

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/app_node.h"
+#include "core/metrics.h"
+#include "sim/network.h"
+
+namespace clandag {
+namespace {
+
+// ---- LatencyStats ----
+
+TEST(LatencyStats, MeanIsWeighted) {
+  LatencyStats stats;
+  stats.Add(100.0, 1);
+  stats.Add(200.0, 3);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 175.0);
+  EXPECT_EQ(stats.TotalWeight(), 4u);
+}
+
+TEST(LatencyStats, PercentilesRespectWeights) {
+  LatencyStats stats;
+  stats.Add(10.0, 90);
+  stats.Add(1000.0, 10);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50), 10.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(95), 1000.0);
+}
+
+TEST(LatencyStats, MinMax) {
+  LatencyStats stats;
+  stats.Add(5.0);
+  stats.Add(1.0);
+  stats.Add(9.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+}
+
+TEST(LatencyStats, EmptyIsZero) {
+  LatencyStats stats;
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(99), 0.0);
+}
+
+TEST(LatencyStats, ZeroWeightIgnored) {
+  LatencyStats stats;
+  stats.Add(42.0, 0);
+  EXPECT_EQ(stats.TotalWeight(), 0u);
+  EXPECT_EQ(stats.SampleCount(), 0u);
+}
+
+TEST(LatencyStats, InterleavedAddAndQuery) {
+  LatencyStats stats;
+  stats.Add(10.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50), 10.0);
+  stats.Add(20.0);  // Add after a query re-sorts lazily.
+  EXPECT_DOUBLE_EQ(stats.Percentile(100), 20.0);
+}
+
+// ---- AppNode on the simulated runtime ----
+
+class AppNodeSimTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kNodes = 4;
+
+  AppNodeSimTest()
+      : keychain_(5, kNodes),
+        topology_(ClanTopology::Full(kNodes)),
+        network_(scheduler_, LatencyMatrix::Uniform(kNodes, Millis(5)), NetworkConfig{1e9, 0}) {
+    for (NodeId id = 0; id < kNodes; ++id) {
+      runtimes_.push_back(std::make_unique<SimRuntime>(network_, id));
+      AppNodeOptions options;
+      options.consensus.num_nodes = kNodes;
+      options.consensus.num_faults = 1;
+      options.consensus.round_timeout = Millis(500);
+      AppNodeCallbacks callbacks;
+      apps_.push_back(std::make_unique<AppNode>(*runtimes_[id], keychain_, topology_, options,
+                                                std::move(callbacks)));
+      network_.RegisterHandler(id, apps_[id].get());
+    }
+  }
+
+  Scheduler scheduler_;
+  Keychain keychain_;
+  ClanTopology topology_;
+  SimNetwork network_;
+  std::vector<std::unique_ptr<SimRuntime>> runtimes_;
+  std::vector<std::unique_ptr<AppNode>> apps_;
+};
+
+TEST_F(AppNodeSimTest, TransactionsExecuteEverywhereIdentically) {
+  for (uint64_t t = 0; t < 10; ++t) {
+    apps_[0]->SubmitTransaction(t, EncodeTransfer(1, 2, 10));
+  }
+  for (auto& app : apps_) {
+    app->Start();
+  }
+  scheduler_.RunUntil(Seconds(2));
+  for (NodeId id = 0; id < kNodes; ++id) {
+    EXPECT_EQ(apps_[id]->execution().ExecutedTxs(), 10u) << "node " << id;
+    EXPECT_EQ(apps_[id]->execution().BalanceOf(1), 1'000'000u - 100u);
+    EXPECT_EQ(apps_[id]->execution().BalanceOf(2), 1'000'000u + 100u);
+  }
+  const Digest reference = apps_[0]->execution().StateDigest();
+  for (NodeId id = 1; id < kNodes; ++id) {
+    EXPECT_EQ(apps_[id]->execution().StateDigest(), reference);
+  }
+}
+
+TEST_F(AppNodeSimTest, ConcurrentSubmittersAllExecute) {
+  for (NodeId id = 0; id < kNodes; ++id) {
+    for (uint64_t t = 0; t < 5; ++t) {
+      apps_[id]->SubmitTransaction(id * 100 + t, EncodeTransfer(3, 4, 1));
+    }
+  }
+  for (auto& app : apps_) {
+    app->Start();
+  }
+  scheduler_.RunUntil(Seconds(2));
+  for (NodeId id = 0; id < kNodes; ++id) {
+    EXPECT_EQ(apps_[id]->execution().ExecutedTxs(), 20u) << "node " << id;
+  }
+}
+
+TEST_F(AppNodeSimTest, OrderedVerticesCount) {
+  for (auto& app : apps_) {
+    app->Start();
+  }
+  scheduler_.RunUntil(Seconds(1));
+  EXPECT_GT(apps_[0]->OrderedVertices(), 10u);
+}
+
+}  // namespace
+}  // namespace clandag

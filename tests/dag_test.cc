@@ -1,0 +1,409 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "dag/dag_store.h"
+#include "dag/types.h"
+
+namespace clandag {
+namespace {
+
+BlockInfo MakeBlock(NodeId proposer, Round round, uint32_t tx_count) {
+  BlockInfo b;
+  b.proposer = proposer;
+  b.round = round;
+  b.created_at = 1000;
+  b.tx_count = tx_count;
+  b.tx_size = 512;
+  return b;
+}
+
+TEST(BlockInfo, SyntheticWireSizeInflates) {
+  BlockInfo b = MakeBlock(1, 2, 6000);
+  EXPECT_TRUE(b.IsSynthetic());
+  EXPECT_EQ(b.PayloadSize(), 6000u * 512u);  // The paper's 3 MB proposal.
+  EXPECT_GT(b.WireSize(), b.PayloadSize());
+}
+
+TEST(BlockInfo, RealPayloadUsesActualSize) {
+  BlockInfo b = MakeBlock(1, 2, 3);
+  b.payload = Bytes(100, 0xaa);
+  EXPECT_FALSE(b.IsSynthetic());
+  EXPECT_EQ(b.PayloadSize(), 100u);
+}
+
+TEST(BlockInfo, SerializeParseRoundTrip) {
+  BlockInfo b = MakeBlock(3, 9, 42);
+  b.payload = ToBytes("actual transactions");
+  Writer w;
+  b.Serialize(w);
+  Reader r(w.Buffer());
+  BlockInfo parsed = BlockInfo::Parse(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(b, parsed);
+}
+
+TEST(BlockInfo, DigestIsDeterministicAndSensitive) {
+  BlockInfo a = MakeBlock(1, 2, 10);
+  BlockInfo b = MakeBlock(1, 2, 10);
+  EXPECT_EQ(a.ComputeDigest(), b.ComputeDigest());
+  b.tx_count = 11;
+  EXPECT_NE(a.ComputeDigest(), b.ComputeDigest());
+}
+
+Vertex MakeVertex(Round round, NodeId source) {
+  Vertex v;
+  v.round = round;
+  v.source = source;
+  return v;
+}
+
+TEST(Vertex, SerializeParseRoundTrip) {
+  Vertex v = MakeVertex(5, 2);
+  v.block_digest = Digest::Of(ToBytes("block"));
+  v.block_tx_count = 100;
+  v.block_created_at = 777;
+  v.strong_edges = {StrongEdge{0, Digest::Of(ToBytes("a"))},
+                    StrongEdge{1, Digest::Of(ToBytes("b"))}};
+  v.weak_edges = {WeakEdge{2, 3, Digest::Of(ToBytes("c"))}};
+  Writer w;
+  v.Serialize(w);
+  Reader r(w.Buffer());
+  Vertex parsed = Vertex::Parse(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(v, parsed);
+}
+
+TEST(Vertex, SerializeParseWithCerts) {
+  Keychain keychain(5, 4);
+  Vertex v = MakeVertex(3, 1);
+  SignerBitmap bm(4);
+  std::vector<Signature> parts;
+  for (NodeId id : {0u, 1u, 2u}) {
+    bm.Set(id);
+    parts.push_back(keychain.Sign(id, TimeoutCert::SignedMessage(2)));
+  }
+  TimeoutCert tc;
+  tc.round = 2;
+  tc.sig = MultiSig::Aggregate(bm, parts);
+  v.tc = tc;
+  Writer w;
+  v.Serialize(w);
+  Reader r(w.Buffer());
+  Vertex parsed = Vertex::Parse(r);
+  EXPECT_TRUE(r.ok());
+  ASSERT_TRUE(parsed.tc.has_value());
+  EXPECT_TRUE(parsed.tc->Verify(keychain, 3));
+  EXPECT_FALSE(parsed.nvc.has_value());
+}
+
+TEST(Vertex, DigestChangesWithEdges) {
+  Vertex a = MakeVertex(1, 0);
+  Vertex b = MakeVertex(1, 0);
+  b.strong_edges.push_back(StrongEdge{1, Digest()});
+  EXPECT_NE(a.ComputeDigest(), b.ComputeDigest());
+}
+
+TEST(Vertex, HasStrongEdgeTo) {
+  Vertex v = MakeVertex(2, 0);
+  v.strong_edges = {StrongEdge{3, Digest()}, StrongEdge{5, Digest()}};
+  EXPECT_TRUE(v.HasStrongEdgeTo(3));
+  EXPECT_TRUE(v.HasStrongEdgeTo(5));
+  EXPECT_FALSE(v.HasStrongEdgeTo(4));
+}
+
+TEST(TimeoutCert, VerifyRejectsBelowQuorum) {
+  Keychain keychain(5, 4);
+  SignerBitmap bm(4);
+  bm.Set(0);
+  TimeoutCert tc;
+  tc.round = 1;
+  tc.sig = MultiSig::Aggregate(bm, {keychain.Sign(0, TimeoutCert::SignedMessage(1))});
+  EXPECT_FALSE(tc.Verify(keychain, 3));
+  EXPECT_TRUE(tc.Verify(keychain, 1));
+}
+
+TEST(NoVoteCert, VerifyChecksRoundBinding) {
+  Keychain keychain(5, 4);
+  SignerBitmap bm(4);
+  std::vector<Signature> parts;
+  for (NodeId id : {0u, 1u, 2u}) {
+    bm.Set(id);
+    parts.push_back(keychain.Sign(id, NoVoteCert::SignedMessage(7)));
+  }
+  NoVoteCert nvc;
+  nvc.round = 8;  // Mismatched round: signatures cover round 7.
+  nvc.sig = MultiSig::Aggregate(bm, parts);
+  EXPECT_FALSE(nvc.Verify(keychain, 3));
+  nvc.round = 7;
+  EXPECT_TRUE(nvc.Verify(keychain, 3));
+}
+
+// ---- DagStore ----
+
+class DagStoreTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kNodes = 4;
+
+  DagStoreTest() : dag_(kNodes) {}
+
+  // Builds and inserts a full round where every vertex references all
+  // round-(r-1) vertices.
+  void FillRound(Round r) {
+    for (NodeId src = 0; src < kNodes; ++src) {
+      InsertVertex(r, src, AllSources(r));
+    }
+  }
+
+  std::vector<NodeId> AllSources(Round r) {
+    std::vector<NodeId> out;
+    if (r == 0) {
+      return out;
+    }
+    for (NodeId src = 0; src < kNodes; ++src) {
+      if (dag_.Has(r - 1, src)) {
+        out.push_back(src);
+      }
+    }
+    return out;
+  }
+
+  const Vertex* InsertVertex(Round r, NodeId src, const std::vector<NodeId>& parents) {
+    Vertex v;
+    v.round = r;
+    v.source = src;
+    for (NodeId p : parents) {
+      v.strong_edges.push_back(StrongEdge{p, *dag_.DigestOf(r - 1, p)});
+    }
+    EXPECT_TRUE(dag_.Insert(std::move(v)));
+    return dag_.Get(r, src);
+  }
+
+  DagStore dag_;
+};
+
+TEST_F(DagStoreTest, InsertAndLookup) {
+  FillRound(0);
+  EXPECT_EQ(dag_.CountAtRound(0), kNodes);
+  EXPECT_TRUE(dag_.Has(0, 2));
+  EXPECT_FALSE(dag_.Has(1, 0));
+  EXPECT_EQ(dag_.Get(0, 1)->source, 1u);
+  EXPECT_EQ(dag_.TotalVertices(), kNodes);
+}
+
+TEST_F(DagStoreTest, DuplicateInsertRejected) {
+  FillRound(0);
+  Vertex dup;
+  dup.round = 0;
+  dup.source = 0;
+  EXPECT_FALSE(dag_.Insert(std::move(dup)));
+}
+
+TEST_F(DagStoreTest, ParentsPresent) {
+  FillRound(0);
+  Vertex v;
+  v.round = 1;
+  v.source = 0;
+  v.strong_edges.push_back(StrongEdge{0, *dag_.DigestOf(0, 0)});
+  EXPECT_TRUE(dag_.ParentsPresent(v));
+  v.strong_edges.push_back(StrongEdge{9, Digest()});  // No such parent.
+  EXPECT_FALSE(dag_.ParentsPresent(v));
+}
+
+TEST_F(DagStoreTest, StrongPathDirectEdge) {
+  FillRound(0);
+  FillRound(1);
+  const Vertex* v = dag_.Get(1, 0);
+  EXPECT_TRUE(dag_.StrongPathExists(*v, 0, 3));
+}
+
+TEST_F(DagStoreTest, StrongPathMultiHop) {
+  FillRound(0);
+  FillRound(1);
+  FillRound(2);
+  const Vertex* v = dag_.Get(2, 1);
+  EXPECT_TRUE(dag_.StrongPathExists(*v, 0, 2));
+}
+
+TEST_F(DagStoreTest, StrongPathAbsentWhenNotLinked) {
+  FillRound(0);
+  // Round 1 vertices reference only parents {0, 1}: no path to (0, 3).
+  for (NodeId src = 0; src < kNodes; ++src) {
+    InsertVertex(1, src, {0, 1});
+  }
+  const Vertex* v = dag_.Get(1, 0);
+  EXPECT_FALSE(dag_.StrongPathExists(*v, 0, 3));
+}
+
+TEST_F(DagStoreTest, StrongPathIgnoresWeakEdges) {
+  FillRound(0);
+  for (NodeId src = 0; src < kNodes; ++src) {
+    InsertVertex(1, src, {0, 1});
+  }
+  // Round 2 vertex with a weak edge to (0,3): still no *strong* path.
+  Vertex v;
+  v.round = 2;
+  v.source = 0;
+  for (NodeId p : {0u, 1u}) {
+    v.strong_edges.push_back(StrongEdge{p, *dag_.DigestOf(1, p)});
+  }
+  v.weak_edges.push_back(WeakEdge{0, 3, *dag_.DigestOf(0, 3)});
+  ASSERT_TRUE(dag_.Insert(std::move(v)));
+  EXPECT_FALSE(dag_.StrongPathExists(*dag_.Get(2, 0), 0, 3));
+}
+
+TEST_F(DagStoreTest, StrongPathToSelf) {
+  FillRound(0);
+  const Vertex* v = dag_.Get(0, 1);
+  EXPECT_TRUE(dag_.StrongPathExists(*v, 0, 1));
+  EXPECT_FALSE(dag_.StrongPathExists(*v, 0, 2));
+}
+
+TEST_F(DagStoreTest, OrderHistoryCollectsAndSorts) {
+  FillRound(0);
+  FillRound(1);
+  auto ordered = dag_.OrderHistory(1, 2);
+  // History of (1,2): all of round 0 plus itself.
+  ASSERT_EQ(ordered.size(), kNodes + 1);
+  for (size_t i = 0; i + 1 < ordered.size(); ++i) {
+    const bool lt = ordered[i]->round < ordered[i + 1]->round ||
+                    (ordered[i]->round == ordered[i + 1]->round &&
+                     ordered[i]->source < ordered[i + 1]->source);
+    EXPECT_TRUE(lt) << "not sorted at " << i;
+  }
+  EXPECT_EQ(dag_.OrderedCount(), kNodes + 1);
+}
+
+TEST_F(DagStoreTest, OrderHistorySkipsAlreadyOrdered) {
+  FillRound(0);
+  FillRound(1);
+  auto first = dag_.OrderHistory(1, 0);
+  auto second = dag_.OrderHistory(1, 1);
+  // The second anchor only adds itself: round 0 was ordered by the first.
+  EXPECT_EQ(first.size(), kNodes + 1);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0]->source, 1u);
+}
+
+TEST_F(DagStoreTest, OrderHistoryFollowsWeakEdges) {
+  FillRound(0);
+  // Round 1: only sources 0..2 propose, referencing {0,1,2}; (0,3) uncovered.
+  for (NodeId src = 0; src < 3; ++src) {
+    InsertVertex(1, src, {0, 1, 2});
+  }
+  Vertex v;
+  v.round = 2;
+  v.source = 0;
+  for (NodeId p : {0u, 1u, 2u}) {
+    v.strong_edges.push_back(StrongEdge{p, *dag_.DigestOf(1, p)});
+  }
+  v.weak_edges.push_back(WeakEdge{0, 3, *dag_.DigestOf(0, 3)});
+  ASSERT_TRUE(dag_.Insert(std::move(v)));
+  auto ordered = dag_.OrderHistory(2, 0);
+  bool found = false;
+  for (const Vertex* x : ordered) {
+    if (x->round == 0 && x->source == 3) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "weak edge target must be ordered";
+}
+
+// Property: the final total order is independent of which anchor sequence
+// ordered it (determinism across nodes reduces to determinism of
+// OrderHistory given the same DAG).
+TEST_F(DagStoreTest, OrderHistoryDeterministicAcrossStores) {
+  DetRng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    DagStore a(kNodes);
+    DagStore b(kNodes);
+    // Build identical random-ish DAGs in both stores.
+    std::vector<Vertex> all;
+    for (NodeId src = 0; src < kNodes; ++src) {
+      Vertex v;
+      v.round = 0;
+      v.source = src;
+      all.push_back(v);
+    }
+    for (auto& v : all) {
+      Vertex c1 = v;
+      Vertex c2 = v;
+      ASSERT_TRUE(a.Insert(std::move(c1)));
+      ASSERT_TRUE(b.Insert(std::move(c2)));
+    }
+    for (Round r = 1; r <= 3; ++r) {
+      for (NodeId src = 0; src < kNodes; ++src) {
+        Vertex v;
+        v.round = r;
+        v.source = src;
+        // Random 3-subset of parents.
+        std::vector<NodeId> parents = {0, 1, 2, 3};
+        rng.Shuffle(parents);
+        parents.resize(3);
+        std::sort(parents.begin(), parents.end());
+        for (NodeId p : parents) {
+          v.strong_edges.push_back(StrongEdge{p, *a.DigestOf(r - 1, p)});
+        }
+        Vertex c1 = v;
+        Vertex c2 = v;
+        ASSERT_TRUE(a.Insert(std::move(c1)));
+        ASSERT_TRUE(b.Insert(std::move(c2)));
+      }
+    }
+    auto oa = a.OrderHistory(3, 1);
+    auto ob = b.OrderHistory(3, 1);
+    ASSERT_EQ(oa.size(), ob.size());
+    for (size_t i = 0; i < oa.size(); ++i) {
+      EXPECT_EQ(oa[i]->round, ob[i]->round);
+      EXPECT_EQ(oa[i]->source, ob[i]->source);
+    }
+  }
+}
+
+TEST_F(DagStoreTest, SelectWeakEdgesFindsUncovered) {
+  FillRound(0);
+  // Round 1 covers only {0,1,2}; (0,3) stays uncovered.
+  for (NodeId src = 0; src < kNodes; ++src) {
+    InsertVertex(1, src, {0, 1, 2});
+  }
+  auto weak = dag_.SelectWeakEdges(2);
+  ASSERT_EQ(weak.size(), 1u);
+  EXPECT_EQ(weak[0].round, 0u);
+  EXPECT_EQ(weak[0].source, 3u);
+}
+
+TEST_F(DagStoreTest, SelectWeakEdgesExcludesRecentRounds) {
+  FillRound(0);
+  FillRound(1);
+  // Round 1 tips are uncovered but too recent for a round-2 proposal.
+  EXPECT_TRUE(dag_.SelectWeakEdges(2).empty());
+}
+
+TEST_F(DagStoreTest, PruneBelowDropsOrderedRounds) {
+  FillRound(0);
+  FillRound(1);
+  FillRound(2);
+  dag_.OrderHistory(2, 0);  // Orders everything reachable.
+  for (NodeId src = 1; src < kNodes; ++src) {
+    dag_.OrderHistory(2, src);
+  }
+  size_t before = dag_.TotalVertices();
+  dag_.PruneBelow(2);
+  EXPECT_LT(dag_.TotalVertices(), before);
+  EXPECT_FALSE(dag_.Has(0, 0));
+  EXPECT_TRUE(dag_.Has(2, 0));
+}
+
+TEST_F(DagStoreTest, PruneKeepsUnorderedRounds) {
+  FillRound(0);
+  FillRound(1);
+  dag_.PruneBelow(2);  // Nothing ordered: nothing pruned.
+  EXPECT_TRUE(dag_.Has(0, 0));
+  EXPECT_TRUE(dag_.Has(1, 0));
+}
+
+}  // namespace
+}  // namespace clandag

@@ -1,0 +1,242 @@
+// Reed-Solomon codec and AVID-style erasure-coded RBC tests (the paper §3
+// remark's comparison target).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "rbc/avid_rbc.h"
+#include "sim/network.h"
+
+namespace clandag {
+namespace {
+
+Bytes RandomBytes(DetRng& rng, size_t len) {
+  Bytes out(len);
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+TEST(Gf256, FieldAxioms) {
+  DetRng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    uint8_t a = static_cast<uint8_t>(rng.Next());
+    uint8_t b = static_cast<uint8_t>(rng.Next() | 1);  // Nonzero-ish.
+    if (b == 0) {
+      b = 1;
+    }
+    EXPECT_EQ(Gf256::Mul(a, 1), a);
+    EXPECT_EQ(Gf256::Mul(a, 0), 0);
+    if (a != 0) {
+      EXPECT_EQ(Gf256::Mul(a, Gf256::Inv(a)), 1);
+    }
+    EXPECT_EQ(Gf256::Mul(Gf256::Div(a, b), b), a);
+  }
+}
+
+TEST(Gf256, MultiplicationCommutesAndAssociates) {
+  DetRng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    uint8_t a = static_cast<uint8_t>(rng.Next());
+    uint8_t b = static_cast<uint8_t>(rng.Next());
+    uint8_t c = static_cast<uint8_t>(rng.Next());
+    EXPECT_EQ(Gf256::Mul(a, b), Gf256::Mul(b, a));
+    EXPECT_EQ(Gf256::Mul(Gf256::Mul(a, b), c), Gf256::Mul(a, Gf256::Mul(b, c)));
+    // Distributivity over XOR (field addition).
+    EXPECT_EQ(Gf256::Mul(a, b ^ c), Gf256::Mul(a, b) ^ Gf256::Mul(a, c));
+  }
+}
+
+struct RsParam {
+  uint32_t k;
+  uint32_t parity;
+  size_t len;
+};
+
+class ReedSolomonRoundTrip : public ::testing::TestWithParam<RsParam> {};
+
+TEST_P(ReedSolomonRoundTrip, DataShardsSufficient) {
+  const RsParam p = GetParam();
+  ReedSolomon rs(p.k, p.parity);
+  DetRng rng(p.k * 131 + p.len);
+  Bytes data = RandomBytes(rng, p.len);
+  std::vector<RsShare> shares = rs.Encode(data);
+  ASSERT_EQ(shares.size(), p.k + p.parity);
+  // Decode from the first k (systematic) shares.
+  std::vector<RsShare> subset(shares.begin(), shares.begin() + p.k);
+  auto decoded = rs.Decode(subset);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST_P(ReedSolomonRoundTrip, ParityOnlyReconstructs) {
+  const RsParam p = GetParam();
+  if (p.parity < p.k) {
+    GTEST_SKIP() << "not enough parity shards for a parity-only decode";
+  }
+  ReedSolomon rs(p.k, p.parity);
+  DetRng rng(p.k * 7 + p.len);
+  Bytes data = RandomBytes(rng, p.len);
+  std::vector<RsShare> shares = rs.Encode(data);
+  std::vector<RsShare> subset(shares.end() - p.k, shares.end());
+  auto decoded = rs.Decode(subset);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST_P(ReedSolomonRoundTrip, RandomSubsetsReconstruct) {
+  const RsParam p = GetParam();
+  ReedSolomon rs(p.k, p.parity);
+  DetRng rng(p.len + 5);
+  Bytes data = RandomBytes(rng, p.len);
+  std::vector<RsShare> shares = rs.Encode(data);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto idx = rng.SampleWithoutReplacement(p.k + p.parity, p.k);
+    std::vector<RsShare> subset;
+    for (uint32_t i : idx) {
+      subset.push_back(shares[i]);
+    }
+    auto decoded = rs.Decode(subset);
+    ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReedSolomonRoundTrip,
+    ::testing::Values(RsParam{1, 3, 100}, RsParam{2, 2, 1}, RsParam{5, 10, 4096},
+                      RsParam{17, 33, 1000}, RsParam{17, 33, 100000}, RsParam{3, 1, 17},
+                      RsParam{16, 16, 65536}),
+    [](const ::testing::TestParamInfo<RsParam>& info) {
+      return "k" + std::to_string(info.param.k) + "p" + std::to_string(info.param.parity) +
+             "len" + std::to_string(info.param.len);
+    });
+
+TEST(ReedSolomon, TooFewSharesFails) {
+  ReedSolomon rs(4, 4);
+  Bytes data = ToBytes("needs four shares");
+  std::vector<RsShare> shares = rs.Encode(data);
+  std::vector<RsShare> subset(shares.begin(), shares.begin() + 3);
+  EXPECT_FALSE(rs.Decode(subset).has_value());
+}
+
+TEST(ReedSolomon, DuplicateIndicesDontCount) {
+  ReedSolomon rs(3, 3);
+  Bytes data = ToBytes("abcabcabc");
+  std::vector<RsShare> shares = rs.Encode(data);
+  std::vector<RsShare> subset = {shares[0], shares[0], shares[0]};
+  EXPECT_FALSE(rs.Decode(subset).has_value());
+}
+
+TEST(ReedSolomon, EmptyPayloadRoundTrips) {
+  ReedSolomon rs(4, 2);
+  std::vector<RsShare> shares = rs.Encode(Bytes{});
+  auto decoded = rs.Decode(shares);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+// ---- AVID RBC over the simulated network ----
+
+class AvidCluster {
+ public:
+  explicit AvidCluster(uint32_t n)
+      : network_(scheduler_, LatencyMatrix::Uniform(n, Millis(10)), NetworkConfig{1e9, 0}),
+        deliveries_(n) {
+    AvidConfig config;
+    config.num_nodes = n;
+    config.num_faults = (n - 1) / 3;
+    for (NodeId id = 0; id < n; ++id) {
+      runtimes_.push_back(std::make_unique<SimRuntime>(network_, id));
+      engines_.push_back(std::make_unique<AvidRbc>(
+          *runtimes_[id], config,
+          [this, id](NodeId sender, Round round, const Digest&, const Bytes& value) {
+            deliveries_[id].push_back({sender, round, value});
+          }));
+      adapters_.push_back(std::make_unique<Adapter>(engines_.back().get()));
+      network_.RegisterHandler(id, adapters_.back().get());
+    }
+  }
+
+  struct Delivery {
+    NodeId sender;
+    Round round;
+    Bytes value;
+  };
+
+  void Run(TimeMicros t = Seconds(10)) { scheduler_.RunUntil(t); }
+  AvidRbc& engine(NodeId id) { return *engines_[id]; }
+  SimNetwork& network() { return network_; }
+  const std::vector<Delivery>& DeliveriesAt(NodeId id) const { return deliveries_[id]; }
+
+ private:
+  struct Adapter : MessageHandler {
+    explicit Adapter(AvidRbc* engine) : engine(engine) {}
+    void OnMessage(NodeId from, MsgType type, const Bytes& payload) override {
+      engine->HandleMessage(from, type, payload);
+    }
+    AvidRbc* engine;
+  };
+
+  Scheduler scheduler_;
+  SimNetwork network_;
+  std::vector<std::unique_ptr<SimRuntime>> runtimes_;
+  std::vector<std::unique_ptr<AvidRbc>> engines_;
+  std::vector<std::unique_ptr<Adapter>> adapters_;
+  std::vector<std::vector<Delivery>> deliveries_;
+};
+
+TEST(AvidRbc, HonestSenderDeliversEverywhere) {
+  for (uint32_t n : {4u, 7u, 13u}) {
+    AvidCluster cluster(n);
+    DetRng rng(n);
+    Bytes value = RandomBytes(rng, 10'000);
+    cluster.engine(0).Broadcast(1, value);
+    cluster.Run();
+    for (NodeId id = 0; id < n; ++id) {
+      ASSERT_EQ(cluster.DeliveriesAt(id).size(), 1u) << "n=" << n << " node " << id;
+      EXPECT_EQ(cluster.DeliveriesAt(id)[0].value, value);
+    }
+  }
+}
+
+TEST(AvidRbc, DeliversWithCrashedMinority) {
+  const uint32_t n = 7;
+  AvidCluster cluster(n);
+  cluster.network().SetCrashed(5, true);
+  cluster.network().SetCrashed(6, true);
+  Bytes value = ToBytes("tolerates two of seven down");
+  cluster.engine(0).Broadcast(1, value);
+  cluster.Run();
+  for (NodeId id = 0; id < 5; ++id) {
+    ASSERT_EQ(cluster.DeliveriesAt(id).size(), 1u) << "node " << id;
+    EXPECT_EQ(cluster.DeliveriesAt(id)[0].value, value);
+  }
+}
+
+TEST(AvidRbc, ConcurrentSenders) {
+  const uint32_t n = 7;
+  AvidCluster cluster(n);
+  for (NodeId s = 0; s < n; ++s) {
+    cluster.engine(s).Broadcast(2, ToBytes("payload-" + std::to_string(s)));
+  }
+  cluster.Run();
+  for (NodeId id = 0; id < n; ++id) {
+    EXPECT_EQ(cluster.DeliveriesAt(id).size(), n) << "node " << id;
+  }
+}
+
+TEST(AvidRbc, CodingTimeIsTracked) {
+  AvidCluster cluster(4);
+  DetRng rng(9);
+  cluster.engine(0).Broadcast(1, RandomBytes(rng, 100'000));
+  cluster.Run();
+  EXPECT_GT(cluster.engine(0).CodingMicros(), 0.0);  // Encode cost.
+  EXPECT_GT(cluster.engine(1).CodingMicros(), 0.0);  // Decode cost.
+}
+
+}  // namespace
+}  // namespace clandag

@@ -1,0 +1,221 @@
+// Whole-network integration tests through the scenario runner: every test
+// spins a full simulated cluster (keychain, clan election, bandwidth+latency
+// network, n Sailfish nodes) and checks liveness, agreement, and the
+// qualitative claims of the paper at small scale.
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "stats/clan_sizing.h"
+
+namespace clandag {
+namespace {
+
+ScenarioOptions BaseOptions(uint32_t n) {
+  ScenarioOptions opts;
+  opts.num_nodes = n;
+  opts.txs_per_proposal = 50;
+  opts.topology = ScenarioOptions::Topology::kUniform;
+  opts.uniform_latency = Millis(10);
+  opts.warmup_rounds = 2;
+  opts.measure_rounds = 4;
+  opts.round_timeout = Seconds(5);
+  return opts;
+}
+
+struct ModeParam {
+  DisseminationMode mode;
+  uint32_t n;
+  RbcFlavor flavor;
+};
+
+class ScenarioModes : public ::testing::TestWithParam<ModeParam> {};
+
+TEST_P(ScenarioModes, CommitsWithAgreement) {
+  const ModeParam p = GetParam();
+  ScenarioOptions opts = BaseOptions(p.n);
+  opts.mode = p.mode;
+  opts.clan_size = (p.n / 2) | 1;
+  opts.num_clans = 2;
+  opts.flavor = p.flavor;
+  ScenarioResult r = RunScenario(opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.agreement_ok);
+  EXPECT_GT(r.throughput_ktps, 0.0);
+  EXPECT_GT(r.mean_latency_ms, 0.0);
+  EXPECT_GE(r.last_committed_round, 5);
+  EXPECT_GT(r.ordered_vertices_checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ScenarioModes,
+    ::testing::Values(ModeParam{DisseminationMode::kFull, 4, RbcFlavor::kTwoRound},
+                      ModeParam{DisseminationMode::kFull, 7, RbcFlavor::kTwoRound},
+                      ModeParam{DisseminationMode::kFull, 13, RbcFlavor::kTwoRound},
+                      ModeParam{DisseminationMode::kFull, 7, RbcFlavor::kBracha},
+                      ModeParam{DisseminationMode::kSingleClan, 7, RbcFlavor::kTwoRound},
+                      ModeParam{DisseminationMode::kSingleClan, 13, RbcFlavor::kTwoRound},
+                      ModeParam{DisseminationMode::kSingleClan, 13, RbcFlavor::kBracha},
+                      ModeParam{DisseminationMode::kMultiClan, 10, RbcFlavor::kTwoRound},
+                      ModeParam{DisseminationMode::kMultiClan, 13, RbcFlavor::kTwoRound},
+                      ModeParam{DisseminationMode::kMultiClan, 13, RbcFlavor::kBracha}),
+    [](const ::testing::TestParamInfo<ModeParam>& info) {
+      std::string name = DisseminationModeName(info.param.mode);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "N" + std::to_string(info.param.n) +
+             (info.param.flavor == RbcFlavor::kBracha ? "Bracha" : "TwoRound");
+    });
+
+TEST(Scenario, DeterministicAcrossRuns) {
+  ScenarioOptions opts = BaseOptions(7);
+  opts.seed = 42;
+  ScenarioResult a = RunScenario(opts);
+  ScenarioResult b = RunScenario(opts);
+  ASSERT_TRUE(a.ok && b.ok);
+  EXPECT_EQ(a.committed_txs, b.committed_txs);
+  EXPECT_DOUBLE_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+TEST(Scenario, CrashFaultsTolerated) {
+  ScenarioOptions opts = BaseOptions(7);
+  opts.crashed = {1, 4};
+  opts.round_timeout = Millis(300);
+  ScenarioResult r = RunScenario(opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.agreement_ok);
+  EXPECT_GT(r.anchors_skipped, 0u);
+}
+
+TEST(Scenario, SingleClanCrashInsideClan) {
+  ScenarioOptions opts = BaseOptions(10);
+  opts.mode = DisseminationMode::kSingleClan;
+  opts.clan_size = 5;
+  opts.crashed = {0, 2};  // Clan members 0 and 2 crash (f_c = 2 tolerated).
+  opts.round_timeout = Millis(300);
+  ScenarioResult r = RunScenario(opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.agreement_ok);
+  EXPECT_GT(r.throughput_ktps, 0.0);
+}
+
+TEST(Scenario, GcpTopologyLatencyIsGeoScale) {
+  ScenarioOptions opts = BaseOptions(10);
+  opts.topology = ScenarioOptions::Topology::kGcpGeo;
+  ScenarioResult r = RunScenario(opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  // Two RBC rounds across continents: hundreds of milliseconds.
+  EXPECT_GT(r.mean_latency_ms, 150.0);
+  EXPECT_LT(r.mean_latency_ms, 2000.0);
+}
+
+TEST(Scenario, CostModelIncreasesLatency) {
+  ScenarioOptions base = BaseOptions(10);
+  ScenarioResult no_cost = RunScenario(base);
+  ScenarioOptions with_cost = base;
+  with_cost.cost.enabled = true;
+  with_cost.cost.per_message = 200;  // Exaggerated for a visible effect.
+  ScenarioResult costed = RunScenario(with_cost);
+  ASSERT_TRUE(no_cost.ok && costed.ok);
+  EXPECT_GT(costed.mean_latency_ms, no_cost.mean_latency_ms);
+}
+
+TEST(Scenario, CertSuppressionStillCommits) {
+  ScenarioOptions opts = BaseOptions(7);
+  opts.multicast_cert = false;
+  ScenarioResult r = RunScenario(opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.agreement_ok);
+}
+
+TEST(Scenario, VerifySignaturesOffMatchesOn) {
+  // The skip-verification fast path must not change protocol behaviour in
+  // fault-free runs.
+  ScenarioOptions opts = BaseOptions(7);
+  ScenarioResult on = RunScenario(opts);
+  opts.verify_signatures = false;
+  ScenarioResult off = RunScenario(opts);
+  ASSERT_TRUE(on.ok && off.ok);
+  EXPECT_EQ(on.committed_txs, off.committed_txs);
+  EXPECT_DOUBLE_EQ(on.mean_latency_ms, off.mean_latency_ms);
+}
+
+TEST(Scenario, RandomClanElectionWorks) {
+  ScenarioOptions opts = BaseOptions(10);
+  opts.mode = DisseminationMode::kSingleClan;
+  opts.clan_size = 5;
+  opts.random_clans = true;
+  opts.seed = 9;
+  ScenarioResult r = RunScenario(opts);
+  ASSERT_TRUE(r.ok) << r.error;
+}
+
+TEST(Scenario, RandomMultiClanElectionWorks) {
+  ScenarioOptions opts = BaseOptions(12);
+  opts.mode = DisseminationMode::kMultiClan;
+  opts.num_clans = 3;
+  opts.random_clans = true;
+  ScenarioResult r = RunScenario(opts);
+  ASSERT_TRUE(r.ok) << r.error;
+}
+
+// The paper's central claim at miniature scale: with a bandwidth-limited
+// uplink and large proposals, restricting block dissemination to a clan
+// yields higher throughput than full replication.
+TEST(Scenario, SingleClanBeatsFullUnderBandwidthPressure) {
+  ScenarioOptions opts = BaseOptions(13);
+  opts.txs_per_proposal = 2000;
+  opts.uplink_bytes_per_sec = 50e6;  // Tight uplink to surface the effect.
+  opts.measure_rounds = 4;
+
+  ScenarioOptions full = opts;
+  full.mode = DisseminationMode::kFull;
+  ScenarioOptions clan = opts;
+  clan.mode = DisseminationMode::kSingleClan;
+  clan.clan_size = 7;
+
+  ScenarioResult full_result = RunScenario(full);
+  ScenarioResult clan_result = RunScenario(clan);
+  ASSERT_TRUE(full_result.ok) << full_result.error;
+  ASSERT_TRUE(clan_result.ok) << clan_result.error;
+  // 13 proposers replicating to 13 vs 7 proposers replicating to 7: the
+  // clan variant moves fewer bytes per committed transaction and should win
+  // on throughput despite fewer proposers.
+  EXPECT_GT(clan_result.throughput_ktps, full_result.throughput_ktps);
+}
+
+// Multi-clan halves every proposer's recipient set; with all n proposing it
+// should beat single-clan at the same per-proposal load.
+TEST(Scenario, MultiClanBeatsSingleClanUnderBandwidthPressure) {
+  ScenarioOptions opts = BaseOptions(12);
+  opts.txs_per_proposal = 2000;
+  opts.uplink_bytes_per_sec = 50e6;
+  opts.measure_rounds = 4;
+
+  ScenarioOptions single = opts;
+  single.mode = DisseminationMode::kSingleClan;
+  single.clan_size = 6;
+  ScenarioOptions multi = opts;
+  multi.mode = DisseminationMode::kMultiClan;
+  multi.num_clans = 2;
+
+  ScenarioResult single_result = RunScenario(single);
+  ScenarioResult multi_result = RunScenario(multi);
+  ASSERT_TRUE(single_result.ok) << single_result.error;
+  ASSERT_TRUE(multi_result.ok) << multi_result.error;
+  EXPECT_GT(multi_result.throughput_ktps, single_result.throughput_ktps);
+}
+
+TEST(Scenario, TopologyForReportsModes) {
+  ScenarioOptions opts = BaseOptions(10);
+  opts.mode = DisseminationMode::kSingleClan;
+  opts.clan_size = 0;  // Auto-size from mu.
+  opts.clan_mu = 10.0;
+  ClanTopology t = TopologyFor(opts);
+  EXPECT_EQ(t.mode(), DisseminationMode::kSingleClan);
+  EXPECT_GE(t.Clan(0).size(), 1u);
+  EXPECT_LE(t.Clan(0).size(), 10u);
+}
+
+}  // namespace
+}  // namespace clandag

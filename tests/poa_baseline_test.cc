@@ -1,0 +1,130 @@
+// Tests of the PoA + leader-BFT baseline (§1 straw-man / §8 comparison):
+// good-case liveness, agreement on the committed certificate sequence, and
+// the latency separation versus the clan-DAG design.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "consensus/poa_baseline.h"
+#include "core/scenario.h"
+#include "sim/network.h"
+
+namespace clandag {
+namespace {
+
+class PoaCluster {
+ public:
+  PoaCluster(uint32_t n, uint32_t clan_size, uint32_t txs_per_block,
+             TimeMicros latency = Millis(10))
+      : keychain_(13, n),
+        topology_(ClanTopology::SingleClanSpread(n, clan_size)),
+        network_(scheduler_, LatencyMatrix::Uniform(n, latency), NetworkConfig{1e9, 0}),
+        committed_(n) {
+    PoaBftConfig config;
+    config.num_nodes = n;
+    config.num_faults = (n - 1) / 3;
+    config.txs_per_block = txs_per_block;
+    config.proposal_interval = Millis(50);
+    for (NodeId id = 0; id < n; ++id) {
+      runtimes_.push_back(std::make_unique<SimRuntime>(network_, id));
+      PoaBftCallbacks callbacks;
+      callbacks.on_committed_cert = [this, id](const PoaCert& cert, TimeMicros now) {
+        committed_[id].push_back({cert.proposer, cert.batch});
+        if (cert.tx_count > 0) {
+          latency_sum_ms_ += ToMillis(now - cert.created_at);
+          ++latency_samples_;
+        }
+      };
+      nodes_.push_back(std::make_unique<PoaBftNode>(*runtimes_[id], keychain_, topology_,
+                                                    config, std::move(callbacks)));
+      network_.RegisterHandler(id, nodes_[id].get());
+    }
+  }
+
+  void Run(TimeMicros duration) {
+    for (auto& node : nodes_) {
+      node->Start();
+    }
+    scheduler_.RunUntil(duration);
+  }
+
+  PoaBftNode& node(NodeId id) { return *nodes_[id]; }
+  const std::vector<std::pair<NodeId, uint64_t>>& CommittedAt(NodeId id) const {
+    return committed_[id];
+  }
+  double MeanLatencyMs() const {
+    return latency_samples_ == 0 ? 0.0 : latency_sum_ms_ / latency_samples_;
+  }
+
+ private:
+  Scheduler scheduler_;
+  Keychain keychain_;
+  ClanTopology topology_;
+  SimNetwork network_;
+  std::vector<std::unique_ptr<SimRuntime>> runtimes_;
+  std::vector<std::unique_ptr<PoaBftNode>> nodes_;
+  std::vector<std::vector<std::pair<NodeId, uint64_t>>> committed_;
+  double latency_sum_ms_ = 0;
+  uint64_t latency_samples_ = 0;
+};
+
+TEST(PoaBaseline, ChainAdvancesAndCommitsCerts) {
+  PoaCluster cluster(4, 4, 100);
+  cluster.Run(Seconds(3));
+  EXPECT_GT(cluster.node(0).CurrentView(), 20u);
+  EXPECT_GT(cluster.node(0).CommittedCerts(), 5u);
+}
+
+TEST(PoaBaseline, AllNodesCommitSameSequence) {
+  PoaCluster cluster(7, 4, 50);
+  cluster.Run(Seconds(3));
+  const auto& reference = cluster.CommittedAt(0);
+  ASSERT_FALSE(reference.empty());
+  for (NodeId id = 1; id < 7; ++id) {
+    const auto& log = cluster.CommittedAt(id);
+    const size_t common = std::min(reference.size(), log.size());
+    for (size_t i = 0; i < common; ++i) {
+      ASSERT_EQ(log[i], reference[i]) << "node " << id << " pos " << i;
+    }
+  }
+}
+
+TEST(PoaBaseline, OnlyClanProposesBlocks) {
+  PoaCluster cluster(7, 4, 50);
+  cluster.Run(Seconds(2));
+  for (const auto& [proposer, batch] : cluster.CommittedAt(0)) {
+    EXPECT_LT(proposer, 4u) << "non-clan proposer committed a batch";
+  }
+}
+
+// The paper's §1/§8 arithmetic: the sequential PoA pipeline costs ≥ 8δ
+// while the clan-DAG design commits in 3δ..5δ. Compare measured
+// creation-to-commit latency at equal network delay.
+TEST(PoaBaseline, LatencyWorseThanClanDag) {
+  const TimeMicros delta = Millis(10);
+  PoaCluster poa(7, 4, 50, delta);
+  poa.Run(Seconds(3));
+  const double poa_latency = poa.MeanLatencyMs();
+  ASSERT_GT(poa_latency, 0.0);
+
+  ScenarioOptions dag_opts;
+  dag_opts.num_nodes = 7;
+  dag_opts.mode = DisseminationMode::kSingleClan;
+  dag_opts.clan_size = 4;
+  dag_opts.txs_per_proposal = 50;
+  dag_opts.topology = ScenarioOptions::Topology::kUniform;
+  dag_opts.uniform_latency = delta;
+  dag_opts.warmup_rounds = 3;
+  dag_opts.measure_rounds = 6;
+  ScenarioResult dag = RunScenario(dag_opts);
+  ASSERT_TRUE(dag.ok) << dag.error;
+
+  // The DAG pipeline must be strictly faster; with queuing effects the gap
+  // in the 8δ-vs-5δ range is conservative, so just require a clear win.
+  EXPECT_GT(poa_latency, dag.mean_latency_ms * 1.15)
+      << "PoA " << poa_latency << " ms vs clan-DAG " << dag.mean_latency_ms << " ms";
+}
+
+}  // namespace
+}  // namespace clandag

@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "rbc/bracha_rbc.h"
+#include "rbc/two_round_rbc.h"
+#include "sim/network.h"
+
+namespace clandag {
+namespace {
+
+struct Delivery {
+  NodeId sender;
+  Round round;
+  Digest digest;
+  std::optional<Bytes> value;
+};
+
+// Hosts one RBC engine per node over the simulated network.
+class RbcCluster {
+ public:
+  enum class Flavor { kBracha, kTwoRound };
+
+  RbcCluster(uint32_t n, std::vector<NodeId> clan, Flavor flavor, bool multicast_cert = true)
+      : keychain_(99, n),
+        network_(scheduler_, LatencyMatrix::Uniform(n, Millis(10)), NetworkConfig{1e9, 0}),
+        deliveries_(n) {
+    RbcConfig config;
+    config.num_nodes = n;
+    config.num_faults = (n - 1) / 3;
+    config.clan = std::move(clan);
+    config.multicast_cert = multicast_cert;
+    config_ = config;
+    for (NodeId id = 0; id < n; ++id) {
+      runtimes_.push_back(std::make_unique<SimRuntime>(network_, id));
+      auto deliver = [this, id](NodeId sender, Round round, const Digest& digest,
+                                const Bytes* value) {
+        deliveries_[id].push_back(Delivery{
+            sender, round, digest,
+            value != nullptr ? std::optional<Bytes>(*value) : std::nullopt});
+      };
+      if (flavor == Flavor::kBracha) {
+        engines_.push_back(
+            std::make_unique<BrachaRbc>(*runtimes_[id], keychain_, config, deliver));
+      } else {
+        engines_.push_back(
+            std::make_unique<TwoRoundRbc>(*runtimes_[id], keychain_, config, deliver));
+      }
+      adapters_.push_back(std::make_unique<Adapter>(engines_.back().get()));
+      network_.RegisterHandler(id, adapters_.back().get());
+    }
+  }
+
+  void Broadcast(NodeId sender, Round round, const Bytes& value) {
+    engines_[sender]->Broadcast(round, Bytes(value));
+  }
+
+  // Byzantine sender helper: a raw VAL directly on the wire.
+  void SendRawVal(NodeId from, NodeId to, Round round, const Bytes& value, bool full) {
+    RbcValMsg msg;
+    msg.round = round;
+    msg.digest = Digest::Of(value);
+    if (full) {
+      msg.value = value;
+    }
+    runtimes_[from]->Send(to, kRbcVal, msg.Encode());
+  }
+
+  void Run(TimeMicros duration = Seconds(10)) { scheduler_.RunUntil(duration); }
+  void RunToIdle() { scheduler_.RunUntilIdle(50'000'000); }
+
+  const std::vector<Delivery>& DeliveriesAt(NodeId id) const { return deliveries_[id]; }
+  SimNetwork& network() { return network_; }
+  const RbcConfig& config() const { return config_; }
+
+ private:
+  struct Adapter : MessageHandler {
+    explicit Adapter(RbcEngineBase* engine) : engine(engine) {}
+    void OnMessage(NodeId from, MsgType type, const Bytes& payload) override {
+      engine->HandleMessage(from, type, payload);
+    }
+    RbcEngineBase* engine;
+  };
+
+  Scheduler scheduler_;
+  Keychain keychain_;
+  SimNetwork network_;
+  RbcConfig config_;
+  std::vector<std::unique_ptr<SimRuntime>> runtimes_;
+  std::vector<std::unique_ptr<RbcEngineBase>> engines_;
+  std::vector<std::unique_ptr<Adapter>> adapters_;
+  std::vector<std::vector<Delivery>> deliveries_;
+};
+
+std::vector<NodeId> Range(NodeId count) {
+  std::vector<NodeId> out(count);
+  for (NodeId i = 0; i < count; ++i) {
+    out[i] = i;
+  }
+  return out;
+}
+
+struct RbcParam {
+  uint32_t n;
+  uint32_t clan_size;  // == n means standard (whole-tribe) RBC.
+  RbcCluster::Flavor flavor;
+};
+
+class RbcValidity : public ::testing::TestWithParam<RbcParam> {};
+
+// Definition 2 Validity: honest sender => clan members deliver the value,
+// everyone else delivers the digest.
+TEST_P(RbcValidity, HonestSenderDeliversEverywhere) {
+  const RbcParam p = GetParam();
+  RbcCluster cluster(p.n, Range(p.clan_size), p.flavor);
+  Bytes value = ToBytes("the payload");
+  Digest digest = Digest::Of(value);
+  cluster.Broadcast(0, 1, value);
+  cluster.Run();
+  for (NodeId id = 0; id < p.n; ++id) {
+    const auto& ds = cluster.DeliveriesAt(id);
+    ASSERT_EQ(ds.size(), 1u) << "node " << id;
+    EXPECT_EQ(ds[0].sender, 0u);
+    EXPECT_EQ(ds[0].round, 1u);
+    EXPECT_EQ(ds[0].digest, digest);
+    if (id < p.clan_size) {
+      ASSERT_TRUE(ds[0].value.has_value()) << "clan member must deliver the value";
+      EXPECT_EQ(*ds[0].value, value);
+    } else {
+      EXPECT_FALSE(ds[0].value.has_value()) << "non-clan member delivers digest only";
+    }
+  }
+}
+
+TEST_P(RbcValidity, ConcurrentSendersAllDeliver) {
+  const RbcParam p = GetParam();
+  RbcCluster cluster(p.n, Range(p.clan_size), p.flavor);
+  for (NodeId s = 0; s < p.n; ++s) {
+    cluster.Broadcast(s, 3, ToBytes("value-" + std::to_string(s)));
+  }
+  cluster.Run();
+  for (NodeId id = 0; id < p.n; ++id) {
+    EXPECT_EQ(cluster.DeliveriesAt(id).size(), p.n) << "node " << id;
+  }
+}
+
+TEST_P(RbcValidity, MultipleRoundsIndependentInstances) {
+  const RbcParam p = GetParam();
+  RbcCluster cluster(p.n, Range(p.clan_size), p.flavor);
+  cluster.Broadcast(1, 1, ToBytes("round one"));
+  cluster.Broadcast(1, 2, ToBytes("round two"));
+  cluster.Run();
+  for (NodeId id = 0; id < p.n; ++id) {
+    EXPECT_EQ(cluster.DeliveriesAt(id).size(), 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RbcValidity,
+    ::testing::Values(RbcParam{4, 4, RbcCluster::Flavor::kBracha},
+                      RbcParam{4, 4, RbcCluster::Flavor::kTwoRound},
+                      RbcParam{7, 4, RbcCluster::Flavor::kBracha},
+                      RbcParam{7, 4, RbcCluster::Flavor::kTwoRound},
+                      RbcParam{10, 5, RbcCluster::Flavor::kBracha},
+                      RbcParam{10, 5, RbcCluster::Flavor::kTwoRound},
+                      RbcParam{13, 7, RbcCluster::Flavor::kBracha},
+                      RbcParam{13, 7, RbcCluster::Flavor::kTwoRound},
+                      RbcParam{13, 13, RbcCluster::Flavor::kBracha},
+                      RbcParam{13, 13, RbcCluster::Flavor::kTwoRound}),
+    [](const ::testing::TestParamInfo<RbcParam>& info) {
+      return "n" + std::to_string(info.param.n) + "c" + std::to_string(info.param.clan_size) +
+             (info.param.flavor == RbcCluster::Flavor::kBracha ? "Bracha" : "TwoRound");
+    });
+
+class RbcByzantine : public ::testing::TestWithParam<RbcCluster::Flavor> {};
+
+// Byzantine sender pushes the value to only f_c+1 clan members; the rest of
+// the clan must download it (paper Figure 2 step 5 / Figure 3 step 3).
+TEST_P(RbcByzantine, WithheldValueIsDownloaded) {
+  const uint32_t n = 10;
+  const uint32_t clan_size = 5;  // f_c = 1, so f_c+1 = 2 holders.
+  RbcCluster cluster(n, Range(clan_size), GetParam());
+  Bytes value = ToBytes("withheld");
+  // Sender 0 (clan member): value to clan nodes 0..2 only, digest to others.
+  for (NodeId to = 0; to < n; ++to) {
+    cluster.SendRawVal(0, to, 1, value, /*full=*/to <= 2);
+  }
+  cluster.Run(Seconds(30));
+  for (NodeId id = 0; id < n; ++id) {
+    const auto& ds = cluster.DeliveriesAt(id);
+    ASSERT_EQ(ds.size(), 1u) << "node " << id;
+    if (id < clan_size) {
+      ASSERT_TRUE(ds[0].value.has_value()) << "clan node " << id << " must obtain the value";
+      EXPECT_EQ(*ds[0].value, value);
+    }
+  }
+}
+
+// Equivocating sender: half the clan gets m1, half m2. No two honest parties
+// may deliver different digests (delivery may not happen at all).
+TEST_P(RbcByzantine, EquivocationNeverSplitsDeliveries) {
+  const uint32_t n = 10;
+  const uint32_t clan_size = 6;
+  RbcCluster cluster(n, Range(clan_size), GetParam());
+  Bytes m1 = ToBytes("value one");
+  Bytes m2 = ToBytes("value two");
+  for (NodeId to = 0; to < n; ++to) {
+    const Bytes& m = (to % 2 == 0) ? m1 : m2;
+    cluster.SendRawVal(0, to, 1, m, /*full=*/to < clan_size);
+  }
+  cluster.Run(Seconds(30));
+  std::optional<Digest> seen;
+  for (NodeId id = 0; id < n; ++id) {
+    for (const Delivery& d : cluster.DeliveriesAt(id)) {
+      if (!seen.has_value()) {
+        seen = d.digest;
+      }
+      EXPECT_EQ(d.digest, *seen) << "conflicting delivery at node " << id;
+    }
+  }
+}
+
+// Integrity: a second broadcast for the same (sender, round) cannot cause a
+// second delivery.
+TEST_P(RbcByzantine, IntegrityAtMostOnce) {
+  const uint32_t n = 7;
+  RbcCluster cluster(n, Range(4), GetParam());
+  cluster.Broadcast(2, 5, ToBytes("first"));
+  cluster.Run(Seconds(5));
+  // Replay the same instance with different content.
+  for (NodeId to = 0; to < n; ++to) {
+    cluster.SendRawVal(2, to, 5, ToBytes("second"), to < 4);
+  }
+  cluster.Run(Seconds(20));
+  for (NodeId id = 0; id < n; ++id) {
+    EXPECT_EQ(cluster.DeliveriesAt(id).size(), 1u) << "node " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Flavors, RbcByzantine,
+                         ::testing::Values(RbcCluster::Flavor::kBracha,
+                                           RbcCluster::Flavor::kTwoRound),
+                         [](const ::testing::TestParamInfo<RbcCluster::Flavor>& info) {
+                           return info.param == RbcCluster::Flavor::kBracha ? "Bracha"
+                                                                            : "TwoRound";
+                         });
+
+// Bracha's READY amplification: a node whose ECHOs were all lost still
+// delivers from f+1 READY messages.
+TEST(BrachaRbc, DeliversDespiteLostEchoes) {
+  const uint32_t n = 7;
+  RbcCluster cluster(n, Range(n), RbcCluster::Flavor::kBracha);
+  // Drop every ECHO addressed to node 6.
+  cluster.network().SetAdversary([](NodeId, NodeId to, MsgType type, TimeMicros) -> TimeMicros {
+    if (to == 6 && type == kRbcEcho) {
+      return kDropMessage;
+    }
+    return 0;
+  });
+  Bytes value = ToBytes("resilient");
+  cluster.Broadcast(0, 1, value);
+  cluster.Run(Seconds(30));
+  ASSERT_EQ(cluster.DeliveriesAt(6).size(), 1u);
+  EXPECT_EQ(*cluster.DeliveriesAt(6)[0].value, value);
+}
+
+// Two-round flavour: the echo-certificate multicast lets a node that missed
+// the ECHOs deliver.
+TEST(TwoRoundRbc, CertificateCarriesLaggards) {
+  const uint32_t n = 7;
+  RbcCluster cluster(n, Range(n), RbcCluster::Flavor::kTwoRound, /*multicast_cert=*/true);
+  cluster.network().SetAdversary([](NodeId, NodeId to, MsgType type, TimeMicros) -> TimeMicros {
+    if (to == 6 && type == kRbcEcho) {
+      return kDropMessage;
+    }
+    return 0;
+  });
+  Bytes value = ToBytes("via-cert");
+  cluster.Broadcast(0, 1, value);
+  cluster.Run(Seconds(30));
+  ASSERT_EQ(cluster.DeliveriesAt(6).size(), 1u);
+  EXPECT_EQ(*cluster.DeliveriesAt(6)[0].value, value);
+}
+
+// Good-case certificate suppression still delivers everywhere when every
+// honest echo arrives (the optimization's stated precondition).
+TEST(TwoRoundRbc, CertSuppressionGoodCase) {
+  const uint32_t n = 10;
+  RbcCluster cluster(n, Range(5), RbcCluster::Flavor::kTwoRound, /*multicast_cert=*/false);
+  cluster.Broadcast(3, 2, ToBytes("no certs"));
+  cluster.Run(Seconds(10));
+  for (NodeId id = 0; id < n; ++id) {
+    EXPECT_EQ(cluster.DeliveriesAt(id).size(), 1u) << "node " << id;
+  }
+}
+
+// A non-clan sender's VAL carrying a full value to a non-clan node is
+// rejected (values are confined to the clan).
+TEST(TribeRbc, NonClanValueIgnored) {
+  const uint32_t n = 7;
+  RbcCluster cluster(n, Range(4), RbcCluster::Flavor::kTwoRound);
+  // Send full value to node 5 (outside the clan) only; nobody else hears.
+  cluster.SendRawVal(0, 5, 1, ToBytes("smuggled"), /*full=*/true);
+  cluster.Run(Seconds(5));
+  EXPECT_TRUE(cluster.DeliveriesAt(5).empty());
+}
+
+// Crashed sender: nothing delivers, nothing wedges.
+TEST(TribeRbc, CrashedSenderNoDelivery) {
+  const uint32_t n = 7;
+  RbcCluster cluster(n, Range(4), RbcCluster::Flavor::kBracha);
+  cluster.network().SetCrashed(0, true);
+  cluster.Broadcast(0, 1, ToBytes("never sent"));
+  cluster.Run(Seconds(5));
+  for (NodeId id = 0; id < n; ++id) {
+    EXPECT_TRUE(cluster.DeliveriesAt(id).empty());
+  }
+}
+
+}  // namespace
+}  // namespace clandag

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "sim/latency.h"
+#include "sim/msg_queue.h"
+#include "sim/network.h"
+#include "sim/scheduler.h"
+
+namespace clandag {
+namespace {
+
+TEST(Scheduler, CallbacksFireInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.ScheduleCallbackAt(30, [&] { order.push_back(3); });
+  s.ScheduleCallbackAt(10, [&] { order.push_back(1); });
+  s.ScheduleCallbackAt(20, [&] { order.push_back(2); });
+  s.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.Now(), 30);
+}
+
+TEST(Scheduler, EqualTimesFireInScheduleOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.ScheduleCallbackAt(5, [&order, i] { order.push_back(i); });
+  }
+  s.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Scheduler, CallbacksCanScheduleMore) {
+  Scheduler s;
+  int fired = 0;
+  s.ScheduleCallbackAt(1, [&] {
+    ++fired;
+    s.ScheduleCallbackAt(2, [&] { ++fired; });
+  });
+  s.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWhenIdle) {
+  Scheduler s;
+  s.RunUntil(1000);
+  EXPECT_EQ(s.Now(), 1000);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler s;
+  bool late_fired = false;
+  s.ScheduleCallbackAt(50, [&] {});
+  s.ScheduleCallbackAt(150, [&] { late_fired = true; });
+  s.RunUntil(100);
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(s.Now(), 100);
+  s.RunUntil(200);
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Scheduler, MessagesInterleaveWithCallbacks) {
+  Scheduler s;
+  std::vector<std::string> order;
+  s.SetMessageSink([&](const MsgEvent& ev) { order.push_back("msg@" + std::to_string(ev.at)); });
+  auto payload = std::make_shared<const Bytes>(Bytes{1});
+  s.ScheduleMessageAt(10, 0, 1, 7, payload, 1);
+  s.ScheduleCallbackAt(5, [&] { order.push_back("cb@5"); });
+  s.ScheduleCallbackAt(15, [&] { order.push_back("cb@15"); });
+  s.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<std::string>{"cb@5", "msg@10", "cb@15"}));
+}
+
+// Property: the calendar queue dequeues exactly like a reference sorted
+// multiset under randomized pushes/pops, including far-future (overflow)
+// entries and interleaved pops.
+TEST(MsgCalendarQueue, MatchesReferenceUnderRandomWorkload) {
+  DetRng rng(1234);
+  MsgCalendarQueue q;
+  std::multimap<std::pair<TimeMicros, uint64_t>, uint32_t> reference;
+  TimeMicros now = 0;
+  uint64_t seq = 0;
+  for (int step = 0; step < 200000; ++step) {
+    bool push = reference.empty() || rng.NextBelow(100) < 55;
+    if (push) {
+      TimeMicros at = now;
+      uint64_t kind = rng.NextBelow(100);
+      if (kind < 70) {
+        at = now + static_cast<TimeMicros>(rng.NextBelow(2000));  // Near.
+      } else if (kind < 95) {
+        at = now + static_cast<TimeMicros>(rng.NextBelow(2'000'000));  // Mid.
+      } else {
+        at = now + 20'000'000 + static_cast<TimeMicros>(rng.NextBelow(50'000'000));  // Overflow.
+      }
+      uint32_t slot = static_cast<uint32_t>(rng.Next());
+      q.Push(MsgQueueEntry{at, seq, slot});
+      reference.emplace(std::make_pair(at, seq), slot);
+      ++seq;
+    } else {
+      MsgQueueEntry got = q.Pop();
+      auto it = reference.begin();
+      ASSERT_EQ(got.at, it->first.first) << "step " << step;
+      ASSERT_EQ(got.seq, it->first.second);
+      ASSERT_EQ(got.slot, it->second);
+      now = got.at;
+      reference.erase(it);
+    }
+    ASSERT_EQ(q.size(), reference.size());
+  }
+  while (!reference.empty()) {
+    MsgQueueEntry got = q.Pop();
+    auto it = reference.begin();
+    ASSERT_EQ(got.seq, it->first.second);
+    reference.erase(it);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(LatencyMatrix, UniformModel) {
+  LatencyMatrix m = LatencyMatrix::Uniform(5, Millis(25));
+  EXPECT_EQ(m.OneWay(0, 1), Millis(25));
+  EXPECT_EQ(m.OneWay(4, 2), Millis(25));
+  EXPECT_EQ(m.OneWay(3, 3), 0);
+}
+
+TEST(LatencyMatrix, GcpMatchesTable1) {
+  LatencyMatrix m = LatencyMatrix::GcpGeoDistributed(10);
+  // Nodes 0 and 5 are both in us-east1; node 1 in us-west1.
+  EXPECT_EQ(m.RegionOf(0), m.RegionOf(5));
+  // us-east1 -> us-west1 RTT 66.14ms => one way 33.07ms.
+  EXPECT_EQ(m.OneWay(0, 1), static_cast<TimeMicros>(66.14 * 1000 / 2));
+  // europe-north1 -> australia-southeast1 RTT 295.13 => 147.565ms one way.
+  EXPECT_EQ(m.OneWay(2, 4), static_cast<TimeMicros>(295.13 * 1000 / 2));
+  // Same region but different nodes: intra-region RTT applies.
+  EXPECT_EQ(m.OneWay(0, 5), static_cast<TimeMicros>(0.75 * 1000 / 2));
+  EXPECT_EQ(m.OneWay(0, 0), 0);
+}
+
+TEST(LatencyMatrix, MeanOneWayPositive) {
+  LatencyMatrix m = LatencyMatrix::GcpGeoDistributed(10);
+  EXPECT_GT(m.MeanOneWay(), Millis(10));
+  EXPECT_LT(m.MeanOneWay(), Millis(200));
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  struct Recorder : MessageHandler {
+    std::vector<std::tuple<TimeMicros, NodeId, MsgType>> received;
+    Scheduler* scheduler = nullptr;
+    void OnMessage(NodeId from, MsgType type, const Bytes& /*payload*/) override {
+      received.push_back({scheduler->Now(), from, type});
+    }
+  };
+
+  NetworkTest()
+      : network_(scheduler_, LatencyMatrix::Uniform(3, Millis(10)), NetworkConfig{1e6, 0}) {
+    for (int i = 0; i < 3; ++i) {
+      recorders_[i].scheduler = &scheduler_;
+      network_.RegisterHandler(i, &recorders_[i]);
+    }
+  }
+
+  void Send(NodeId from, NodeId to, MsgType type, size_t wire) {
+    network_.Send(from, to, type, std::make_shared<const Bytes>(Bytes{1}), wire);
+  }
+
+  Scheduler scheduler_;
+  SimNetwork network_;
+  Recorder recorders_[3];
+};
+
+TEST_F(NetworkTest, PropagationDelayApplied) {
+  // 1 MB/s uplink, zero-overhead config: 1000-byte message = 1 ms serialize.
+  Send(0, 1, 7, 1000);
+  scheduler_.RunUntilIdle();
+  ASSERT_EQ(recorders_[1].received.size(), 1u);
+  EXPECT_EQ(std::get<0>(recorders_[1].received[0]), Millis(1) + Millis(10));
+}
+
+TEST_F(NetworkTest, UplinkSerializesSequentially) {
+  // Two 1000-byte messages from node 0: the second waits for the first.
+  Send(0, 1, 1, 1000);
+  Send(0, 2, 2, 1000);
+  scheduler_.RunUntilIdle();
+  ASSERT_EQ(recorders_[1].received.size(), 1u);
+  ASSERT_EQ(recorders_[2].received.size(), 1u);
+  EXPECT_EQ(std::get<0>(recorders_[1].received[0]), Millis(11));
+  EXPECT_EQ(std::get<0>(recorders_[2].received[0]), Millis(12));
+}
+
+TEST_F(NetworkTest, SelfSendSkipsUplink) {
+  Send(0, 0, 3, 1'000'000);
+  scheduler_.RunUntilIdle();
+  ASSERT_EQ(recorders_[0].received.size(), 1u);
+  EXPECT_EQ(std::get<0>(recorders_[0].received[0]), 0);
+}
+
+TEST_F(NetworkTest, CrashedNodeNeitherSendsNorReceives) {
+  network_.SetCrashed(1, true);
+  Send(0, 1, 1, 10);  // To crashed: dropped at delivery.
+  Send(1, 2, 2, 10);  // From crashed: dropped at send.
+  scheduler_.RunUntilIdle();
+  EXPECT_TRUE(recorders_[1].received.empty());
+  EXPECT_TRUE(recorders_[2].received.empty());
+}
+
+TEST_F(NetworkTest, AdversaryCanDelayAndDrop) {
+  network_.SetAdversary([](NodeId /*from*/, NodeId to, MsgType, TimeMicros) -> TimeMicros {
+    if (to == 2) {
+      return kDropMessage;
+    }
+    return Millis(100);
+  });
+  Send(0, 1, 1, 1000);
+  Send(0, 2, 2, 1000);
+  scheduler_.RunUntilIdle();
+  ASSERT_EQ(recorders_[1].received.size(), 1u);
+  EXPECT_EQ(std::get<0>(recorders_[1].received[0]), Millis(111));
+  EXPECT_TRUE(recorders_[2].received.empty());
+}
+
+TEST_F(NetworkTest, CpuCostSerializesReceiverProcessing) {
+  network_.SetCpuCost([](NodeId, MsgType, size_t) { return Millis(5); });
+  Send(0, 1, 1, 1000);  // Arrives at 11ms, processed at 16ms.
+  Send(2, 1, 2, 1000);  // Arrives at 11ms, processed at 21ms (CPU busy).
+  scheduler_.RunUntilIdle();
+  ASSERT_EQ(recorders_[1].received.size(), 2u);
+  EXPECT_EQ(std::get<0>(recorders_[1].received[0]), Millis(16));
+  EXPECT_EQ(std::get<0>(recorders_[1].received[1]), Millis(21));
+}
+
+TEST_F(NetworkTest, TrafficAccounting) {
+  Send(0, 1, 1, 500);
+  Send(0, 2, 1, 700);
+  scheduler_.RunUntilIdle();
+  EXPECT_EQ(network_.BytesSentBy(0), 1200u);
+  EXPECT_EQ(network_.MessagesSentBy(0), 2u);
+  EXPECT_EQ(network_.TotalBytesSent(), 1200u);
+}
+
+TEST(SimRuntime, BroadcastReachesAllIncludingSelf) {
+  Scheduler scheduler;
+  SimNetwork network(scheduler, LatencyMatrix::Uniform(4, Millis(1)), NetworkConfig{1e9, 0});
+  struct Counter : MessageHandler {
+    int count = 0;
+    void OnMessage(NodeId, MsgType, const Bytes&) override { ++count; }
+  };
+  Counter counters[4];
+  for (int i = 0; i < 4; ++i) {
+    network.RegisterHandler(i, &counters[i]);
+  }
+  SimRuntime rt(network, 0);
+  rt.Broadcast(9, ToBytes("hello"));
+  scheduler.RunUntilIdle();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(counters[i].count, 1) << "node " << i;
+  }
+}
+
+TEST(SimRuntime, ScheduleRelativeDelay) {
+  Scheduler scheduler;
+  SimNetwork network(scheduler, LatencyMatrix::Uniform(2, 0), NetworkConfig{});
+  SimRuntime rt(network, 0);
+  TimeMicros fired_at = -1;
+  rt.Schedule(Millis(7), [&] { fired_at = rt.Now(); });
+  scheduler.RunUntilIdle();
+  EXPECT_EQ(fired_at, Millis(7));
+}
+
+}  // namespace
+}  // namespace clandag

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "smr/client.h"
+#include "smr/execution.h"
+#include "smr/mempool.h"
+#include "smr/wal.h"
+
+namespace clandag {
+namespace {
+
+// ---- SyntheticWorkload ----
+
+TEST(SyntheticWorkload, ProducesConfiguredBatch) {
+  SyntheticWorkload w(SyntheticWorkload::Options{500, 512});
+  auto block = w.NextBlock(1, Seconds(1));
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->tx_count, 500u);
+  EXPECT_EQ(block->tx_size, 512u);
+  EXPECT_TRUE(block->IsSynthetic());
+}
+
+TEST(SyntheticWorkload, CreatedAtIsMidpointOfGap) {
+  SyntheticWorkload w(SyntheticWorkload::Options{10, 512});
+  auto first = w.NextBlock(0, Millis(100));
+  EXPECT_EQ(first->created_at, Millis(50));  // Midpoint of [0, 100].
+  auto second = w.NextBlock(1, Millis(300));
+  EXPECT_EQ(second->created_at, Millis(200));  // Midpoint of [100, 300].
+}
+
+TEST(SyntheticWorkload, ZeroTxsMeansNoBlock) {
+  SyntheticWorkload w(SyntheticWorkload::Options{0, 512});
+  EXPECT_FALSE(w.NextBlock(1, 0).has_value());
+}
+
+// ---- Mempool / tx batches ----
+
+TEST(Transaction, SerializeParseRoundTrip) {
+  Transaction tx;
+  tx.id = 42;
+  tx.created_at = 1234;
+  tx.data = ToBytes("some data");
+  Writer w;
+  tx.Serialize(w);
+  Reader r(w.Buffer());
+  Transaction parsed = Transaction::Parse(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(parsed.id, 42u);
+  EXPECT_EQ(parsed.created_at, 1234);
+  EXPECT_EQ(parsed.data, tx.data);
+}
+
+TEST(TxBatch, EncodeDecodeRoundTrip) {
+  std::vector<Transaction> txs;
+  for (uint64_t i = 0; i < 10; ++i) {
+    txs.push_back(Transaction{i, static_cast<TimeMicros>(i * 10), ToBytes("tx")});
+  }
+  auto decoded = DecodeTxBatch(EncodeTxBatch(txs));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 10u);
+  EXPECT_EQ((*decoded)[7].id, 7u);
+}
+
+TEST(TxBatch, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeTxBatch(ToBytes("not a batch")).has_value());
+}
+
+TEST(Mempool, DrainsInFifoOrder) {
+  Mempool pool(Mempool::Options{3});
+  for (uint64_t i = 0; i < 5; ++i) {
+    pool.Submit(Transaction{i, 0, {}});
+  }
+  auto block = pool.NextBlock(1, 100);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->tx_count, 3u);  // Capped at max_txs_per_block.
+  EXPECT_EQ(pool.PendingCount(), 2u);
+  auto batch = DecodeTxBatch(block->payload);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ((*batch)[0].id, 0u);
+  EXPECT_EQ((*batch)[2].id, 2u);
+}
+
+TEST(Mempool, EmptyReturnsNoBlock) {
+  Mempool pool(Mempool::Options{3});
+  EXPECT_FALSE(pool.NextBlock(1, 0).has_value());
+}
+
+TEST(Mempool, BlockCreatedAtAveragesTxTimes) {
+  Mempool pool(Mempool::Options{10});
+  pool.Submit(Transaction{0, 100, {}});
+  pool.Submit(Transaction{1, 300, {}});
+  auto block = pool.NextBlock(1, 400);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->created_at, 200);
+}
+
+// ---- ExecutionEngine ----
+
+TEST(Execution, TransferMovesBalance) {
+  ExecutionEngine engine(1000);
+  std::vector<Transaction> txs = {{1, 0, EncodeTransfer(1, 2, 250)}};
+  BlockInfo block;
+  block.proposer = 0;
+  block.round = 1;
+  block.tx_count = 1;
+  block.payload = EncodeTxBatch(txs);
+  auto receipt = engine.ExecuteBlock(block);
+  EXPECT_EQ(receipt.txs_executed, 1u);
+  EXPECT_EQ(engine.BalanceOf(1), 750u);
+  EXPECT_EQ(engine.BalanceOf(2), 1250u);
+}
+
+TEST(Execution, InsufficientBalanceRejected) {
+  ExecutionEngine engine(100);
+  std::vector<Transaction> txs = {{1, 0, EncodeTransfer(1, 2, 500)}};
+  BlockInfo block;
+  block.payload = EncodeTxBatch(txs);
+  auto receipt = engine.ExecuteBlock(block);
+  EXPECT_EQ(receipt.txs_executed, 0u);
+  EXPECT_EQ(engine.RejectedTxs(), 1u);
+  EXPECT_EQ(engine.BalanceOf(1), 100u);
+}
+
+TEST(Execution, SelfTransferRejected) {
+  ExecutionEngine engine(100);
+  std::vector<Transaction> txs = {{1, 0, EncodeTransfer(3, 3, 10)}};
+  BlockInfo block;
+  block.payload = EncodeTxBatch(txs);
+  engine.ExecuteBlock(block);
+  EXPECT_EQ(engine.RejectedTxs(), 1u);
+}
+
+TEST(Execution, OpaqueDataTxExecutes) {
+  ExecutionEngine engine;
+  std::vector<Transaction> txs = {{1, 0, ToBytes("opaque payload")}};
+  BlockInfo block;
+  block.payload = EncodeTxBatch(txs);
+  auto receipt = engine.ExecuteBlock(block);
+  EXPECT_EQ(receipt.txs_executed, 1u);
+}
+
+TEST(Execution, DeterministicAcrossReplicas) {
+  auto run = [] {
+    ExecutionEngine engine(1000);
+    for (int b = 0; b < 5; ++b) {
+      std::vector<Transaction> txs;
+      for (uint64_t i = 0; i < 20; ++i) {
+        txs.push_back(Transaction{
+            i, 0, EncodeTransfer(static_cast<uint32_t>(i % 7), static_cast<uint32_t>(i % 5),
+                                 (i * 37) % 2000)});
+      }
+      BlockInfo block;
+      block.proposer = static_cast<NodeId>(b);
+      block.round = static_cast<Round>(b);
+      block.payload = EncodeTxBatch(txs);
+      engine.ExecuteBlock(block);
+    }
+    return engine.StateDigest();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Execution, DigestChainCoversRejections) {
+  // Two replicas disagreeing only in accept/reject must diverge in digest.
+  ExecutionEngine rich(10'000);
+  ExecutionEngine poor(10);
+  std::vector<Transaction> txs = {{1, 0, EncodeTransfer(1, 2, 100)}};
+  BlockInfo block;
+  block.payload = EncodeTxBatch(txs);
+  auto a = rich.ExecuteBlock(block);
+  auto b = poor.ExecuteBlock(block);
+  EXPECT_NE(a.state_digest, b.state_digest);
+}
+
+TEST(Execution, SyntheticBlockCountsTxs) {
+  ExecutionEngine engine;
+  BlockInfo block;
+  block.proposer = 1;
+  block.round = 3;
+  block.tx_count = 1000;
+  block.tx_size = 512;
+  auto receipt = engine.ExecuteBlock(block);
+  EXPECT_EQ(receipt.txs_executed, 1000u);
+  EXPECT_EQ(engine.ExecutedTxs(), 1000u);
+}
+
+TEST(Execution, MalformedPayloadDeterministic) {
+  ExecutionEngine a;
+  ExecutionEngine b;
+  BlockInfo block;
+  block.payload = ToBytes("garbage");
+  EXPECT_EQ(a.ExecuteBlock(block).state_digest, b.ExecuteBlock(block).state_digest);
+}
+
+// ---- ClientReplyCollector ----
+
+ExecutionReceipt MakeReceipt(Round round, NodeId proposer, uint32_t executed, uint8_t tag) {
+  ExecutionReceipt r;
+  r.round = round;
+  r.proposer = proposer;
+  r.txs_executed = executed;
+  r.state_digest = Digest::Of(Bytes{tag});
+  return r;
+}
+
+TEST(Client, ConfirmsAtClanQuorum) {
+  ClientReplyCollector client(3);  // f_c + 1 = 3.
+  ExecutionReceipt r = MakeReceipt(1, 0, 10, 1);
+  EXPECT_FALSE(client.AddReply(0, r).has_value());
+  EXPECT_FALSE(client.AddReply(1, r).has_value());
+  auto confirmed = client.AddReply(2, r);
+  ASSERT_TRUE(confirmed.has_value());
+  EXPECT_TRUE(client.IsConfirmed(1, 0));
+  EXPECT_EQ(client.ConfirmedCount(), 1u);
+}
+
+TEST(Client, DuplicateExecutorIgnored) {
+  ClientReplyCollector client(2);
+  ExecutionReceipt r = MakeReceipt(1, 0, 10, 1);
+  EXPECT_FALSE(client.AddReply(0, r).has_value());
+  EXPECT_FALSE(client.AddReply(0, r).has_value());  // Same executor again.
+  EXPECT_FALSE(client.IsConfirmed(1, 0));
+}
+
+TEST(Client, InconsistentRepliesDontMix) {
+  // f_c Byzantine executors returning a different receipt must not combine
+  // with honest ones.
+  ClientReplyCollector client(3);
+  ExecutionReceipt honest = MakeReceipt(1, 0, 10, 1);
+  ExecutionReceipt lying = MakeReceipt(1, 0, 99, 2);
+  client.AddReply(0, honest);
+  client.AddReply(1, lying);
+  client.AddReply(2, lying);
+  EXPECT_FALSE(client.IsConfirmed(1, 0));
+  auto confirmed = client.AddReply(3, honest);
+  EXPECT_FALSE(confirmed.has_value());  // Honest support is still only 2.
+  confirmed = client.AddReply(4, honest);
+  ASSERT_TRUE(confirmed.has_value());
+  EXPECT_EQ(confirmed->txs_executed, 10u);
+}
+
+TEST(Client, IndependentRequests) {
+  ClientReplyCollector client(2);
+  client.AddReply(0, MakeReceipt(1, 0, 5, 1));
+  client.AddReply(0, MakeReceipt(2, 0, 6, 2));
+  EXPECT_FALSE(client.IsConfirmed(1, 0));
+  EXPECT_FALSE(client.IsConfirmed(2, 0));
+  client.AddReply(1, MakeReceipt(1, 0, 5, 1));
+  EXPECT_TRUE(client.IsConfirmed(1, 0));
+  EXPECT_FALSE(client.IsConfirmed(2, 0));
+}
+
+// ---- WAL ----
+
+class WalTest : public ::testing::Test {
+ protected:
+  WalTest() {
+    path_ = ::testing::TempDir() + "/clandag_wal_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".log";
+    std::remove(path_.c_str());
+  }
+  ~WalTest() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(WalTest, AppendAndReplay) {
+  {
+    Wal wal(path_);
+    ASSERT_TRUE(wal.Open());
+    EXPECT_TRUE(wal.Append(ToBytes("record one")));
+    EXPECT_TRUE(wal.Append(ToBytes("record two")));
+    EXPECT_TRUE(wal.Sync());
+  }
+  std::vector<std::string> records;
+  int64_t count = Wal::Replay(path_, [&](const Bytes& r) { records.push_back(ToString(r)); });
+  EXPECT_EQ(count, 2);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], "record one");
+  EXPECT_EQ(records[1], "record two");
+}
+
+TEST_F(WalTest, ReplayMissingFileFails) {
+  EXPECT_EQ(Wal::Replay(path_ + ".nope", [](const Bytes&) {}), -1);
+}
+
+TEST_F(WalTest, TornTailTolerated) {
+  {
+    Wal wal(path_);
+    ASSERT_TRUE(wal.Open());
+    wal.Append(ToBytes("intact"));
+    wal.Sync();
+  }
+  // Append garbage simulating a torn write.
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  uint8_t torn[5] = {0xff, 0x01, 0x02, 0x03, 0x04};
+  std::fwrite(torn, 1, sizeof(torn), f);
+  std::fclose(f);
+
+  std::vector<std::string> records;
+  int64_t count = Wal::Replay(path_, [&](const Bytes& r) { records.push_back(ToString(r)); });
+  EXPECT_EQ(count, 1);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "intact");
+}
+
+TEST_F(WalTest, CorruptChecksumStopsReplay) {
+  {
+    Wal wal(path_);
+    ASSERT_TRUE(wal.Open());
+    wal.Append(ToBytes("aaaa"));
+    wal.Append(ToBytes("bbbb"));
+    wal.Sync();
+  }
+  // Flip a payload byte of the first record (offset 8 = after its header).
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 8, SEEK_SET);
+  std::fputc('X', f);
+  std::fclose(f);
+  int64_t count = Wal::Replay(path_, [](const Bytes&) {});
+  EXPECT_EQ(count, 0);  // First record corrupt: replay stops immediately.
+}
+
+TEST_F(WalTest, EmptyRecordRoundTrips) {
+  {
+    Wal wal(path_);
+    ASSERT_TRUE(wal.Open());
+    wal.Append(Bytes{});
+    wal.Sync();
+  }
+  int64_t count = Wal::Replay(path_, [](const Bytes& r) { EXPECT_TRUE(r.empty()); });
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace clandag

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/clan_sizing.h"
+#include "stats/logmath.h"
+#include "stats/multiclan.h"
+
+namespace clandag {
+namespace {
+
+constexpr double kMu1e9 = 29.897352853986263;  // -log2(1e-9).
+constexpr double kMu1e6 = 19.931568569324174;  // -log2(1e-6).
+
+TEST(LogMath, LogChooseSmallExact) {
+  EXPECT_NEAR(LogChoose(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(LogChoose(10, 5), std::log(252.0), 1e-12);
+  EXPECT_DOUBLE_EQ(LogChoose(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LogChoose(7, 7), 0.0);
+}
+
+TEST(LogMath, LogChooseOutOfRangeIsNegInf) {
+  EXPECT_EQ(LogChoose(5, 6), kNegInf);
+  EXPECT_EQ(LogChoose(5, -1), kNegInf);
+}
+
+TEST(LogMath, LogChooseSymmetry) {
+  for (int64_t n : {10, 100, 1000}) {
+    for (int64_t k = 0; k <= n; k += n / 10) {
+      EXPECT_NEAR(LogChoose(n, k), LogChoose(n, n - k), 1e-9);
+    }
+  }
+}
+
+TEST(LogMath, LogAdd) {
+  EXPECT_NEAR(LogAdd(std::log(3.0), std::log(4.0)), std::log(7.0), 1e-12);
+  EXPECT_EQ(LogAdd(kNegInf, std::log(2.0)), std::log(2.0));
+  EXPECT_EQ(LogAdd(kNegInf, kNegInf), kNegInf);
+}
+
+TEST(LogMath, LogSum) {
+  std::vector<double> terms = {std::log(1.0), std::log(2.0), std::log(3.0)};
+  EXPECT_NEAR(LogSum(terms), std::log(6.0), 1e-12);
+  EXPECT_EQ(LogSum({}), kNegInf);
+}
+
+TEST(ClanSizing, MaxClanFaults) {
+  EXPECT_EQ(MaxClanFaults(1), 0);
+  EXPECT_EQ(MaxClanFaults(2), 0);
+  EXPECT_EQ(MaxClanFaults(3), 1);
+  EXPECT_EQ(MaxClanFaults(4), 1);
+  EXPECT_EQ(MaxClanFaults(75), 37);
+  EXPECT_EQ(MaxClanFaults(80), 39);
+}
+
+TEST(ClanSizing, DefaultTribeFaults) {
+  EXPECT_EQ(DefaultTribeFaults(4), 1);
+  EXPECT_EQ(DefaultTribeFaults(50), 16);
+  EXPECT_EQ(DefaultTribeFaults(100), 33);
+  EXPECT_EQ(DefaultTribeFaults(150), 49);
+  EXPECT_EQ(DefaultTribeFaults(500), 166);
+}
+
+TEST(ClanSizing, FullTribeIsAlwaysSafeUnderF) {
+  // f < n/3 < n/2, so the whole tribe can never have a dishonest majority.
+  EXPECT_DOUBLE_EQ(DishonestMajorityProbability(100, 33, 100), 0.0);
+}
+
+TEST(ClanSizing, ImpossibleWhenClanExceedsTwiceF) {
+  // nc = 2f+1 drawn from the tribe can contain at most f Byzantine < ceil(nc/2).
+  EXPECT_DOUBLE_EQ(DishonestMajorityProbability(50, 16, 33), 0.0);
+}
+
+TEST(ClanSizing, CertainWhenAllByzantine) {
+  EXPECT_NEAR(DishonestMajorityProbability(10, 10, 5), 1.0, 1e-12);
+}
+
+// Paper §1: n=500, f=166 -> clan of ~184 reaches 1e-9. Our Eq. 1 search
+// yields 183 (odd sizes are parity-optimal: 184 raises the member count
+// without raising the majority threshold, so it is actually slightly
+// *worse* than 183); accept the off-by-one against the paper.
+TEST(ClanSizing, PaperIntroAnchor) {
+  int64_t nc = MinClanSize(500, 166, kMu1e9);
+  EXPECT_GE(nc, 183);
+  EXPECT_LE(nc, 184);
+  EXPECT_LE(DishonestMajorityProbability(500, 166, 183), 1e-9);
+  // The parity effect: growing the clan by one (odd -> even) weakens it.
+  EXPECT_GT(DishonestMajorityProbability(500, 166, 184),
+            DishonestMajorityProbability(500, 166, 183));
+}
+
+// Paper §7: with a 1e-6 target the evaluation uses clans of 32/60/80 at
+// n = 50/100/150. Those sizes satisfy the target under the strict-majority
+// reading of the failure condition (see EXPERIMENTS.md).
+TEST(ClanSizing, PaperEvaluationSizesUnderStrictMajority) {
+  EXPECT_LE(MinClanSizeForTribe(50, kMu1e6, MajorityRule::kStrictMajority), 32);
+  EXPECT_LE(MinClanSizeForTribe(100, kMu1e6, MajorityRule::kStrictMajority), 60);
+  EXPECT_LE(MinClanSizeForTribe(150, kMu1e6, MajorityRule::kStrictMajority), 80);
+  EXPECT_LE(DishonestMajorityProbability(100, 33, 60, MajorityRule::kStrictMajority), 1e-6);
+  EXPECT_LE(DishonestMajorityProbability(150, 49, 80, MajorityRule::kStrictMajority), 1e-6);
+}
+
+TEST(ClanSizing, Eq1SizesAreCloseToPaper) {
+  // Under Eq. 1 as printed the minimum sizes land within a few members of
+  // the paper's choices.
+  EXPECT_NEAR(static_cast<double>(MinClanSizeForTribe(50, kMu1e6)), 32, 2);
+  EXPECT_NEAR(static_cast<double>(MinClanSizeForTribe(100, kMu1e6)), 60, 2);
+  EXPECT_NEAR(static_cast<double>(MinClanSizeForTribe(150, kMu1e6)), 80, 4);
+}
+
+TEST(ClanSizing, ProbabilityDecreasesWithOddClanGrowth) {
+  // Growing an odd clan by 2 strictly helps.
+  double prev = 1.0;
+  for (int64_t nc = 11; nc <= 61; nc += 2) {
+    double p = DishonestMajorityProbability(100, 33, nc);
+    EXPECT_LE(p, prev + 1e-15) << "nc=" << nc;
+    prev = p;
+  }
+}
+
+TEST(ClanSizing, MinClanSizeMeetsItsOwnTarget) {
+  for (int64_t n : {50, 100, 200, 400}) {
+    int64_t nc = MinClanSizeForTribe(n, kMu1e6);
+    EXPECT_LE(DishonestMajorityProbability(n, DefaultTribeFaults(n), nc), 1e-6);
+    if (nc > 1) {
+      EXPECT_GT(DishonestMajorityProbability(n, DefaultTribeFaults(n), nc - 1), 1e-6);
+    }
+  }
+}
+
+// Figure 1 shape: required clan size grows sub-linearly and flattens.
+TEST(ClanSizing, Figure1ShapeSublinearGrowth) {
+  int64_t prev_nc = 0;
+  double prev_fraction = 1.0;
+  for (int64_t n = 100; n <= 1000; n += 100) {
+    int64_t nc = MinClanSizeForTribe(n, 30.0);
+    EXPECT_GE(nc, prev_nc);  // Monotone in n.
+    double fraction = static_cast<double>(nc) / static_cast<double>(n);
+    EXPECT_LE(fraction, prev_fraction + 1e-9);  // Shrinking fraction of n.
+    prev_nc = nc;
+    prev_fraction = fraction;
+  }
+  // Anchor the right edge near the paper's ~225 at n=1000.
+  EXPECT_NEAR(static_cast<double>(MinClanSizeForTribe(1000, 30.0)), 228, 8);
+}
+
+// Paper §6.2 concrete numbers.
+TEST(MultiClan, PaperTwoClanAnchor) {
+  double p = MultiClanDishonestProbability(150, 49, 2, 75);
+  EXPECT_NEAR(p, 4.015e-6, 0.01e-6);
+}
+
+TEST(MultiClan, PaperThreeClanAnchor) {
+  double p = MultiClanDishonestProbability(387, 128, 3, 129);
+  EXPECT_NEAR(p, 1.11e-6, 0.01e-6);
+}
+
+TEST(MultiClan, DpMatchesDirectEnumeration) {
+  for (auto [n, q] : std::vector<std::pair<int64_t, int64_t>>{{30, 2}, {60, 2}, {60, 3}, {90, 3}}) {
+    int64_t f = DefaultTribeFaults(n);
+    int64_t nc = n / q;
+    double dp = MultiClanDishonestProbability(n, f, q, nc);
+    double enumerated = MultiClanDishonestProbabilityEnumerated(n, f, q, nc);
+    EXPECT_NEAR(dp, enumerated, 1e-12 + enumerated * 1e-9) << "n=" << n << " q=" << q;
+  }
+}
+
+TEST(MultiClan, SingleClanMatchesHypergeometric) {
+  // q = 1 must reproduce the plain hypergeometric tail.
+  for (int64_t n : {40, 100}) {
+    int64_t f = DefaultTribeFaults(n);
+    int64_t nc = n / 2;
+    double multi = MultiClanDishonestProbability(n, f, 1, nc);
+    double hyper = DishonestMajorityProbability(n, f, nc);
+    EXPECT_NEAR(multi, hyper, 1e-12 + hyper * 1e-9);
+  }
+}
+
+TEST(MultiClan, MoreClansRiskier) {
+  // Partitioning n=150 into 3 clans of 50 is riskier than 2 clans of 75.
+  double two = MultiClanDishonestProbability(150, 49, 2, 75);
+  double three = MultiClanDishonestProbability(150, 49, 3, 50);
+  EXPECT_GT(three, two);
+}
+
+TEST(MultiClan, ForTribeHelper) {
+  EXPECT_NEAR(MultiClanDishonestProbabilityForTribe(150, 2), 4.015e-6, 0.01e-6);
+}
+
+TEST(MultiClan, NaiveEstimateDiffersFromExact) {
+  // §8's Arete critique: the per-clan hypergeometric treatment is not the
+  // exact partition probability (it happens to be close at n=150, q=2, but
+  // the construction is wrong; verify they are not identical in general).
+  double exact = MultiClanDishonestProbability(90, 29, 3, 30);
+  double naive = NaivePerClanHypergeometricEstimate(90, 29, 3, 30);
+  EXPECT_NE(exact, naive);
+}
+
+TEST(MultiClan, ZeroFaultsZeroRisk) {
+  EXPECT_DOUBLE_EQ(MultiClanDishonestProbability(60, 0, 2, 30), 0.0);
+}
+
+}  // namespace
+}  // namespace clandag

@@ -1,0 +1,263 @@
+// Real-transport tests: the in-process threaded cluster and the epoll TCP
+// mesh, including a small live consensus run over TCP on localhost.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/app_node.h"
+#include "net/inproc_transport.h"
+#include "net/tcp_transport.h"
+#include "smr/execution.h"
+
+namespace clandag {
+namespace {
+
+struct CountingHandler : MessageHandler {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::pair<NodeId, MsgType>> received;
+
+  void OnMessage(NodeId from, MsgType type, const Bytes& /*payload*/) override {
+    std::lock_guard<std::mutex> lock(mu);
+    received.push_back({from, type});
+    cv.notify_all();
+  }
+
+  bool WaitForCount(size_t count, int timeout_ms = 5000) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                       [&] { return received.size() >= count; });
+  }
+};
+
+TEST(InProcCluster, DeliversPointToPoint) {
+  InProcCluster cluster(3);
+  CountingHandler handlers[3];
+  for (NodeId id = 0; id < 3; ++id) {
+    cluster.RegisterHandler(id, &handlers[id]);
+  }
+  cluster.Start();
+  cluster.Post(0, [&] { cluster.RuntimeOf(0).Send(1, 7, ToBytes("hello")); });
+  EXPECT_TRUE(handlers[1].WaitForCount(1));
+  EXPECT_EQ(handlers[1].received[0], (std::pair<NodeId, MsgType>{0, 7}));
+  cluster.Stop();
+}
+
+TEST(InProcCluster, BroadcastReachesEveryoneIncludingSelf) {
+  InProcCluster cluster(4);
+  CountingHandler handlers[4];
+  for (NodeId id = 0; id < 4; ++id) {
+    cluster.RegisterHandler(id, &handlers[id]);
+  }
+  cluster.Start();
+  cluster.Post(2, [&] { cluster.RuntimeOf(2).Broadcast(9, ToBytes("to all")); });
+  for (NodeId id = 0; id < 4; ++id) {
+    EXPECT_TRUE(handlers[id].WaitForCount(1)) << "node " << id;
+  }
+  cluster.Stop();
+}
+
+TEST(InProcCluster, TimersFire) {
+  InProcCluster cluster(1);
+  CountingHandler handler;
+  cluster.RegisterHandler(0, &handler);
+  cluster.Start();
+  std::atomic<bool> fired{false};
+  cluster.Post(0, [&] {
+    cluster.RuntimeOf(0).Schedule(Millis(20), [&] { fired.store(true); });
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_TRUE(fired.load());
+  cluster.Stop();
+}
+
+TEST(InProcCluster, ClockIsMonotonic) {
+  InProcCluster cluster(1);
+  CountingHandler handler;
+  cluster.RegisterHandler(0, &handler);
+  cluster.Start();
+  std::atomic<TimeMicros> t1{0};
+  std::atomic<TimeMicros> t2{0};
+  cluster.Post(0, [&] { t1.store(cluster.RuntimeOf(0).Now()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  cluster.Post(0, [&] { t2.store(cluster.RuntimeOf(0).Now()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_GT(t2.load(), t1.load());
+  cluster.Stop();
+}
+
+uint16_t PickBasePort(int salt) {
+  // Per-test port ranges to avoid collisions across tests in one run.
+  return static_cast<uint16_t>(21000 + salt * 64 + (getpid() % 50) * 8);
+}
+
+TEST(TcpTransport, MeshConnectsAndDelivers) {
+  constexpr uint32_t kNodes = 3;
+  const uint16_t base_port = PickBasePort(0);
+  CountingHandler handlers[kNodes];
+  std::vector<std::unique_ptr<TcpRuntime>> nodes;
+  for (NodeId id = 0; id < kNodes; ++id) {
+    TcpConfig config;
+    config.id = id;
+    config.num_nodes = kNodes;
+    config.base_port = base_port;
+    nodes.push_back(std::make_unique<TcpRuntime>(config, &handlers[id]));
+  }
+  for (auto& node : nodes) {
+    node->Start();
+  }
+  for (auto& node : nodes) {
+    ASSERT_TRUE(node->WaitConnected(Seconds(10)));
+  }
+  nodes[0]->Send(1, 42, ToBytes("over tcp"));
+  nodes[2]->Send(1, 43, ToBytes("also tcp"));
+  EXPECT_TRUE(handlers[1].WaitForCount(2));
+  for (auto& node : nodes) {
+    node->Stop();
+  }
+}
+
+TEST(TcpTransport, LargeFrameRoundTrips) {
+  constexpr uint32_t kNodes = 2;
+  const uint16_t base_port = PickBasePort(1);
+  CountingHandler handlers[kNodes];
+  std::vector<std::unique_ptr<TcpRuntime>> nodes;
+  for (NodeId id = 0; id < kNodes; ++id) {
+    TcpConfig config;
+    config.id = id;
+    config.num_nodes = kNodes;
+    config.base_port = base_port;
+    nodes.push_back(std::make_unique<TcpRuntime>(config, &handlers[id]));
+  }
+  for (auto& node : nodes) {
+    node->Start();
+  }
+  ASSERT_TRUE(nodes[0]->WaitConnected(Seconds(10)));
+  Bytes big(3 << 20, 0xab);  // A 3 MB "proposal".
+  nodes[0]->Send(1, 5, std::move(big));
+  EXPECT_TRUE(handlers[1].WaitForCount(1, 15000));
+  for (auto& node : nodes) {
+    node->Stop();
+  }
+}
+
+TEST(TcpTransport, SelfSendLoopsBack) {
+  const uint16_t base_port = PickBasePort(2);
+  CountingHandler handler;
+  TcpConfig config;
+  config.id = 0;
+  config.num_nodes = 1;
+  config.base_port = base_port;
+  TcpRuntime node(config, &handler);
+  node.Start();
+  node.Send(0, 11, ToBytes("self"));
+  EXPECT_TRUE(handler.WaitForCount(1));
+  node.Stop();
+}
+
+TEST(TcpTransport, ScheduleRunsOnLoopThread) {
+  const uint16_t base_port = PickBasePort(3);
+  CountingHandler handler;
+  TcpConfig config;
+  config.id = 0;
+  config.num_nodes = 1;
+  config.base_port = base_port;
+  TcpRuntime node(config, &handler);
+  node.Start();
+  std::atomic<bool> fired{false};
+  node.Schedule(Millis(30), [&] { fired.store(true); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_TRUE(fired.load());
+  node.Stop();
+}
+
+// End-to-end: four AppNodes over real TCP sockets reach consensus on
+// client transactions and execute them identically.
+TEST(TcpTransport, FourNodeConsensusCommits) {
+  constexpr uint32_t kNodes = 4;
+  const uint16_t base_port = PickBasePort(4);
+  Keychain keychain(77, kNodes);
+  ClanTopology topology = ClanTopology::Full(kNodes);
+
+  std::vector<std::unique_ptr<AppNode>> apps(kNodes);
+  std::vector<std::unique_ptr<TcpRuntime>> nets(kNodes);
+  std::vector<std::atomic<uint64_t>> executed(kNodes);
+
+  struct Router : MessageHandler {
+    AppNode* app = nullptr;
+    void OnMessage(NodeId from, MsgType type, const Bytes& payload) override {
+      if (app != nullptr) {
+        app->OnMessage(from, type, payload);
+      }
+    }
+  };
+  std::vector<Router> routers(kNodes);
+
+  for (NodeId id = 0; id < kNodes; ++id) {
+    TcpConfig config;
+    config.id = id;
+    config.num_nodes = kNodes;
+    config.base_port = base_port;
+    nets[id] = std::make_unique<TcpRuntime>(config, &routers[id]);
+  }
+  for (NodeId id = 0; id < kNodes; ++id) {
+    AppNodeOptions options;
+    options.consensus.num_nodes = kNodes;
+    options.consensus.num_faults = 1;
+    options.consensus.round_timeout = Seconds(5);
+    AppNodeCallbacks callbacks;
+    auto* counter = &executed[id];
+    callbacks.on_receipt = [counter](const ExecutionReceipt& r) {
+      counter->fetch_add(r.txs_executed);
+    };
+    apps[id] = std::make_unique<AppNode>(*nets[id], keychain, topology, options,
+                                         std::move(callbacks));
+    routers[id].app = apps[id].get();
+  }
+  for (auto& net : nets) {
+    net->Start();
+  }
+  for (auto& net : nets) {
+    ASSERT_TRUE(net->WaitConnected(Seconds(10)));
+  }
+  // Submit client transfers at node 0, then start consensus everywhere.
+  for (NodeId id = 0; id < kNodes; ++id) {
+    nets[id]->Post([&, id] {
+      for (uint64_t t = 0; t < 20; ++t) {
+        apps[id]->SubmitTransaction(id * 1000 + t, EncodeTransfer(1, 2, 5));
+      }
+      apps[id]->Start();
+    });
+  }
+  // Wait until every node executed all 80 submitted transactions.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool all_done = false;
+  while (!all_done && std::chrono::steady_clock::now() < deadline) {
+    all_done = true;
+    for (NodeId id = 0; id < kNodes; ++id) {
+      if (executed[id].load() < 80) {
+        all_done = false;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_TRUE(all_done) << "not all transactions executed in time";
+  for (auto& net : nets) {
+    net->Stop();
+  }
+  // All replicas applied the same state transitions.
+  const Digest reference = apps[0]->execution().StateDigest();
+  for (NodeId id = 1; id < kNodes; ++id) {
+    EXPECT_EQ(apps[id]->execution().StateDigest(), reference) << "node " << id;
+  }
+}
+
+}  // namespace
+}  // namespace clandag

@@ -1,0 +1,166 @@
+// Decoder robustness: every wire parser must reject (never crash on)
+// arbitrary, truncated, or bit-flipped bytes — exactly what Byzantine peers
+// can feed a node. Deterministic pseudo-fuzz with seeded RNG.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "consensus/poa_baseline.h"
+#include "consensus/wire.h"
+#include "rbc/wire.h"
+#include "smr/mempool.h"
+
+namespace clandag {
+namespace {
+
+Bytes RandomBytes(DetRng& rng, size_t len) {
+  Bytes out(len);
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+// Runs `decode` over random buffers of assorted sizes; the only requirement
+// is no crash/UB (return value may be anything).
+template <typename Fn>
+void FuzzRandom(uint64_t seed, Fn&& decode) {
+  DetRng rng(seed);
+  for (size_t len : {0u, 1u, 2u, 7u, 16u, 33u, 64u, 200u, 1000u}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      Bytes buf = RandomBytes(rng, len);
+      decode(buf);
+    }
+  }
+}
+
+// Truncations and single-bit flips of a valid encoding.
+template <typename Fn>
+void FuzzMutations(const Bytes& valid, Fn&& decode) {
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    Bytes truncated(valid.begin(), valid.begin() + cut);
+    decode(truncated);
+  }
+  DetRng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes mutated = valid;
+    mutated[rng.NextBelow(mutated.size())] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+    decode(mutated);
+  }
+}
+
+TEST(WireFuzz, RbcValMsg) {
+  FuzzRandom(1, [](const Bytes& b) { RbcValMsg::Decode(b); });
+  RbcValMsg msg;
+  msg.round = 7;
+  msg.digest = Digest::Of(ToBytes("x"));
+  msg.value = ToBytes("some value");
+  FuzzMutations(msg.Encode(), [](const Bytes& b) { RbcValMsg::Decode(b); });
+}
+
+TEST(WireFuzz, RbcVoteMsg) {
+  FuzzRandom(2, [](const Bytes& b) { RbcVoteMsg::Decode(b); });
+  RbcVoteMsg msg;
+  msg.sender = 3;
+  msg.round = 9;
+  msg.digest = Digest::Of(ToBytes("y"));
+  msg.sig = Signature{Digest::Of(ToBytes("sig"))};
+  FuzzMutations(msg.Encode(), [](const Bytes& b) { RbcVoteMsg::Decode(b); });
+}
+
+TEST(WireFuzz, RbcCertMsg) {
+  FuzzRandom(3, [](const Bytes& b) { RbcCertMsg::Decode(b); });
+  Keychain keychain(1, 4);
+  SignerBitmap bm(4);
+  bm.Set(0);
+  bm.Set(1);
+  bm.Set(2);
+  RbcCertMsg msg;
+  msg.sender = 1;
+  msg.round = 2;
+  msg.digest = Digest::Of(ToBytes("z"));
+  msg.sig = MultiSig::Aggregate(bm, {keychain.Sign(0, ToBytes("m")), keychain.Sign(1, ToBytes("m")),
+                                     keychain.Sign(2, ToBytes("m"))});
+  FuzzMutations(msg.Encode(), [](const Bytes& b) { RbcCertMsg::Decode(b); });
+}
+
+TEST(WireFuzz, PullMsgs) {
+  FuzzRandom(4, [](const Bytes& b) { RbcPullReqMsg::Decode(b); });
+  FuzzRandom(5, [](const Bytes& b) { RbcPullRespMsg::Decode(b); });
+  FuzzRandom(6, [](const Bytes& b) { ConsPullMsg::Decode(b); });
+}
+
+TEST(WireFuzz, Vertex) {
+  FuzzRandom(7, [](const Bytes& b) { DecodeVertex(b); });
+  Vertex v;
+  v.round = 4;
+  v.source = 2;
+  v.block_digest = Digest::Of(ToBytes("blk"));
+  v.strong_edges = {StrongEdge{0, Digest::Of(ToBytes("a"))},
+                    StrongEdge{1, Digest::Of(ToBytes("b"))},
+                    StrongEdge{3, Digest::Of(ToBytes("c"))}};
+  v.weak_edges = {WeakEdge{1, 2, Digest::Of(ToBytes("w"))}};
+  FuzzMutations(EncodeVertex(v), [](const Bytes& b) { DecodeVertex(b); });
+}
+
+TEST(WireFuzz, Block) {
+  FuzzRandom(8, [](const Bytes& b) { DecodeBlock(b); });
+  BlockInfo block;
+  block.proposer = 1;
+  block.round = 2;
+  block.tx_count = 100;
+  block.tx_size = 512;
+  block.payload = ToBytes("real payload bytes");
+  FuzzMutations(EncodeBlock(block), [](const Bytes& b) { DecodeBlock(b); });
+}
+
+TEST(WireFuzz, TimeoutAndNoVote) {
+  FuzzRandom(9, [](const Bytes& b) { TimeoutMsg::Decode(b); });
+  FuzzRandom(10, [](const Bytes& b) { NoVoteMsg::Decode(b); });
+  TimeoutMsg to;
+  to.round = 3;
+  to.sig = Signature{Digest::Of(ToBytes("t"))};
+  FuzzMutations(to.Encode(), [](const Bytes& b) { TimeoutMsg::Decode(b); });
+}
+
+TEST(WireFuzz, TxBatch) {
+  FuzzRandom(11, [](const Bytes& b) { DecodeTxBatch(b); });
+  std::vector<Transaction> txs = {{1, 10, ToBytes("aa")}, {2, 20, ToBytes("bb")}};
+  FuzzMutations(EncodeTxBatch(txs), [](const Bytes& b) { DecodeTxBatch(b); });
+}
+
+TEST(WireFuzz, PoaCert) {
+  FuzzRandom(12, [](const Bytes& b) {
+    Reader r(b);
+    PoaCert::Parse(r);
+  });
+}
+
+// A vertex claiming absurd edge counts must be rejected, not allocated.
+TEST(WireFuzz, VertexHugeEdgeCountRejected) {
+  Writer w;
+  w.U64(1);                      // round
+  w.U32(0);                      // source
+  Digest().Serialize(w);         // block digest
+  w.U32(0);                      // tx count
+  w.I64(0);                      // created_at
+  w.Varint(0xffffffffULL);       // absurd strong-edge count
+  auto v = DecodeVertex(w.Buffer());
+  EXPECT_FALSE(v.has_value());
+}
+
+// Valid encodings always round-trip (sanity for the fuzz corpus).
+TEST(WireFuzz, ValidEncodingsAccepted) {
+  RbcVoteMsg msg;
+  msg.sender = 1;
+  msg.round = 2;
+  msg.digest = Digest::Of(ToBytes("ok"));
+  EXPECT_TRUE(RbcVoteMsg::Decode(msg.Encode()).has_value());
+  Vertex v;
+  v.round = 0;
+  v.source = 0;
+  EXPECT_TRUE(DecodeVertex(EncodeVertex(v)).has_value());
+}
+
+}  // namespace
+}  // namespace clandag
