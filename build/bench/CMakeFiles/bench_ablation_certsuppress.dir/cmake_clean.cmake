@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_certsuppress.dir/bench_ablation_certsuppress.cc.o"
+  "CMakeFiles/bench_ablation_certsuppress.dir/bench_ablation_certsuppress.cc.o.d"
+  "bench_ablation_certsuppress"
+  "bench_ablation_certsuppress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_certsuppress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_clansize.dir/bench_ablation_clansize.cc.o"
+  "CMakeFiles/bench_ablation_clansize.dir/bench_ablation_clansize.cc.o.d"
+  "bench_ablation_clansize"
+  "bench_ablation_clansize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clansize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

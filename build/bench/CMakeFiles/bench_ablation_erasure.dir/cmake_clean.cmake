@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_erasure.dir/bench_ablation_erasure.cc.o"
+  "CMakeFiles/bench_ablation_erasure.dir/bench_ablation_erasure.cc.o.d"
+  "bench_ablation_erasure"
+  "bench_ablation_erasure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_erasure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

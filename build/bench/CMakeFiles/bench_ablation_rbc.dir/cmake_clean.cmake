@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rbc.dir/bench_ablation_rbc.cc.o"
+  "CMakeFiles/bench_ablation_rbc.dir/bench_ablation_rbc.cc.o.d"
+  "bench_ablation_rbc"
+  "bench_ablation_rbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

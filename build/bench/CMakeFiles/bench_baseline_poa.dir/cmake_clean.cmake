@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_poa.dir/bench_baseline_poa.cc.o"
+  "CMakeFiles/bench_baseline_poa.dir/bench_baseline_poa.cc.o.d"
+  "bench_baseline_poa"
+  "bench_baseline_poa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_poa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

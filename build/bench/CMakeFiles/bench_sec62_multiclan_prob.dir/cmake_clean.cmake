@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec62_multiclan_prob.dir/bench_sec62_multiclan_prob.cc.o"
+  "CMakeFiles/bench_sec62_multiclan_prob.dir/bench_sec62_multiclan_prob.cc.o.d"
+  "bench_sec62_multiclan_prob"
+  "bench_sec62_multiclan_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec62_multiclan_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

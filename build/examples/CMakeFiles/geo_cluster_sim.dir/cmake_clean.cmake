@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_cluster_sim.dir/geo_cluster_sim.cpp.o"
+  "CMakeFiles/geo_cluster_sim.dir/geo_cluster_sim.cpp.o.d"
+  "geo_cluster_sim"
+  "geo_cluster_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_cluster_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

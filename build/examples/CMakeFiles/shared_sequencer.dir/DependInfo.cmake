@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/shared_sequencer.cpp" "examples/CMakeFiles/shared_sequencer.dir/shared_sequencer.cpp.o" "gcc" "examples/CMakeFiles/shared_sequencer.dir/shared_sequencer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/clandag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/smr/CMakeFiles/clandag_smr.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/clandag_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/clandag_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbc/CMakeFiles/clandag_rbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/clandag_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clandag_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clandag_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/clandag_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clandag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

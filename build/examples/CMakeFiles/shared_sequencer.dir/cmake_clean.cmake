@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_sequencer.dir/shared_sequencer.cpp.o"
+  "CMakeFiles/shared_sequencer.dir/shared_sequencer.cpp.o.d"
+  "shared_sequencer"
+  "shared_sequencer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_sequencer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

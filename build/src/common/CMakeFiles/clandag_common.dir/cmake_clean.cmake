@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clandag_common.dir/bytes.cc.o"
+  "CMakeFiles/clandag_common.dir/bytes.cc.o.d"
+  "CMakeFiles/clandag_common.dir/codec.cc.o"
+  "CMakeFiles/clandag_common.dir/codec.cc.o.d"
+  "CMakeFiles/clandag_common.dir/hex.cc.o"
+  "CMakeFiles/clandag_common.dir/hex.cc.o.d"
+  "CMakeFiles/clandag_common.dir/log.cc.o"
+  "CMakeFiles/clandag_common.dir/log.cc.o.d"
+  "libclandag_common.a"
+  "libclandag_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clandag_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/clan.cc" "src/consensus/CMakeFiles/clandag_consensus.dir/clan.cc.o" "gcc" "src/consensus/CMakeFiles/clandag_consensus.dir/clan.cc.o.d"
+  "/root/repo/src/consensus/committer.cc" "src/consensus/CMakeFiles/clandag_consensus.dir/committer.cc.o" "gcc" "src/consensus/CMakeFiles/clandag_consensus.dir/committer.cc.o.d"
+  "/root/repo/src/consensus/dissemination.cc" "src/consensus/CMakeFiles/clandag_consensus.dir/dissemination.cc.o" "gcc" "src/consensus/CMakeFiles/clandag_consensus.dir/dissemination.cc.o.d"
+  "/root/repo/src/consensus/poa_baseline.cc" "src/consensus/CMakeFiles/clandag_consensus.dir/poa_baseline.cc.o" "gcc" "src/consensus/CMakeFiles/clandag_consensus.dir/poa_baseline.cc.o.d"
+  "/root/repo/src/consensus/sailfish.cc" "src/consensus/CMakeFiles/clandag_consensus.dir/sailfish.cc.o" "gcc" "src/consensus/CMakeFiles/clandag_consensus.dir/sailfish.cc.o.d"
+  "/root/repo/src/consensus/wire.cc" "src/consensus/CMakeFiles/clandag_consensus.dir/wire.cc.o" "gcc" "src/consensus/CMakeFiles/clandag_consensus.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/clandag_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbc/CMakeFiles/clandag_rbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clandag_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/clandag_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/clandag_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clandag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clandag_consensus.dir/clan.cc.o"
+  "CMakeFiles/clandag_consensus.dir/clan.cc.o.d"
+  "CMakeFiles/clandag_consensus.dir/committer.cc.o"
+  "CMakeFiles/clandag_consensus.dir/committer.cc.o.d"
+  "CMakeFiles/clandag_consensus.dir/dissemination.cc.o"
+  "CMakeFiles/clandag_consensus.dir/dissemination.cc.o.d"
+  "CMakeFiles/clandag_consensus.dir/poa_baseline.cc.o"
+  "CMakeFiles/clandag_consensus.dir/poa_baseline.cc.o.d"
+  "CMakeFiles/clandag_consensus.dir/sailfish.cc.o"
+  "CMakeFiles/clandag_consensus.dir/sailfish.cc.o.d"
+  "CMakeFiles/clandag_consensus.dir/wire.cc.o"
+  "CMakeFiles/clandag_consensus.dir/wire.cc.o.d"
+  "libclandag_consensus.a"
+  "libclandag_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clandag_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clandag_core.dir/app_node.cc.o"
+  "CMakeFiles/clandag_core.dir/app_node.cc.o.d"
+  "CMakeFiles/clandag_core.dir/byzantine.cc.o"
+  "CMakeFiles/clandag_core.dir/byzantine.cc.o.d"
+  "CMakeFiles/clandag_core.dir/metrics.cc.o"
+  "CMakeFiles/clandag_core.dir/metrics.cc.o.d"
+  "CMakeFiles/clandag_core.dir/scenario.cc.o"
+  "CMakeFiles/clandag_core.dir/scenario.cc.o.d"
+  "libclandag_core.a"
+  "libclandag_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clandag_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/digest.cc" "src/crypto/CMakeFiles/clandag_crypto.dir/digest.cc.o" "gcc" "src/crypto/CMakeFiles/clandag_crypto.dir/digest.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/clandag_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/clandag_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/keychain.cc" "src/crypto/CMakeFiles/clandag_crypto.dir/keychain.cc.o" "gcc" "src/crypto/CMakeFiles/clandag_crypto.dir/keychain.cc.o.d"
+  "/root/repo/src/crypto/multisig.cc" "src/crypto/CMakeFiles/clandag_crypto.dir/multisig.cc.o" "gcc" "src/crypto/CMakeFiles/clandag_crypto.dir/multisig.cc.o.d"
+  "/root/repo/src/crypto/reed_solomon.cc" "src/crypto/CMakeFiles/clandag_crypto.dir/reed_solomon.cc.o" "gcc" "src/crypto/CMakeFiles/clandag_crypto.dir/reed_solomon.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/clandag_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/clandag_crypto.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clandag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clandag_crypto.dir/digest.cc.o"
+  "CMakeFiles/clandag_crypto.dir/digest.cc.o.d"
+  "CMakeFiles/clandag_crypto.dir/hmac.cc.o"
+  "CMakeFiles/clandag_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/clandag_crypto.dir/keychain.cc.o"
+  "CMakeFiles/clandag_crypto.dir/keychain.cc.o.d"
+  "CMakeFiles/clandag_crypto.dir/multisig.cc.o"
+  "CMakeFiles/clandag_crypto.dir/multisig.cc.o.d"
+  "CMakeFiles/clandag_crypto.dir/reed_solomon.cc.o"
+  "CMakeFiles/clandag_crypto.dir/reed_solomon.cc.o.d"
+  "CMakeFiles/clandag_crypto.dir/sha256.cc.o"
+  "CMakeFiles/clandag_crypto.dir/sha256.cc.o.d"
+  "libclandag_crypto.a"
+  "libclandag_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clandag_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

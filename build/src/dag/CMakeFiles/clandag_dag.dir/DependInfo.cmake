@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/dag_store.cc" "src/dag/CMakeFiles/clandag_dag.dir/dag_store.cc.o" "gcc" "src/dag/CMakeFiles/clandag_dag.dir/dag_store.cc.o.d"
+  "/root/repo/src/dag/types.cc" "src/dag/CMakeFiles/clandag_dag.dir/types.cc.o" "gcc" "src/dag/CMakeFiles/clandag_dag.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clandag_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/clandag_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

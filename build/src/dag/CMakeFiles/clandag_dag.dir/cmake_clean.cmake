@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clandag_dag.dir/dag_store.cc.o"
+  "CMakeFiles/clandag_dag.dir/dag_store.cc.o.d"
+  "CMakeFiles/clandag_dag.dir/types.cc.o"
+  "CMakeFiles/clandag_dag.dir/types.cc.o.d"
+  "libclandag_dag.a"
+  "libclandag_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clandag_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

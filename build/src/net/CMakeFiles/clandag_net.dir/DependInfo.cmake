@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/inproc_transport.cc" "src/net/CMakeFiles/clandag_net.dir/inproc_transport.cc.o" "gcc" "src/net/CMakeFiles/clandag_net.dir/inproc_transport.cc.o.d"
+  "/root/repo/src/net/runtime.cc" "src/net/CMakeFiles/clandag_net.dir/runtime.cc.o" "gcc" "src/net/CMakeFiles/clandag_net.dir/runtime.cc.o.d"
+  "/root/repo/src/net/tcp_transport.cc" "src/net/CMakeFiles/clandag_net.dir/tcp_transport.cc.o" "gcc" "src/net/CMakeFiles/clandag_net.dir/tcp_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clandag_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/clandag_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clandag_net.dir/inproc_transport.cc.o"
+  "CMakeFiles/clandag_net.dir/inproc_transport.cc.o.d"
+  "CMakeFiles/clandag_net.dir/runtime.cc.o"
+  "CMakeFiles/clandag_net.dir/runtime.cc.o.d"
+  "CMakeFiles/clandag_net.dir/tcp_transport.cc.o"
+  "CMakeFiles/clandag_net.dir/tcp_transport.cc.o.d"
+  "libclandag_net.a"
+  "libclandag_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clandag_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rbc/avid_rbc.cc" "src/rbc/CMakeFiles/clandag_rbc.dir/avid_rbc.cc.o" "gcc" "src/rbc/CMakeFiles/clandag_rbc.dir/avid_rbc.cc.o.d"
+  "/root/repo/src/rbc/bracha_rbc.cc" "src/rbc/CMakeFiles/clandag_rbc.dir/bracha_rbc.cc.o" "gcc" "src/rbc/CMakeFiles/clandag_rbc.dir/bracha_rbc.cc.o.d"
+  "/root/repo/src/rbc/engine_base.cc" "src/rbc/CMakeFiles/clandag_rbc.dir/engine_base.cc.o" "gcc" "src/rbc/CMakeFiles/clandag_rbc.dir/engine_base.cc.o.d"
+  "/root/repo/src/rbc/quorum.cc" "src/rbc/CMakeFiles/clandag_rbc.dir/quorum.cc.o" "gcc" "src/rbc/CMakeFiles/clandag_rbc.dir/quorum.cc.o.d"
+  "/root/repo/src/rbc/two_round_rbc.cc" "src/rbc/CMakeFiles/clandag_rbc.dir/two_round_rbc.cc.o" "gcc" "src/rbc/CMakeFiles/clandag_rbc.dir/two_round_rbc.cc.o.d"
+  "/root/repo/src/rbc/wire.cc" "src/rbc/CMakeFiles/clandag_rbc.dir/wire.cc.o" "gcc" "src/rbc/CMakeFiles/clandag_rbc.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clandag_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/clandag_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clandag_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/clandag_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

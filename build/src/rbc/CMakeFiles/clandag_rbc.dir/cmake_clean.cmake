@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clandag_rbc.dir/avid_rbc.cc.o"
+  "CMakeFiles/clandag_rbc.dir/avid_rbc.cc.o.d"
+  "CMakeFiles/clandag_rbc.dir/bracha_rbc.cc.o"
+  "CMakeFiles/clandag_rbc.dir/bracha_rbc.cc.o.d"
+  "CMakeFiles/clandag_rbc.dir/engine_base.cc.o"
+  "CMakeFiles/clandag_rbc.dir/engine_base.cc.o.d"
+  "CMakeFiles/clandag_rbc.dir/quorum.cc.o"
+  "CMakeFiles/clandag_rbc.dir/quorum.cc.o.d"
+  "CMakeFiles/clandag_rbc.dir/two_round_rbc.cc.o"
+  "CMakeFiles/clandag_rbc.dir/two_round_rbc.cc.o.d"
+  "CMakeFiles/clandag_rbc.dir/wire.cc.o"
+  "CMakeFiles/clandag_rbc.dir/wire.cc.o.d"
+  "libclandag_rbc.a"
+  "libclandag_rbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clandag_rbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clandag_sim.dir/latency.cc.o"
+  "CMakeFiles/clandag_sim.dir/latency.cc.o.d"
+  "CMakeFiles/clandag_sim.dir/network.cc.o"
+  "CMakeFiles/clandag_sim.dir/network.cc.o.d"
+  "CMakeFiles/clandag_sim.dir/scheduler.cc.o"
+  "CMakeFiles/clandag_sim.dir/scheduler.cc.o.d"
+  "libclandag_sim.a"
+  "libclandag_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clandag_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clandag_smr.dir/client.cc.o"
+  "CMakeFiles/clandag_smr.dir/client.cc.o.d"
+  "CMakeFiles/clandag_smr.dir/execution.cc.o"
+  "CMakeFiles/clandag_smr.dir/execution.cc.o.d"
+  "CMakeFiles/clandag_smr.dir/mempool.cc.o"
+  "CMakeFiles/clandag_smr.dir/mempool.cc.o.d"
+  "CMakeFiles/clandag_smr.dir/wal.cc.o"
+  "CMakeFiles/clandag_smr.dir/wal.cc.o.d"
+  "libclandag_smr.a"
+  "libclandag_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clandag_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclandag_smr.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/clan_sizing.cc" "src/stats/CMakeFiles/clandag_stats.dir/clan_sizing.cc.o" "gcc" "src/stats/CMakeFiles/clandag_stats.dir/clan_sizing.cc.o.d"
+  "/root/repo/src/stats/logmath.cc" "src/stats/CMakeFiles/clandag_stats.dir/logmath.cc.o" "gcc" "src/stats/CMakeFiles/clandag_stats.dir/logmath.cc.o.d"
+  "/root/repo/src/stats/multiclan.cc" "src/stats/CMakeFiles/clandag_stats.dir/multiclan.cc.o" "gcc" "src/stats/CMakeFiles/clandag_stats.dir/multiclan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clandag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clandag_stats.dir/clan_sizing.cc.o"
+  "CMakeFiles/clandag_stats.dir/clan_sizing.cc.o.d"
+  "CMakeFiles/clandag_stats.dir/logmath.cc.o"
+  "CMakeFiles/clandag_stats.dir/logmath.cc.o.d"
+  "CMakeFiles/clandag_stats.dir/multiclan.cc.o"
+  "CMakeFiles/clandag_stats.dir/multiclan.cc.o.d"
+  "libclandag_stats.a"
+  "libclandag_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clandag_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/byzantine_test.cc" "tests/CMakeFiles/clandag_tests.dir/byzantine_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/byzantine_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/clandag_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/consensus_test.cc" "tests/CMakeFiles/clandag_tests.dir/consensus_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/consensus_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/clandag_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/clandag_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/dag_test.cc" "tests/CMakeFiles/clandag_tests.dir/dag_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/dag_test.cc.o.d"
+  "/root/repo/tests/dissemination_test.cc" "tests/CMakeFiles/clandag_tests.dir/dissemination_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/dissemination_test.cc.o.d"
+  "/root/repo/tests/erasure_test.cc" "tests/CMakeFiles/clandag_tests.dir/erasure_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/erasure_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/clandag_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/longrun_test.cc" "tests/CMakeFiles/clandag_tests.dir/longrun_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/longrun_test.cc.o.d"
+  "/root/repo/tests/poa_baseline_test.cc" "tests/CMakeFiles/clandag_tests.dir/poa_baseline_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/poa_baseline_test.cc.o.d"
+  "/root/repo/tests/rbc_test.cc" "tests/CMakeFiles/clandag_tests.dir/rbc_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/rbc_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/clandag_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/smr_test.cc" "tests/CMakeFiles/clandag_tests.dir/smr_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/smr_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/clandag_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/transport_test.cc" "tests/CMakeFiles/clandag_tests.dir/transport_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/transport_test.cc.o.d"
+  "/root/repo/tests/wire_fuzz_test.cc" "tests/CMakeFiles/clandag_tests.dir/wire_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/clandag_tests.dir/wire_fuzz_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/clandag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/clandag_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbc/CMakeFiles/clandag_rbc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/clandag_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/smr/CMakeFiles/clandag_smr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clandag_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clandag_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/clandag_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/clandag_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clandag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
