@@ -1,0 +1,133 @@
+// Crash-recovery demo: a simulated 4-node cluster where one node fail-stops
+// mid-run, restarts from its write-ahead log, replays the committed prefix,
+// fetches the rounds it missed from its peers, and rejoins the protocol.
+// Prints the recovery and state-sync counters (core/metrics).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/crash_recovery
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/app_node.h"
+#include "core/metrics.h"
+#include "sim/network.h"
+
+using namespace clandag;
+
+namespace {
+
+constexpr uint32_t kNodes = 4;
+constexpr NodeId kVictim = 3;
+
+std::string WalPath(NodeId id) {
+  return "crash_recovery_wal_" + std::to_string(id) + ".log";
+}
+
+std::unique_ptr<AppNode> MakeNode(Runtime& runtime, const Keychain& keychain,
+                                  const ClanTopology& topology,
+                                  std::vector<std::pair<Round, NodeId>>* ordered_log) {
+  AppNodeOptions options;
+  options.consensus.num_nodes = kNodes;
+  options.consensus.num_faults = 1;
+  options.consensus.round_timeout = Millis(400);
+  options.consensus.gc_depth = 16;
+  options.wal_path = WalPath(runtime.id());
+  AppNodeCallbacks callbacks;
+  callbacks.on_ordered = [ordered_log](const Vertex& v) {
+    ordered_log->push_back({v.round, v.source});
+  };
+  auto node = std::make_unique<AppNode>(runtime, keychain, topology, options, callbacks);
+  for (uint64_t i = 0; i < 400; ++i) {
+    node->SubmitTransaction(runtime.id() * 10000 + i, Bytes(128, 0x5a));
+  }
+  return node;
+}
+
+}  // namespace
+
+int main() {
+  for (NodeId id = 0; id < kNodes; ++id) {
+    std::remove(WalPath(id).c_str());  // Fresh logs for a repeatable demo.
+  }
+
+  Scheduler scheduler;
+  Keychain keychain(17, kNodes);
+  ClanTopology topology = ClanTopology::Full(kNodes);
+  SimNetwork network(scheduler, LatencyMatrix::Uniform(kNodes, Millis(10)),
+                     NetworkConfig{1e9, 0});
+
+  std::vector<std::unique_ptr<SimRuntime>> runtimes;
+  std::vector<std::unique_ptr<AppNode>> nodes;
+  std::vector<std::vector<std::pair<Round, NodeId>>> ordered(kNodes);
+  for (NodeId id = 0; id < kNodes; ++id) {
+    runtimes.push_back(std::make_unique<SimRuntime>(network, id));
+    nodes.push_back(MakeNode(*runtimes[id], keychain, topology, &ordered[id]));
+    network.RegisterHandler(id, nodes[id].get());
+  }
+  for (auto& node : nodes) {
+    node->Start();
+  }
+
+  // Phase 1: healthy cluster.
+  scheduler.RunUntil(Seconds(3));
+  const int64_t committed_at_crash = nodes[kVictim]->consensus().LastCommittedRound();
+  std::printf("t=3s  crash node %u (committed round %lld)\n", kVictim,
+              static_cast<long long>(committed_at_crash));
+  network.SetCrashed(kVictim, true);
+
+  // Phase 2: the survivors keep committing; the victim's timers drain while
+  // its traffic is dropped. (The crashed AppNode object must outlive its
+  // scheduled callbacks, so it is kept as a zombie, not destroyed.)
+  scheduler.RunUntil(Seconds(7));
+
+  // Phase 3: restart from the WAL — a brand-new AppNode over the same
+  // identity and log file.
+  std::printf("t=7s  restart node %u from %s\n", kVictim, WalPath(kVictim).c_str());
+  std::vector<std::pair<Round, NodeId>> ordered_after_restart;
+  auto restart_runtime = std::make_unique<SimRuntime>(network, kVictim);
+  auto restarted =
+      MakeNode(*restart_runtime, keychain, topology, &ordered_after_restart);
+  network.RegisterHandler(kVictim, restarted.get());
+  network.SetCrashed(kVictim, false);
+  restarted->Start();
+  const RecoveryStats& rec = restarted->recovery_stats();
+  std::printf("      replayed %llu WAL records: %zu committed + %zu trailing vertices, "
+              "resume round %llu (%.1f ms host time)\n",
+              static_cast<unsigned long long>(rec.wal_records), rec.restored_vertices,
+              rec.trailing_vertices, static_cast<unsigned long long>(rec.resume_round),
+              static_cast<double>(rec.duration_us) / 1000.0);
+
+  scheduler.RunUntil(Seconds(12));
+
+  const int64_t victim_committed = restarted->consensus().LastCommittedRound();
+  const int64_t peer_committed = nodes[0]->consensus().LastCommittedRound();
+  std::printf("t=12s node %u committed round %lld (peer at %lld)\n", kVictim,
+              static_cast<long long>(victim_committed), static_cast<long long>(peer_committed));
+
+  SyncStats sync = restarted->sync_stats();
+  for (NodeId id = 0; id < kNodes; ++id) {
+    if (id != kVictim) {
+      sync += nodes[id]->sync_stats();
+    }
+  }
+  std::printf("state sync: %s\n", FormatSyncStats(sync).c_str());
+
+  // The restarted node's post-restart order must be a continuation of the
+  // healthy nodes' order: peer order == (replayed prefix) + (live stream).
+  const auto& reference = ordered[0];
+  const size_t prefix = rec.restored_vertices;
+  bool ok = victim_committed + 4 >= peer_committed && sync.vertices_fetched > 0;
+  for (size_t i = 0; i < ordered_after_restart.size(); ++i) {
+    if (prefix + i >= reference.size() ||
+        !(reference[prefix + i] == ordered_after_restart[i])) {
+      ok = (prefix + i >= reference.size());  // Reference may simply be shorter.
+      break;
+    }
+  }
+  std::printf("recovery %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

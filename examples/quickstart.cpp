@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "core/metrics.h"
 #include "core/scenario.h"
 #include "stats/clan_sizing.h"
 
@@ -48,5 +49,6 @@ int main() {
   std::printf("agreement across nodes : %s (%llu ordered vertices checked)\n",
               result.agreement_ok ? "OK" : "VIOLATED",
               static_cast<unsigned long long>(result.ordered_vertices_checked));
+  std::printf("state sync             : %s\n", FormatSyncStats(result.sync).c_str());
   return result.agreement_ok ? 0 : 1;
 }

@@ -16,6 +16,11 @@ Committer::Committer(DagStore& dag, uint32_t num_nodes, uint32_t quorum, LeaderF
   CLANDAG_CHECK(leader_ != nullptr && order_ != nullptr);
 }
 
+void Committer::RestoreCommitted(int64_t round) {
+  CLANDAG_CHECK(last_committed_ == -1);  // Only valid before any live commit.
+  last_committed_ = round;
+}
+
 void Committer::CountVote(const Vertex& voter) {
   if (voter.round == 0) {
     return;
@@ -96,6 +101,9 @@ void Committer::CommitChainTo(Round round) {
     std::vector<const Vertex*> history = dag_.OrderHistory(*rit, leader_(*rit));
     for (const Vertex* v : history) {
       order_(*v);
+    }
+    if (anchor_cb_) {
+      anchor_cb_(*rit);
     }
   }
 

@@ -34,8 +34,17 @@ class Committer {
  public:
   using LeaderFn = std::function<NodeId(Round)>;
   using OrderFn = std::function<void(const Vertex&)>;
+  using AnchorFn = std::function<void(Round)>;
 
   Committer(DagStore& dag, uint32_t num_nodes, uint32_t quorum, LeaderFn leader, OrderFn order);
+
+  // Invoked after each committed anchor finished ordering its history batch —
+  // the WAL uses it as the durable commit barrier.
+  void SetAnchorCallback(AnchorFn fn) { anchor_cb_ = std::move(fn); }
+
+  // Restores the commit frontier from a replayed WAL before any live message
+  // is processed; rounds <= `round` are never re-ordered.
+  void RestoreCommitted(int64_t round);
 
   // Counts the leader vote carried by `voter` (a round >= 1 vertex seen via
   // VAL or added to the DAG). Idempotent per (voter round, voter source).
@@ -59,6 +68,7 @@ class Committer {
   uint32_t quorum_;
   LeaderFn leader_;
   OrderFn order_;
+  AnchorFn anchor_cb_;
 
   // Per leader round: votes per claimed leader-vertex digest.
   std::map<Round, std::map<Digest, SignerBitmap>> votes_;

@@ -107,6 +107,21 @@ void VertexDisseminator::PruneBelow(Round round) {
   }
 }
 
+void VertexDisseminator::EnsureBlockPull(const Vertex& v, const Digest& digest) {
+  Instance& inst = GetInstance(v.source, v.round);
+  if (!inst.vertex.has_value()) {
+    inst.vertex = v;
+    inst.vertex_digest = digest;
+  }
+  if (!v.HasBlock() || !topology_.ReceivesBlocksOf(v.source, runtime_.id())) {
+    return;
+  }
+  if ((inst.block.has_value() && inst.block_verified) || inst.pulling_block) {
+    return;
+  }
+  StartBlockPull(v.source, v.round);
+}
+
 bool VertexDisseminator::NeedsBlockToEcho(const Vertex& v) const {
   return v.HasBlock() && topology_.ReceivesBlocksOf(v.source, runtime_.id());
 }

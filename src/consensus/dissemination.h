@@ -93,6 +93,11 @@ class VertexDisseminator {
   // Drops bookkeeping for instances below `round` (post-commit GC).
   void PruneBelow(Round round);
 
+  // Called for a vertex that entered the DAG through the sync fetcher (no
+  // RBC ran locally): records the body so pulls can be served, and starts a
+  // block pull if this node is responsible for the vertex's block.
+  void EnsureBlockPull(const Vertex& v, const Digest& digest);
+
  private:
   struct Instance {
     std::optional<Vertex> vertex;  // First body received.

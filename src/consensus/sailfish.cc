@@ -36,11 +36,78 @@ SailfishNode::SailfishNode(Runtime& runtime, const Keychain& keychain,
   dcfg.num_faults = config_.num_faults;
   dissem_ = std::make_unique<VertexDisseminator>(runtime_, keychain_, topology_, dcfg,
                                                  std::move(cbs));
+  committer_.SetAnchorCallback([this](Round r) {
+    if (callbacks_.on_anchor) {
+      callbacks_.on_anchor(r);
+    }
+  });
+  fetcher_ = std::make_unique<VertexFetcher>(runtime_, dag_, config_.fetch);
+  fetcher_->SetDeliver([this](Vertex v, const Digest& d) { OnFetchedVertex(std::move(v), d); });
+  fetcher_->SetLowWatermark(
+      [this] { return static_cast<Round>(committer_.LastCommittedRound() + 1); });
+  responder_ = std::make_unique<FetchResponder>(runtime_, dag_, config_.responder);
 }
 
 void SailfishNode::Start() {
+  if (recovered_) {
+    if (!ProposeForRound(current_round_)) {
+      pending_proposal_ = current_round_;
+    }
+    ScheduleTimeout(current_round_);
+    return;
+  }
   ProposeForRound(0);
   ScheduleTimeout(0);
+}
+
+RecoveryOutcome SailfishNode::RestoreFromWal(const RecoveryState& state) {
+  CLANDAG_CHECK(!recovered_ && !proposed_any_ && current_round_ == 0);
+  recovered_ = true;
+  RecoveryOutcome out;
+  committer_.RestoreCommitted(state.last_committed);
+  Round max_round = 0;
+  // The WAL's append order is the agreed total order, which respects
+  // causality, so parents are always present when a vertex is re-inserted.
+  for (const Vertex& v : state.ordered) {
+    Vertex copy = v;
+    if (!dag_.Insert(std::move(copy))) {
+      continue;  // Duplicate record survived log dedup; harmless.
+    }
+    dag_.MarkOrdered(v.round, v.source);
+    max_round = std::max(max_round, v.round);
+    ++out.restored_vertices;
+  }
+  for (const Vertex& v : state.trailing) {
+    Vertex copy = v;
+    if (!dag_.Insert(std::move(copy))) {
+      continue;
+    }
+    max_round = std::max(max_round, v.round);
+    ++out.trailing_vertices;
+    // Re-count the vote this vertex carries; if a trailing anchor regains its
+    // quorum the committer re-orders it right here, deterministically
+    // repeating the pre-crash order past the durable barrier.
+    committer_.OnVertexAdded(*dag_.Get(v.round, v.source));
+  }
+  const Round after_restored =
+      (out.restored_vertices + out.trailing_vertices) > 0 ? max_round + 1 : 0;
+  current_round_ = std::max(after_restored, state.propose_floor);
+  if (state.propose_floor > 0) {
+    proposed_any_ = true;
+    last_proposed_ = state.propose_floor - 1;
+  }
+  out.resume_round = current_round_;
+  return out;
+}
+
+void SailfishNode::SetHistoryProvider(DagStore::PrunedLookupFn fn) {
+  dag_.SetPrunedLookup(std::move(fn));
+}
+
+SyncStats SailfishNode::sync_stats() const {
+  SyncStats s = fetcher_->stats();
+  s += responder_->stats();
+  return s;
 }
 
 void SailfishNode::OnMessage(NodeId from, MsgType type, const Bytes& payload) {
@@ -54,8 +121,18 @@ void SailfishNode::OnMessage(NodeId from, MsgType type, const Bytes& payload) {
     case kConsNoVote:
       OnNoVoteMsg(from, payload);
       return;
+    case kConsFetchRequest:
+      responder_->OnRequest(from, payload);
+      return;
+    case kConsFetchResponse:
+      fetcher_->OnResponse(from, payload);
+      DrainFetcher();
+      MaybeAdvance();
+      TryPendingProposal();
+      return;
     default:
-      CLANDAG_DEBUG("node %u: unknown message type %u from %u", runtime_.id(), type, from);
+      CLANDAG_DEBUG("node %u: unknown message type %u (%s) from %u", runtime_.id(), type,
+                    MsgTypeName(type), from);
   }
 }
 
@@ -72,6 +149,20 @@ void SailfishNode::OnVertexComplete(const Vertex& v, const Digest& digest) {
     return;
   }
   TryAdmit(v, digest);
+}
+
+void SailfishNode::OnFetchedVertex(Vertex v, const Digest& digest) {
+  // Same admission contract as an RBC completion: the digest was verified
+  // against a completed child's edge, which establishes non-equivocation.
+  if (!StructurallyValid(v)) {
+    CLANDAG_WARN("node %u: rejecting structurally invalid fetched vertex (%llu, %u)",
+                 runtime_.id(), static_cast<unsigned long long>(v.round), v.source);
+    return;
+  }
+  // No RBC ran locally, so the block push never happened; pull it if this
+  // node is responsible for the vertex's block.
+  dissem_->EnsureBlockPull(v, digest);
+  TryAdmit(std::move(v), digest);
 }
 
 void SailfishNode::OnBlock(const BlockInfo& /*block*/) {
@@ -127,11 +218,11 @@ void SailfishNode::TryAdmit(Vertex v, const Digest& digest) {
     return;
   }
   if (!dag_.ParentsPresent(v)) {
-    buffer_.emplace(std::make_pair(v.round, v.source), std::make_pair(std::move(v), digest));
+    fetcher_->AddBlocked(std::move(v), digest);
     return;
   }
   if (AdmitNow(v, digest)) {
-    DrainBuffer();
+    DrainFetcher();
     MaybeAdvance();
     TryPendingProposal();
   }
@@ -139,14 +230,22 @@ void SailfishNode::TryAdmit(Vertex v, const Digest& digest) {
 
 bool SailfishNode::AdmitNow(const Vertex& v, const Digest& /*digest*/) {
   // Edge digests must match the vertices actually in the DAG (a Byzantine
-  // vertex cannot smuggle in references to equivocated bodies).
+  // vertex cannot smuggle in references to equivocated bodies). A parent in
+  // a fully-pruned round is committed history whose digest the DAG no longer
+  // holds; it was digest-checked when that round was live.
   for (const StrongEdge& e : v.strong_edges) {
+    if (dag_.StatusOf(v.round - 1, e.source) == VertexStatus::kPruned) {
+      continue;
+    }
     const Digest* d = dag_.DigestOf(v.round - 1, e.source);
     if (d == nullptr || *d != e.digest) {
       return false;
     }
   }
   for (const WeakEdge& e : v.weak_edges) {
+    if (dag_.StatusOf(e.round, e.source) == VertexStatus::kPruned) {
+      continue;
+    }
     const Digest* d = dag_.DigestOf(e.round, e.source);
     if (d == nullptr || *d != e.digest) {
       return false;
@@ -166,26 +265,14 @@ bool SailfishNode::AdmitNow(const Vertex& v, const Digest& /*digest*/) {
   return true;
 }
 
-void SailfishNode::DrainBuffer() {
+void SailfishNode::DrainFetcher() {
   bool progressed = true;
   while (progressed) {
     progressed = false;
-    for (auto it = buffer_.begin(); it != buffer_.end();) {
-      Vertex& v = it->second.first;
-      if (dag_.Has(v.round, v.source)) {
-        it = buffer_.erase(it);
-        continue;
+    for (auto& [v, d] : fetcher_->TakeAdmissible()) {
+      if (AdmitNow(v, d)) {
+        progressed = true;
       }
-      if (dag_.ParentsPresent(v)) {
-        Vertex taken = std::move(v);
-        Digest d = it->second.second;
-        it = buffer_.erase(it);
-        if (AdmitNow(taken, d)) {
-          progressed = true;
-        }
-        continue;
-      }
-      ++it;
     }
   }
 }
@@ -271,6 +358,11 @@ bool SailfishNode::ProposeForRound(Round round) {
 
   proposed_any_ = true;
   last_proposed_ = round;
+  if (callbacks_.on_propose) {
+    // Durable proposal marker first: a node restarted after this point must
+    // not propose a different round-`round` vertex (self-equivocation).
+    callbacks_.on_propose(round);
+  }
   dissem_->Propose(v, std::move(block));
   return true;
 }
@@ -344,12 +436,17 @@ void SailfishNode::GarbageCollect() {
   if (committed < static_cast<int64_t>(config_.gc_depth)) {
     return;
   }
-  const Round floor = static_cast<Round>(committed) - config_.gc_depth;
+  Round floor = static_cast<Round>(committed) - config_.gc_depth;
+  // Fetch-aware floor: never prune a round the fetcher still needs, else a
+  // straggler this node is repairing would become unorderable here while
+  // peers order it under a later anchor (divergence).
+  if (std::optional<Round> pinned = fetcher_->OldestPinnedRound();
+      pinned.has_value() && *pinned < floor) {
+    floor = *pinned;
+  }
   dag_.PruneBelow(floor);
   dissem_->PruneBelow(floor);
-  for (auto it = buffer_.begin(); it != buffer_.end();) {
-    it = it->first.first < floor ? buffer_.erase(it) : std::next(it);
-  }
+  fetcher_->PruneBelow(floor);
   auto prune_round_map = [floor](auto& m) {
     m.erase(m.begin(), m.lower_bound(floor));
   };

@@ -33,6 +33,9 @@
 #include "consensus/dissemination.h"
 #include "dag/dag_store.h"
 #include "net/runtime.h"
+#include "sync/fetch_responder.h"
+#include "sync/recovery.h"
+#include "sync/vertex_fetcher.h"
 
 namespace clandag {
 
@@ -50,7 +53,12 @@ struct SailfishConfig {
   uint32_t num_faults = 0;  // f = floor((n-1)/3) unless overridden.
   TimeMicros round_timeout = Millis(1500);
   DisseminationConfig dissemination;
-  // Rounds of history kept below the commit frontier before pruning.
+  // State-sync subsystem knobs (src/sync/).
+  FetcherConfig fetch;
+  ResponderConfig responder;
+  // Rounds of history kept below the commit frontier before pruning. The
+  // effective GC floor is additionally capped by the fetcher's oldest pinned
+  // round, so in-flight repairs are never pruned out from under themselves.
   Round gc_depth = 64;
 
   uint32_t Quorum() const { return 2 * num_faults + 1; }
@@ -60,6 +68,19 @@ struct SailfishCallbacks {
   // Vertices in the agreed total order (same sequence at every honest node).
   std::function<void(const Vertex&)> on_ordered;
   std::function<void(Round)> on_round_advance;  // Optional.
+  // Fired just before broadcasting this node's own round-r vertex; the WAL
+  // writes its proposal marker here (anti-self-equivocation across restarts).
+  std::function<void(Round)> on_propose;  // Optional.
+  // Fired after a committed anchor finished ordering its history batch; the
+  // WAL writes its durable commit barrier here.
+  std::function<void(Round)> on_anchor;  // Optional.
+};
+
+// What RestoreFromWal reconstructed.
+struct RecoveryOutcome {
+  size_t restored_vertices = 0;   // Committed prefix re-inserted and marked.
+  size_t trailing_vertices = 0;   // Re-inserted unordered (will re-commit).
+  Round resume_round = 0;         // Round the node rejoins the protocol at.
 };
 
 class SailfishNode final : public MessageHandler {
@@ -70,8 +91,22 @@ class SailfishNode final : public MessageHandler {
   SailfishNode(const SailfishNode&) = delete;
   SailfishNode& operator=(const SailfishNode&) = delete;
 
-  // Proposes the round-0 vertex and starts the round timer.
+  // Proposes the first vertex (round 0, or the resume round after
+  // RestoreFromWal) and starts the round timer.
   void Start();
+
+  // Rebuilds consensus state from a replayed WAL. Must be called before
+  // Start() and before any live message: re-inserts the committed prefix
+  // (marked ordered so it is never re-emitted), restores the commit
+  // frontier, re-inserts trailing ordered-but-unbarriered vertices (the
+  // live committer re-orders them identically, which may fire on_ordered
+  // synchronously here), and moves the propose floor above every round this
+  // node may have proposed in a previous life.
+  RecoveryOutcome RestoreFromWal(const RecoveryState& state);
+
+  // Installs the committed-history lookup the DagStore consults for pruned
+  // rounds (the FetchResponder serves from it).
+  void SetHistoryProvider(DagStore::PrunedLookupFn fn);
 
   // MessageHandler.
   void OnMessage(NodeId from, MsgType type, const Bytes& payload) override;
@@ -84,18 +119,23 @@ class SailfishNode final : public MessageHandler {
   const DagStore& dag() const { return dag_; }
   const Committer& committer() const { return committer_; }
   VertexDisseminator& disseminator() { return *dissem_; }
+  const VertexFetcher& fetcher() const { return *fetcher_; }
+  // Combined fetcher + responder counters.
+  SyncStats sync_stats() const;
 
  private:
   void OnVertexVal(const Vertex& v);
   void OnVertexComplete(const Vertex& v, const Digest& digest);
+  void OnFetchedVertex(Vertex v, const Digest& digest);
   void OnBlock(const BlockInfo& block);
 
   bool StructurallyValid(const Vertex& v) const;
   bool Justified(const Vertex& v) const;
-  // Admits `v` if its parents are present (else buffers); drains dependents.
+  // Admits `v` if its parents are present (else hands it to the fetcher,
+  // which repairs the missing parents); drains dependents.
   void TryAdmit(Vertex v, const Digest& digest);
   bool AdmitNow(const Vertex& v, const Digest& digest);
-  void DrainBuffer();
+  void DrainFetcher();
 
   void MaybeAdvance();
   // Attempts the proposal for `round`; returns false when it must wait (for
@@ -118,16 +158,18 @@ class SailfishNode final : public MessageHandler {
   DagStore dag_;
   Committer committer_;
   std::unique_ptr<VertexDisseminator> dissem_;
+  // Completed vertices waiting for parents live inside the fetcher, which
+  // actively repairs the gaps (the pre-sync design buffered them passively).
+  std::unique_ptr<VertexFetcher> fetcher_;
+  std::unique_ptr<FetchResponder> responder_;
 
   Round current_round_ = 0;
   Round last_proposed_ = 0;
   bool proposed_any_ = false;
+  bool recovered_ = false;
   // Proposal that could not be issued yet (missing parents after a no-vote
   // exclusion, or missing NVC/TC justification for a leader skip).
   std::optional<Round> pending_proposal_;
-
-  // Completed vertices waiting for parents, keyed (round, source).
-  std::map<std::pair<Round, NodeId>, std::pair<Vertex, Digest>> buffer_;
 
   std::set<Round> timeout_fired_;
   std::set<Round> no_voted_;  // Rounds whose leader this node refused to vote for.

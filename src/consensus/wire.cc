@@ -2,6 +2,25 @@
 
 namespace clandag {
 
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case kConsVertexVal: return "VertexVal";
+    case kConsBlock: return "Block";
+    case kConsEcho: return "Echo";
+    case kConsReady: return "Ready";
+    case kConsCert: return "Cert";
+    case kConsVertexPullReq: return "VertexPullReq";
+    case kConsVertexPullResp: return "VertexPullResp";
+    case kConsBlockPullReq: return "BlockPullReq";
+    case kConsBlockPullResp: return "BlockPullResp";
+    case kConsNoVote: return "NoVote";
+    case kConsTimeout: return "Timeout";
+    case kConsFetchRequest: return "FetchRequest";
+    case kConsFetchResponse: return "FetchResponse";
+    default: return "Unknown";
+  }
+}
+
 Bytes TimeoutMsg::Encode() const {
   Writer w;
   w.U64(round);

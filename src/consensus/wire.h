@@ -11,6 +11,7 @@
 
 #include "dag/types.h"
 #include "rbc/wire.h"
+#include "sync/sync_wire.h"
 
 namespace clandag {
 
@@ -25,6 +26,16 @@ inline constexpr MsgType kConsBlockPullReq = 8;
 inline constexpr MsgType kConsBlockPullResp = 9;
 inline constexpr MsgType kConsNoVote = 10;
 inline constexpr MsgType kConsTimeout = 11;
+// Fetch codecs live in sync/sync_wire.h (the sync library sits below
+// consensus); re-exported here so the consensus layer speaks one namespace
+// of message types.
+inline constexpr MsgType kConsFetchRequest = kSyncFetchRequest;
+inline constexpr MsgType kConsFetchResponse = kSyncFetchResponse;
+static_assert(kConsFetchRequest == 12 && kConsFetchResponse == 13,
+              "sync wire types must extend the consensus numbering");
+
+// Human-readable tag for logs and debug counters.
+const char* MsgTypeName(MsgType type);
 
 // Signed vote that the sender timed out on `round` without the leader vertex
 // (multicast; 2f+1 form a TimeoutCert).

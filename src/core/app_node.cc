@@ -1,5 +1,9 @@
 #include "core/app_node.h"
 
+#include <chrono>
+
+#include "common/log.h"
+
 namespace clandag {
 
 AppNode::AppNode(Runtime& runtime, const Keychain& keychain, const ClanTopology& topology,
@@ -11,11 +15,51 @@ AppNode::AppNode(Runtime& runtime, const Keychain& keychain, const ClanTopology&
       mempool_(Mempool::Options{options.max_txs_per_block}) {
   SailfishCallbacks consensus_callbacks;
   consensus_callbacks.on_ordered = [this](const Vertex& v) { OnOrdered(v); };
+  consensus_callbacks.on_anchor = [this](Round r) {
+    if (wal_) {
+      wal_->AppendAnchor(r);
+    }
+  };
+  consensus_callbacks.on_propose = [this](Round r) {
+    if (wal_) {
+      wal_->AppendProposal(r);
+    }
+  };
   consensus_ = std::make_unique<SailfishNode>(runtime_, keychain, topology_, options_.consensus,
                                               &mempool_, std::move(consensus_callbacks));
 }
 
 void AppNode::Start() {
+  if (!options_.wal_path.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto wal = std::make_unique<WalVertexStore>(options_.wal_path);
+    if (!wal->Load()) {
+      CLANDAG_WARN("node %u: cannot open WAL %s; running without persistence", runtime_.id(),
+                   options_.wal_path.c_str());
+    } else {
+      wal_ = std::move(wal);
+      consensus_->SetHistoryProvider(
+          [this](Round r, NodeId s) { return wal_->Lookup(r, s); });
+      const RecoveryState& state = wal_->recovery();
+      if (state.HasData()) {
+        // Restore the consensus state first (trailing vertices may re-order
+        // synchronously, flowing through OnOrdered like live traffic), then
+        // hand the committed prefix to the application.
+        recovery_stats_.recovered = true;
+        recovery_stats_.wal_records = state.records;
+        const RecoveryOutcome outcome = consensus_->RestoreFromWal(state);
+        recovery_stats_.restored_vertices = outcome.restored_vertices;
+        recovery_stats_.trailing_vertices = outcome.trailing_vertices;
+        recovery_stats_.resume_round = outcome.resume_round;
+        if (callbacks_.on_recovered) {
+          callbacks_.on_recovered(state);
+        }
+      }
+    }
+    recovery_stats_.duration_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                      std::chrono::steady_clock::now() - t0)
+                                      .count();
+  }
   consensus_->Start();
 }
 
@@ -33,6 +77,11 @@ void AppNode::SubmitTransaction(uint64_t id, Bytes data) {
 
 void AppNode::OnOrdered(const Vertex& v) {
   ++ordered_count_;
+  if (wal_) {
+    // Durability before externalization: the vertex hits the log before any
+    // callback can act on it.
+    wal_->AppendOrdered(v);
+  }
   if (callbacks_.on_ordered) {
     callbacks_.on_ordered(v);
   }
@@ -47,6 +96,16 @@ void AppNode::DrainExecutionQueue() {
     const Vertex& head = execution_queue_.front();
     const BlockInfo* block = consensus_->disseminator().GetBlock(head.source, head.round);
     if (block == nullptr) {
+      // After a long outage the payload of an old ordered block can be
+      // unobtainable (every peer pruned it; the WAL persists vertices, not
+      // blocks). Skip it rather than stall execution forever — payload
+      // state transfer is out of scope for the sync subsystem.
+      const int64_t committed = consensus_->LastCommittedRound();
+      if (committed > 0 && head.round + options_.consensus.gc_depth < static_cast<Round>(committed)) {
+        ++blocks_skipped_;
+        execution_queue_.pop_front();
+        continue;
+      }
       // Block still downloading; poll until it lands (the disseminator's
       // pull protocol is already chasing it).
       if (!poll_armed_) {

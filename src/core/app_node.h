@@ -16,10 +16,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "consensus/sailfish.h"
 #include "smr/execution.h"
 #include "smr/mempool.h"
+#include "sync/wal_vertex_store.h"
 
 namespace clandag {
 
@@ -28,13 +30,31 @@ struct AppNodeOptions {
   uint32_t max_txs_per_block = 1000;
   // How often to re-check the block store for a stalled execution head.
   TimeMicros execution_poll = Millis(50);
+  // Non-empty = persist consensus output to this WAL and replay it on
+  // Start(); the node then also serves committed history to catching-up
+  // peers after the DAG pruned it.
+  std::string wal_path;
 };
 
 struct AppNodeCallbacks {
   // Receipt for every block this node executed (clan duty).
   std::function<void(const ExecutionReceipt&)> on_receipt;
-  // Every ordered vertex (all nodes, block or not).
+  // Every ordered vertex (all nodes, block or not). After a restart this
+  // stream resumes right past the replayed committed prefix (the prefix is
+  // handed to on_recovered instead, never re-emitted).
   std::function<void(const Vertex&)> on_ordered;
+  // Fired during Start() when the WAL held state: the replayed committed
+  // prefix, before any live vertex is ordered.
+  std::function<void(const RecoveryState&)> on_recovered;
+};
+
+struct RecoveryStats {
+  bool recovered = false;
+  size_t restored_vertices = 0;
+  size_t trailing_vertices = 0;
+  Round resume_round = 0;
+  uint64_t wal_records = 0;
+  int64_t duration_us = 0;  // Host wall clock spent replaying the WAL.
 };
 
 class AppNode final : public MessageHandler {
@@ -50,8 +70,13 @@ class AppNode final : public MessageHandler {
 
   uint64_t OrderedVertices() const { return ordered_count_; }
   uint64_t ExecutedBlocks() const { return executed_blocks_; }
+  // Ordered blocks whose payload became unobtainable (pruned everywhere
+  // after a long outage); see DrainExecutionQueue.
+  uint64_t BlocksSkipped() const { return blocks_skipped_; }
   const ExecutionEngine& execution() const { return execution_; }
   SailfishNode& consensus() { return *consensus_; }
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  SyncStats sync_stats() const { return consensus_->sync_stats(); }
 
  private:
   void OnOrdered(const Vertex& v);
@@ -65,12 +90,15 @@ class AppNode final : public MessageHandler {
   Mempool mempool_;
   ExecutionEngine execution_;
   std::unique_ptr<SailfishNode> consensus_;
+  std::unique_ptr<WalVertexStore> wal_;
+  RecoveryStats recovery_stats_;
 
   // Ordered vertices with blocks this node must execute, in order.
   std::deque<Vertex> execution_queue_;
   bool poll_armed_ = false;
   uint64_t ordered_count_ = 0;
   uint64_t executed_blocks_ = 0;
+  uint64_t blocks_skipped_ = 0;
 };
 
 }  // namespace clandag

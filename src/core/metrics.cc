@@ -1,6 +1,7 @@
 #include "core/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 
 namespace clandag {
@@ -13,6 +14,23 @@ void LatencyStats::Add(double value_ms, uint64_t weight) {
   sorted_ = false;
   total_weight_ += weight;
   weighted_sum_ += value_ms * static_cast<double>(weight);
+}
+
+void LatencyStats::Merge(const LatencyStats& other) {
+  if (&other == this || other.samples_.empty()) {
+    return;
+  }
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+  total_weight_ += other.total_weight_;
+  weighted_sum_ += other.weighted_sum_;
+}
+
+void LatencyStats::Reset() {
+  samples_.clear();
+  sorted_ = false;
+  total_weight_ = 0;
+  weighted_sum_ = 0.0;
 }
 
 double LatencyStats::Mean() const {
@@ -60,6 +78,23 @@ double LatencyStats::Max() const {
   }
   EnsureSorted();
   return samples_.back().value_ms;
+}
+
+std::string FormatSyncStats(const SyncStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "fetch: req=%llu retry=%llu resp=%llu got=%llu bad=%llu dropped=%llu | "
+                "serve: req=%llu sent=%llu wal=%llu",
+                static_cast<unsigned long long>(s.requests_sent),
+                static_cast<unsigned long long>(s.retries),
+                static_cast<unsigned long long>(s.responses_received),
+                static_cast<unsigned long long>(s.vertices_fetched),
+                static_cast<unsigned long long>(s.digest_mismatches),
+                static_cast<unsigned long long>(s.fetches_abandoned),
+                static_cast<unsigned long long>(s.requests_served),
+                static_cast<unsigned long long>(s.vertices_served),
+                static_cast<unsigned long long>(s.wal_vertices_served));
+  return std::string(buf);
 }
 
 }  // namespace clandag

@@ -5,7 +5,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "sync/sync_stats.h"
 
 namespace clandag {
 
@@ -13,6 +16,9 @@ namespace clandag {
 class LatencyStats {
  public:
   void Add(double value_ms, uint64_t weight = 1);
+  // Folds another distribution in (per-node stats -> cluster-wide stats).
+  void Merge(const LatencyStats& other);
+  void Reset();
 
   uint64_t TotalWeight() const { return total_weight_; }
   size_t SampleCount() const { return samples_.size(); }
@@ -34,6 +40,9 @@ class LatencyStats {
 
   void EnsureSorted() const;
 };
+
+// One-line human-readable rendering of the sync subsystem counters.
+std::string FormatSyncStats(const SyncStats& s);
 
 }  // namespace clandag
 

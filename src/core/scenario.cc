@@ -219,6 +219,9 @@ ScenarioResult RunScenario(const ScenarioOptions& options) {
   result.anchors_committed = nodes[ref]->committer().AnchorsCommitted();
   result.anchors_skipped = nodes[ref]->committer().AnchorsSkipped();
   result.last_committed_round = nodes[ref]->LastCommittedRound();
+  for (uint32_t id = 0; id < n; ++id) {
+    result.sync += nodes[id]->sync_stats();
+  }
   result.total_gbytes_sent = static_cast<double>(network.TotalBytesSent()) / 1e9;
   result.events_processed = scheduler.EventsProcessed();
   result.sim_time_seconds = ToSeconds(scheduler.Now());

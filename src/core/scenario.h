@@ -18,6 +18,7 @@
 #include "consensus/clan.h"
 #include "consensus/dissemination.h"
 #include "common/time.h"
+#include "sync/sync_stats.h"
 
 namespace clandag {
 
@@ -94,6 +95,10 @@ struct ScenarioResult {
 
   bool agreement_ok = false;
   uint64_t ordered_vertices_checked = 0;
+
+  // State-sync counters summed over all live nodes (missing-parent repairs
+  // triggered during the run).
+  SyncStats sync;
 };
 
 ScenarioResult RunScenario(const ScenarioOptions& options);

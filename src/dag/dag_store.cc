@@ -23,6 +23,11 @@ const DagStore::Stored* DagStore::Find(Round round, NodeId source) const {
 
 bool DagStore::Insert(Vertex v) {
   CLANDAG_CHECK(v.source < num_nodes_);
+  if (v.round < pruned_floor_ && rounds_.find(v.round) == rounds_.end()) {
+    // The whole round was ordered and pruned: this is a re-delivery of
+    // committed history (a late RBC completion or fetch response).
+    return false;
+  }
   CLANDAG_CHECK_MSG(ParentsPresent(v), "DagStore::Insert requires causally-complete vertices");
   RoundSlot& slot = rounds_[v.round];
   if (slot.by_source.empty()) {
@@ -59,6 +64,47 @@ const Digest* DagStore::DigestOf(Round round, NodeId source) const {
   return s != nullptr ? &s->digest : nullptr;
 }
 
+VertexStatus DagStore::StatusOf(Round round, NodeId source) const {
+  if (Find(round, source) != nullptr) {
+    return VertexStatus::kPresent;
+  }
+  if (round < pruned_floor_ && rounds_.find(round) == rounds_.end()) {
+    // The round was fully ordered and dropped. If (round, source) ever named
+    // a real vertex it is committed history; a reference to a vertex that
+    // never existed (fabricated edge) also lands here, which is acceptable:
+    // no honest vertex references bodies its peers never admitted.
+    return VertexStatus::kPruned;
+  }
+  return VertexStatus::kUnknown;
+}
+
+std::optional<Vertex> DagStore::Lookup(Round round, NodeId source, bool* from_history) const {
+  if (from_history != nullptr) {
+    *from_history = false;
+  }
+  const Stored* s = Find(round, source);
+  if (s != nullptr) {
+    return s->v;
+  }
+  if (pruned_lookup_ && StatusOf(round, source) == VertexStatus::kPruned) {
+    std::optional<Vertex> v = pruned_lookup_(round, source);
+    if (v.has_value() && from_history != nullptr) {
+      *from_history = true;
+    }
+    return v;
+  }
+  return std::nullopt;
+}
+
+void DagStore::MarkOrdered(Round round, NodeId source) {
+  Stored* s = Find(round, source);
+  CLANDAG_CHECK_MSG(s != nullptr, "MarkOrdered target missing");
+  if (!s->ordered) {
+    s->ordered = true;
+    ++ordered_count_;
+  }
+}
+
 uint32_t DagStore::CountAtRound(Round round) const {
   auto it = rounds_.find(round);
   return it == rounds_.end() ? 0 : it->second.count;
@@ -83,12 +129,12 @@ bool DagStore::ParentsPresent(const Vertex& v) const {
     return true;  // Genesis round has no parents.
   }
   for (const StrongEdge& e : v.strong_edges) {
-    if (!Has(v.round - 1, e.source)) {
+    if (StatusOf(v.round - 1, e.source) == VertexStatus::kUnknown) {
       return false;
     }
   }
   for (const WeakEdge& e : v.weak_edges) {
-    if (!Has(e.round, e.source)) {
+    if (StatusOf(e.round, e.source) == VertexStatus::kUnknown) {
       return false;
     }
   }
@@ -195,6 +241,9 @@ std::vector<WeakEdge> DagStore::SelectWeakEdges(Round proposal_round) const {
 }
 
 void DagStore::PruneBelow(Round round) {
+  if (round > pruned_floor_) {
+    pruned_floor_ = round;
+  }
   for (auto it = rounds_.begin(); it != rounds_.end();) {
     if (it->first >= round) {
       break;
@@ -209,6 +258,13 @@ void DagStore::PruneBelow(Round round) {
     if (!all_ordered) {
       ++it;
       continue;
+    }
+    // Dropped vertices must leave the weak-edge frontier too: a proposal
+    // must never reference a body the store no longer holds.
+    for (NodeId source = 0; source < num_nodes_; ++source) {
+      if (it->second.by_source[source] != nullptr) {
+        uncovered_.erase({it->first, source});
+      }
     }
     total_ -= it->second.count;
     it = rounds_.erase(it);

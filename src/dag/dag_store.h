@@ -12,8 +12,10 @@
 #ifndef CLANDAG_DAG_DAG_STORE_H_
 #define CLANDAG_DAG_DAG_STORE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -22,23 +24,52 @@
 
 namespace clandag {
 
+// What the store knows about a (round, source) slot.
+enum class VertexStatus {
+  kPresent,  // Vertex is in the store.
+  kPruned,   // Round was fully ordered and garbage-collected: the vertex (if
+             // it ever existed) is committed history below the pruned floor.
+  kUnknown,  // Not present and not provably pruned (e.g. a hole round kept
+             // below the floor, or any round at/above it).
+};
+
 class DagStore {
  public:
   explicit DagStore(uint32_t num_nodes);
 
-  // Inserts a vertex whose parents are all present (CHECKed). Returns false
-  // if a vertex from (round, source) already exists.
+  // Inserts a vertex whose parents are all present-or-pruned (CHECKed).
+  // Returns false if a vertex from (round, source) already exists or the
+  // round was already pruned (re-delivery of committed history).
   bool Insert(Vertex v);
 
   bool Has(Round round, NodeId source) const { return Get(round, source) != nullptr; }
   const Vertex* Get(Round round, NodeId source) const;
   const Digest* DigestOf(Round round, NodeId source) const;
+  VertexStatus StatusOf(Round round, NodeId source) const;
+
+  // Lowest round the store still fully represents; everything below was
+  // either pruned as ordered history or survives as an unordered hole.
+  Round PrunedFloor() const { return pruned_floor_; }
+
+  // Hook consulted by Lookup for rounds already pruned — typically backed by
+  // the recovery WAL's vertex index (sync/WalVertexStore).
+  using PrunedLookupFn = std::function<std::optional<Vertex>(Round, NodeId)>;
+  void SetPrunedLookup(PrunedLookupFn fn) { pruned_lookup_ = std::move(fn); }
+
+  // Get() extended over pruned history via the lookup hook; `from_history`
+  // (optional) reports which side answered.
+  std::optional<Vertex> Lookup(Round round, NodeId source, bool* from_history = nullptr) const;
+
+  // Marks an already-present vertex ordered without emitting it (WAL replay:
+  // the restored committed prefix was ordered in a previous life).
+  void MarkOrdered(Round round, NodeId source);
 
   uint32_t CountAtRound(Round round) const;
   std::vector<const Vertex*> VerticesAtRound(Round round) const;
   size_t TotalVertices() const { return total_; }
 
-  // True iff every strong and weak parent of `v` is in the store.
+  // True iff every strong and weak parent of `v` is in the store or below
+  // the pruned floor (pruned parents were committed history; see StatusOf).
   bool ParentsPresent(const Vertex& v) const;
 
   // True iff a strong-edge path exists from `from` down to the vertex
@@ -60,9 +91,11 @@ class DagStore {
   std::vector<WeakEdge> SelectWeakEdges(Round proposal_round) const;
 
   // Drops all rounds strictly below `round` that are fully ordered
-  // (long-running-simulation memory hygiene). Ordered/coverage bookkeeping
-  // for dropped vertices is retained implicitly: callers only garbage
-  // collect below the last committed anchor.
+  // (long-running-simulation memory hygiene) and raises the pruned floor.
+  // Rounds with unordered vertices survive as holes below the floor; their
+  // stragglers can still be inserted later (fetch catch-up). Callers only
+  // garbage collect below the last committed anchor, and (fetch-aware GC)
+  // never past a round a blocked vertex still needs.
   void PruneBelow(Round round);
 
  private:
@@ -82,6 +115,8 @@ class DagStore {
   uint32_t num_nodes_;
   size_t total_ = 0;
   size_t ordered_count_ = 0;
+  Round pruned_floor_ = 0;
+  PrunedLookupFn pruned_lookup_;
   std::map<Round, RoundSlot> rounds_;
   // (round, source) pairs no vertex references yet (weak-edge frontier).
   std::set<std::pair<Round, NodeId>> uncovered_;

@@ -326,7 +326,10 @@ void TcpRuntime::FlushConn(Conn& conn) {
   }
   while (!conn.out_queue.empty()) {
     const Bytes& front = conn.out_queue.front();
-    ssize_t n = write(conn.fd, front.data() + conn.out_offset, front.size() - conn.out_offset);
+    // MSG_NOSIGNAL: a peer that closed mid-send must surface as EPIPE, not
+    // kill the process with SIGPIPE.
+    ssize_t n = send(conn.fd, front.data() + conn.out_offset, front.size() - conn.out_offset,
+                     MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         break;

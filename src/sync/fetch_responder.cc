@@ -1,0 +1,75 @@
+#include "sync/fetch_responder.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "common/log.h"
+
+namespace clandag {
+
+FetchResponder::FetchResponder(Runtime& runtime, const DagStore& dag, ResponderConfig config)
+    : runtime_(runtime), dag_(dag), config_(config) {}
+
+void FetchResponder::OnRequest(NodeId from, const Bytes& payload) {
+  auto msg = FetchRequestMsg::Decode(payload);
+  if (!msg.has_value()) {
+    CLANDAG_DEBUG("node %u: malformed fetch request from %u", runtime_.id(), from);
+    return;
+  }
+  ++stats_.requests_served;
+
+  FetchResponseMsg resp;
+  const uint32_t budget =
+      std::min(config_.max_vertices_per_response, kMaxFetchVertices);
+  std::set<std::pair<Round, NodeId>> visited;
+  // BFS from every want through strong and weak edges; the wants themselves
+  // are served unconditionally, ancestors only down to the watermark and
+  // depth limit.
+  std::deque<std::pair<std::pair<Round, NodeId>, Round>> frontier;  // (key, want round)
+  for (const VertexRef& want : msg->wants) {
+    if (visited.insert({want.round, want.source}).second) {
+      frontier.push_back({{want.round, want.source}, want.round});
+    }
+  }
+  while (!frontier.empty() && resp.vertices.size() < budget) {
+    auto [key, want_round] = frontier.front();
+    frontier.pop_front();
+    bool from_history = false;
+    std::optional<Vertex> v = dag_.Lookup(key.first, key.second, &from_history);
+    if (!v.has_value()) {
+      continue;  // Never received, or pruned with no history backend.
+    }
+    if (from_history) {
+      ++stats_.wal_vertices_served;
+    }
+    const Round floor =
+        want_round > config_.max_ancestor_depth ? want_round - config_.max_ancestor_depth : 0;
+    auto expand = [&](Round round, NodeId source) {
+      if (round < msg->low_watermark || round < floor) {
+        return;
+      }
+      if (visited.insert({round, source}).second) {
+        frontier.push_back({{round, source}, want_round});
+      }
+    };
+    if (v->round > 0) {
+      for (const StrongEdge& e : v->strong_edges) {
+        expand(v->round - 1, e.source);
+      }
+    }
+    for (const WeakEdge& e : v->weak_edges) {
+      expand(e.round, e.source);
+    }
+    resp.vertices.push_back(std::move(*v));
+  }
+
+  if (resp.vertices.empty()) {
+    return;  // Nothing to offer; the requester's rotation moves on.
+  }
+  stats_.vertices_served += resp.vertices.size();
+  runtime_.Send(from, kSyncFetchResponse, resp.Encode());
+}
+
+}  // namespace clandag

@@ -1,0 +1,51 @@
+// FetchResponder: serves kFetchRequest from the live DAG and, for rounds the
+// DAG already pruned, from committed history (the WAL-backed pruned-lookup
+// hook installed on the DagStore).
+//
+// Catch-up amplification: for every requested vertex the responder also
+// walks its causal ancestry (strong + weak edges) down to the requester's
+// low watermark, so one response carries a whole slab of the gap and a
+// lagging node closes N rounds in O(N / budget) round trips instead of one
+// fetch per vertex. Both the want list (decode side) and the response size
+// (budget) are capped.
+
+#ifndef CLANDAG_SYNC_FETCH_RESPONDER_H_
+#define CLANDAG_SYNC_FETCH_RESPONDER_H_
+
+#include "dag/dag_store.h"
+#include "net/runtime.h"
+#include "sync/sync_stats.h"
+#include "sync/sync_wire.h"
+
+namespace clandag {
+
+struct ResponderConfig {
+  // Max vertex bodies in one response (also bounds the ancestor walk).
+  uint32_t max_vertices_per_response = 256;
+  // How many rounds below a requested vertex the ancestor walk may descend.
+  Round max_ancestor_depth = 32;
+};
+
+class FetchResponder {
+ public:
+  FetchResponder(Runtime& runtime, const DagStore& dag, ResponderConfig config);
+
+  FetchResponder(const FetchResponder&) = delete;
+  FetchResponder& operator=(const FetchResponder&) = delete;
+
+  // Handles a kFetchRequest payload; replies with kFetchResponse when
+  // anything was found.
+  void OnRequest(NodeId from, const Bytes& payload);
+
+  const SyncStats& stats() const { return stats_; }
+
+ private:
+  Runtime& runtime_;
+  const DagStore& dag_;
+  ResponderConfig config_;
+  SyncStats stats_;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_SYNC_FETCH_RESPONDER_H_

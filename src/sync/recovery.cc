@@ -1,0 +1,55 @@
+#include "sync/recovery.h"
+
+#include "common/codec.h"
+
+namespace clandag {
+
+Bytes EncodeVertexRecord(const Vertex& v) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(WalRecordType::kOrderedVertex));
+  v.Serialize(w);
+  return w.Take();
+}
+
+Bytes EncodeAnchorRecord(Round round) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(WalRecordType::kAnchor));
+  w.U64(round);
+  return w.Take();
+}
+
+Bytes EncodeProposalRecord(Round round) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(WalRecordType::kProposal));
+  w.U64(round);
+  return w.Take();
+}
+
+std::optional<WalRecord> DecodeWalRecord(const Bytes& payload) {
+  Reader r(payload);
+  WalRecord rec;
+  const uint8_t type = r.U8();
+  switch (type) {
+    case static_cast<uint8_t>(WalRecordType::kOrderedVertex):
+      rec.type = WalRecordType::kOrderedVertex;
+      rec.vertex = Vertex::Parse(r);
+      break;
+    case static_cast<uint8_t>(WalRecordType::kAnchor):
+      rec.type = WalRecordType::kAnchor;
+      rec.round = r.U64();
+      break;
+    case static_cast<uint8_t>(WalRecordType::kProposal):
+      rec.type = WalRecordType::kProposal;
+      rec.round = r.U64();
+      break;
+    default:
+      r.Invalidate();
+      break;
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return rec;
+}
+
+}  // namespace clandag

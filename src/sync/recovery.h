@@ -1,0 +1,65 @@
+// Crash-recovery WAL record schema and replay.
+//
+// Three record types, appended by the SMR layer as consensus progresses:
+//  - kOrderedVertex: every vertex emitted by the total order, in order;
+//  - kAnchor: written (and fsynced) right after a committed anchor finished
+//    ordering its history batch — the durable commit barrier;
+//  - kProposal: written (and fsynced) *before* this node broadcasts its own
+//    round-r vertex, so a restarted node never proposes twice for the same
+//    round (self-equivocation would violate non-equivocation for its peers).
+//
+// Replay invariants (BuildRecoveryState):
+//  - vertices up to the last kAnchor marker form the restored committed
+//    prefix, in the exact order peers agreed on (order callbacks replay the
+//    append order);
+//  - vertices after the last marker ("trailing") were ordered but their
+//    anchor barrier never hit disk: they are re-inserted unordered and the
+//    live committer re-orders them identically (the commit walk is a
+//    deterministic function of the DAG), so duplicate appends are tolerated
+//    and deduplicated on the next replay;
+//  - propose_floor = 1 + the highest kProposal round: the restarted node
+//    resumes proposing strictly above every round it may have proposed in a
+//    previous life.
+
+#ifndef CLANDAG_SYNC_RECOVERY_H_
+#define CLANDAG_SYNC_RECOVERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dag/types.h"
+
+namespace clandag {
+
+enum class WalRecordType : uint8_t {
+  kOrderedVertex = 1,
+  kAnchor = 2,
+  kProposal = 3,
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kOrderedVertex;
+  Vertex vertex;   // kOrderedVertex only.
+  Round round = 0; // kAnchor / kProposal only.
+};
+
+Bytes EncodeVertexRecord(const Vertex& v);
+Bytes EncodeAnchorRecord(Round round);
+Bytes EncodeProposalRecord(Round round);
+std::optional<WalRecord> DecodeWalRecord(const Bytes& payload);
+
+// Everything a restarting node restores before rejoining the protocol.
+struct RecoveryState {
+  std::vector<Vertex> ordered;   // Committed prefix in total order.
+  std::vector<Vertex> trailing;  // Ordered past the last anchor barrier.
+  int64_t last_committed = -1;   // Round of the last anchor marker.
+  Round propose_floor = 0;       // First round this node may propose for.
+  uint64_t records = 0;          // Intact records replayed (incl. duplicates).
+
+  bool HasData() const { return records > 0; }
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_SYNC_RECOVERY_H_

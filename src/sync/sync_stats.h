@@ -1,0 +1,44 @@
+// Counters of the state-sync subsystem (fetcher + responder sides).
+//
+// Plain aggregatable counters: SailfishNode merges its fetcher's and
+// responder's instances, benches merge across nodes, and core/metrics
+// renders them (FormatSyncStats).
+
+#ifndef CLANDAG_SYNC_SYNC_STATS_H_
+#define CLANDAG_SYNC_SYNC_STATS_H_
+
+#include <cstdint>
+
+namespace clandag {
+
+struct SyncStats {
+  // Fetcher side.
+  uint64_t requests_sent = 0;       // kFetchRequest messages sent (incl. retries).
+  uint64_t retries = 0;             // Re-sends after a backoff expiry.
+  uint64_t responses_received = 0;  // kFetchResponse messages received.
+  uint64_t vertices_fetched = 0;    // Digest-verified bodies handed to consensus.
+  uint64_t digest_mismatches = 0;   // Response bodies failing edge-digest verification.
+  uint64_t fetches_abandoned = 0;   // Missing entries dropped after max_attempts.
+
+  // Responder side.
+  uint64_t requests_served = 0;      // kFetchRequest messages answered.
+  uint64_t vertices_served = 0;      // Vertex bodies sent back (live DAG + WAL).
+  uint64_t wal_vertices_served = 0;  // Of those, served from pruned WAL history.
+
+  SyncStats& operator+=(const SyncStats& o) {
+    requests_sent += o.requests_sent;
+    retries += o.retries;
+    responses_received += o.responses_received;
+    vertices_fetched += o.vertices_fetched;
+    digest_mismatches += o.digest_mismatches;
+    fetches_abandoned += o.fetches_abandoned;
+    requests_served += o.requests_served;
+    vertices_served += o.vertices_served;
+    wal_vertices_served += o.wal_vertices_served;
+    return *this;
+  }
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_SYNC_SYNC_STATS_H_

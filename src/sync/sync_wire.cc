@@ -1,0 +1,67 @@
+#include "sync/sync_wire.h"
+
+namespace clandag {
+
+Bytes FetchRequestMsg::Encode() const {
+  Writer w;
+  w.U64(low_watermark);
+  w.Varint(wants.size());
+  for (const VertexRef& ref : wants) {
+    w.U64(ref.round);
+    w.U32(ref.source);
+  }
+  return w.Take();
+}
+
+std::optional<FetchRequestMsg> FetchRequestMsg::Decode(const Bytes& payload) {
+  Reader r(payload);
+  FetchRequestMsg m;
+  m.low_watermark = r.U64();
+  const uint64_t count = r.Varint();
+  if (count == 0 || count > kMaxFetchWants) {
+    r.Invalidate();
+  }
+  if (r.ok()) {
+    m.wants.reserve(count);
+    for (uint64_t i = 0; i < count && r.ok(); ++i) {
+      VertexRef ref;
+      ref.round = r.U64();
+      ref.source = r.U32();
+      m.wants.push_back(ref);
+    }
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+Bytes FetchResponseMsg::Encode() const {
+  Writer w;
+  w.Varint(vertices.size());
+  for (const Vertex& v : vertices) {
+    v.Serialize(w);
+  }
+  return w.Take();
+}
+
+std::optional<FetchResponseMsg> FetchResponseMsg::Decode(const Bytes& payload) {
+  Reader r(payload);
+  FetchResponseMsg m;
+  const uint64_t count = r.Varint();
+  if (count == 0 || count > kMaxFetchVertices) {
+    r.Invalidate();
+  }
+  if (r.ok()) {
+    m.vertices.reserve(count);
+    for (uint64_t i = 0; i < count && r.ok(); ++i) {
+      m.vertices.push_back(Vertex::Parse(r));
+    }
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+}  // namespace clandag

@@ -1,0 +1,65 @@
+// Wire messages of the state-sync subsystem.
+//
+// The message-type values extend the consensus numbering space (1..11 in
+// consensus/wire.h); consensus/wire.h re-exports them as kConsFetchRequest /
+// kConsFetchResponse and static_asserts the spaces stay disjoint. The codecs
+// live here (below the consensus library) so the fetcher/responder can be
+// owned by SailfishNode without a dependency cycle.
+//
+// Both decoders are fed attacker-controlled bytes: element counts are capped
+// before any allocation, and every parse failure flows through Reader's
+// single ok() channel.
+
+#ifndef CLANDAG_SYNC_SYNC_WIRE_H_
+#define CLANDAG_SYNC_SYNC_WIRE_H_
+
+#include <optional>
+#include <vector>
+
+#include "dag/types.h"
+#include "net/runtime.h"
+
+namespace clandag {
+
+inline constexpr MsgType kSyncFetchRequest = 12;
+inline constexpr MsgType kSyncFetchResponse = 13;
+
+// Hard decode-side caps (a request/response larger than this is malformed).
+inline constexpr uint32_t kMaxFetchWants = 128;
+inline constexpr uint32_t kMaxFetchVertices = 512;
+
+// Identity of a vertex the requester is missing.
+struct VertexRef {
+  Round round = 0;
+  NodeId source = 0;
+
+  friend bool operator==(const VertexRef& a, const VertexRef& b) {
+    return a.round == b.round && a.source == b.source;
+  }
+};
+
+// Pull of missing vertices. `low_watermark` is the requester's committed
+// frontier: the responder expands causal history for each want but never
+// below this round (the requester already holds or ordered everything
+// beneath it).
+struct FetchRequestMsg {
+  Round low_watermark = 0;
+  std::vector<VertexRef> wants;
+
+  Bytes Encode() const;
+  static std::optional<FetchRequestMsg> Decode(const Bytes& payload);
+};
+
+// Batch of full vertex bodies answering a FetchRequestMsg. Vertices carry no
+// certificates of their own: the requester verifies each body against the
+// digest recorded in the edge of an already-RBC-completed descendant.
+struct FetchResponseMsg {
+  std::vector<Vertex> vertices;
+
+  Bytes Encode() const;
+  static std::optional<FetchResponseMsg> Decode(const Bytes& payload);
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_SYNC_SYNC_WIRE_H_

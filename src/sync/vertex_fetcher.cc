@@ -1,0 +1,237 @@
+#include "sync/vertex_fetcher.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.h"
+
+namespace clandag {
+
+VertexFetcher::VertexFetcher(Runtime& runtime, const DagStore& dag, FetcherConfig config)
+    : runtime_(runtime), dag_(dag), config_(config) {}
+
+bool VertexFetcher::Satisfied(Round round, NodeId source) const {
+  return dag_.StatusOf(round, source) != VertexStatus::kUnknown;
+}
+
+void VertexFetcher::AddBlocked(Vertex v, const Digest& digest) {
+  const Key key{v.round, v.source};
+  if (blocked_.count(key) != 0 || dag_.Has(v.round, v.source)) {
+    return;
+  }
+  if (v.round > 0) {
+    for (const StrongEdge& e : v.strong_edges) {
+      if (!Satisfied(v.round - 1, e.source)) {
+        Register(v.round - 1, e.source, e.digest);
+      }
+    }
+  }
+  for (const WeakEdge& e : v.weak_edges) {
+    if (!Satisfied(e.round, e.source)) {
+      Register(e.round, e.source, e.digest);
+    }
+  }
+  blocked_.emplace(key, Blocked{std::move(v), digest});
+}
+
+void VertexFetcher::Register(Round round, NodeId source, const Digest& expected) {
+  const Key key{round, source};
+  auto [it, inserted] = missing_.try_emplace(key);
+  if (!inserted) {
+    return;  // Already being fetched (dedup across blocked children).
+  }
+  it->second.expected = expected;
+  // Deterministic per-key rotation offset spreads first requests over peers.
+  it->second.peer_rr = static_cast<uint32_t>(runtime_.id() + round + source);
+  if (config_.enabled) {
+    ArmTimer(round, source, in_response_ ? config_.response_fast_delay : config_.initial_delay);
+  }
+}
+
+void VertexFetcher::ArmTimer(Round round, NodeId source, TimeMicros delay) {
+  runtime_.Schedule(delay, [this, round, source] { OnTimer(round, source); });
+}
+
+void VertexFetcher::OnTimer(Round round, NodeId source) {
+  const Key key{round, source};
+  auto it = missing_.find(key);
+  if (it == missing_.end()) {
+    return;  // Resolved or pruned; timer is stale.
+  }
+  if (Satisfied(round, source)) {
+    missing_.erase(it);
+    return;  // Arrived through the normal broadcast path.
+  }
+  Missing& entry = it->second;
+  if (entry.attempts >= config_.max_attempts) {
+    ++stats_.fetches_abandoned;
+    CLANDAG_WARN("node %u: abandoning fetch of (%llu, %u) after %u attempts", runtime_.id(),
+                 static_cast<unsigned long long>(round), source, entry.attempts);
+    Abandon(key);
+    return;
+  }
+  if (entry.attempts > 0) {
+    ++stats_.retries;
+  }
+  SendRequest(key, entry);
+  const uint32_t shift = std::min(entry.attempts, 16u);
+  const TimeMicros backoff =
+      std::min(config_.retry_cap, config_.retry_base << shift);
+  ++entry.attempts;
+  ArmTimer(round, source, backoff);
+}
+
+void VertexFetcher::SendRequest(const Key& key, Missing& entry) {
+  const uint32_t n = runtime_.num_nodes();
+  if (n <= 1) {
+    return;
+  }
+  // Rotate over all other peers: any 2f+1 completed the RBC, so after a few
+  // rotations an honest holder is hit.
+  NodeId target = static_cast<NodeId>(entry.peer_rr++ % n);
+  if (target == runtime_.id()) {
+    target = static_cast<NodeId>(entry.peer_rr++ % n);
+  }
+  FetchRequestMsg req;
+  req.low_watermark = watermark_ ? watermark_() : 0;
+  req.wants.push_back(VertexRef{key.first, key.second});
+  // Opportunistically piggyback other outstanding wants (their own timers
+  // and attempt counters are untouched; an early answer just resolves them).
+  for (const auto& [other, unused] : missing_) {
+    if (req.wants.size() >= config_.max_wants_per_request) {
+      break;
+    }
+    if (other != key) {
+      req.wants.push_back(VertexRef{other.first, other.second});
+    }
+  }
+  ++stats_.requests_sent;
+  runtime_.Send(target, kSyncFetchRequest, req.Encode());
+}
+
+void VertexFetcher::OnResponse(NodeId from, const Bytes& payload) {
+  auto msg = FetchResponseMsg::Decode(payload);
+  if (!msg.has_value()) {
+    CLANDAG_DEBUG("node %u: malformed fetch response from %u", runtime_.id(), from);
+    return;
+  }
+  ++stats_.responses_received;
+  // Children first (descending round): delivering a child registers its
+  // missing parents, so the ancestors later in this pass find a matching
+  // expected digest and verify against it.
+  std::sort(msg->vertices.begin(), msg->vertices.end(),
+            [](const Vertex& a, const Vertex& b) { return a.round > b.round; });
+  in_response_ = true;
+  for (Vertex& v : msg->vertices) {
+    const Key key{v.round, v.source};
+    auto it = missing_.find(key);
+    if (it == missing_.end()) {
+      continue;  // Unsolicited or already satisfied; ignore.
+    }
+    if (Satisfied(v.round, v.source)) {
+      missing_.erase(it);
+      continue;
+    }
+    const Digest expected = it->second.expected;
+    if (v.ComputeDigest() != expected) {
+      ++stats_.digest_mismatches;
+      continue;  // Wrong body; the entry stays and the backoff keeps going.
+    }
+    missing_.erase(it);
+    ++stats_.vertices_fetched;
+    if (deliver_) {
+      deliver_(std::move(v), expected);
+    }
+  }
+  in_response_ = false;
+}
+
+std::vector<std::pair<Vertex, Digest>> VertexFetcher::TakeAdmissible() {
+  // Retire missing entries satisfied through the normal broadcast path.
+  for (auto it = missing_.begin(); it != missing_.end();) {
+    it = Satisfied(it->first.first, it->first.second) ? missing_.erase(it) : std::next(it);
+  }
+  std::vector<std::pair<Vertex, Digest>> out;
+  for (auto it = blocked_.begin(); it != blocked_.end();) {
+    Blocked& b = it->second;
+    if (dag_.Has(b.v.round, b.v.source)) {
+      it = blocked_.erase(it);  // Duplicate admitted elsewhere.
+      continue;
+    }
+    if (dag_.ParentsPresent(b.v)) {
+      out.emplace_back(std::move(b.v), b.digest);
+      it = blocked_.erase(it);
+      continue;
+    }
+    ++it;
+  }
+  return out;
+}
+
+std::optional<Round> VertexFetcher::OldestPinnedRound() const {
+  std::optional<Round> oldest;
+  if (!blocked_.empty()) {
+    oldest = blocked_.begin()->first.first;
+  }
+  if (!missing_.empty()) {
+    const Round r = missing_.begin()->first.first;
+    if (!oldest.has_value() || r < *oldest) {
+      oldest = r;
+    }
+  }
+  return oldest;
+}
+
+void VertexFetcher::PruneBelow(Round floor) {
+  for (auto it = blocked_.begin(); it != blocked_.end();) {
+    it = it->first.first < floor ? blocked_.erase(it) : std::next(it);
+  }
+  for (auto it = missing_.begin(); it != missing_.end();) {
+    it = it->first.first < floor ? missing_.erase(it) : std::next(it);
+  }
+  SweepOrphanedMissing();
+}
+
+void VertexFetcher::Abandon(const Key& key) {
+  missing_.erase(key);
+  // Children waiting on this parent can never be admitted; drop them.
+  for (auto it = blocked_.begin(); it != blocked_.end();) {
+    const Vertex& v = it->second.v;
+    bool references = false;
+    if (v.round == key.first + 1) {
+      for (const StrongEdge& e : v.strong_edges) {
+        if (e.source == key.second) {
+          references = true;
+          break;
+        }
+      }
+    }
+    for (const WeakEdge& e : v.weak_edges) {
+      if (e.round == key.first && e.source == key.second) {
+        references = true;
+        break;
+      }
+    }
+    it = references ? blocked_.erase(it) : std::next(it);
+  }
+  SweepOrphanedMissing();
+}
+
+void VertexFetcher::SweepOrphanedMissing() {
+  std::set<Key> referenced;
+  for (const auto& [unused, b] : blocked_) {
+    if (b.v.round > 0) {
+      for (const StrongEdge& e : b.v.strong_edges) {
+        referenced.insert({b.v.round - 1, e.source});
+      }
+    }
+    for (const WeakEdge& e : b.v.weak_edges) {
+      referenced.insert({e.round, e.source});
+    }
+  }
+  for (auto it = missing_.begin(); it != missing_.end();) {
+    it = referenced.count(it->first) == 0 ? missing_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace clandag

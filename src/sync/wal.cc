@@ -1,0 +1,175 @@
+#include "sync/wal.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+namespace clandag {
+
+namespace {
+
+// FNV-1a; sufficient to detect torn writes (not adversarial corruption).
+uint32_t Checksum(const uint8_t* data, size_t len) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < len; ++i) {
+    h = (h ^ data[i]) * 16777619u;
+  }
+  return h;
+}
+
+void PutU32(uint8_t out[4], uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint32_t GetU32(const uint8_t in[4]) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+constexpr uint32_t kMaxRecordBytes = 256u << 20;
+
+}  // namespace
+
+Wal::Wal(std::string path) : path_(std::move(path)) {}
+
+Wal::~Wal() {
+  Close();
+}
+
+bool Wal::Open() {
+  if (file_ != nullptr) {
+    return true;
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return false;
+  }
+  // "ab" writes always land at the end; track the logical size so appends
+  // can report their frame offsets without seeking.
+  if (std::fseek(file_, 0, SEEK_END) == 0) {
+    long pos = std::ftell(file_);
+    size_ = pos >= 0 ? static_cast<uint64_t>(pos) : 0;
+  } else {
+    size_ = 0;
+  }
+  return true;
+}
+
+void Wal::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool Wal::Append(const Bytes& record) {
+  return AppendIndexed(record) >= 0;
+}
+
+int64_t Wal::AppendIndexed(const Bytes& record) {
+  if (file_ == nullptr) {
+    return -1;
+  }
+  const int64_t offset = static_cast<int64_t>(size_);
+  uint8_t header[8];
+  PutU32(header, static_cast<uint32_t>(record.size()));
+  PutU32(header + 4, Checksum(record.data(), record.size()));
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
+    return -1;
+  }
+  if (!record.empty() && std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return -1;
+  }
+  size_ += sizeof(header) + record.size();
+  return offset;
+}
+
+bool Wal::Flush() {
+  return file_ != nullptr && std::fflush(file_) == 0;
+}
+
+bool Wal::Sync() {
+  if (file_ == nullptr) {
+    return false;
+  }
+  if (std::fflush(file_) != 0) {
+    return false;
+  }
+  return fsync(fileno(file_)) == 0;
+}
+
+int64_t Wal::Replay(const std::string& path, const std::function<void(const Bytes&)>& fn) {
+  return ReplayFrames(path, [&fn](uint64_t /*offset*/, const Bytes& record) { fn(record); });
+}
+
+int64_t Wal::ReplayFrames(const std::string& path,
+                          const std::function<void(uint64_t, const Bytes&)>& fn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return -1;
+  }
+  int64_t count = 0;
+  uint64_t offset = 0;
+  while (true) {
+    uint8_t header[8];
+    if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+      break;  // Clean EOF or torn header.
+    }
+    uint32_t len = GetU32(header);
+    uint32_t checksum = GetU32(header + 4);
+    if (len > kMaxRecordBytes) {
+      break;  // Corrupt length.
+    }
+    Bytes record(len);
+    if (len > 0 && std::fread(record.data(), 1, len, f) != len) {
+      break;  // Torn record.
+    }
+    if (Checksum(record.data(), record.size()) != checksum) {
+      break;
+    }
+    fn(offset, record);
+    offset += sizeof(header) + len;
+    ++count;
+  }
+  std::fclose(f);
+  return count;
+}
+
+std::optional<Bytes> Wal::ReadRecordAt(const std::string& path, uint64_t offset) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  std::optional<Bytes> out;
+  do {
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+      break;
+    }
+    uint8_t header[8];
+    if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+      break;
+    }
+    uint32_t len = GetU32(header);
+    uint32_t checksum = GetU32(header + 4);
+    if (len > kMaxRecordBytes) {
+      break;
+    }
+    Bytes record(len);
+    if (len > 0 && std::fread(record.data(), 1, len, f) != len) {
+      break;
+    }
+    if (Checksum(record.data(), record.size()) != checksum) {
+      break;
+    }
+    out = std::move(record);
+  } while (false);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace clandag

@@ -1,0 +1,75 @@
+// Append-only write-ahead log.
+//
+// Stands in for the paper's RocksDB persistence of consensus data: ordered
+// vertices (or any records) are framed, checksummed, and fsync-able, and a
+// restarting node replays them. Framing: u32 length, u32 checksum, payload.
+// A torn tail (partial final record) is tolerated and truncated on replay.
+//
+// Lives in the sync subsystem because the WAL is the durable half of crash
+// recovery: WalVertexStore builds a (round, source) -> offset index over it
+// so the FetchResponder can serve committed history that DagStore already
+// pruned.
+
+#ifndef CLANDAG_SYNC_WAL_H_
+#define CLANDAG_SYNC_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace clandag {
+
+class Wal {
+ public:
+  explicit Wal(std::string path);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Opens (creating if needed) for appending. Returns false on IO error.
+  bool Open();
+  void Close();
+
+  bool Append(const Bytes& record);
+  // Append that reports the file offset of the record's frame (for offset
+  // indexes); -1 on error.
+  int64_t AppendIndexed(const Bytes& record);
+  // Pushes buffered appends to the OS (fflush, no fsync). After a process
+  // crash these bytes survive; only a power failure can lose them.
+  bool Flush();
+  // Durable barrier: fflush + fsync.
+  bool Sync();
+
+  // Logical size of the log in bytes (only valid while open).
+  uint64_t SizeBytes() const { return size_; }
+
+  // Replays every intact record in order; stops at the first corrupt or
+  // truncated frame. Returns the number of records replayed, -1 on IO error.
+  static int64_t Replay(const std::string& path,
+                        const std::function<void(const Bytes&)>& fn);
+
+  // Like Replay, but also reports each record's frame offset so callers can
+  // build random-access indexes over the log.
+  static int64_t ReplayFrames(
+      const std::string& path,
+      const std::function<void(uint64_t offset, const Bytes&)>& fn);
+
+  // Random access: reads and checksum-verifies the record whose frame starts
+  // at `offset`. nullopt on any IO/framing/checksum failure.
+  static std::optional<Bytes> ReadRecordAt(const std::string& path, uint64_t offset);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t size_ = 0;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_SYNC_WAL_H_

@@ -1,0 +1,68 @@
+// WalVertexStore: the durable half of crash recovery and history serving.
+//
+// Owns the node's WAL and two things layered over it:
+//  - a RecoveryState built by replaying the log on startup (committed prefix,
+//    trailing ordered-but-unbarriered vertices, propose floor);
+//  - a (round, source) -> file offset index over every ordered-vertex record,
+//    so committed history that DagStore has pruned can still be served to
+//    catching-up peers (DagStore::SetPrunedLookup points here).
+//
+// Append discipline: ordered vertices are flushed (process-crash durable);
+// anchor barriers and own-proposal markers are fsynced (power-failure
+// durable) because losing either violates safety — a lost anchor re-orders
+// already-executed vertices after restart, a lost proposal marker lets the
+// node equivocate against its previous life.
+
+#ifndef CLANDAG_SYNC_WAL_VERTEX_STORE_H_
+#define CLANDAG_SYNC_WAL_VERTEX_STORE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "dag/types.h"
+#include "sync/recovery.h"
+#include "sync/wal.h"
+
+namespace clandag {
+
+class WalVertexStore {
+ public:
+  explicit WalVertexStore(std::string path);
+
+  WalVertexStore(const WalVertexStore&) = delete;
+  WalVertexStore& operator=(const WalVertexStore&) = delete;
+
+  // Replays the log (building the offset index and the recovery state), then
+  // opens it for appending. Returns false on IO error opening for append.
+  bool Load();
+
+  const RecoveryState& recovery() const { return recovery_; }
+
+  // Appends an ordered vertex (flush, no fsync). Duplicates of an already
+  // indexed (round, source) are skipped — replay after a crash-during-catchup
+  // re-orders the trailing suffix, and this keeps the log single-copy.
+  void AppendOrdered(const Vertex& v);
+  // Durable commit barrier for `round` (fsync).
+  void AppendAnchor(Round round);
+  // Durable own-proposal marker, written before broadcasting (fsync).
+  void AppendProposal(Round round);
+
+  // Reads an ordered vertex back from the log by (round, source). This is
+  // the DagStore pruned-lookup hook.
+  std::optional<Vertex> Lookup(Round round, NodeId source) const;
+
+  size_t IndexedCount() const { return index_.size(); }
+  uint64_t SizeBytes() const { return wal_.SizeBytes(); }
+  const std::string& path() const { return wal_.path(); }
+
+ private:
+  Wal wal_;
+  RecoveryState recovery_;
+  std::map<std::pair<Round, NodeId>, uint64_t> index_;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_SYNC_WAL_VERTEX_STORE_H_

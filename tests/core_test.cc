@@ -57,6 +57,66 @@ TEST(LatencyStats, InterleavedAddAndQuery) {
   EXPECT_DOUBLE_EQ(stats.Percentile(100), 20.0);
 }
 
+TEST(LatencyStats, MergeCombinesSamplesAndWeights) {
+  LatencyStats a;
+  a.Add(100.0, 1);
+  LatencyStats b;
+  b.Add(200.0, 3);
+  a.Merge(b);
+  EXPECT_EQ(a.TotalWeight(), 4u);
+  EXPECT_EQ(a.SampleCount(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 175.0);
+  EXPECT_DOUBLE_EQ(a.Min(), 100.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 200.0);
+  // The merged-from side is untouched.
+  EXPECT_EQ(b.TotalWeight(), 3u);
+}
+
+TEST(LatencyStats, MergeEmptyAndSelfAreNoOps) {
+  LatencyStats stats;
+  stats.Add(10.0, 2);
+  LatencyStats empty;
+  stats.Merge(empty);
+  EXPECT_EQ(stats.TotalWeight(), 2u);
+  stats.Merge(stats);  // Self-merge must not duplicate samples.
+  EXPECT_EQ(stats.TotalWeight(), 2u);
+  EXPECT_EQ(stats.SampleCount(), 1u);
+  empty.Merge(stats);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 10.0);
+}
+
+TEST(LatencyStats, MergeAfterQueryKeepsPercentilesSorted) {
+  LatencyStats a;
+  a.Add(50.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(50), 50.0);  // Forces the sorted state.
+  LatencyStats b;
+  b.Add(1.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Percentile(0), 1.0);  // Merge re-marks as unsorted.
+}
+
+TEST(LatencyStats, ResetClearsEverything) {
+  LatencyStats stats;
+  stats.Add(42.0, 7);
+  stats.Reset();
+  EXPECT_EQ(stats.TotalWeight(), 0u);
+  EXPECT_EQ(stats.SampleCount(), 0u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  stats.Add(5.0);  // Usable again after Reset.
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+}
+
+TEST(FormatSyncStats, RendersAllCounters) {
+  SyncStats s;
+  s.requests_sent = 3;
+  s.vertices_fetched = 12;
+  s.wal_vertices_served = 5;
+  const std::string text = FormatSyncStats(s);
+  EXPECT_NE(text.find("req=3"), std::string::npos);
+  EXPECT_NE(text.find("got=12"), std::string::npos);
+  EXPECT_NE(text.find("wal=5"), std::string::npos);
+}
+
 // ---- AppNode on the simulated runtime ----
 
 class AppNodeSimTest : public ::testing::Test {

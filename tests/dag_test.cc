@@ -405,5 +405,144 @@ TEST_F(DagStoreTest, PruneKeepsUnorderedRounds) {
   EXPECT_TRUE(dag_.Has(1, 0));
 }
 
+TEST_F(DagStoreTest, PruneAlwaysRaisesFloorAndSetsStatus) {
+  FillRound(0);
+  FillRound(1);
+  FillRound(2);
+  for (NodeId src = 0; src < kNodes; ++src) {
+    dag_.OrderHistory(2, src);
+  }
+  EXPECT_EQ(dag_.PrunedFloor(), 0u);
+  dag_.PruneBelow(2);
+  EXPECT_EQ(dag_.PrunedFloor(), 2u);
+  EXPECT_EQ(dag_.StatusOf(0, 0), VertexStatus::kPruned);
+  EXPECT_EQ(dag_.StatusOf(1, 3), VertexStatus::kPruned);
+  EXPECT_EQ(dag_.StatusOf(2, 0), VertexStatus::kPresent);
+  EXPECT_EQ(dag_.StatusOf(3, 0), VertexStatus::kUnknown);  // Above the floor.
+  // The floor is monotone: a lower prune round never lowers it back.
+  dag_.PruneBelow(1);
+  EXPECT_EQ(dag_.PrunedFloor(), 2u);
+}
+
+TEST_F(DagStoreTest, HoleRoundBelowFloorStaysFetchable) {
+  FillRound(0);
+  // Round 1 incomplete: sources 0 and 1 only, nothing ordered there.
+  InsertVertex(1, 0, {0, 1, 2, 3});
+  InsertVertex(1, 1, {0, 1, 2, 3});
+  for (NodeId src = 0; src < kNodes; ++src) {
+    dag_.OrderHistory(0, src);
+  }
+  dag_.PruneBelow(2);
+  // Round 0 (fully ordered) was dropped; round 1 survives as a hole.
+  EXPECT_EQ(dag_.StatusOf(0, 0), VertexStatus::kPruned);
+  EXPECT_EQ(dag_.StatusOf(1, 0), VertexStatus::kPresent);
+  // Absent slots of a surviving hole round stay kUnknown — a fetched
+  // straggler can still land there, so it must not read as pruned.
+  EXPECT_EQ(dag_.StatusOf(1, 2), VertexStatus::kUnknown);
+}
+
+TEST_F(DagStoreTest, StragglerInsertsIntoHoleRoundAfterPrune) {
+  FillRound(0);
+  // Capture round-0 digests before they are pruned away.
+  std::vector<Digest> parent_digests;
+  for (NodeId src = 0; src < kNodes; ++src) {
+    parent_digests.push_back(*dag_.DigestOf(0, src));
+  }
+  InsertVertex(1, 0, {0, 1, 2, 3});
+  for (NodeId src = 0; src < kNodes; ++src) {
+    dag_.OrderHistory(0, src);
+  }
+  dag_.PruneBelow(2);
+
+  // A straggler for the hole round references only pruned parents.
+  Vertex straggler;
+  straggler.round = 1;
+  straggler.source = 2;
+  for (NodeId p = 0; p < kNodes; ++p) {
+    straggler.strong_edges.push_back(StrongEdge{p, parent_digests[p]});
+  }
+  EXPECT_TRUE(dag_.ParentsPresent(straggler));  // Pruned counts as present.
+  EXPECT_TRUE(dag_.Insert(straggler));
+  EXPECT_EQ(dag_.StatusOf(1, 2), VertexStatus::kPresent);
+}
+
+TEST_F(DagStoreTest, RedeliveryIntoFullyPrunedRoundRejected) {
+  FillRound(0);
+  FillRound(1);
+  for (NodeId src = 0; src < kNodes; ++src) {
+    dag_.OrderHistory(1, src);
+  }
+  dag_.PruneBelow(2);
+  ASSERT_EQ(dag_.StatusOf(0, 0), VertexStatus::kPruned);
+  Vertex late;
+  late.round = 0;
+  late.source = 0;
+  EXPECT_FALSE(dag_.Insert(late));  // Committed history: drop, don't re-admit.
+}
+
+TEST_F(DagStoreTest, ParentsPresentRejectsUnknownHoleSlot) {
+  FillRound(0);
+  InsertVertex(1, 0, {0, 1, 2, 3});
+  for (NodeId src = 0; src < kNodes; ++src) {
+    dag_.OrderHistory(0, src);
+  }
+  dag_.PruneBelow(2);
+  // A round-2 vertex referencing the absent (1,1) slot: that parent is
+  // kUnknown (hole round survives), so it is NOT present.
+  Vertex v;
+  v.round = 2;
+  v.source = 0;
+  v.strong_edges = {StrongEdge{0, *dag_.DigestOf(1, 0)}, StrongEdge{1, Digest()}};
+  EXPECT_FALSE(dag_.ParentsPresent(v));
+}
+
+TEST_F(DagStoreTest, LookupFallsBackToPrunedHistoryHook) {
+  FillRound(0);
+  FillRound(1);
+  Vertex archived = *dag_.Get(0, 1);
+  for (NodeId src = 0; src < kNodes; ++src) {
+    dag_.OrderHistory(0, src);  // Only round 0: round 1 survives the prune.
+  }
+  dag_.PruneBelow(2);
+
+  // No hook installed: pruned slots are simply gone.
+  EXPECT_FALSE(dag_.Lookup(0, 1).has_value());
+
+  dag_.SetPrunedLookup([&](Round r, NodeId src) -> std::optional<Vertex> {
+    if (r == 0 && src == 1) {
+      return archived;
+    }
+    return std::nullopt;
+  });
+  bool from_history = false;
+  auto got = dag_.Lookup(0, 1, &from_history);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(from_history);
+  EXPECT_EQ(*got, archived);
+  // Live vertices never consult the hook.
+  from_history = true;
+  EXPECT_TRUE(dag_.Lookup(1, 0, &from_history).has_value());
+  EXPECT_FALSE(from_history);
+  // A hook that declines leaves the slot unresolved.
+  EXPECT_FALSE(dag_.Lookup(0, 2).has_value());
+  EXPECT_FALSE(dag_.Lookup(5, 0).has_value());
+}
+
+TEST_F(DagStoreTest, PruneDropsWeakEdgeCandidatesWithTheRound) {
+  FillRound(0);
+  // Round 1 covers only {0,1,2}: (0,3) is an uncovered weak-edge candidate.
+  for (NodeId src = 0; src < kNodes; ++src) {
+    InsertVertex(1, src, {0, 1, 2});
+  }
+  ASSERT_EQ(dag_.SelectWeakEdges(2).size(), 1u);
+  for (NodeId src = 0; src < kNodes; ++src) {
+    dag_.OrderHistory(1, src);
+  }
+  dag_.OrderHistory(0, 3);  // The uncovered straggler too.
+  dag_.PruneBelow(2);
+  // A proposal must never weak-reference a body the store no longer holds.
+  EXPECT_TRUE(dag_.SelectWeakEdges(3).empty());
+}
+
 }  // namespace
 }  // namespace clandag

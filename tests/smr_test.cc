@@ -1,11 +1,8 @@
 #include <gtest/gtest.h>
 
-#include <cstdio>
-
 #include "smr/client.h"
 #include "smr/execution.h"
 #include "smr/mempool.h"
-#include "smr/wal.h"
 
 namespace clandag {
 namespace {
@@ -249,89 +246,6 @@ TEST(Client, IndependentRequests) {
   client.AddReply(1, MakeReceipt(1, 0, 5, 1));
   EXPECT_TRUE(client.IsConfirmed(1, 0));
   EXPECT_FALSE(client.IsConfirmed(2, 0));
-}
-
-// ---- WAL ----
-
-class WalTest : public ::testing::Test {
- protected:
-  WalTest() {
-    path_ = ::testing::TempDir() + "/clandag_wal_" +
-            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".log";
-    std::remove(path_.c_str());
-  }
-  ~WalTest() override { std::remove(path_.c_str()); }
-  std::string path_;
-};
-
-TEST_F(WalTest, AppendAndReplay) {
-  {
-    Wal wal(path_);
-    ASSERT_TRUE(wal.Open());
-    EXPECT_TRUE(wal.Append(ToBytes("record one")));
-    EXPECT_TRUE(wal.Append(ToBytes("record two")));
-    EXPECT_TRUE(wal.Sync());
-  }
-  std::vector<std::string> records;
-  int64_t count = Wal::Replay(path_, [&](const Bytes& r) { records.push_back(ToString(r)); });
-  EXPECT_EQ(count, 2);
-  ASSERT_EQ(records.size(), 2u);
-  EXPECT_EQ(records[0], "record one");
-  EXPECT_EQ(records[1], "record two");
-}
-
-TEST_F(WalTest, ReplayMissingFileFails) {
-  EXPECT_EQ(Wal::Replay(path_ + ".nope", [](const Bytes&) {}), -1);
-}
-
-TEST_F(WalTest, TornTailTolerated) {
-  {
-    Wal wal(path_);
-    ASSERT_TRUE(wal.Open());
-    wal.Append(ToBytes("intact"));
-    wal.Sync();
-  }
-  // Append garbage simulating a torn write.
-  std::FILE* f = std::fopen(path_.c_str(), "ab");
-  ASSERT_NE(f, nullptr);
-  uint8_t torn[5] = {0xff, 0x01, 0x02, 0x03, 0x04};
-  std::fwrite(torn, 1, sizeof(torn), f);
-  std::fclose(f);
-
-  std::vector<std::string> records;
-  int64_t count = Wal::Replay(path_, [&](const Bytes& r) { records.push_back(ToString(r)); });
-  EXPECT_EQ(count, 1);
-  ASSERT_EQ(records.size(), 1u);
-  EXPECT_EQ(records[0], "intact");
-}
-
-TEST_F(WalTest, CorruptChecksumStopsReplay) {
-  {
-    Wal wal(path_);
-    ASSERT_TRUE(wal.Open());
-    wal.Append(ToBytes("aaaa"));
-    wal.Append(ToBytes("bbbb"));
-    wal.Sync();
-  }
-  // Flip a payload byte of the first record (offset 8 = after its header).
-  std::FILE* f = std::fopen(path_.c_str(), "rb+");
-  ASSERT_NE(f, nullptr);
-  std::fseek(f, 8, SEEK_SET);
-  std::fputc('X', f);
-  std::fclose(f);
-  int64_t count = Wal::Replay(path_, [](const Bytes&) {});
-  EXPECT_EQ(count, 0);  // First record corrupt: replay stops immediately.
-}
-
-TEST_F(WalTest, EmptyRecordRoundTrips) {
-  {
-    Wal wal(path_);
-    ASSERT_TRUE(wal.Open());
-    wal.Append(Bytes{});
-    wal.Sync();
-  }
-  int64_t count = Wal::Replay(path_, [](const Bytes& r) { EXPECT_TRUE(r.empty()); });
-  EXPECT_EQ(count, 1);
 }
 
 }  // namespace

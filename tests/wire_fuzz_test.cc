@@ -136,6 +136,63 @@ TEST(WireFuzz, PoaCert) {
   });
 }
 
+TEST(WireFuzz, FetchRequest) {
+  FuzzRandom(13, [](const Bytes& b) { FetchRequestMsg::Decode(b); });
+  FetchRequestMsg req;
+  req.low_watermark = 17;
+  req.wants = {VertexRef{20, 1}, VertexRef{21, 3}};
+  FuzzMutations(req.Encode(), [](const Bytes& b) { FetchRequestMsg::Decode(b); });
+  EXPECT_TRUE(FetchRequestMsg::Decode(req.Encode()).has_value());
+}
+
+TEST(WireFuzz, FetchResponse) {
+  FuzzRandom(14, [](const Bytes& b) { FetchResponseMsg::Decode(b); });
+  FetchResponseMsg resp;
+  Vertex v;
+  v.round = 4;
+  v.source = 2;
+  v.strong_edges = {StrongEdge{0, Digest::Of(ToBytes("p"))}};
+  resp.vertices.push_back(v);
+  FuzzMutations(resp.Encode(), [](const Bytes& b) { FetchResponseMsg::Decode(b); });
+  EXPECT_TRUE(FetchResponseMsg::Decode(resp.Encode()).has_value());
+}
+
+// Oversized element counts in fetch messages must be rejected before any
+// allocation is sized from them.
+TEST(WireFuzz, FetchRequestHugeWantCountRejected) {
+  Writer w;
+  w.U64(0);                 // low watermark
+  w.Varint(0xffffffffULL);  // absurd want count
+  EXPECT_FALSE(FetchRequestMsg::Decode(w.Buffer()).has_value());
+  Writer w2;
+  w2.U64(0);
+  w2.Varint(kMaxFetchWants + 1);
+  EXPECT_FALSE(FetchRequestMsg::Decode(w2.Buffer()).has_value());
+  Writer w3;
+  w3.U64(0);
+  w3.Varint(0);  // Empty requests are also invalid.
+  EXPECT_FALSE(FetchRequestMsg::Decode(w3.Buffer()).has_value());
+}
+
+TEST(WireFuzz, FetchResponseHugeVertexCountRejected) {
+  Writer w;
+  w.Varint(0xffffffffffULL);
+  EXPECT_FALSE(FetchResponseMsg::Decode(w.Buffer()).has_value());
+  Writer w2;
+  w2.Varint(kMaxFetchVertices + 1);
+  EXPECT_FALSE(FetchResponseMsg::Decode(w2.Buffer()).has_value());
+}
+
+// Trailing junk after a well-formed fetch message must invalidate it.
+TEST(WireFuzz, FetchTrailingJunkRejected) {
+  FetchRequestMsg req;
+  req.low_watermark = 1;
+  req.wants = {VertexRef{2, 0}};
+  Bytes b = req.Encode();
+  b.push_back(0xab);
+  EXPECT_FALSE(FetchRequestMsg::Decode(b).has_value());
+}
+
 // A vertex claiming absurd edge counts must be rejected, not allocated.
 TEST(WireFuzz, VertexHugeEdgeCountRejected) {
   Writer w;
