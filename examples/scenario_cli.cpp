@@ -3,8 +3,8 @@
 // experiments beyond the canned benchmark binaries.
 //
 //   ./build/examples/scenario_cli --n=50 --mode=single --txs=2000
-//   ./build/examples/scenario_cli --n=150 --mode=multi --clans=2 --txs=1000 \
-//       --uplink-gbps=1 --cost --crash=0,7
+//   ./build/examples/scenario_cli --n=150 --mode=multi --clans=2 --txs=1000
+//       --uplink-gbps=1 --cost --crash=0,7   (one command line)
 //
 // Flags (defaults in brackets):
 //   --n=<nodes>            tribe size [20]

@@ -87,7 +87,7 @@ uint32_t Reader::U32() {
     return 0;
   }
   uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
+  for (size_t i = 0; i < 4; ++i) {
     v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
   }
   pos_ += 4;
@@ -99,7 +99,7 @@ uint64_t Reader::U64() {
     return 0;
   }
   uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
+  for (size_t i = 0; i < 8; ++i) {
     v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
   }
   pos_ += 8;

@@ -1,7 +1,9 @@
 #include "common/log.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 
 namespace clandag {
 
@@ -36,12 +38,30 @@ LogLevel GetLogLevel() {
 }
 
 void LogImpl(LogLevel level, const char* fmt, ...) {
-  std::fprintf(stderr, "[%s] ", LevelName(level));
+  // Format the whole line into one buffer and emit it with a single stdio
+  // call: fprintf locks the stream only per call, so the old
+  // prefix/body/newline triple could interleave with lines from other
+  // threads. Long messages are truncated with a marker.
+  char buf[1024];
+  size_t pos = 0;
+  int n = std::snprintf(buf, sizeof(buf), "[%s] ", LevelName(level));
+  if (n > 0) {
+    pos = std::min(static_cast<size_t>(n), sizeof(buf) - 1);
+  }
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  int m = std::vsnprintf(buf + pos, sizeof(buf) - pos, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (m > 0) {
+    pos = std::min(pos + static_cast<size_t>(m), sizeof(buf) - 1);
+  }
+  if (pos == sizeof(buf) - 1) {
+    static constexpr char kEllipsis[] = "...";
+    std::memcpy(buf + sizeof(buf) - sizeof(kEllipsis), kEllipsis, sizeof(kEllipsis));
+    pos = sizeof(buf) - 2;
+  }
+  buf[pos] = '\n';
+  std::fwrite(buf, 1, pos + 1, stderr);
 }
 
 }  // namespace clandag

@@ -2,6 +2,11 @@
 //
 // The hot path of the simulator must not pay for logging, so level checks are
 // branch-only and formatting is printf-style performed lazily.
+//
+// Thread-safety: fully thread-safe. The level is an atomic; LogImpl formats
+// into a local buffer and emits each line with one stdio call, so lines from
+// concurrent threads (e.g. several transport loop threads) never interleave
+// mid-line.
 
 #ifndef CLANDAG_COMMON_LOG_H_
 #define CLANDAG_COMMON_LOG_H_
@@ -28,8 +33,8 @@ void LogImpl(LogLevel level, const char* fmt, ...) __attribute__((format(printf,
 
 #define CLANDAG_LOG(level, ...)                            \
   do {                                                     \
-    if (level >= ::clandag::GetLogLevel()) {               \
-      ::clandag::LogImpl(level, __VA_ARGS__);              \
+    if ((level) >= ::clandag::GetLogLevel()) {             \
+      ::clandag::LogImpl((level), __VA_ARGS__);            \
     }                                                      \
   } while (0)
 

@@ -1,0 +1,133 @@
+// Annotated locking primitives.
+//
+// Thin wrappers over std::mutex / std::condition_variable carrying the Clang
+// thread-safety attributes from common/thread_annotations.h, plus ThreadRole,
+// a capability for data owned by one logical thread (an event loop) rather
+// than by a lock. All concurrent code in src/ must use these instead of the
+// naked std types — tools/lint_invariants.py enforces it — so every lock and
+// every piece of guarded state is visible to `-Wthread-safety`.
+//
+// Thread-safety: all types here are safe to share between threads; that is
+// their job. Mutex and CondVar are not copyable or movable, so they pin the
+// identity the analysis tracks.
+
+#ifndef CLANDAG_COMMON_MUTEX_H_
+#define CLANDAG_COMMON_MUTEX_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "common/thread_annotations.h"
+
+namespace clandag {
+
+// Standard exclusive mutex. Prefer the scoped MutexLock over manual
+// Lock()/Unlock() pairs.
+class CLANDAG_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CLANDAG_ACQUIRE() { mu_.lock(); }
+  void Unlock() CLANDAG_RELEASE() { mu_.unlock(); }
+  bool TryLock() CLANDAG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock holder; the analysis treats the constructor as acquiring the
+// mutex and the destructor as releasing it.
+class CLANDAG_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CLANDAG_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() CLANDAG_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable usable with Mutex. Waits require the mutex to be held;
+// there are deliberately no predicate overloads — a lambda predicate is
+// opaque to the thread-safety analysis, so loop explicitly:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  void Wait(Mutex& mu) CLANDAG_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // Still locked: ownership stays with the caller.
+  }
+
+  // Returns false on timeout.
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      CLANDAG_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  // Returns false on timeout.
+  bool WaitFor(Mutex& mu, std::chrono::microseconds timeout) CLANDAG_REQUIRES(mu) {
+    return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// Capability for single-threaded ownership: data that is not protected by a
+// lock but by the rule "only thread X touches this". The owning thread calls
+// Acquire() when it starts and Release() when it exits; code that runs on it
+// indirectly (posted lambdas, timer callbacks) opens with AssertHeld(), which
+// both checks the rule at runtime (CLANDAG_CHECK on the thread id) and tells
+// the static analysis the capability is held from that point on. Members
+// owned by the thread are declared CLANDAG_GUARDED_BY(role), member functions
+// CLANDAG_REQUIRES(role) — turning a "runs on the loop thread" comment into a
+// contract both the compiler and the process enforce.
+class CLANDAG_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void Acquire() CLANDAG_ACQUIRE() {
+    CLANDAG_CHECK(owner_.load(std::memory_order_relaxed) == std::thread::id{});
+    owner_.store(std::this_thread::get_id(), std::memory_order_release);
+  }
+
+  void Release() CLANDAG_RELEASE() {
+    CLANDAG_CHECK(owner_.load(std::memory_order_relaxed) == std::this_thread::get_id());
+    owner_.store(std::thread::id{}, std::memory_order_release);
+  }
+
+  void AssertHeld() const CLANDAG_ASSERT_CAPABILITY() {
+    CLANDAG_CHECK(owner_.load(std::memory_order_acquire) == std::this_thread::get_id());
+  }
+
+ private:
+  std::atomic<std::thread::id> owner_{};
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_COMMON_MUTEX_H_

@@ -1,0 +1,73 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These let the compiler machine-check locking contracts: which mutex guards
+// which field, which capability a function requires, and which scoped object
+// holds a lock. Under Clang (CI job `thread-safety`) the whole tree compiles
+// with `-Wthread-safety -Werror=thread-safety`; under GCC every macro expands
+// to nothing, so the annotations are free documentation there.
+//
+// Use the wrappers in common/mutex.h (Mutex, MutexLock, CondVar, ThreadRole)
+// rather than annotating std types directly — tools/lint_invariants.py
+// enforces that no naked std::mutex appears outside that header.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#ifndef CLANDAG_COMMON_THREAD_ANNOTATIONS_H_
+#define CLANDAG_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define CLANDAG_THREAD_ATTRIBUTE(x) __attribute__((x))
+#else
+#define CLANDAG_THREAD_ATTRIBUTE(x)  // GCC and others: no-op.
+#endif
+
+// On a class: instances of this type are capabilities (lockable things or
+// logical roles) that the analysis tracks.
+#define CLANDAG_CAPABILITY(name) CLANDAG_THREAD_ATTRIBUTE(capability(name))
+
+// On a class: RAII object that acquires a capability in its constructor and
+// releases it in its destructor (e.g. MutexLock).
+#define CLANDAG_SCOPED_CAPABILITY CLANDAG_THREAD_ATTRIBUTE(scoped_lockable)
+
+// On a data member: may only be read or written while holding `x`.
+#define CLANDAG_GUARDED_BY(x) CLANDAG_THREAD_ATTRIBUTE(guarded_by(x))
+
+// On a pointer member: the *pointed-to* data is guarded by `x`.
+#define CLANDAG_PT_GUARDED_BY(x) CLANDAG_THREAD_ATTRIBUTE(pt_guarded_by(x))
+
+// On a function: caller must hold the given capabilities (exclusively).
+#define CLANDAG_REQUIRES(...) \
+  CLANDAG_THREAD_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// On a function: acquires the given capabilities (held on return).
+#define CLANDAG_ACQUIRE(...) \
+  CLANDAG_THREAD_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+// On a function: releases the given capabilities.
+#define CLANDAG_RELEASE(...) \
+  CLANDAG_THREAD_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// On a function: acquires the capability iff the return value equals `ret`.
+#define CLANDAG_TRY_ACQUIRE(ret, ...) \
+  CLANDAG_THREAD_ATTRIBUTE(try_acquire_capability(ret, __VA_ARGS__))
+
+// On a function: caller must NOT hold the given capabilities (deadlock
+// prevention for functions that acquire them internally).
+#define CLANDAG_EXCLUDES(...) CLANDAG_THREAD_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// On a function: tells the analysis to assume the capability is held from
+// this point on, without acquiring it. Used by runtime assertions such as
+// ThreadRole::AssertHeld() that verify the fact dynamically.
+#define CLANDAG_ASSERT_CAPABILITY(...) \
+  CLANDAG_THREAD_ATTRIBUTE(assert_capability(__VA_ARGS__))
+
+// On a function: returns a reference to the given capability (lets wrappers
+// expose their underlying mutex to the analysis).
+#define CLANDAG_RETURN_CAPABILITY(x) CLANDAG_THREAD_ATTRIBUTE(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Use only inside the
+// locking primitives themselves, never in protocol code.
+#define CLANDAG_NO_THREAD_SAFETY_ANALYSIS \
+  CLANDAG_THREAD_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // CLANDAG_COMMON_THREAD_ANNOTATIONS_H_

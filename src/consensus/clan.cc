@@ -113,7 +113,7 @@ void ClanTopology::BuildIndex() {
 
 const std::vector<NodeId>& ClanTopology::BlockRecipients(NodeId proposer) const {
   CLANDAG_CHECK(proposer < num_nodes_);
-  return clans_[serving_clan_of_[proposer]];
+  return clans_[static_cast<size_t>(serving_clan_of_[proposer])];
 }
 
 bool ClanTopology::ReceivesBlocksOf(NodeId proposer, NodeId node) const {
@@ -136,9 +136,12 @@ uint32_t ClanTopology::ClanQuorumFor(NodeId proposer) const {
 
 std::string ClanTopology::Describe() const {
   std::string out = DisseminationModeName(mode_);
-  out += " (n=" + std::to_string(num_nodes_) + ", clans:";
+  out += " (n=";
+  out += std::to_string(num_nodes_);
+  out += ", clans:";
   for (const auto& clan : clans_) {
-    out += " " + std::to_string(clan.size());
+    out += ' ';
+    out += std::to_string(clan.size());
   }
   out += ")";
   return out;

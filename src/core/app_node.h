@@ -9,6 +9,12 @@
 // Execution strictly follows the total order: an ordered vertex whose block
 // has not arrived yet (Byzantine-sender download path) stalls the execution
 // queue, never the consensus.
+//
+// Threading: an AppNode is owned by its Runtime's event-loop thread. All
+// entry points (OnMessage, SubmitTransaction, Start) must be invoked on that
+// thread — post them via TcpRuntime::Post / InProcCluster::Post from
+// elsewhere. Accessors like execution() are safe to read from a driver
+// thread only after Stop()/join of the transport.
 
 #ifndef CLANDAG_CORE_APP_NODE_H_
 #define CLANDAG_CORE_APP_NODE_H_

@@ -1,4 +1,7 @@
 // Measurement helpers for the benchmark harness.
+//
+// Threading: plain value types mutated by a single bench/driver thread (or
+// one node's loop thread); aggregate across threads only after joining them.
 
 #ifndef CLANDAG_CORE_METRICS_H_
 #define CLANDAG_CORE_METRICS_H_

@@ -204,7 +204,7 @@ std::optional<Bytes> ReedSolomon::Decode(const std::vector<RsShare>& shares) con
     return std::nullopt;
   }
   uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) {
+  for (size_t i = 0; i < 4; ++i) {
     len |= static_cast<uint32_t>(framed[i]) << (8 * i);
   }
   if (len > framed.size() - 4) {

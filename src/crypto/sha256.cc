@@ -120,7 +120,7 @@ Sha256::DigestBytes Sha256::Finalize() {
   buffer_len_ = 0;
 
   DigestBytes out;
-  for (int i = 0; i < 8; ++i) {
+  for (size_t i = 0; i < 8; ++i) {
     out[4 * i] = static_cast<uint8_t>(state_[i] >> 24);
     out[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 16);
     out[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 8);

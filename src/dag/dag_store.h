@@ -8,6 +8,9 @@
 // Non-equivocation note: the broadcast layer guarantees at most one vertex
 // per (round, source), so (round, source) is the primary key and edges can
 // be resolved through it.
+//
+// Threading: confined to the owning node's event-loop thread; no internal
+// locking.
 
 #ifndef CLANDAG_DAG_DAG_STORE_H_
 #define CLANDAG_DAG_DAG_STORE_H_

@@ -1,8 +1,11 @@
 #include "net/inproc_transport.h"
 
 #include <algorithm>
+#include <queue>
+#include <thread>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace clandag {
 
@@ -43,10 +46,10 @@ class InProcCluster::NodeLoop final : public Runtime {
   void Schedule(TimeMicros delay, std::function<void()> fn) override {
     auto at = std::chrono::steady_clock::now() + std::chrono::microseconds(delay);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       timers_.push(Timer{at, next_seq_++, std::move(fn)});
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   void Send(NodeId to, MsgType type, std::shared_ptr<const Bytes> payload,
@@ -60,13 +63,13 @@ class InProcCluster::NodeLoop final : public Runtime {
 
   void Enqueue(Mail mail) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) {
         return;
       }
       mailbox_.push(std::move(mail));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   void PostTask(std::function<void()> fn) { Schedule(0, std::move(fn)); }
@@ -75,10 +78,10 @@ class InProcCluster::NodeLoop final : public Runtime {
 
   void Stop() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stopping_ = true;
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
     if (thread_.joinable()) {
       thread_.join();
     }
@@ -92,7 +95,7 @@ class InProcCluster::NodeLoop final : public Runtime {
       bool have_mail = false;
       bool have_timer = false;
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         while (true) {
           if (stopping_) {
             return;
@@ -111,9 +114,9 @@ class InProcCluster::NodeLoop final : public Runtime {
             break;
           }
           if (timers_.empty()) {
-            cv_.wait(lock);
+            cv_.Wait(mu_);
           } else {
-            cv_.wait_until(lock, timers_.top().at);
+            cv_.WaitUntil(mu_, timers_.top().at);
           }
         }
       }
@@ -128,14 +131,16 @@ class InProcCluster::NodeLoop final : public Runtime {
   InProcCluster& cluster_;
   NodeId id_;
   uint32_t num_nodes_;
+  // Set before Start(), read only by the loop thread afterwards.
   MessageHandler* handler_ = nullptr;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::queue<Mail> mailbox_;
-  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
-  uint64_t next_seq_ = 0;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::queue<Mail> mailbox_ CLANDAG_GUARDED_BY(mu_);
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_
+      CLANDAG_GUARDED_BY(mu_);
+  uint64_t next_seq_ CLANDAG_GUARDED_BY(mu_) = 0;
+  bool stopping_ CLANDAG_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

@@ -5,16 +5,19 @@
 // code stays single-threaded per node (the same execution model as the
 // simulator and the TCP transport). Used by the live examples and the
 // cross-transport integration tests.
+//
+// Threading: each NodeLoop's mailbox, timer queue and stop flag are guarded
+// by a per-node Mutex (annotated in the .cc); Send()/Schedule()/Post() are
+// callable from any thread, while the registered MessageHandler and timer
+// callbacks run only on that node's loop thread. RegisterHandler() must
+// happen before Start(); Start()/Stop() are driver-thread only.
 
 #ifndef CLANDAG_NET_INPROC_TRANSPORT_H_
 #define CLANDAG_NET_INPROC_TRANSPORT_H_
 
 #include <chrono>
-#include <condition_variable>
+#include <functional>
 #include <memory>
-#include <mutex>
-#include <queue>
-#include <thread>
 #include <vector>
 
 #include "net/runtime.h"

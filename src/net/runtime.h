@@ -12,6 +12,13 @@
 // `wire_size` lets a caller declare the modelled size of a message whose
 // in-memory representation is smaller (synthetic benchmark payloads); real
 // transports ignore it and simulated ones feed it to the bandwidth model.
+//
+// Threading: protocol code is single-threaded per node — OnMessage and every
+// Schedule() callback run on the node's one event-loop thread (the
+// simulator's driver thread, an InProcCluster node thread, or a TcpRuntime
+// loop thread). The threaded transports additionally allow Send() and
+// Schedule() to be called from any thread; the simulator is driver-thread
+// only.
 
 #ifndef CLANDAG_NET_RUNTIME_H_
 #define CLANDAG_NET_RUNTIME_H_

@@ -64,10 +64,24 @@ TcpRuntime::TcpRuntime(TcpConfig config, MessageHandler* handler)
   CLANDAG_CHECK(config_.num_nodes > 0 && config_.id < config_.num_nodes);
   outbound_fd_.assign(config_.num_nodes, -1);
   epoch_ = std::chrono::steady_clock::now();
+  // The epoll instance and wake eventfd live for the whole object lifetime
+  // (not Start()..Stop()): Post()/Send() from other threads write wake_fd_
+  // without synchronization, so it must never be closed (and its descriptor
+  // number possibly recycled) while such a call can still be in flight.
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  CLANDAG_CHECK(epoll_fd_ >= 0);
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  CLANDAG_CHECK(wake_fd_ >= 0);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  CLANDAG_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
 }
 
 TcpRuntime::~TcpRuntime() {
   Stop();
+  close(wake_fd_);
+  close(epoll_fd_);
 }
 
 TimeMicros TcpRuntime::Now() const {
@@ -77,21 +91,17 @@ TimeMicros TcpRuntime::Now() const {
 
 void TcpRuntime::Start() {
   CLANDAG_CHECK(!running_.load());
-  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
-  CLANDAG_CHECK(epoll_fd_ >= 0);
-  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  CLANDAG_CHECK(wake_fd_ >= 0);
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = wake_fd_;
-  CLANDAG_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
-
   StartListen();
   running_.store(true);
-  thread_ = std::thread([this] { Loop(); });
+  thread_ = std::thread([this] {
+    loop_role_.Acquire();
+    Loop();
+    loop_role_.Release();
+  });
 
   // Kick off dialling from the loop thread.
   Post([this] {
+    loop_role_.AssertHeld();
     for (NodeId peer = 0; peer < config_.num_nodes; ++peer) {
       if (peer != config_.id) {
         DialPeer(peer);
@@ -104,28 +114,30 @@ void TcpRuntime::Stop() {
   if (!running_.exchange(false)) {
     return;
   }
-  uint64_t one = 1;
-  ssize_t ignored = write(wake_fd_, &one, sizeof(one));
-  (void)ignored;
+  WakeLoop();
   if (thread_.joinable()) {
     thread_.join();
   }
+  // The loop thread has exited and released the role; adopt it for teardown
+  // so the analysis (and the runtime owner check) cover this path too.
+  loop_role_.Acquire();
   for (auto& [fd, conn] : conns_) {
-    close(fd);
+    close(fd);  // Closing also removes the fd from the epoll set.
   }
   conns_.clear();
+  outbound_fd_.assign(config_.num_nodes, -1);
+  loop_role_.Release();
+  connected_peers_.store(0);
   if (listen_fd_ >= 0) {
     close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (wake_fd_ >= 0) {
-    close(wake_fd_);
-    wake_fd_ = -1;
-  }
-  if (epoll_fd_ >= 0) {
-    close(epoll_fd_);
-    epoll_fd_ = -1;
-  }
+}
+
+void TcpRuntime::WakeLoop() {
+  uint64_t one = 1;
+  ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
 }
 
 bool TcpRuntime::WaitConnected(TimeMicros timeout) {
@@ -141,17 +153,16 @@ bool TcpRuntime::WaitConnected(TimeMicros timeout) {
 
 void TcpRuntime::Post(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(command_mu_);
+    MutexLock lock(command_mu_);
     commands_.push_back(std::move(fn));
   }
-  uint64_t one = 1;
-  ssize_t ignored = write(wake_fd_, &one, sizeof(one));
-  (void)ignored;
+  WakeLoop();
 }
 
 void TcpRuntime::Schedule(TimeMicros delay, std::function<void()> fn) {
   auto at = std::chrono::steady_clock::now() + std::chrono::microseconds(delay);
   Post([this, at, fn = std::move(fn)]() mutable {
+    loop_role_.AssertHeld();
     timers_.push(Timer{at, next_timer_seq_++, std::move(fn)});
   });
 }
@@ -161,11 +172,13 @@ void TcpRuntime::Send(NodeId to, MsgType type, std::shared_ptr<const Bytes> payl
   if (to == config_.id) {
     // Loopback: deliver on the loop thread like any other message.
     Post([this, type, payload = std::move(payload)] {
+      loop_role_.AssertHeld();  // Handlers run on the loop thread, like timers.
       handler_->OnMessage(config_.id, type, *payload);
     });
     return;
   }
   Post([this, to, type, payload = std::move(payload)] {
+    loop_role_.AssertHeld();
     int fd = outbound_fd_[to];
     if (fd < 0) {
       CLANDAG_DEBUG("node %u: dropping msg to %u (not connected)", config_.id, to);
@@ -215,7 +228,10 @@ void TcpRuntime::DialPeer(NodeId peer) {
   if (rc != 0 && errno != EINPROGRESS) {
     close(fd);
     // Peer not up yet; retry later.
-    Schedule(config_.dial_retry, [this, peer] { DialPeer(peer); });
+    Schedule(config_.dial_retry, [this, peer] {
+      loop_role_.AssertHeld();
+      DialPeer(peer);
+    });
     return;
   }
   auto conn = std::make_unique<Conn>();
@@ -258,7 +274,7 @@ void TcpRuntime::ProcessFrames(Conn& conn) {
   size_t pos = 0;
   while (conn.in_buf.size() - pos >= kFrameHeader) {
     uint32_t len = 0;
-    for (int i = 0; i < 4; ++i) {
+    for (size_t i = 0; i < 4; ++i) {
       len |= static_cast<uint32_t>(conn.in_buf[pos + i]) << (8 * i);
     }
     if (len < 2 || len > kMaxFrame) {
@@ -354,7 +370,10 @@ void TcpRuntime::HandleWritable(Conn& conn) {
     if (err != 0) {
       NodeId peer = conn.peer;
       CloseConn(conn.fd);
-      Schedule(config_.dial_retry, [this, peer] { DialPeer(peer); });
+      Schedule(config_.dial_retry, [this, peer] {
+        loop_role_.AssertHeld();
+        DialPeer(peer);
+      });
       return;
     }
     conn.connected = true;
@@ -387,7 +406,10 @@ void TcpRuntime::CloseConn(int fd) {
     }
     NodeId peer = conn.peer;
     if (running_.load()) {
-      Schedule(config_.dial_retry, [this, peer] { DialPeer(peer); });
+      Schedule(config_.dial_retry, [this, peer] {
+        loop_role_.AssertHeld();
+        DialPeer(peer);
+      });
     }
   }
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
@@ -398,7 +420,7 @@ void TcpRuntime::CloseConn(int fd) {
 void TcpRuntime::DrainCommandQueue() {
   std::deque<std::function<void()>> batch;
   {
-    std::lock_guard<std::mutex> lock(command_mu_);
+    MutexLock lock(command_mu_);
     batch.swap(commands_);
   }
   for (auto& fn : batch) {

@@ -9,8 +9,19 @@
 // Wire format per frame: u32 length (of the rest), u16 type, payload.
 //
 // Threading: a single event-loop thread owns all sockets and timers; the
-// registered MessageHandler and all timer callbacks run on that thread.
-// Send() is callable from any thread (handed to the loop via an eventfd).
+// registered MessageHandler and all timer callbacks run on that thread. That
+// ownership rule is not just a comment: it is the `loop_role_` capability
+// below — connection state is CLANDAG_GUARDED_BY(loop_role_), loop-only
+// member functions are CLANDAG_REQUIRES(loop_role_), and work posted onto the
+// loop opens with loop_role_.AssertHeld(). Send(), Post() and Schedule() are
+// callable from any thread (handed to the loop via a mutex-guarded command
+// queue plus an eventfd wake-up); Stop() joins the loop thread and then
+// adopts the role to tear connection state down. The eventfd and epoll fd
+// live from constructor to destructor so a Send() racing Stop() never writes
+// to a closed (or recycled) descriptor.
+//
+// Lock order: command_mu_ is a leaf — no other lock or capability is
+// acquired while holding it.
 
 #ifndef CLANDAG_NET_TCP_TRANSPORT_H_
 #define CLANDAG_NET_TCP_TRANSPORT_H_
@@ -21,12 +32,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "net/runtime.h"
 
 namespace clandag {
@@ -50,6 +61,9 @@ class TcpRuntime final : public Runtime {
 
   // Binds and starts the loop thread; dials peers in the background.
   void Start();
+  // Joins the loop thread and closes all connections. Safe to call
+  // concurrently with Send()/Post()/Schedule() from other threads: late
+  // commands are enqueued but never executed. Idempotent.
   void Stop();
 
   // Blocks until outbound connections to all peers are established (returns
@@ -88,35 +102,42 @@ class TcpRuntime final : public Runtime {
     }
   };
 
-  void Loop();
+  void Loop() CLANDAG_REQUIRES(loop_role_);
   void StartListen();
-  void DialPeer(NodeId peer);
-  void HandleAccept();
-  void HandleReadable(Conn& conn);
-  void HandleWritable(Conn& conn);
-  void CloseConn(int fd);
-  void FlushConn(Conn& conn);
-  void UpdateEpoll(Conn& conn);
-  void DrainCommandQueue();
-  void ProcessFrames(Conn& conn);
-  uint32_t CountConnectedPeers();
+  void DialPeer(NodeId peer) CLANDAG_REQUIRES(loop_role_);
+  void HandleAccept() CLANDAG_REQUIRES(loop_role_);
+  void HandleReadable(Conn& conn) CLANDAG_REQUIRES(loop_role_);
+  void HandleWritable(Conn& conn) CLANDAG_REQUIRES(loop_role_);
+  void CloseConn(int fd) CLANDAG_REQUIRES(loop_role_);
+  void FlushConn(Conn& conn) CLANDAG_REQUIRES(loop_role_);
+  void UpdateEpoll(Conn& conn) CLANDAG_REQUIRES(loop_role_);
+  void DrainCommandQueue() CLANDAG_REQUIRES(loop_role_);
+  void ProcessFrames(Conn& conn) CLANDAG_REQUIRES(loop_role_);
+  void WakeLoop();
 
   TcpConfig config_;
   MessageHandler* handler_;
   std::chrono::steady_clock::time_point epoch_;
 
+  // Created in the constructor, closed in the destructor (NOT in Stop()), so
+  // cross-thread Post()/Send() can always write the eventfd safely.
   int epoll_fd_ = -1;
-  int listen_fd_ = -1;
   int wake_fd_ = -1;
+  int listen_fd_ = -1;  // Start() opens, Stop() closes.
 
-  std::map<int, std::unique_ptr<Conn>> conns_;       // By fd.
-  std::vector<int> outbound_fd_;                     // Peer id -> fd (-1 if down).
+  // Capability held by the event-loop thread between Start() and Stop()
+  // (and briefly by Stop() itself, after the join, for teardown).
+  ThreadRole loop_role_;
 
-  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
-  uint64_t next_timer_seq_ = 0;
+  std::map<int, std::unique_ptr<Conn>> conns_ CLANDAG_GUARDED_BY(loop_role_);
+  // Peer id -> fd (-1 if down).
+  std::vector<int> outbound_fd_ CLANDAG_GUARDED_BY(loop_role_);
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_
+      CLANDAG_GUARDED_BY(loop_role_);
+  uint64_t next_timer_seq_ CLANDAG_GUARDED_BY(loop_role_) = 0;
 
-  std::mutex command_mu_;
-  std::deque<std::function<void()>> commands_;
+  Mutex command_mu_;
+  std::deque<std::function<void()>> commands_ CLANDAG_GUARDED_BY(command_mu_);
 
   std::atomic<bool> running_{false};
   std::atomic<uint32_t> connected_peers_{0};

@@ -26,7 +26,6 @@ bool RbcEngineBase::HasDelivered(NodeId sender, Round round) const {
 }
 
 void RbcEngineBase::Broadcast(Round round, Bytes value) {
-  const NodeId self = runtime_.id();
   const Digest digest = Digest::Of(value);
 
   // Figure 2/3 step 1: VAL with the full value to the clan, digest-only to

@@ -4,6 +4,9 @@
 // Delivery semantics follow Definition 2 of the paper: clan members deliver
 // the full value m, parties outside the clan deliver H(m). The deliver
 // callback receives `value == nullptr` for a digest-only delivery.
+//
+// Threading: engines are confined to the owning node's event-loop thread
+// (driven by OnMessage and Runtime timers); no internal locking.
 
 #ifndef CLANDAG_RBC_ENGINE_BASE_H_
 #define CLANDAG_RBC_ENGINE_BASE_H_

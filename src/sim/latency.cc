@@ -17,8 +17,8 @@ LatencyMatrix LatencyMatrix::GcpGeoDistributed(uint32_t num_nodes) {
   for (uint32_t i = 0; i < num_nodes; ++i) {
     m.region_of_[i] = static_cast<int>(i % kNumGcpRegions);
   }
-  for (int a = 0; a < kNumGcpRegions; ++a) {
-    for (int b = 0; b < kNumGcpRegions; ++b) {
+  for (size_t a = 0; a < kNumGcpRegions; ++a) {
+    for (size_t b = 0; b < kNumGcpRegions; ++b) {
       m.region_delay_[a][b] =
           static_cast<TimeMicros>(kGcpPingRttMs[a][b] * 1000.0 / 2.0);
     }
@@ -34,7 +34,8 @@ TimeMicros LatencyMatrix::OneWay(NodeId from, NodeId to) const {
   if (from == to) {
     return 0;  // Loopback.
   }
-  return region_delay_[region_of_[from]][region_of_[to]];
+  return region_delay_[static_cast<size_t>(region_of_[from])]
+                      [static_cast<size_t>(region_of_[to])];
 }
 
 TimeMicros LatencyMatrix::MeanOneWay() const {

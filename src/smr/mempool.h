@@ -8,6 +8,9 @@
 //
 // Mempool is a real queue for the examples and SMR tests: clients submit
 // serialized transactions, proposals drain them.
+//
+// Threading: confined to the owning node's event-loop thread; clients on
+// other threads must hand transactions over via the transport's Post().
 
 #ifndef CLANDAG_SMR_MEMPOOL_H_
 #define CLANDAG_SMR_MEMPOOL_H_

@@ -38,7 +38,8 @@ double MultiClanDishonestProbability(int64_t n, int64_t f, int64_t q, int64_t nc
   for (int64_t j = 0; j < q; ++j) {
     std::vector<double> next(static_cast<size_t>(f) + 1, kNegInf);
     for (int64_t used = 0; used <= f; ++used) {
-      if (good[used] == kNegInf) {
+      const size_t u = static_cast<size_t>(used);
+      if (good[u] == kNegInf) {
         continue;
       }
       const int64_t f_rem = f - used;
@@ -49,7 +50,8 @@ double MultiClanDishonestProbability(int64_t n, int64_t f, int64_t q, int64_t nc
         if (nc - w > h_rem) {
           continue;
         }
-        next[used + w] = LogAdd(next[used + w], good[used] + LogClanWays(f_rem, h_rem, nc, w));
+        const size_t uw = static_cast<size_t>(used + w);
+        next[uw] = LogAdd(next[uw], good[u] + LogClanWays(f_rem, h_rem, nc, w));
       }
     }
     good = std::move(next);

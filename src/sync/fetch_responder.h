@@ -8,6 +8,9 @@
 // lagging node closes N rounds in O(N / budget) round trips instead of one
 // fetch per vertex. Both the want list (decode side) and the response size
 // (budget) are capped.
+//
+// Threading: confined to the owning node's event-loop thread (invoked from
+// the node's OnMessage path); no internal locking.
 
 #ifndef CLANDAG_SYNC_FETCH_RESPONDER_H_
 #define CLANDAG_SYNC_FETCH_RESPONDER_H_

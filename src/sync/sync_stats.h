@@ -3,6 +3,9 @@
 // Plain aggregatable counters: SailfishNode merges its fetcher's and
 // responder's instances, benches merge across nodes, and core/metrics
 // renders them (FormatSyncStats).
+//
+// Threading: plain non-atomic counters, bumped on the owning node's
+// event-loop thread only; merge/render from a driver thread after the run.
 
 #ifndef CLANDAG_SYNC_SYNC_STATS_H_
 #define CLANDAG_SYNC_SYNC_STATS_H_

@@ -18,6 +18,10 @@
 // max_attempts (a fabricated edge, or history everyone already dropped) are
 // abandoned together with the children that need them — exactly the old
 // buffer-drop behaviour, but bounded and counted.
+//
+// Threading: confined to the owning node's event-loop thread. Timer
+// callbacks (grace period, retry backoff) are scheduled on the same
+// Runtime and therefore also run on that thread; no internal locking.
 
 #ifndef CLANDAG_SYNC_VERTEX_FETCHER_H_
 #define CLANDAG_SYNC_VERTEX_FETCHER_H_

@@ -9,6 +9,10 @@
 // recovery: WalVertexStore builds a (round, source) -> offset index over it
 // so the FetchResponder can serve committed history that DagStore already
 // pruned.
+//
+// Threading: confined to the owning node's event-loop thread. Every append,
+// fsync and replay happens on that one thread; the WAL has no internal
+// locking and must not be shared across threads.
 
 #ifndef CLANDAG_SYNC_WAL_H_
 #define CLANDAG_SYNC_WAL_H_

@@ -12,6 +12,9 @@
 // durable) because losing either violates safety — a lost anchor re-orders
 // already-executed vertices after restart, a lost proposal marker lets the
 // node equivocate against its previous life.
+//
+// Threading: confined to the owning node's event-loop thread, like the Wal
+// it owns; startup replay runs before the loop starts.
 
 #ifndef CLANDAG_SYNC_WAL_VERTEX_STORE_H_
 #define CLANDAG_SYNC_WAL_VERTEX_STORE_H_

@@ -178,6 +178,183 @@ TEST(TcpTransport, ScheduleRunsOnLoopThread) {
   node.Stop();
 }
 
+// Waits until `h` has received at least one message of `type`.
+bool WaitForType(CountingHandler& h, MsgType type, int timeout_ms = 5000) {
+  std::unique_lock<std::mutex> lock(h.mu);
+  return h.cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    for (const auto& [from, t] : h.received) {
+      if (t == type) {
+        return true;
+      }
+    }
+    return false;
+  });
+}
+
+// Cross-thread contract: Send() is callable from any thread. Hammer one
+// node's mailbox from several threads at once; every message must arrive.
+// Primarily a ThreadSanitizer target (CI job `tsan`).
+TEST(InProcCluster, SendFromManyThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  InProcCluster cluster(3);
+  CountingHandler handlers[3];
+  for (NodeId id = 0; id < 3; ++id) {
+    cluster.RegisterHandler(id, &handlers[id]);
+  }
+  cluster.Start();
+  std::vector<std::thread> senders;
+  for (int t = 0; t < kThreads; ++t) {
+    senders.emplace_back([&cluster, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        cluster.RuntimeOf(0).Send(1, static_cast<MsgType>(20 + t), ToBytes("m"));
+        if (i % 100 == 0) {
+          // Timers from foreign threads ride the same contract.
+          cluster.RuntimeOf(0).Schedule(Millis(1), [] {});
+        }
+      }
+    });
+  }
+  for (auto& th : senders) {
+    th.join();
+  }
+  EXPECT_TRUE(handlers[1].WaitForCount(kThreads * kPerThread, 20000));
+  cluster.Stop();
+}
+
+// Same contract over the TCP transport: concurrent Send() callers share the
+// command queue and the wake eventfd; nothing may be lost once connected.
+TEST(TcpTransport, SendFromManyThreadsDeliversAll) {
+  constexpr uint32_t kNodes = 2;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  const uint16_t base_port = PickBasePort(5);
+  CountingHandler handlers[kNodes];
+  std::vector<std::unique_ptr<TcpRuntime>> nodes;
+  for (NodeId id = 0; id < kNodes; ++id) {
+    TcpConfig config;
+    config.id = id;
+    config.num_nodes = kNodes;
+    config.base_port = base_port;
+    nodes.push_back(std::make_unique<TcpRuntime>(config, &handlers[id]));
+  }
+  for (auto& node : nodes) {
+    node->Start();
+  }
+  for (auto& node : nodes) {
+    ASSERT_TRUE(node->WaitConnected(Seconds(10)));
+  }
+  std::vector<std::thread> senders;
+  for (int t = 0; t < kThreads; ++t) {
+    senders.emplace_back([&nodes, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        nodes[0]->Send(1, static_cast<MsgType>(20 + t), ToBytes("tcp"));
+      }
+    });
+  }
+  for (auto& th : senders) {
+    th.join();
+  }
+  EXPECT_TRUE(handlers[1].WaitForCount(kThreads * kPerThread, 30000));
+  for (auto& node : nodes) {
+    node->Stop();
+  }
+}
+
+// Stop() racing in-flight Send()s from other threads: late sends are dropped,
+// never crash, and the eventfd stays valid for the object's whole lifetime.
+TEST(TcpTransport, StopWhileSendersRunning) {
+  constexpr uint32_t kNodes = 2;
+  const uint16_t base_port = PickBasePort(6);
+  CountingHandler handlers[kNodes];
+  std::vector<std::unique_ptr<TcpRuntime>> nodes;
+  for (NodeId id = 0; id < kNodes; ++id) {
+    TcpConfig config;
+    config.id = id;
+    config.num_nodes = kNodes;
+    config.base_port = base_port;
+    nodes.push_back(std::make_unique<TcpRuntime>(config, &handlers[id]));
+  }
+  for (auto& node : nodes) {
+    node->Start();
+  }
+  for (auto& node : nodes) {
+    ASSERT_TRUE(node->WaitConnected(Seconds(10)));
+  }
+  std::atomic<bool> done{false};
+  std::vector<std::thread> senders;
+  for (int t = 0; t < 3; ++t) {
+    senders.emplace_back([&nodes, &done] {
+      for (int i = 0; i < 50000 && !done.load(); ++i) {
+        nodes[0]->Send(1, 21, ToBytes("x"));
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  nodes[0]->Stop();  // Concurrent with the senders, by design.
+  done.store(true);
+  for (auto& th : senders) {
+    th.join();
+  }
+  nodes[0]->Send(1, 22, ToBytes("late send on stopped runtime"));
+  nodes[1]->Stop();
+}
+
+// Full lifecycle churn: Start/Stop cycles on the same objects while sender
+// threads keep firing across the boundaries. After the final restart the
+// mesh must reconnect and deliver again.
+TEST(TcpTransport, StartStopCyclesWithConcurrentSenders) {
+  constexpr uint32_t kNodes = 2;
+  const uint16_t base_port = PickBasePort(7);
+  CountingHandler handlers[kNodes];
+  std::vector<std::unique_ptr<TcpRuntime>> nodes;
+  for (NodeId id = 0; id < kNodes; ++id) {
+    TcpConfig config;
+    config.id = id;
+    config.num_nodes = kNodes;
+    config.base_port = base_port;
+    nodes.push_back(std::make_unique<TcpRuntime>(config, &handlers[id]));
+  }
+  std::atomic<bool> done{false};
+  std::vector<std::thread> senders;
+  for (int t = 0; t < 2; ++t) {
+    senders.emplace_back([&nodes, &done] {
+      while (!done.load()) {
+        nodes[0]->Send(1, 23, ToBytes("churn"));
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (auto& node : nodes) {
+      node->Start();
+    }
+    for (auto& node : nodes) {
+      ASSERT_TRUE(node->WaitConnected(Seconds(10))) << "cycle " << cycle;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    for (auto& node : nodes) {
+      node->Stop();
+    }
+  }
+  done.store(true);
+  for (auto& th : senders) {
+    th.join();
+  }
+  // One more clean start: the transport must still work after the churn.
+  for (auto& node : nodes) {
+    node->Start();
+  }
+  for (auto& node : nodes) {
+    ASSERT_TRUE(node->WaitConnected(Seconds(10)));
+  }
+  nodes[0]->Send(1, 99, ToBytes("post-churn"));
+  EXPECT_TRUE(WaitForType(handlers[1], 99));
+  for (auto& node : nodes) {
+    node->Stop();
+  }
+}
+
 // End-to-end: four AppNodes over real TCP sockets reach consensus on
 // client transactions and execute them identically.
 TEST(TcpTransport, FourNodeConsensusCommits) {

@@ -9,6 +9,7 @@
 #include "consensus/wire.h"
 #include "rbc/wire.h"
 #include "smr/mempool.h"
+#include "sync/recovery.h"
 
 namespace clandag {
 namespace {
@@ -127,6 +128,23 @@ TEST(WireFuzz, TxBatch) {
   FuzzRandom(11, [](const Bytes& b) { DecodeTxBatch(b); });
   std::vector<Transaction> txs = {{1, 10, ToBytes("aa")}, {2, 20, ToBytes("bb")}};
   FuzzMutations(EncodeTxBatch(txs), [](const Bytes& b) { DecodeTxBatch(b); });
+}
+
+TEST(WireFuzz, WalRecord) {
+  // A corrupted WAL (bit rot, torn writes the framing CRC missed) must never
+  // crash recovery — a node that cannot restart is a node lost forever.
+  FuzzRandom(15, [](const Bytes& b) { DecodeWalRecord(b); });
+  Vertex v;
+  v.round = 6;
+  v.source = 1;
+  v.block_digest = Digest::Of(ToBytes("wal blk"));
+  v.strong_edges = {StrongEdge{0, Digest::Of(ToBytes("p"))}};
+  FuzzMutations(EncodeVertexRecord(v), [](const Bytes& b) { DecodeWalRecord(b); });
+  FuzzMutations(EncodeAnchorRecord(9), [](const Bytes& b) { DecodeWalRecord(b); });
+  FuzzMutations(EncodeProposalRecord(11), [](const Bytes& b) { DecodeWalRecord(b); });
+  EXPECT_TRUE(DecodeWalRecord(EncodeVertexRecord(v)).has_value());
+  EXPECT_TRUE(DecodeWalRecord(EncodeAnchorRecord(9)).has_value());
+  EXPECT_TRUE(DecodeWalRecord(EncodeProposalRecord(11)).has_value());
 }
 
 TEST(WireFuzz, PoaCert) {

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: machine-checks project contracts that neither the
+compiler nor clang-tidy can express. Run in CI, as a ctest (`lint_invariants`),
+or directly:
+
+    python3 tools/lint_invariants.py [--root REPO_ROOT]
+
+Rules
+-----
+raw-concurrency-primitive
+    No naked std::mutex / std::lock_guard / std::condition_variable / ... in
+    src/ outside src/common/mutex.h. The wrappers there carry the Clang
+    thread-safety annotations; a naked primitive is invisible to
+    `-Wthread-safety` and therefore unchecked.
+
+decode-bounds
+    Every wire-decode translation unit (one defining a `Decode*` function
+    taking `const Bytes&`) must consume input through the bounds-checked
+    Reader and test `ok()`. Byzantine peers control these bytes.
+
+decode-fuzz-coverage
+    Every `Decode*(const Bytes&)` wire function declared in a src/ header
+    must be exercised by tests/wire_fuzz_test.cc (random buffers,
+    truncations, bit flips). A decoder nobody fuzzes is a decoder a peer
+    fuzzes for you, in production.
+
+no-assert
+    No `assert(` in src/ (and no <cassert>/<assert.h> includes): NDEBUG
+    builds would silently drop protocol invariants. Use CLANDAG_CHECK /
+    CLANDAG_CHECK_MSG (common/check.h), which are active in release builds.
+
+threading-contract
+    Every src/ header that includes <thread>, <atomic>, <mutex>,
+    <condition_variable> or common/mutex.h must carry a threading-contract
+    comment (a line containing `Threading:` or `Thread-safety:`) stating
+    which thread owns what and which locks guard what.
+
+A finding can be waived on its line with `// lint:allow(<rule-name>)` plus a
+reason; waivers are expected to be rare and reviewed.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+PRIMITIVE_RE = re.compile(
+    r"std::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|shared_mutex"
+    r"|shared_timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock"
+    r"|condition_variable|condition_variable_any)\b"
+)
+PRIMITIVE_INCLUDE_RE = re.compile(r"#\s*include\s*<(mutex|condition_variable|shared_mutex)>")
+# Free function: std::optional<T> DecodeFoo(const Bytes& ...)
+FREE_DECODE_RE = re.compile(r"std::optional<[^<>]+>\s+(Decode\w*)\s*\(\s*const\s+Bytes\s*&")
+# Static member: static std::optional<T> Decode(const Bytes& ...)
+MEMBER_DECODE_RE = re.compile(
+    r"static\s+std::optional<\s*(\w+)\s*>\s+Decode\s*\(\s*const\s+Bytes\s*&"
+)
+ASSERT_RE = re.compile(r"(?<![\w.])assert\s*\(")
+ASSERT_INCLUDE_RE = re.compile(r"#\s*include\s*[<\"](cassert|assert\.h)[>\"]")
+CONCURRENCY_INCLUDE_RE = re.compile(
+    r"#\s*include\s*(?:<(thread|atomic|mutex|condition_variable|shared_mutex)>"
+    r"|\"common/mutex\.h\")"
+)
+CONTRACT_RE = re.compile(r"Threading:|Thread-safety:")
+WAIVER_RE = re.compile(r"//\s*lint:allow\(([\w-]+)\)")
+
+# The annotated wrappers themselves legitimately hold the naked primitives.
+PRIMITIVE_EXEMPT = {"src/common/mutex.h", "src/common/thread_annotations.h"}
+
+
+def strip_comments(line: str) -> str:
+    """Drops // comments; good enough for rule matching (no /* */ in repo style)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.findings = []
+
+    def report(self, rule, path, lineno, msg, line=""):
+        if WAIVER_RE.search(line) and WAIVER_RE.search(line).group(1) == rule:
+            return
+        rel = path.relative_to(self.root)
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    def src_files(self, suffixes):
+        for path in sorted((self.root / "src").rglob("*")):
+            if path.suffix in suffixes and path.is_file():
+                yield path
+
+    # -- Rule: raw-concurrency-primitive ------------------------------------
+    def check_primitives(self):
+        for path in self.src_files({".h", ".cc"}):
+            if str(path.relative_to(self.root)) in PRIMITIVE_EXEMPT:
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                code = strip_comments(line)
+                m = PRIMITIVE_RE.search(code) or PRIMITIVE_INCLUDE_RE.search(code)
+                if m:
+                    self.report(
+                        "raw-concurrency-primitive", path, lineno,
+                        f"use the annotated wrappers in common/mutex.h instead of "
+                        f"'{m.group(0).strip()}' (invisible to -Wthread-safety)",
+                        line)
+
+    # -- Rules: decode-bounds + decode-fuzz-coverage ------------------------
+    def check_decoders(self):
+        fuzz_path = self.root / "tests" / "wire_fuzz_test.cc"
+        fuzz_text = fuzz_path.read_text() if fuzz_path.exists() else ""
+        for path in self.src_files({".h"}):
+            text = path.read_text()
+            symbols = []  # (lineno, display, fuzz_needles)
+            enclosing = None
+            for lineno, line in enumerate(text.splitlines(), 1):
+                code = strip_comments(line)
+                decl = re.match(r"\s*(?:struct|class)\s+(\w+)", code)
+                if decl:
+                    enclosing = decl.group(1)
+                free = FREE_DECODE_RE.search(code)
+                if free:
+                    symbols.append((lineno, free.group(1), [free.group(1) + "("]))
+                member = MEMBER_DECODE_RE.search(code)
+                if member:
+                    name = enclosing or member.group(1)
+                    symbols.append((lineno, f"{name}::Decode",
+                                    [f"{name}::Decode"]))
+            if not symbols:
+                continue
+            impl = path.with_suffix(".cc")
+            impl_text = impl.read_text() if impl.exists() else text
+            if ".ok()" not in impl_text:
+                self.report(
+                    "decode-bounds", path, symbols[0][0],
+                    f"decoder implementation {impl.name} never checks Reader "
+                    f"bounds (expected a `.ok()` check)")
+            for lineno, display, needles in symbols:
+                if not any(n in fuzz_text for n in needles):
+                    self.report(
+                        "decode-fuzz-coverage", path, lineno,
+                        f"{display} has no fuzz-corpus entry in "
+                        f"tests/wire_fuzz_test.cc",
+                        text.splitlines()[lineno - 1])
+
+    # -- Rule: no-assert ----------------------------------------------------
+    def check_asserts(self):
+        for path in self.src_files({".h", ".cc"}):
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                code = strip_comments(line)
+                if "static_assert" in code:
+                    code = code.replace("static_assert", "")
+                if ASSERT_RE.search(code) or ASSERT_INCLUDE_RE.search(code):
+                    self.report(
+                        "no-assert", path, lineno,
+                        "assert() vanishes under NDEBUG; use CLANDAG_CHECK "
+                        "(common/check.h), active in all build modes",
+                        line)
+
+    # -- Rule: threading-contract -------------------------------------------
+    def check_threading_contracts(self):
+        for path in self.src_files({".h"}):
+            text = path.read_text()
+            include_line = None
+            for lineno, line in enumerate(text.splitlines(), 1):
+                if CONCURRENCY_INCLUDE_RE.search(line):
+                    include_line = lineno
+                    break
+            if include_line is not None and not CONTRACT_RE.search(text):
+                self.report(
+                    "threading-contract", path, include_line,
+                    "header pulls in concurrency machinery but has no "
+                    "'Threading:' / 'Thread-safety:' contract comment "
+                    "documenting thread ownership and lock discipline")
+
+    def run(self):
+        self.check_primitives()
+        self.check_decoders()
+        self.check_asserts()
+        self.check_threading_contracts()
+        return self.findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent)
+    args = parser.parse_args()
+    findings = Linter(args.root.resolve()).run()
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nlint_invariants: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

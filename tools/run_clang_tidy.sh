@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over src/ with the repo's .clang-tidy, the same way CI does.
+#
+#   tools/run_clang_tidy.sh [build-dir]
+#
+# Configures `build-dir` (default: build-tidy) with clang and
+# CMAKE_EXPORT_COMPILE_COMMANDS=ON if it does not already contain a
+# compile_commands.json, then lints every translation unit under src/.
+# Exits non-zero on any finding (WarningsAsErrors promotes everything).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tidy}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "error: clang-tidy not found on PATH" >&2
+  exit 2
+fi
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  CC=${CC:-clang} CXX=${CXX:-clang++} \
+    cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+FILES=$(find src -name '*.cc' | sort)
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  # run-clang-tidy wants regexes of file paths, anchored at the path root.
+  run-clang-tidy -p "${BUILD_DIR}" -j "${JOBS}" -quiet ${FILES}
+else
+  echo "${FILES}" | xargs -P "${JOBS}" -n 4 clang-tidy -p "${BUILD_DIR}" --quiet
+fi
+
+echo "clang-tidy: clean"
