@@ -33,8 +33,11 @@ void VertexDisseminator::Propose(const Vertex& v, std::optional<BlockInfo> block
     CLANDAG_CHECK_MSG(block->ComputeDigest() == v.block_digest, "block/vertex digest mismatch");
   }
 
-  // Vertex (metadata) to the entire tribe.
+  // Vertex (metadata) to the entire tribe. A copy is kept for anti-entropy
+  // rebroadcast (RebroadcastLatest).
   Bytes vertex_bytes = EncodeVertex(v);
+  last_val_bytes_ = vertex_bytes;
+  has_last_val_ = true;
   runtime_.Broadcast(kConsVertexVal, std::move(vertex_bytes));
 
   // Block only to the serving clan, with its modelled wire size.
@@ -158,6 +161,32 @@ void VertexDisseminator::AcceptVertexBody(NodeId source, Round round, Instance& 
   }
 }
 
+void VertexDisseminator::ReplyCompletionEvidence(NodeId from, NodeId source, Round round,
+                                                 Instance& inst) {
+  if (from == runtime_.id() || !inst.evidence_sent.insert(from).second) {
+    return;  // At most one repair reply per peer per instance.
+  }
+  if (config_.flavor == RbcFlavor::kTwoRound) {
+    if (!inst.cert_bytes.empty()) {
+      runtime_.Send(from, kConsCert, inst.cert_bytes);
+    }
+    return;
+  }
+  // Bracha has no certificates; re-send this node's READY. Every completed
+  // peer does the same, so the straggler reassembles a READY quorum.
+  RbcVoteMsg ready;
+  ready.sender = source;
+  ready.round = round;
+  ready.digest = inst.decided_digest;
+  runtime_.Send(from, kConsReady, ready.Encode());
+}
+
+void VertexDisseminator::RebroadcastLatest() {
+  if (has_last_val_) {
+    runtime_.Broadcast(kConsVertexVal, last_val_bytes_);
+  }
+}
+
 void VertexDisseminator::OnVertexVal(NodeId from, const Bytes& payload) {
   auto v = DecodeVertex(payload);
   if (!v.has_value() || v->source != from || v->source >= config_.num_nodes) {
@@ -244,7 +273,12 @@ void VertexDisseminator::OnEcho(NodeId from, const Bytes& payload) {
   }
   Instance& inst = GetInstance(msg->sender, msg->round);
   if (inst.completed) {
-    return;  // Late echo for a finished broadcast; nothing left to drive.
+    // Late echo: `from` is still working on an instance this node finished
+    // long ago — it likely lost the original traffic to a partition or a
+    // crash. Re-send the completion evidence so it can finish too; this is
+    // the repair path that lets a healed cluster un-wedge.
+    ReplyCompletionEvidence(from, msg->sender, msg->round, inst);
+    return;
   }
   auto [it, inserted] = inst.echoes.try_emplace(msg->digest, config_.num_nodes);
   VoteTracker& tracker = it->second;
@@ -260,13 +294,14 @@ void VertexDisseminator::OnEcho(NodeId from, const Bytes& payload) {
     if (inst.completed || inst.awaiting_vertex) {
       return;
     }
+    RbcCertMsg cert;
+    cert.sender = msg->sender;
+    cert.round = msg->round;
+    cert.digest = msg->digest;
+    cert.sig = tracker.BuildCert();
+    inst.cert_bytes = cert.Encode();
     if (config_.multicast_cert) {
-      RbcCertMsg cert;
-      cert.sender = msg->sender;
-      cert.round = msg->round;
-      cert.digest = msg->digest;
-      cert.sig = tracker.BuildCert();
-      runtime_.Broadcast(kConsCert, cert.Encode());
+      runtime_.Broadcast(kConsCert, inst.cert_bytes);
     }
     OnQuorum(msg->sender, msg->round, inst, msg->digest);
   } else {
@@ -339,6 +374,7 @@ void VertexDisseminator::OnCert(NodeId /*from*/, const Bytes& payload) {
                                                  msg->digest))) {
     return;
   }
+  inst.cert_bytes = payload;  // Verified evidence, kept for peer repair.
   OnQuorum(msg->sender, msg->round, inst, msg->digest);
 }
 

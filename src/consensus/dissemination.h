@@ -26,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <unordered_map>
 
 #include "consensus/clan.h"
@@ -98,6 +99,15 @@ class VertexDisseminator {
   // block pull if this node is responsible for the vertex's block.
   void EnsureBlockPull(const Vertex& v, const Digest& digest);
 
+  // Anti-entropy: re-broadcasts this node's most recent Propose() VAL.
+  // Idempotent at receivers; the consensus layer calls it on repeated round
+  // timeouts so peers that lost traffic (partition, crash, reconnect) learn
+  // about the current frontier and can start completing/fetching. Without a
+  // re-delivery path a healed cluster can stay wedged forever: broadcasts
+  // are sent exactly once and the protocol's liveness argument assumes
+  // reliable channels.
+  void RebroadcastLatest();
+
  private:
   struct Instance {
     std::optional<Vertex> vertex;  // First body received.
@@ -113,6 +123,11 @@ class VertexDisseminator {
     std::map<Digest, VoteTracker> echoes;
     std::map<Digest, VoteTracker> readies;
     uint32_t pull_rr = 0;
+    // Completion evidence for repairing lagging peers (two-round flavour:
+    // the encoded echo-certificate; empty for Bracha, which re-READYs).
+    Bytes cert_bytes;
+    // Peers already sent evidence, so a spammed echo can't amplify.
+    std::set<NodeId> evidence_sent;
   };
 
   Instance& GetInstance(NodeId source, Round round);
@@ -120,6 +135,9 @@ class VertexDisseminator {
 
   bool NeedsBlockToEcho(const Vertex& v) const;
   void MaybeEcho(NodeId source, Round round, Instance& inst);
+  // Late echo from `from` for a completed instance: re-send the completion
+  // evidence (cert / own READY) so the straggler can finish the RBC too.
+  void ReplyCompletionEvidence(NodeId from, NodeId source, Round round, Instance& inst);
   void OnQuorum(NodeId source, Round round, Instance& inst, const Digest& digest);
   void Complete(NodeId source, Round round, Instance& inst);
   void StartVertexPull(NodeId source, Round round);
@@ -151,6 +169,9 @@ class VertexDisseminator {
   DisseminationConfig config_;
   DisseminationCallbacks callbacks_;
   std::unordered_map<std::pair<NodeId, Round>, Instance, InstanceKeyHash> instances_;
+  // Last own Propose() VAL, for anti-entropy rebroadcast.
+  Bytes last_val_bytes_;
+  bool has_last_val_ = false;
 };
 
 }  // namespace clandag

@@ -148,6 +148,9 @@ void SailfishNode::OnVertexComplete(const Vertex& v, const Digest& digest) {
                  static_cast<unsigned long long>(v.round), v.source);
     return;
   }
+  if (callbacks_.on_completed) {
+    callbacks_.on_completed(v, digest);
+  }
   TryAdmit(v, digest);
 }
 
@@ -158,6 +161,9 @@ void SailfishNode::OnFetchedVertex(Vertex v, const Digest& digest) {
     CLANDAG_WARN("node %u: rejecting structurally invalid fetched vertex (%llu, %u)",
                  runtime_.id(), static_cast<unsigned long long>(v.round), v.source);
     return;
+  }
+  if (callbacks_.on_completed) {
+    callbacks_.on_completed(v, digest);
   }
   // No RBC ran locally, so the block push never happened; pull it if this
   // node is responsible for the vertex's block.
@@ -372,21 +378,41 @@ void SailfishNode::ScheduleTimeout(Round round) {
 }
 
 void SailfishNode::OnTimeout(Round round) {
-  if (current_round_ != round || dag_.Has(round, LeaderOf(round))) {
-    return;
+  if (current_round_ != round) {
+    return;  // Stale timer from a round already left.
   }
-  if (!timeout_fired_.insert(round).second) {
-    return;
+  // Re-arm while stuck in this round (bounded, so drained simulations still
+  // reach idle). Every re-fire doubles as an anti-entropy beat: broadcasts
+  // are sent exactly once and the liveness argument assumes reliable
+  // channels, so after real loss (partition, crash, reconnect) somebody has
+  // to re-offer state or a healed cluster can stay wedged forever.
+  if (round != timeout_round_) {
+    timeout_round_ = round;
+    timeout_repeats_ = 0;
   }
-  no_voted_.insert(round);
-  TimeoutMsg to;
-  to.round = round;
-  to.sig = keychain_.Sign(runtime_.id(), TimeoutCert::SignedMessage(round));
-  runtime_.Broadcast(kConsTimeout, to.Encode());
-  NoVoteMsg nv;
-  nv.round = round;
-  nv.sig = keychain_.Sign(runtime_.id(), NoVoteCert::SignedMessage(round));
-  runtime_.Send(LeaderOf(round + 1), kConsNoVote, nv.Encode());
+  if (++timeout_repeats_ <= config_.max_timeout_rebroadcasts) {
+    ScheduleTimeout(round);
+  }
+  if (!dag_.Has(round, LeaderOf(round)) && timeout_fired_.insert(round).second) {
+    no_voted_.insert(round);
+  }
+  if (timeout_fired_.count(round)) {
+    // (Re-)send the timeout vote and no-vote; peers deduplicate.
+    TimeoutMsg to;
+    to.round = round;
+    to.sig = keychain_.Sign(runtime_.id(), TimeoutCert::SignedMessage(round));
+    runtime_.Broadcast(kConsTimeout, to.Encode());
+    NoVoteMsg nv;
+    nv.round = round;
+    nv.sig = keychain_.Sign(runtime_.id(), NoVoteCert::SignedMessage(round));
+    runtime_.Send(LeaderOf(round + 1), kConsNoVote, nv.Encode());
+  }
+  if (timeout_repeats_ > 1) {
+    // Still in the same round a full timeout later: re-offer our latest
+    // vertex so stragglers can complete it and start catching up.
+    dissem_->RebroadcastLatest();
+    TryPendingProposal();
+  }
   MaybeAdvance();
 }
 

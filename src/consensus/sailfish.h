@@ -60,6 +60,13 @@ struct SailfishConfig {
   // effective GC floor is additionally capped by the fetcher's oldest pinned
   // round, so in-flight repairs are never pruned out from under themselves.
   Round gc_depth = 64;
+  // How many times the round timer re-arms while the node is stuck in one
+  // round. Each repeat fire re-broadcasts this node's latest vertex and
+  // timeout vote (anti-entropy): real transports lose traffic across
+  // partitions and reconnects, and without a re-delivery path a healed
+  // cluster can stay wedged forever. Bounded so drained simulations reach
+  // idle; 0 restores the legacy one-shot timer.
+  uint32_t max_timeout_rebroadcasts = 64;
 
   uint32_t Quorum() const { return 2 * num_faults + 1; }
 };
@@ -67,6 +74,11 @@ struct SailfishConfig {
 struct SailfishCallbacks {
   // Vertices in the agreed total order (same sequence at every honest node).
   std::function<void(const Vertex&)> on_ordered;
+  // Fired when a vertex body is established for (round, source): RBC
+  // completion or digest-verified fetch. Honest nodes must never see two
+  // different bodies here for the same key — the chaos safety oracle's
+  // delivery-consistency tap. Optional.
+  std::function<void(const Vertex&, const Digest&)> on_completed;
   std::function<void(Round)> on_round_advance;  // Optional.
   // Fired just before broadcasting this node's own round-r vertex; the WAL
   // writes its proposal marker here (anti-self-equivocation across restarts).
@@ -172,6 +184,9 @@ class SailfishNode final : public MessageHandler {
   std::optional<Round> pending_proposal_;
 
   std::set<Round> timeout_fired_;
+  // Repeat-timeout bookkeeping for the current round (anti-entropy beats).
+  Round timeout_round_ = 0;
+  uint32_t timeout_repeats_ = 0;
   std::set<Round> no_voted_;  // Rounds whose leader this node refused to vote for.
   std::map<Round, VoteTracker> timeout_votes_;
   std::map<Round, TimeoutCert> tcs_;

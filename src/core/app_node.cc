@@ -15,6 +15,9 @@ AppNode::AppNode(Runtime& runtime, const Keychain& keychain, const ClanTopology&
       mempool_(Mempool::Options{options.max_txs_per_block}) {
   SailfishCallbacks consensus_callbacks;
   consensus_callbacks.on_ordered = [this](const Vertex& v) { OnOrdered(v); };
+  if (callbacks_.on_completed) {
+    consensus_callbacks.on_completed = callbacks_.on_completed;
+  }
   consensus_callbacks.on_anchor = [this](Round r) {
     if (wal_) {
       wal_->AppendAnchor(r);

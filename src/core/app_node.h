@@ -49,6 +49,9 @@ struct AppNodeCallbacks {
   // stream resumes right past the replayed committed prefix (the prefix is
   // handed to on_recovered instead, never re-emitted).
   std::function<void(const Vertex&)> on_ordered;
+  // Every vertex body this node established (RBC completion or verified
+  // fetch), keyed by (round, source). Chaos oracles tap this. Optional.
+  std::function<void(const Vertex&, const Digest&)> on_completed;
   // Fired during Start() when the WAL held state: the replayed committed
   // prefix, before any live vertex is ordered.
   std::function<void(const RecoveryState&)> on_recovered;

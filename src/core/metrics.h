@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "net/transport_stats.h"
 #include "sync/sync_stats.h"
 
 namespace clandag {
@@ -46,6 +47,9 @@ class LatencyStats {
 
 // One-line human-readable rendering of the sync subsystem counters.
 std::string FormatSyncStats(const SyncStats& s);
+
+// One-line human-readable rendering of the transport counters.
+std::string FormatTransportStats(const TransportStats& s);
 
 }  // namespace clandag
 

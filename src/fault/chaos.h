@@ -1,0 +1,59 @@
+// Chaos harness: runs one FaultPlan over a simulated AppNode cluster and
+// asserts the safety/liveness oracles.
+//
+// The cluster mirrors production wiring as closely as the simulator allows:
+// every node is a full AppNode (consensus + mempool + execution) with a WAL,
+// stacked as ByzantineRuntime? -> FaultInjectingRuntime -> SimRuntime.
+// Crash events toggle SimNetwork fail-stop state; restart events build a
+// fresh AppNode over the same identity and WAL, exercising the src/sync/
+// recovery path under chaos. The run is bit-for-bit deterministic in the
+// plan seed, so a failing seed replays exactly.
+//
+// Used by tests/chaos_test.cc and tools/chaos_runner.cc.
+
+#ifndef CLANDAG_FAULT_CHAOS_H_
+#define CLANDAG_FAULT_CHAOS_H_
+
+#include <string>
+
+#include "common/time.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+
+namespace clandag {
+
+struct ChaosOptions {
+  TimeMicros round_timeout = Millis(300);
+  uint32_t txs_per_node = 100;
+  bool use_wal = true;
+  Round gc_depth = 32;
+  // The run lasts until max(plan.horizon, HealTime() + post_heal_run).
+  TimeMicros post_heal_run = Seconds(5);
+  // Rounds the honest commit frontier must advance after the plan heals.
+  Round min_post_heal_progress = 3;
+  // Directory for per-node WAL files (empty = /tmp).
+  std::string wal_dir;
+};
+
+struct ChaosReport {
+  bool ok = false;
+  bool safety_ok = false;
+  bool liveness_ok = false;
+  std::string error;  // First oracle violation (mentions the seed).
+  uint64_t seed = 0;
+  std::string plan_summary;
+
+  Round final_committed_round = 0;
+  // Per-node diagnostics: commit frontier (-1 = none) and final DAG round.
+  std::vector<int64_t> per_node_committed;
+  std::vector<Round> per_node_round;
+  uint64_t honest_ordered = 0;     // Entries across honest total-order logs.
+  uint32_t restarts_recovered = 0; // Restarts that replayed WAL state.
+  FaultInjectionStats injected;
+};
+
+ChaosReport RunChaosPlan(const FaultPlan& plan, const ChaosOptions& options);
+
+}  // namespace clandag
+
+#endif  // CLANDAG_FAULT_CHAOS_H_

@@ -1,0 +1,252 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace clandag {
+
+namespace {
+
+const char* BehaviorName(ByzantineBehavior b) {
+  switch (b) {
+    case ByzantineBehavior::kEquivocateVertices:
+      return "equivocate";
+    case ByzantineBehavior::kWithholdBlocks:
+      return "withhold";
+    case ByzantineBehavior::kSilentLeader:
+      return "silent-leader";
+    case ByzantineBehavior::kUnjustifiedLeader:
+      return "unjustified-leader";
+  }
+  return "?";
+}
+
+}  // namespace
+
+TimeMicros FaultPlan::HealTime() const {
+  TimeMicros heal = 0;
+  for (const PartitionFault& p : partitions) {
+    heal = std::max(heal, p.heal);
+  }
+  for (const CrashFault& c : crashes) {
+    if (c.Restarts()) {
+      heal = std::max(heal, c.restart_at);
+    } else {
+      heal = std::max(heal, c.crash_at);
+    }
+  }
+  for (const LinkFault& l : links) {
+    heal = std::max(heal, l.end);
+  }
+  return heal;
+}
+
+bool FaultPlan::IsByzantine(NodeId node) const {
+  for (const ByzantineAssignment& b : byzantine) {
+    if (b.node == node) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::PermanentlyCrashed(NodeId node) const {
+  for (const CrashFault& c : crashes) {
+    if (c.node == node && !c.Restarts()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FaultPlan::Describe() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "plan{seed=%llu n=%u",
+                static_cast<unsigned long long>(seed), num_nodes);
+  std::string out = buf;
+  for (const PartitionFault& p : partitions) {
+    uint32_t minority = 0;
+    for (uint8_t s : p.side) {
+      minority += s;
+    }
+    std::snprintf(buf, sizeof(buf), " partition[%lld,%lld)ms(%u|%u)",
+                  static_cast<long long>(p.start / 1000),
+                  static_cast<long long>(p.heal / 1000), num_nodes - minority, minority);
+    out += buf;
+  }
+  for (const CrashFault& c : crashes) {
+    if (c.Restarts()) {
+      std::snprintf(buf, sizeof(buf), " crash[n%u@%lldms..%lldms]", c.node,
+                    static_cast<long long>(c.crash_at / 1000),
+                    static_cast<long long>(c.restart_at / 1000));
+    } else {
+      std::snprintf(buf, sizeof(buf), " crash[n%u@%lldms,down]", c.node,
+                    static_cast<long long>(c.crash_at / 1000));
+    }
+    out += buf;
+  }
+  for (const LinkFault& l : links) {
+    char scope[24];
+    if (l.all_pairs) {
+      std::snprintf(scope, sizeof(scope), "all");
+    } else if (l.incident) {
+      std::snprintf(scope, sizeof(scope), "n%u", l.node);
+    } else {
+      std::snprintf(scope, sizeof(scope), "%u->%u", l.from, l.to);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  " link[%lld,%lld)ms(%s drop=%.2f dup=%.2f +%lldus~%lldus)",
+                  static_cast<long long>(l.start / 1000),
+                  static_cast<long long>(l.end / 1000), scope, l.drop_prob, l.dup_prob,
+                  static_cast<long long>(l.extra_delay), static_cast<long long>(l.jitter));
+    out += buf;
+  }
+  for (const ByzantineAssignment& b : byzantine) {
+    out += " byz[n" + std::to_string(b.node) + ":";
+    bool first = true;
+    for (ByzantineBehavior behavior : b.behaviors) {
+      if (!first) {
+        out += "+";
+      }
+      out += BehaviorName(behavior);
+      first = false;
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+FaultPlan FaultPlan::Random(uint64_t seed, uint32_t num_nodes) {
+  CLANDAG_CHECK(num_nodes >= 4);
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.num_nodes = num_nodes;
+  DetRng rng(seed ^ 0xfa1735eedULL);
+
+  const uint32_t f = (num_nodes - 1) / 3;
+  // Every omission or misbehavior fault is confined to this victim set of
+  // size f, so the other n - f >= 2f + 1 nodes form an honest, fully
+  // connected quorum for the whole run. The protocol has no retransmission
+  // layer (it assumes reliable channels among honest nodes), so this is the
+  // strongest adversary it promises to survive: victims may stall and must
+  // catch up through the sync subsystem, but the quorum keeps committing and
+  // pulls everyone forward after HealTime().
+  std::vector<NodeId> victims;
+  {
+    std::vector<uint32_t> ids = rng.SampleWithoutReplacement(num_nodes, f);
+    victims.assign(ids.begin(), ids.end());
+    rng.Shuffle(victims);
+  }
+  size_t next_victim = 0;
+
+  // All transient faults live in [kFaultStart, kHealBy); the remaining tail
+  // of the horizon is the healed window the liveness oracle measures.
+  const TimeMicros kFaultStart = Seconds(1);
+  const TimeMicros kHealBy = plan.horizon - Seconds(5);
+  auto window = [&](TimeMicros min_len, TimeMicros max_len) {
+    const TimeMicros len =
+        min_len + static_cast<TimeMicros>(rng.NextBelow(
+                      static_cast<uint64_t>(max_len - min_len) + 1));
+    const TimeMicros latest_start = kHealBy - len;
+    const TimeMicros start =
+        kFaultStart + static_cast<TimeMicros>(rng.NextBelow(
+                          static_cast<uint64_t>(latest_start - kFaultStart) + 1));
+    return std::pair<TimeMicros, TimeMicros>{start, start + len};
+  };
+
+  // Partition: up to f victims split off for a while, then healed. The
+  // majority side keeps a full honest quorum; the isolated side stalls and
+  // has to catch up afterwards.
+  if (f > 0 && rng.NextDouble() < 0.6) {
+    PartitionFault p;
+    auto [start, heal] = window(Millis(800), Seconds(3));
+    p.start = start;
+    p.heal = heal;
+    p.side.assign(num_nodes, 0);
+    const uint32_t cut = 1 + static_cast<uint32_t>(rng.NextBelow(f));
+    for (uint32_t i = 0; i < cut; ++i) {
+      p.side[victims[i]] = 1;  // May overlap crash/Byzantine victims: fine.
+    }
+    plan.partitions.push_back(std::move(p));
+  }
+
+  // Crash/restart schedule for up to one victim (WAL recovery composition).
+  if (next_victim < victims.size() && rng.NextDouble() < 0.6) {
+    CrashFault c;
+    c.node = victims[next_victim++];
+    auto [start, end] = window(Millis(800), Seconds(3));
+    c.crash_at = start;
+    if (rng.NextDouble() < 0.75) {
+      c.restart_at = end;
+    } else {
+      c.restart_at = -1;  // Fail-stop for good; still within f.
+    }
+    plan.crashes.push_back(c);
+  }
+
+  // Lossy-link window: drops confined to links touching one victim (see the
+  // LinkFault envelope comment — all-pairs loss would exceed the protocol's
+  // communication model). Mild duplication rides along.
+  if (f > 0 && rng.NextDouble() < 0.6) {
+    LinkFault l;
+    auto [start, end] = window(Seconds(1), Seconds(3));
+    l.start = start;
+    l.end = end;
+    l.all_pairs = false;
+    l.incident = true;
+    l.node = victims[rng.NextBelow(f)];
+    l.drop_prob = 0.1 + 0.5 * rng.NextDouble();
+    l.dup_prob = 0.2 * rng.NextDouble();
+    plan.links.push_back(l);
+  }
+
+  // Degraded network window: duplicate/delay/jitter over all pairs. Bounded
+  // delay keeps eventual delivery intact, so this may hit everyone.
+  if (rng.NextDouble() < 0.7) {
+    LinkFault l;
+    auto [start, end] = window(Seconds(1), Seconds(4));
+    l.start = start;
+    l.end = end;
+    l.dup_prob = 0.2 * rng.NextDouble();
+    l.extra_delay = static_cast<TimeMicros>(rng.NextBelow(Millis(60)));
+    l.jitter = Millis(5) + static_cast<TimeMicros>(rng.NextBelow(Millis(150)));
+    plan.links.push_back(l);
+  }
+
+  // Byzantine mix on the remaining victims.
+  static constexpr ByzantineBehavior kBehaviors[] = {
+      ByzantineBehavior::kEquivocateVertices,
+      ByzantineBehavior::kSilentLeader,
+      ByzantineBehavior::kUnjustifiedLeader,
+  };
+  while (next_victim < victims.size() && rng.NextDouble() < 0.5) {
+    ByzantineAssignment b;
+    b.node = victims[next_victim++];
+    b.behaviors.insert(kBehaviors[rng.NextBelow(3)]);
+    if (rng.NextDouble() < 0.3) {
+      b.behaviors.insert(kBehaviors[rng.NextBelow(3)]);
+    }
+    plan.byzantine.push_back(std::move(b));
+  }
+
+  // Never produce an empty plan: fall back to isolating the victim set.
+  if (plan.partitions.empty() && plan.crashes.empty() && plan.links.empty() &&
+      plan.byzantine.empty()) {
+    PartitionFault p;
+    auto [start, heal] = window(Seconds(1), Seconds(2));
+    p.start = start;
+    p.heal = heal;
+    p.side.assign(num_nodes, 0);
+    for (uint32_t i = 0; i < std::max<uint32_t>(f, 1); ++i) {
+      p.side[victims.empty() ? 0 : victims[i % victims.size()]] = 1;
+    }
+    plan.partitions.push_back(std::move(p));
+  }
+  return plan;
+}
+
+}  // namespace clandag

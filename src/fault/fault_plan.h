@@ -1,0 +1,113 @@
+// FaultPlan: a deterministic, seed-parameterized schedule of faults.
+//
+// A plan is pure data — timed network partitions with healing, crash/restart
+// schedules, degraded-link windows (drop / duplicate / delay / reorder via
+// jitter), and scripted Byzantine assignments. The same plan drives both the
+// simulator (through ChaosCluster in chaos.h) and real transports (through a
+// FaultInjectingRuntime per node), and FaultPlan::Random(seed, n) generates
+// it reproducibly: a failing seed printed by the chaos suite replays the
+// exact schedule.
+//
+// Liveness envelope: Random() keeps the set of permanently-faulty nodes
+// (Byzantine or crashed-without-restart) within f = (n-1)/3 and schedules
+// every transient fault to heal by HealTime(), so every generated plan is one
+// the protocol must survive: safety always, liveness after healing.
+
+#ifndef CLANDAG_FAULT_FAULT_PLAN_H_
+#define CLANDAG_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "core/byzantine.h"
+#include "net/runtime.h"
+
+namespace clandag {
+
+// Two-sided network split: messages crossing sides in [start, heal) drop.
+struct PartitionFault {
+  TimeMicros start = 0;
+  TimeMicros heal = 0;
+  std::vector<uint8_t> side;  // side[i] in {0, 1}, one entry per node.
+};
+
+// Fail-stop crash with optional restart (composes with WAL recovery).
+struct CrashFault {
+  NodeId node = 0;
+  TimeMicros crash_at = 0;
+  TimeMicros restart_at = -1;  // < 0: the node stays down for the whole run.
+
+  bool Restarts() const { return restart_at >= 0; }
+};
+
+// Degraded-link window. Random per-message `jitter` delay reorders messages
+// relative to each other; `extra_delay` models a slow link.
+//
+// Scope: `all_pairs` hits every ordered pair; else `incident` hits every
+// pair touching `node` (either direction); else exactly (from, to).
+// Liveness envelope: the protocol assumes reliable channels among honest
+// nodes (there is no retransmission layer), so an unbounded-omission fault
+// (drop_prob > 0) over all pairs can legitimately deadlock every node at one
+// round forever. Random() therefore confines drops to links incident to a
+// victim node — the victim stalls and must catch up through the fetcher
+// after the window, while the honest quorum keeps committing.
+struct LinkFault {
+  TimeMicros start = 0;
+  TimeMicros end = 0;
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  TimeMicros extra_delay = 0;
+  TimeMicros jitter = 0;
+  bool all_pairs = true;
+  bool incident = false;
+  NodeId node = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+
+  bool Applies(NodeId f, NodeId t) const {
+    if (all_pairs) {
+      return true;
+    }
+    if (incident) {
+      return f == node || t == node;
+    }
+    return f == from && t == to;
+  }
+};
+
+// Scripted adversary assignment (applied via ByzantineRuntime for the whole
+// run; Byzantine nodes never heal).
+struct ByzantineAssignment {
+  NodeId node = 0;
+  std::set<ByzantineBehavior> behaviors;
+};
+
+struct FaultPlan {
+  uint64_t seed = 0;  // The seed that generated (and replays) this plan.
+  uint32_t num_nodes = 0;
+  // Total run length; Random() leaves a healed tail window before this so a
+  // liveness oracle can demand post-heal progress.
+  TimeMicros horizon = Seconds(12);
+
+  std::vector<PartitionFault> partitions;
+  std::vector<CrashFault> crashes;
+  std::vector<LinkFault> links;
+  std::vector<ByzantineAssignment> byzantine;
+
+  // Latest instant any transient fault is still active (0 if none).
+  TimeMicros HealTime() const;
+  bool IsByzantine(NodeId node) const;
+  // Crashed with no restart: permanently down, exempt from liveness checks.
+  bool PermanentlyCrashed(NodeId node) const;
+  std::string Describe() const;
+
+  // Deterministic randomized plan: same (seed, num_nodes) -> same plan.
+  static FaultPlan Random(uint64_t seed, uint32_t num_nodes);
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_FAULT_FAULT_PLAN_H_

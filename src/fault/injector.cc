@@ -1,0 +1,79 @@
+#include "fault/injector.h"
+
+namespace clandag {
+
+bool FaultInjector::Partitioned(NodeId a, NodeId b, TimeMicros now) const {
+  for (const PartitionFault& p : plan_.partitions) {
+    if (now >= p.start && now < p.heal && a < p.side.size() && b < p.side.size() &&
+        p.side[a] != p.side[b]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::CrashedAt(NodeId node, TimeMicros now) const {
+  for (const CrashFault& c : plan_.crashes) {
+    if (c.node != node || now < c.crash_at) {
+      continue;
+    }
+    if (!c.Restarts() || now < c.restart_at) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::Decision FaultInjector::OnSend(NodeId from, NodeId to, MsgType /*type*/,
+                                              TimeMicros now) {
+  Decision d;
+  if (CrashedAt(from, now) || CrashedAt(to, now)) {
+    MutexLock lock(mu_);
+    ++stats_.crash_drops;
+    d.drop = true;
+    return d;
+  }
+  if (Partitioned(from, to, now)) {
+    MutexLock lock(mu_);
+    ++stats_.partition_drops;
+    d.drop = true;
+    return d;
+  }
+  for (const LinkFault& l : plan_.links) {
+    if (now < l.start || now >= l.end) {
+      continue;
+    }
+    if (!l.Applies(from, to)) {
+      continue;
+    }
+    MutexLock lock(mu_);
+    if (l.drop_prob > 0 && rng_.NextDouble() < l.drop_prob) {
+      ++stats_.link_drops;
+      d.drop = true;
+      return d;
+    }
+    d.delay += l.extra_delay;
+    if (l.jitter > 0) {
+      d.delay += static_cast<TimeMicros>(rng_.NextBelow(static_cast<uint64_t>(l.jitter)));
+    }
+    if (l.dup_prob > 0 && rng_.NextDouble() < l.dup_prob) {
+      d.duplicate = true;
+    }
+  }
+  MutexLock lock(mu_);
+  if (d.delay > 0) {
+    ++stats_.delays;
+  }
+  if (d.duplicate) {
+    ++stats_.duplicates;
+  }
+  ++stats_.passed;
+  return d;
+}
+
+FaultInjectionStats FaultInjector::Stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace clandag

@@ -1,0 +1,74 @@
+// FaultInjector: executes a FaultPlan's network faults message by message.
+//
+// One injector is shared by every node of a cluster; each node's
+// FaultInjectingRuntime asks it what to do with each outbound message
+// (pass / drop / delay / duplicate) given the plan and the current time.
+// Partition and crash membership are pure functions of the plan, so they are
+// identical across transports; probabilistic link faults draw from a DetRng
+// seeded by the plan seed, so a simulator run replays bit-for-bit from the
+// seed (real transports replay the same schedule, modulo OS timing).
+//
+// Threading: OnSend() may be called concurrently from many node loop threads
+// (TCP); the RNG and counters are guarded by mu_. Partitioned()/CrashedAt()
+// are const over immutable plan data and take no lock.
+
+#ifndef CLANDAG_FAULT_INJECTOR_H_
+#define CLANDAG_FAULT_INJECTOR_H_
+
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "fault/fault_plan.h"
+
+namespace clandag {
+
+// Everything the injector did to traffic, for post-run reconciliation
+// against transport counters (no silent loss: every missing message must be
+// accounted for here or in TransportStats).
+struct FaultInjectionStats {
+  uint64_t passed = 0;           // Delivered unmodified.
+  uint64_t partition_drops = 0;  // Dropped crossing an active partition.
+  uint64_t link_drops = 0;       // Dropped by link fault drop_prob.
+  uint64_t crash_drops = 0;      // Sender was crashed per the plan.
+  uint64_t delays = 0;           // Delivered late (slow link / jitter).
+  uint64_t duplicates = 0;       // Extra copies injected.
+
+  uint64_t InjectedDrops() const { return partition_drops + link_drops + crash_drops; }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan)
+      : plan_(std::move(plan)), rng_(plan_.seed ^ 0x1f4a7c15ULL) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  struct Decision {
+    bool drop = false;
+    TimeMicros delay = 0;   // Extra delivery delay for the original copy.
+    bool duplicate = false; // Deliver a second, immediate copy.
+  };
+
+  // Decides the fate of one outbound message at time `now` (the sending
+  // runtime's clock).
+  Decision OnSend(NodeId from, NodeId to, MsgType type, TimeMicros now);
+
+  // True while an active partition separates a and b.
+  bool Partitioned(NodeId a, NodeId b, TimeMicros now) const;
+
+  // True while the plan has `node` crashed (between crash_at and restart).
+  bool CrashedAt(NodeId node, TimeMicros now) const;
+
+  const FaultPlan& plan() const { return plan_; }
+  FaultInjectionStats Stats() const;
+
+ private:
+  const FaultPlan plan_;
+  mutable Mutex mu_;
+  DetRng rng_ CLANDAG_GUARDED_BY(mu_);
+  FaultInjectionStats stats_ CLANDAG_GUARDED_BY(mu_);
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_FAULT_INJECTOR_H_

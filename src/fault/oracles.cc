@@ -1,0 +1,159 @@
+#include "fault/oracles.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace clandag {
+
+SafetyOracle::SafetyOracle(uint32_t num_nodes)
+    : faulty_(num_nodes, false), logs_(num_nodes) {}
+
+void SafetyOracle::SetFaulty(NodeId node, bool faulty) {
+  MutexLock lock(mu_);
+  CLANDAG_CHECK(node < faulty_.size());
+  faulty_[node] = faulty;
+}
+
+void SafetyOracle::OnCompleted(NodeId node, Round round, NodeId source,
+                               const Digest& digest) {
+  MutexLock lock(mu_);
+  CLANDAG_CHECK(node < faulty_.size());
+  if (faulty_[node]) {
+    return;
+  }
+  const auto key = std::make_pair(round, source);
+  auto [it, inserted] = completed_.try_emplace(key, digest, node);
+  if (!inserted && it->second.first != digest && violation_.empty()) {
+    violation_ = "RBC delivery divergence for (round " + std::to_string(round) +
+                 ", source " + std::to_string(source) + "): node " +
+                 std::to_string(it->second.second) + " delivered " +
+                 it->second.first.Brief() + ", node " + std::to_string(node) +
+                 " delivered " + digest.Brief();
+  }
+}
+
+void SafetyOracle::OnOrdered(NodeId node, Round round, NodeId source) {
+  MutexLock lock(mu_);
+  CLANDAG_CHECK(node < logs_.size());
+  if (faulty_[node]) {
+    return;
+  }
+  logs_[node].emplace_back(round, source);
+}
+
+void SafetyOracle::ResetLog(NodeId node,
+                            std::vector<std::pair<Round, NodeId>> recovered_prefix) {
+  MutexLock lock(mu_);
+  CLANDAG_CHECK(node < logs_.size());
+  logs_[node] = std::move(recovered_prefix);
+}
+
+std::string SafetyOracle::Check() const {
+  MutexLock lock(mu_);
+  if (!violation_.empty()) {
+    return violation_;
+  }
+  // Prefix consistency: every honest log must match the longest honest log
+  // position by position over its own length.
+  const std::vector<std::pair<Round, NodeId>>* longest = nullptr;
+  NodeId longest_node = 0;
+  for (NodeId id = 0; id < logs_.size(); ++id) {
+    if (faulty_[id]) {
+      continue;
+    }
+    if (longest == nullptr || logs_[id].size() > longest->size()) {
+      longest = &logs_[id];
+      longest_node = id;
+    }
+  }
+  if (longest == nullptr) {
+    return "no honest nodes registered";
+  }
+  for (NodeId id = 0; id < logs_.size(); ++id) {
+    if (faulty_[id] || &logs_[id] == longest) {
+      continue;
+    }
+    for (size_t i = 0; i < logs_[id].size(); ++i) {
+      if (logs_[id][i] != (*longest)[i]) {
+        return "total-order divergence: node " + std::to_string(id) + " position " +
+               std::to_string(i) + " has (round " + std::to_string(logs_[id][i].first) +
+               ", source " + std::to_string(logs_[id][i].second) + ") but node " +
+               std::to_string(longest_node) + " has (round " +
+               std::to_string((*longest)[i].first) + ", source " +
+               std::to_string((*longest)[i].second) + ")";
+      }
+    }
+  }
+  return "";
+}
+
+uint64_t SafetyOracle::TotalOrdered() const {
+  MutexLock lock(mu_);
+  uint64_t total = 0;
+  for (NodeId id = 0; id < logs_.size(); ++id) {
+    if (!faulty_[id]) {
+      total += logs_[id].size();
+    }
+  }
+  return total;
+}
+
+LivenessOracle::LivenessOracle(uint32_t num_nodes) : committed_(num_nodes, -1) {}
+
+void LivenessOracle::OnCommit(NodeId node, Round round) {
+  MutexLock lock(mu_);
+  CLANDAG_CHECK(node < committed_.size());
+  committed_[node] = std::max(committed_[node], static_cast<int64_t>(round));
+}
+
+void LivenessOracle::MarkHealed() {
+  MutexLock lock(mu_);
+  healed_marked_ = true;
+  healed_frontier_ = -1;
+  for (int64_t r : committed_) {
+    healed_frontier_ = std::max(healed_frontier_, r);
+  }
+}
+
+std::string LivenessOracle::Check(Round min_progress,
+                                  const std::vector<NodeId>& required) const {
+  MutexLock lock(mu_);
+  if (!healed_marked_) {
+    return "liveness oracle never saw the heal instant";
+  }
+  int64_t frontier = -1;
+  for (int64_t r : committed_) {
+    frontier = std::max(frontier, r);
+  }
+  if (frontier < healed_frontier_ + static_cast<int64_t>(min_progress)) {
+    return "no post-heal progress: frontier " + std::to_string(frontier) +
+           " vs heal-time frontier " + std::to_string(healed_frontier_) +
+           " (needed +" + std::to_string(min_progress) + ")";
+  }
+  for (NodeId id : required) {
+    CLANDAG_CHECK(id < committed_.size());
+    if (committed_[id] < healed_frontier_) {
+      return "node " + std::to_string(id) + " never caught up after heal: at round " +
+             std::to_string(committed_[id]) + " vs heal-time frontier " +
+             std::to_string(healed_frontier_);
+    }
+  }
+  return "";
+}
+
+std::vector<int64_t> LivenessOracle::PerNodeCommitted() const {
+  MutexLock lock(mu_);
+  return committed_;
+}
+
+Round LivenessOracle::MaxCommitted() const {
+  MutexLock lock(mu_);
+  int64_t frontier = -1;
+  for (int64_t r : committed_) {
+    frontier = std::max(frontier, r);
+  }
+  return frontier < 0 ? 0 : static_cast<Round>(frontier);
+}
+
+}  // namespace clandag

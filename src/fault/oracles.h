@@ -1,0 +1,100 @@
+// Safety and liveness oracles asserted by every chaos run.
+//
+// SafetyOracle checks the two properties the paper's security argument
+// promises, fed from per-node taps:
+//  - delivery consistency: no two honest nodes RBC-deliver (or digest-verify
+//    via fetch) different bodies for the same (source, round) — tribe-assisted
+//    RBC totality under equivocation;
+//  - order consistency: all honest nodes' committed sequences are
+//    prefix-consistent — Sailfish safety.
+//
+// LivenessOracle checks that commit progress resumes after the FaultPlan
+// heals: the harness marks the heal instant, and Check() demands the honest
+// commit frontier advanced by at least min_progress rounds afterwards, and
+// that every required (honest, finally-live) node caught up to the frontier
+// observed at heal time.
+//
+// Threading: taps may fire concurrently from many node loop threads when the
+// cluster runs over a real transport; all oracle state is guarded by mu_.
+
+#ifndef CLANDAG_FAULT_ORACLES_H_
+#define CLANDAG_FAULT_ORACLES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/time.h"
+#include "crypto/digest.h"
+#include "dag/types.h"
+
+namespace clandag {
+
+class SafetyOracle {
+ public:
+  explicit SafetyOracle(uint32_t num_nodes);
+
+  // Marks an observer faulty (Byzantine): its own taps are ignored. Honest
+  // nodes' observations OF a faulty source still count — that is the point.
+  void SetFaulty(NodeId node, bool faulty);
+
+  // Tap: `node` RBC-delivered (or digest-verified) a body for (round, source).
+  void OnCompleted(NodeId node, Round round, NodeId source, const Digest& digest);
+
+  // Tap: `node` appended (round, source) to its total order.
+  void OnOrdered(NodeId node, Round round, NodeId source);
+
+  // Restart support: replaces `node`'s order log with its recovered
+  // committed prefix; the live stream then appends to it (the combined
+  // sequence is what must stay prefix-consistent across nodes).
+  void ResetLog(NodeId node, std::vector<std::pair<Round, NodeId>> recovered_prefix);
+
+  // Empty string when both properties hold; otherwise a description of the
+  // first violation found.
+  std::string Check() const;
+
+  uint64_t TotalOrdered() const;
+
+ private:
+  mutable Mutex mu_;
+  std::vector<bool> faulty_ CLANDAG_GUARDED_BY(mu_);
+  // Per honest observer: the total order as a (round, source) sequence.
+  std::vector<std::vector<std::pair<Round, NodeId>>> logs_ CLANDAG_GUARDED_BY(mu_);
+  // First honest-delivered digest per (round, source), and who delivered it.
+  std::map<std::pair<Round, NodeId>, std::pair<Digest, NodeId>> completed_
+      CLANDAG_GUARDED_BY(mu_);
+  // Sticky first delivery-consistency violation (caught eagerly at the tap).
+  std::string violation_ CLANDAG_GUARDED_BY(mu_);
+};
+
+class LivenessOracle {
+ public:
+  explicit LivenessOracle(uint32_t num_nodes);
+
+  // Tap: `node`'s commit frontier reached `round` (monotone max is kept).
+  void OnCommit(NodeId node, Round round);
+
+  // Called at the plan's heal time: snapshots the global honest frontier.
+  void MarkHealed();
+
+  // Empty string when progress resumed; `required` lists the nodes that must
+  // have caught up to the heal-time frontier (honest, not permanently down).
+  std::string Check(Round min_progress, const std::vector<NodeId>& required) const;
+
+  Round MaxCommitted() const;
+  // Per-node commit frontier (-1 = nothing committed), for diagnostics.
+  std::vector<int64_t> PerNodeCommitted() const;
+
+ private:
+  mutable Mutex mu_;
+  std::vector<int64_t> committed_ CLANDAG_GUARDED_BY(mu_);  // -1 = nothing yet.
+  int64_t healed_frontier_ CLANDAG_GUARDED_BY(mu_) = -1;
+  bool healed_marked_ CLANDAG_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_FAULT_ORACLES_H_

@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -63,6 +64,11 @@ TcpRuntime::TcpRuntime(TcpConfig config, MessageHandler* handler)
     : config_(std::move(config)), handler_(handler) {
   CLANDAG_CHECK(config_.num_nodes > 0 && config_.id < config_.num_nodes);
   outbound_fd_.assign(config_.num_nodes, -1);
+  preconnect_buf_.resize(config_.num_nodes);
+  preconnect_bytes_.assign(config_.num_nodes, 0);
+  peer_failures_ = std::make_unique<std::atomic<uint32_t>[]>(config_.num_nodes);
+  peer_connected_ = std::make_unique<std::atomic<bool>[]>(config_.num_nodes);
+  rng_ = DetRng(config_.seed ^ ((config_.id + 1) * 0x9e3779b97f4a7c15ULL));
   epoch_ = std::chrono::steady_clock::now();
   // The epoll instance and wake eventfd live for the whole object lifetime
   // (not Start()..Stop()): Post()/Send() from other threads write wake_fd_
@@ -128,6 +134,9 @@ void TcpRuntime::Stop() {
   outbound_fd_.assign(config_.num_nodes, -1);
   loop_role_.Release();
   connected_peers_.store(0);
+  for (NodeId peer = 0; peer < config_.num_nodes; ++peer) {
+    peer_connected_[peer].store(false, std::memory_order_relaxed);
+  }
   if (listen_fd_ >= 0) {
     close(listen_fd_);
     listen_fd_ = -1;
@@ -179,18 +188,70 @@ void TcpRuntime::Send(NodeId to, MsgType type, std::shared_ptr<const Bytes> payl
   }
   Post([this, to, type, payload = std::move(payload)] {
     loop_role_.AssertHeld();
-    int fd = outbound_fd_[to];
-    if (fd < 0) {
-      CLANDAG_DEBUG("node %u: dropping msg to %u (not connected)", config_.id, to);
+    n_sends_.fetch_add(1, std::memory_order_relaxed);
+    Bytes frame = EncodeFrame(type, *payload);
+    const int fd = outbound_fd_[to];
+    auto it = fd >= 0 ? conns_.find(fd) : conns_.end();
+    if (it == conns_.end() || !it->second->connected) {
+      // No established connection (mesh still forming, or the link is down
+      // mid-partition): hold the frame instead of silently dropping it.
+      BufferPreconnect(to, std::move(frame));
       return;
     }
-    auto it = conns_.find(fd);
-    if (it == conns_.end()) {
-      return;
+    if (EnqueueFrame(*it->second, std::move(frame))) {
+      FlushConn(*it->second);
     }
-    it->second->out_queue.push_back(EncodeFrame(type, *payload));
-    FlushConn(*it->second);
   });
+}
+
+void TcpRuntime::BufferPreconnect(NodeId peer, Bytes frame) {
+  n_preconnect_buffered_.fetch_add(1, std::memory_order_relaxed);
+  if (frame.size() > config_.max_preconnect_bytes) {
+    n_preconnect_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::deque<Bytes>& buf = preconnect_buf_[peer];
+  size_t& bytes = preconnect_bytes_[peer];
+  bytes += frame.size();
+  buf.push_back(std::move(frame));
+  while (bytes > config_.max_preconnect_bytes) {
+    bytes -= buf.front().size();
+    buf.pop_front();
+    n_preconnect_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool TcpRuntime::EnqueueFrame(Conn& conn, Bytes frame) {
+  if (config_.max_out_queue_bytes != 0 &&
+      conn.out_bytes + frame.size() > config_.max_out_queue_bytes) {
+    n_queue_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  conn.out_bytes += frame.size();
+  conn.out_queue.push_back(OutFrame{std::move(frame), false});
+  return true;
+}
+
+TransportStats TcpRuntime::Stats() const {
+  TransportStats s;
+  s.sends = n_sends_.load(std::memory_order_relaxed);
+  s.preconnect_buffered = n_preconnect_buffered_.load(std::memory_order_relaxed);
+  s.preconnect_flushed = n_preconnect_flushed_.load(std::memory_order_relaxed);
+  s.preconnect_dropped = n_preconnect_dropped_.load(std::memory_order_relaxed);
+  s.queue_dropped = n_queue_dropped_.load(std::memory_order_relaxed);
+  s.partial_dropped = n_partial_dropped_.load(std::memory_order_relaxed);
+  s.dial_attempts = n_dial_attempts_.load(std::memory_order_relaxed);
+  s.dial_failures = n_dial_failures_.load(std::memory_order_relaxed);
+  s.conns_closed = n_conns_closed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+PeerHealth TcpRuntime::HealthOf(NodeId peer) const {
+  CLANDAG_CHECK(peer < config_.num_nodes);
+  PeerHealth h;
+  h.consecutive_failures = peer_failures_[peer].load(std::memory_order_relaxed);
+  h.connected = peer_connected_[peer].load(std::memory_order_relaxed);
+  return h;
 }
 
 void TcpRuntime::StartListen() {
@@ -212,10 +273,56 @@ void TcpRuntime::StartListen() {
   CLANDAG_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
 }
 
+TimeMicros TcpRuntime::DialBackoff(NodeId peer) {
+  const uint32_t failures = peer_failures_[peer].load(std::memory_order_relaxed);
+  uint64_t delay = static_cast<uint64_t>(config_.dial_retry);
+  const uint64_t cap = static_cast<uint64_t>(config_.dial_retry_cap);
+  for (uint32_t i = 0; i < failures && delay < cap; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, cap);
+  if (config_.dial_jitter > 0.0) {
+    const double j = config_.dial_jitter;
+    delay = static_cast<uint64_t>(static_cast<double>(delay) *
+                                  (1.0 - j + 2.0 * j * rng_.NextDouble()));
+  }
+  return static_cast<TimeMicros>(std::max<uint64_t>(delay, 1));
+}
+
+void TcpRuntime::ScheduleRedial(NodeId peer) {
+  if (!running_.load()) {
+    return;
+  }
+  Schedule(DialBackoff(peer), [this, peer] {
+    loop_role_.AssertHeld();
+    DialPeer(peer);
+  });
+}
+
+void TcpRuntime::OnOutboundEstablished(Conn& conn) {
+  conn.connected = true;
+  conn.out_queue.push_front(OutFrame{EncodeHello(config_.id), true});
+  conn.out_bytes += conn.out_queue.front().bytes.size();
+  connected_peers_.fetch_add(1);
+  peer_failures_[conn.peer].store(0, std::memory_order_relaxed);
+  peer_connected_[conn.peer].store(true, std::memory_order_relaxed);
+  // Release everything buffered while the link was down. A frame evicted
+  // here by the queue bound is counted in queue_dropped.
+  std::deque<Bytes>& buf = preconnect_buf_[conn.peer];
+  while (!buf.empty()) {
+    Bytes frame = std::move(buf.front());
+    buf.pop_front();
+    preconnect_bytes_[conn.peer] -= frame.size();
+    n_preconnect_flushed_.fetch_add(1, std::memory_order_relaxed);
+    EnqueueFrame(conn, std::move(frame));
+  }
+}
+
 void TcpRuntime::DialPeer(NodeId peer) {
   if (!running_.load() || outbound_fd_[peer] >= 0) {
     return;
   }
+  n_dial_attempts_.fetch_add(1, std::memory_order_relaxed);
   int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   CLANDAG_CHECK(fd >= 0);
   SetNonBlocking(fd);
@@ -227,23 +334,20 @@ void TcpRuntime::DialPeer(NodeId peer) {
   int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc != 0 && errno != EINPROGRESS) {
     close(fd);
-    // Peer not up yet; retry later.
-    Schedule(config_.dial_retry, [this, peer] {
-      loop_role_.AssertHeld();
-      DialPeer(peer);
-    });
+    // Peer not up yet; retry with backoff.
+    n_dial_failures_.fetch_add(1, std::memory_order_relaxed);
+    peer_failures_[peer].fetch_add(1, std::memory_order_relaxed);
+    ScheduleRedial(peer);
     return;
   }
   auto conn = std::make_unique<Conn>();
   conn->fd = fd;
   conn->peer = peer;
   conn->outbound = true;
-  conn->connected = (rc == 0);
-  if (conn->connected) {
-    conn->out_queue.push_back(EncodeHello(config_.id));
-    connected_peers_.fetch_add(1);
-  }
   outbound_fd_[peer] = fd;
+  if (rc == 0) {
+    OnOutboundEstablished(*conn);
+  }
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLOUT;
   ev.data.fd = fd;
@@ -341,7 +445,7 @@ void TcpRuntime::FlushConn(Conn& conn) {
     return;
   }
   while (!conn.out_queue.empty()) {
-    const Bytes& front = conn.out_queue.front();
+    const Bytes& front = conn.out_queue.front().bytes;
     // MSG_NOSIGNAL: a peer that closed mid-send must surface as EPIPE, not
     // kill the process with SIGPIPE.
     ssize_t n = send(conn.fd, front.data() + conn.out_offset, front.size() - conn.out_offset,
@@ -355,6 +459,7 @@ void TcpRuntime::FlushConn(Conn& conn) {
     }
     conn.out_offset += static_cast<size_t>(n);
     if (conn.out_offset == front.size()) {
+      conn.out_bytes -= front.size();
       conn.out_queue.pop_front();
       conn.out_offset = 0;
     }
@@ -368,17 +473,11 @@ void TcpRuntime::HandleWritable(Conn& conn) {
     socklen_t len = sizeof(err);
     getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
     if (err != 0) {
-      NodeId peer = conn.peer;
+      // CloseConn counts the dial failure and schedules the backed-off redial.
       CloseConn(conn.fd);
-      Schedule(config_.dial_retry, [this, peer] {
-        loop_role_.AssertHeld();
-        DialPeer(peer);
-      });
       return;
     }
-    conn.connected = true;
-    conn.out_queue.push_front(EncodeHello(config_.id));
-    connected_peers_.fetch_add(1);
+    OnOutboundEstablished(conn);
   }
   FlushConn(conn);
 }
@@ -399,17 +498,39 @@ void TcpRuntime::CloseConn(int fd) {
     return;
   }
   Conn& conn = *it->second;
+  if (conn.connected) {
+    n_conns_closed_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (conn.outbound && conn.peer != UINT32_MAX && outbound_fd_[conn.peer] == fd) {
     outbound_fd_[conn.peer] = -1;
     if (conn.connected) {
       connected_peers_.fetch_sub(1);
+      peer_connected_[conn.peer].store(false, std::memory_order_relaxed);
+    } else {
+      // The dial itself failed: feed the failure streak driving the backoff.
+      n_dial_failures_.fetch_add(1, std::memory_order_relaxed);
+      peer_failures_[conn.peer].fetch_add(1, std::memory_order_relaxed);
     }
-    NodeId peer = conn.peer;
+    // Salvage queued payload frames back into the pre-connect buffer so a
+    // reconnect re-sends them (duplicates are fine; RBC is idempotent). The
+    // half-written front frame cannot go onto a fresh stream without
+    // corrupting framing, so it is dropped — but counted, never silent.
+    bool first = true;
+    for (OutFrame& f : conn.out_queue) {
+      const bool partial = first && conn.out_offset > 0;
+      first = false;
+      if (partial) {
+        if (!f.control) {
+          n_partial_dropped_.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      if (!f.control) {
+        BufferPreconnect(conn.peer, std::move(f.bytes));
+      }
+    }
     if (running_.load()) {
-      Schedule(config_.dial_retry, [this, peer] {
-        loop_role_.AssertHeld();
-        DialPeer(peer);
-      });
+      ScheduleRedial(conn.peer);
     }
   }
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);

@@ -38,7 +38,9 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/rng.h"
 #include "net/runtime.h"
+#include "net/transport_stats.h"
 
 namespace clandag {
 
@@ -47,8 +49,25 @@ struct TcpConfig {
   uint32_t num_nodes = 0;
   uint16_t base_port = 19000;
   std::string host = "127.0.0.1";
-  // How often to retry dialling peers that are not up yet.
+  // Initial delay before re-dialling a peer that is not up yet. Consecutive
+  // failures double the delay up to dial_retry_cap, with ±dial_jitter
+  // relative jitter so a cluster restarting in lockstep does not hammer a
+  // recovering peer in synchronized waves.
   TimeMicros dial_retry = Millis(100);
+  TimeMicros dial_retry_cap = Seconds(2);
+  double dial_jitter = 0.2;
+  // Seed for the (deterministic) jitter RNG; mixed with the node id so every
+  // node jitters differently from the same config.
+  uint64_t seed = 1;
+  // Bytes of frames buffered per peer while no outbound connection is
+  // established (consensus starts before the full mesh is up, and links drop
+  // during partitions). Oldest frames are evicted on overflow — newer
+  // consensus state supersedes older — and every eviction is counted.
+  size_t max_preconnect_bytes = 4u << 20;
+  // Per-peer outbound queue bound (bytes); a frame that would exceed it is
+  // dropped (newest-dropped, keeping the stream frame-aligned) and counted.
+  // 0 = unbounded.
+  size_t max_out_queue_bytes = 64u << 20;
 };
 
 class TcpRuntime final : public Runtime {
@@ -70,6 +89,11 @@ class TcpRuntime final : public Runtime {
   // false on timeout). Call before injecting the first proposal.
   bool WaitConnected(TimeMicros timeout);
 
+  // Cumulative counters (snapshot of atomics; any thread).
+  TransportStats Stats() const;
+  // Outbound link health for `peer` (any thread).
+  PeerHealth HealthOf(NodeId peer) const;
+
   // Runs `fn` on the loop thread.
   void Post(std::function<void()> fn);
 
@@ -83,13 +107,19 @@ class TcpRuntime final : public Runtime {
             size_t wire_size) override;
 
  private:
+  struct OutFrame {
+    Bytes bytes;
+    bool control = false;  // Hello frame: never salvaged across reconnects.
+  };
+
   struct Conn {
     int fd = -1;
     NodeId peer = UINT32_MAX;  // Unknown until the hello frame arrives.
     bool outbound = false;
     bool connected = false;  // Outbound: connect() completed.
     Bytes in_buf;
-    std::deque<Bytes> out_queue;
+    std::deque<OutFrame> out_queue;
+    size_t out_bytes = 0;   // Sum of queued frame sizes (bound enforcement).
     size_t out_offset = 0;  // Bytes of out_queue.front() already written.
   };
 
@@ -105,6 +135,18 @@ class TcpRuntime final : public Runtime {
   void Loop() CLANDAG_REQUIRES(loop_role_);
   void StartListen();
   void DialPeer(NodeId peer) CLANDAG_REQUIRES(loop_role_);
+  // Backoff delay for the next dial to `peer` (doubling, capped, jittered).
+  TimeMicros DialBackoff(NodeId peer) CLANDAG_REQUIRES(loop_role_);
+  void ScheduleRedial(NodeId peer) CLANDAG_REQUIRES(loop_role_);
+  // Connect() finished on an outbound conn: send hello, flush the peer's
+  // pre-connect buffer, reset its failure streak.
+  void OnOutboundEstablished(Conn& conn) CLANDAG_REQUIRES(loop_role_);
+  // Appends `frame` to the peer's pre-connect buffer, evicting oldest frames
+  // to stay under max_preconnect_bytes.
+  void BufferPreconnect(NodeId peer, Bytes frame) CLANDAG_REQUIRES(loop_role_);
+  // Appends a payload frame to an established conn, enforcing
+  // max_out_queue_bytes (false = dropped and counted).
+  bool EnqueueFrame(Conn& conn, Bytes frame) CLANDAG_REQUIRES(loop_role_);
   void HandleAccept() CLANDAG_REQUIRES(loop_role_);
   void HandleReadable(Conn& conn) CLANDAG_REQUIRES(loop_role_);
   void HandleWritable(Conn& conn) CLANDAG_REQUIRES(loop_role_);
@@ -132,6 +174,10 @@ class TcpRuntime final : public Runtime {
   std::map<int, std::unique_ptr<Conn>> conns_ CLANDAG_GUARDED_BY(loop_role_);
   // Peer id -> fd (-1 if down).
   std::vector<int> outbound_fd_ CLANDAG_GUARDED_BY(loop_role_);
+  // Frames awaiting an outbound connection, per peer, with their byte total.
+  std::vector<std::deque<Bytes>> preconnect_buf_ CLANDAG_GUARDED_BY(loop_role_);
+  std::vector<size_t> preconnect_bytes_ CLANDAG_GUARDED_BY(loop_role_);
+  DetRng rng_ CLANDAG_GUARDED_BY(loop_role_){1};
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_
       CLANDAG_GUARDED_BY(loop_role_);
   uint64_t next_timer_seq_ CLANDAG_GUARDED_BY(loop_role_) = 0;
@@ -142,6 +188,23 @@ class TcpRuntime final : public Runtime {
   std::atomic<bool> running_{false};
   std::atomic<uint32_t> connected_peers_{0};
   std::thread thread_;
+
+  // Per-peer consecutive dial failures (reset on connect) and outbound link
+  // state. Atomic so HealthOf() reads them off-loop; written only by the
+  // loop thread (and Stop() after the join).
+  std::unique_ptr<std::atomic<uint32_t>[]> peer_failures_;
+  std::unique_ptr<std::atomic<bool>[]> peer_connected_;
+
+  // TransportStats counters. Written by the loop thread, read anywhere.
+  std::atomic<uint64_t> n_sends_{0};
+  std::atomic<uint64_t> n_preconnect_buffered_{0};
+  std::atomic<uint64_t> n_preconnect_flushed_{0};
+  std::atomic<uint64_t> n_preconnect_dropped_{0};
+  std::atomic<uint64_t> n_queue_dropped_{0};
+  std::atomic<uint64_t> n_partial_dropped_{0};
+  std::atomic<uint64_t> n_dial_attempts_{0};
+  std::atomic<uint64_t> n_dial_failures_{0};
+  std::atomic<uint64_t> n_conns_closed_{0};
 };
 
 }  // namespace clandag

@@ -8,7 +8,21 @@
 namespace clandag {
 
 VertexFetcher::VertexFetcher(Runtime& runtime, const DagStore& dag, FetcherConfig config)
-    : runtime_(runtime), dag_(dag), config_(config) {}
+    : runtime_(runtime),
+      dag_(dag),
+      config_(config),
+      rng_(config.seed ^ ((runtime.id() + 1) * 0x9e3779b97f4a7c15ULL)) {}
+
+TimeMicros VertexFetcher::NextBackoff(uint32_t attempt) {
+  const uint32_t shift = std::min(attempt, 16u);
+  TimeMicros backoff = std::min(config_.retry_cap, config_.retry_base << shift);
+  if (config_.retry_jitter > 0.0) {
+    const double j = config_.retry_jitter;
+    backoff = static_cast<TimeMicros>(static_cast<double>(backoff) *
+                                      (1.0 - j + 2.0 * j * rng_.NextDouble()));
+  }
+  return std::max<TimeMicros>(backoff, 1);
+}
 
 bool VertexFetcher::Satisfied(Round round, NodeId source) const {
   return dag_.StatusOf(round, source) != VertexStatus::kUnknown;
@@ -74,9 +88,7 @@ void VertexFetcher::OnTimer(Round round, NodeId source) {
     ++stats_.retries;
   }
   SendRequest(key, entry);
-  const uint32_t shift = std::min(entry.attempts, 16u);
-  const TimeMicros backoff =
-      std::min(config_.retry_cap, config_.retry_base << shift);
+  const TimeMicros backoff = NextBackoff(entry.attempts);
   ++entry.attempts;
   ArmTimer(round, source, backoff);
 }

@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "dag/dag_store.h"
 #include "net/runtime.h"
 #include "sync/sync_stats.h"
@@ -46,9 +47,16 @@ struct FetcherConfig {
   // Grace period before the first request: the normal broadcast usually
   // delivers the parent within one RTT.
   TimeMicros initial_delay = Millis(400);
-  // Exponential backoff between retries: retry_base << attempts, capped.
+  // Exponential backoff between retries: retry_base << attempts, capped,
+  // then spread by ±retry_jitter relative jitter — nodes that lost the same
+  // vertex to the same partition would otherwise re-request in synchronized
+  // waves against the recovering holder.
   TimeMicros retry_base = Millis(300);
   TimeMicros retry_cap = Seconds(4);
+  double retry_jitter = 0.1;
+  // Seed for the deterministic jitter RNG (mixed with the node id); tests
+  // replay exact retry schedules from it.
+  uint64_t seed = 1;
   // First-request delay for parents discovered from a fetched vertex (the
   // node is actively catching up; no reason to wait out the grace period).
   TimeMicros response_fast_delay = Millis(20);
@@ -96,6 +104,11 @@ class VertexFetcher {
   size_t MissingCount() const { return missing_.size(); }
   const SyncStats& stats() const { return stats_; }
 
+  // Delay before the retry following `attempt` sent requests: exponential,
+  // capped at retry_cap, jittered. Advances the jitter RNG — public so tests
+  // can replay the exact schedule the fetcher would use.
+  TimeMicros NextBackoff(uint32_t attempt);
+
  private:
   using Key = std::pair<Round, NodeId>;
 
@@ -131,6 +144,7 @@ class VertexFetcher {
   // Registrations made while dispatching a fetch response use the fast
   // first-request delay.
   bool in_response_ = false;
+  DetRng rng_{1};  // Reseeded in the constructor (config seed ⊕ node id).
 
   SyncStats stats_;
 };

@@ -1,0 +1,177 @@
+// Chaos subsystem tests: targeted FaultPlans through the full harness
+// (partition-and-heal, crash/restart over WAL recovery, Byzantine mixes),
+// bit-for-bit determinism of seed replay, and the oracles' ability to
+// actually catch violations (an oracle that cannot fail proves nothing).
+
+#include <gtest/gtest.h>
+
+#include "fault/chaos.h"
+#include "fault/fault_plan.h"
+#include "fault/oracles.h"
+
+namespace clandag {
+namespace {
+
+// 7 nodes, f = 2: a quorum-preserving split (5|2) that heals.
+FaultPlan PartitionPlan() {
+  FaultPlan plan;
+  plan.seed = 9001;
+  plan.num_nodes = 7;
+  plan.horizon = Seconds(10);
+  PartitionFault p;
+  p.start = Seconds(2);
+  p.heal = Seconds(5);
+  p.side = {0, 1, 1, 0, 0, 0, 0};
+  plan.partitions.push_back(p);
+  return plan;
+}
+
+TEST(ChaosHarness, PartitionHealsAndCommits) {
+  const ChaosReport report = RunChaosPlan(PartitionPlan(), ChaosOptions{});
+  EXPECT_TRUE(report.safety_ok) << report.error;
+  EXPECT_TRUE(report.liveness_ok) << report.error;
+  // The split actually cut traffic, and the minority caught back up.
+  EXPECT_GT(report.injected.partition_drops, 0u);
+  for (int64_t committed : report.per_node_committed) {
+    EXPECT_GT(committed, 0);
+  }
+}
+
+TEST(ChaosHarness, CrashRestartRecoversFromWal) {
+  FaultPlan plan;
+  plan.seed = 9002;
+  plan.num_nodes = 4;
+  plan.horizon = Seconds(10);
+  CrashFault c;
+  c.node = 2;
+  c.crash_at = Seconds(3);
+  c.restart_at = Seconds(6);
+  plan.crashes.push_back(c);
+
+  const ChaosReport report = RunChaosPlan(plan, ChaosOptions{});
+  EXPECT_TRUE(report.ok) << report.error;
+  // The restart found a non-empty WAL: recovery composed with chaos.
+  EXPECT_EQ(report.restarts_recovered, 1u);
+  EXPECT_GT(report.injected.crash_drops, 0u);
+}
+
+TEST(ChaosHarness, PermanentCrashStaysWithinFaultBudget) {
+  FaultPlan plan;
+  plan.seed = 9003;
+  plan.num_nodes = 4;
+  plan.horizon = Seconds(8);
+  CrashFault c;
+  c.node = 3;
+  c.crash_at = Seconds(2);  // No restart: permanently down (f = 1 budget).
+  plan.crashes.push_back(c);
+
+  const ChaosReport report = RunChaosPlan(plan, ChaosOptions{});
+  EXPECT_TRUE(report.ok) << report.error;
+  // The dead node is exempt from liveness; the survivors kept committing.
+  EXPECT_GT(report.final_committed_round, 0u);
+}
+
+TEST(ChaosHarness, EquivocatorCannotBreakSafety) {
+  FaultPlan plan;
+  plan.seed = 9004;
+  plan.num_nodes = 4;
+  plan.horizon = Seconds(8);
+  ByzantineAssignment b;
+  b.node = 1;
+  b.behaviors = {ByzantineBehavior::kEquivocateVertices};
+  plan.byzantine.push_back(b);
+
+  const ChaosReport report = RunChaosPlan(plan, ChaosOptions{});
+  EXPECT_TRUE(report.ok) << report.error;
+}
+
+TEST(ChaosHarness, SeedReplayIsDeterministic) {
+  const FaultPlan plan = FaultPlan::Random(424242, 7);
+  const ChaosReport a = RunChaosPlan(plan, ChaosOptions{});
+  const ChaosReport b = RunChaosPlan(plan, ChaosOptions{});
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.final_committed_round, b.final_committed_round);
+  EXPECT_EQ(a.honest_ordered, b.honest_ordered);
+  EXPECT_EQ(a.per_node_committed, b.per_node_committed);
+  EXPECT_EQ(a.per_node_round, b.per_node_round);
+  EXPECT_EQ(a.injected.passed, b.injected.passed);
+  EXPECT_EQ(a.injected.InjectedDrops(), b.injected.InjectedDrops());
+  EXPECT_EQ(a.injected.delays, b.injected.delays);
+  EXPECT_EQ(a.injected.duplicates, b.injected.duplicates);
+}
+
+TEST(ChaosHarness, RandomPlansRespectLivenessEnvelope) {
+  // A couple of generated plans end-to-end (the 20-seed sweep lives in the
+  // ctest `chaos` label; this is the smoke version wired into tier 1).
+  for (uint64_t seed : {7u, 11u}) {
+    const FaultPlan plan = FaultPlan::Random(seed, 7);
+    const ChaosReport report = RunChaosPlan(plan, ChaosOptions{});
+    EXPECT_TRUE(report.ok) << "seed " << seed << ": " << report.error;
+  }
+}
+
+// --- Oracle falsifiability: each check must trip on a real violation. ---
+
+TEST(SafetyOracleTest, CatchesOrderDivergence) {
+  SafetyOracle oracle(2);
+  oracle.OnOrdered(0, 1, 0);
+  oracle.OnOrdered(0, 1, 1);
+  oracle.OnOrdered(1, 1, 0);
+  oracle.OnOrdered(1, 1, 2);  // Diverges at index 1.
+  EXPECT_NE(oracle.Check(), "");
+}
+
+TEST(SafetyOracleTest, CatchesDeliveryInconsistency) {
+  SafetyOracle oracle(2);
+  oracle.OnCompleted(0, 3, 1, Digest::Of(ToBytes("body A")));
+  oracle.OnCompleted(1, 3, 1, Digest::Of(ToBytes("body B")));
+  EXPECT_NE(oracle.Check(), "");
+}
+
+TEST(SafetyOracleTest, IgnoresFaultyObservers) {
+  SafetyOracle oracle(2);
+  oracle.SetFaulty(1, true);
+  oracle.OnCompleted(0, 3, 1, Digest::Of(ToBytes("body A")));
+  oracle.OnCompleted(1, 3, 1, Digest::Of(ToBytes("body B")));  // Liar's tap.
+  EXPECT_EQ(oracle.Check(), "");
+}
+
+TEST(SafetyOracleTest, PrefixConsistentLogsPass) {
+  SafetyOracle oracle(2);
+  oracle.OnOrdered(0, 1, 0);
+  oracle.OnOrdered(0, 1, 1);
+  oracle.OnOrdered(0, 2, 0);
+  oracle.OnOrdered(1, 1, 0);  // Shorter log, but a prefix.
+  oracle.OnOrdered(1, 1, 1);
+  EXPECT_EQ(oracle.Check(), "");
+}
+
+TEST(LivenessOracleTest, CatchesPostHealStall) {
+  LivenessOracle oracle(2);
+  oracle.OnCommit(0, 10);
+  oracle.OnCommit(1, 10);
+  oracle.MarkHealed();
+  // No commits after healing.
+  EXPECT_NE(oracle.Check(3, {0, 1}), "");
+}
+
+TEST(LivenessOracleTest, CatchesNodeLeftBehind) {
+  LivenessOracle oracle(2);
+  oracle.OnCommit(0, 10);
+  oracle.MarkHealed();
+  oracle.OnCommit(0, 20);  // Node 1 never catches up to the heal frontier.
+  EXPECT_NE(oracle.Check(3, {0, 1}), "");
+}
+
+TEST(LivenessOracleTest, ProgressAfterHealPasses) {
+  LivenessOracle oracle(2);
+  oracle.OnCommit(0, 10);
+  oracle.OnCommit(1, 9);
+  oracle.MarkHealed();
+  oracle.OnCommit(0, 20);
+  oracle.OnCommit(1, 20);
+  EXPECT_EQ(oracle.Check(3, {0, 1}), "");
+}
+
+}  // namespace
+}  // namespace clandag
