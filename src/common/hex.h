@@ -17,7 +17,7 @@ std::string HexEncode(const Bytes& b);
 
 // Decodes a hex string; returns std::nullopt on malformed input
 // (odd length or non-hex characters).
-std::optional<Bytes> HexDecode(std::string_view hex);
+[[nodiscard]] std::optional<Bytes> HexDecode(std::string_view hex);
 
 }  // namespace clandag
 

@@ -35,7 +35,7 @@ class CLANDAG_CAPABILITY("mutex") Mutex {
 
   void Lock() CLANDAG_ACQUIRE() { mu_.lock(); }
   void Unlock() CLANDAG_RELEASE() { mu_.unlock(); }
-  bool TryLock() CLANDAG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  [[nodiscard]] bool TryLock() CLANDAG_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
  private:
   friend class CondVar;

@@ -1,0 +1,63 @@
+// Canonical quorum arithmetic (paper Section 4, Eq. 1-2).
+//
+// Every threshold in the protocol is a function of the fault budget, and a
+// single off-by-one silently voids the hypergeometric safety argument. All
+// quorum math therefore lives here and nowhere else: the clandag-quorum-literal
+// clang-tidy check (tools/clandag-tidy/) bans inline `2f+1` / `f+1`-style
+// expressions outside this header, so a new threshold is a reviewed addition
+// to this file, not an ad-hoc expression at a call site.
+
+#ifndef CLANDAG_COMMON_QUORUM_H_
+#define CLANDAG_COMMON_QUORUM_H_
+
+#include <cstdint>
+
+namespace clandag {
+
+// Byzantine quorum: any two quorums of 2f+1 among n >= 3f+1 parties intersect
+// in at least one honest party.
+constexpr uint32_t ByzantineQuorum(uint32_t num_faults) {
+  return 2 * num_faults + 1;
+}
+
+// READY amplification threshold (Bracha): f+1 READYs guarantee at least one
+// honest sender, so echoing is safe.
+constexpr uint32_t ReadyAmplifyThreshold(uint32_t num_faults) {
+  return num_faults + 1;
+}
+
+// Erasure-coded dispersal: k = f+1 data shards reconstruct, so any Byzantine
+// quorum of 2f+1 holders contains k honest shares.
+constexpr uint32_t ErasureDataShards(uint32_t num_faults) {
+  return num_faults + 1;
+}
+
+// Largest tolerated tribe fault budget: f < n/3.
+constexpr int64_t MaxTribeFaults(int64_t num_nodes) {
+  return (num_nodes - 1) / 3;
+}
+
+// Largest clan fault budget under honest majority: byz < nc/2, i.e.
+// byz <= ceil(nc/2) - 1.
+constexpr int64_t MaxClanFaults(int64_t clan_size) {
+  return (clan_size + 1) / 2 - 1;
+}
+
+// f_c + 1: votes required from inside a clan so at least one is honest.
+constexpr uint32_t ClanQuorum(int64_t clan_size) {
+  return static_cast<uint32_t>(MaxClanFaults(clan_size) + 1);
+}
+
+// The arithmetic is load-bearing; pin it at compile time.
+static_assert(ByzantineQuorum(0) == 1 && ByzantineQuorum(1) == 3 &&
+              ByzantineQuorum(33) == 67);
+static_assert(ReadyAmplifyThreshold(1) == 2 && ErasureDataShards(1) == 2);
+static_assert(MaxTribeFaults(4) == 1 && MaxTribeFaults(100) == 33 &&
+              MaxTribeFaults(3) == 0);
+static_assert(MaxClanFaults(1) == 0 && MaxClanFaults(2) == 0 &&
+              MaxClanFaults(5) == 2 && MaxClanFaults(6) == 2);
+static_assert(ClanQuorum(1) == 1 && ClanQuorum(5) == 3 && ClanQuorum(6) == 3);
+
+}  // namespace clandag
+
+#endif  // CLANDAG_COMMON_QUORUM_H_

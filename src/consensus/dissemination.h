@@ -29,6 +29,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/quorum.h"
 #include "consensus/clan.h"
 #include "consensus/wire.h"
 #include "crypto/keychain.h"
@@ -57,8 +58,8 @@ struct DisseminationConfig {
   uint32_t pull_fanout = 2;
   TimeMicros pull_retry = Millis(250);
 
-  uint32_t Quorum() const { return 2 * num_faults + 1; }
-  uint32_t ReadyAmplify() const { return num_faults + 1; }
+  uint32_t Quorum() const { return ByzantineQuorum(num_faults); }
+  uint32_t ReadyAmplify() const { return ReadyAmplifyThreshold(num_faults); }
 };
 
 struct DisseminationCallbacks {

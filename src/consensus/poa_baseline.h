@@ -31,6 +31,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/quorum.h"
 #include "consensus/clan.h"
 #include "consensus/wire.h"
 #include "rbc/quorum.h"
@@ -66,7 +67,7 @@ struct PoaBftConfig {
   uint32_t txs_per_block = 0;
   uint32_t tx_size = 512;
 
-  uint32_t Quorum() const { return 2 * num_faults + 1; }
+  uint32_t Quorum() const { return ByzantineQuorum(num_faults); }
 };
 
 struct PoaBftCallbacks {

@@ -28,6 +28,7 @@
 #include <optional>
 #include <set>
 
+#include "common/quorum.h"
 #include "consensus/clan.h"
 #include "consensus/committer.h"
 #include "consensus/dissemination.h"
@@ -68,7 +69,7 @@ struct SailfishConfig {
   // idle; 0 restores the legacy one-shot timer.
   uint32_t max_timeout_rebroadcasts = 64;
 
-  uint32_t Quorum() const { return 2 * num_faults + 1; }
+  uint32_t Quorum() const { return ByzantineQuorum(num_faults); }
 };
 
 struct SailfishCallbacks {

@@ -44,7 +44,7 @@ struct TimeoutMsg {
   Signature sig;
 
   Bytes Encode() const;
-  static std::optional<TimeoutMsg> Decode(const Bytes& payload);
+  [[nodiscard]] static std::optional<TimeoutMsg> Decode(const Bytes& payload);
 };
 
 // Signed refusal to vote for `round`'s leader (sent to the next leader;
@@ -54,7 +54,7 @@ struct NoVoteMsg {
   Signature sig;
 
   Bytes Encode() const;
-  static std::optional<NoVoteMsg> Decode(const Bytes& payload);
+  [[nodiscard]] static std::optional<NoVoteMsg> Decode(const Bytes& payload);
 };
 
 // Pull of a vertex / block identified by (source, round).
@@ -63,14 +63,14 @@ struct ConsPullMsg {
   Round round = 0;
 
   Bytes Encode() const;
-  static std::optional<ConsPullMsg> Decode(const Bytes& payload);
+  [[nodiscard]] static std::optional<ConsPullMsg> Decode(const Bytes& payload);
 };
 
 Bytes EncodeVertex(const Vertex& v);
-std::optional<Vertex> DecodeVertex(const Bytes& payload);
+[[nodiscard]] std::optional<Vertex> DecodeVertex(const Bytes& payload);
 
 Bytes EncodeBlock(const BlockInfo& b);
-std::optional<BlockInfo> DecodeBlock(const Bytes& payload);
+[[nodiscard]] std::optional<BlockInfo> DecodeBlock(const Bytes& payload);
 
 }  // namespace clandag
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "common/quorum.h"
 #include "common/check.h"
 #include "common/log.h"
 #include "common/rng.h"
@@ -53,7 +54,7 @@ ClanTopology TopologyFor(const ScenarioOptions& options) {
 ScenarioResult RunScenario(const ScenarioOptions& options) {
   ScenarioResult result;
   const uint32_t n = options.num_nodes;
-  const uint32_t f = (n - 1) / 3;
+  const uint32_t f = static_cast<uint32_t>(MaxTribeFaults(n));
   CLANDAG_CHECK(n >= 4);
   CLANDAG_CHECK(options.crashed.size() <= f);
 

@@ -40,7 +40,7 @@ class Keychain {
   uint32_t num_parties() const { return static_cast<uint32_t>(keys_.size()); }
 
   Signature Sign(NodeId signer, const Bytes& message) const;
-  bool Verify(NodeId signer, const Bytes& message, const Signature& sig) const;
+  [[nodiscard]] bool Verify(NodeId signer, const Bytes& message, const Signature& sig) const;
 
   // Exposed so MultiSig can aggregate per-signer authenticators.
   const Bytes& KeyOf(NodeId id) const;

@@ -57,7 +57,7 @@ class MultiSig {
 
   // Verifies the aggregate against the keychain, per the paper's optimization:
   // one aggregate check instead of per-signer checks.
-  bool Verify(const Keychain& keychain, const Bytes& message) const;
+  [[nodiscard]] bool Verify(const Keychain& keychain, const Bytes& message) const;
 
   const SignerBitmap& signers() const { return signers_; }
   uint32_t Count() const { return signers_.Count(); }

@@ -55,7 +55,7 @@ class ReedSolomon {
   // Reconstructs the original bytes from any k distinct shares (shares may
   // arrive in any order). Returns std::nullopt if fewer than k distinct
   // shares are provided or the shares are inconsistent in size.
-  std::optional<Bytes> Decode(const std::vector<RsShare>& shares) const;
+  [[nodiscard]] std::optional<Bytes> Decode(const std::vector<RsShare>& shares) const;
 
  private:
   uint32_t k_;

@@ -36,7 +36,7 @@ struct TimeoutCert {
   MultiSig sig;
 
   static Bytes SignedMessage(Round round);
-  bool Verify(const Keychain& keychain, uint32_t quorum) const;
+  [[nodiscard]] bool Verify(const Keychain& keychain, uint32_t quorum) const;
   void Serialize(Writer& w) const;
   static TimeoutCert Parse(Reader& r);
 };
@@ -48,7 +48,7 @@ struct NoVoteCert {
   MultiSig sig;
 
   static Bytes SignedMessage(Round round);
-  bool Verify(const Keychain& keychain, uint32_t quorum) const;
+  [[nodiscard]] bool Verify(const Keychain& keychain, uint32_t quorum) const;
   void Serialize(Writer& w) const;
   static NoVoteCert Parse(Reader& r);
 };

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/quorum.h"
 #include "core/app_node.h"
 #include "core/byzantine.h"
 #include "fault/fault_runtime.h"
@@ -134,7 +135,7 @@ class ChaosCluster {
 
     AppNodeOptions options;
     options.consensus.num_nodes = plan_.num_nodes;
-    options.consensus.num_faults = (plan_.num_nodes - 1) / 3;
+    options.consensus.num_faults = static_cast<uint32_t>(MaxTribeFaults(plan_.num_nodes));
     options.consensus.round_timeout = opts_.round_timeout;
     options.consensus.gc_depth = opts_.gc_depth;
     if (opts_.use_wal) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/quorum.h"
 #include "common/check.h"
 #include "common/rng.h"
 
@@ -127,7 +128,7 @@ FaultPlan FaultPlan::Random(uint64_t seed, uint32_t num_nodes) {
   plan.num_nodes = num_nodes;
   DetRng rng(seed ^ 0xfa1735eedULL);
 
-  const uint32_t f = (num_nodes - 1) / 3;
+  const uint32_t f = static_cast<uint32_t>(MaxTribeFaults(num_nodes));
   // Every omission or misbehavior fault is confined to this victim set of
   // size f, so the other n - f >= 2f + 1 nodes form an honest, fully
   // connected quorum for the whole run. The protocol has no retransmission

@@ -21,6 +21,7 @@
 #include <map>
 #include <optional>
 
+#include "common/quorum.h"
 #include "crypto/keychain.h"
 #include "crypto/reed_solomon.h"
 #include "net/runtime.h"
@@ -37,9 +38,10 @@ struct AvidConfig {
   uint32_t num_nodes = 0;
   uint32_t num_faults = 0;
 
-  uint32_t Quorum() const { return 2 * num_faults + 1; }
-  uint32_t ReadyAmplify() const { return num_faults + 1; }
-  uint32_t DataShards() const { return num_faults + 1; }  // k = f+1.
+  // Thresholds delegate to common/quorum.h (see clandag-quorum-literal).
+  uint32_t Quorum() const { return ByzantineQuorum(num_faults); }
+  uint32_t ReadyAmplify() const { return ReadyAmplifyThreshold(num_faults); }
+  uint32_t DataShards() const { return ErasureDataShards(num_faults); }  // k = f+1.
 };
 
 // deliver(sender, round, digest, value)

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/quorum.h"
 #include "common/time.h"
 #include "crypto/keychain.h"
 
@@ -32,11 +33,13 @@ struct RbcConfig {
   uint32_t pull_fanout = 2;
   TimeMicros pull_retry = Millis(250);
 
-  uint32_t Quorum() const { return 2 * num_faults + 1; }  // 2f+1.
-  uint32_t ReadyAmplify() const { return num_faults + 1; }  // f+1.
+  // All thresholds delegate to common/quorum.h, the one place quorum
+  // arithmetic is allowed to live (enforced by clandag-quorum-literal).
+  uint32_t Quorum() const { return ByzantineQuorum(num_faults); }
+  uint32_t ReadyAmplify() const { return ReadyAmplifyThreshold(num_faults); }
   // f_c + 1: echoes required from inside the clan.
   uint32_t ClanQuorum() const {
-    return static_cast<uint32_t>((clan.size() + 1) / 2 - 1) + 1;
+    return clandag::ClanQuorum(static_cast<int64_t>(clan.size()));
   }
   bool InClan(NodeId id) const;
 };

@@ -34,7 +34,7 @@ struct RbcValMsg {
   std::optional<Bytes> value;  // Present iff the recipient is a clan member.
 
   Bytes Encode() const;
-  static std::optional<RbcValMsg> Decode(const Bytes& payload);
+  [[nodiscard]] static std::optional<RbcValMsg> Decode(const Bytes& payload);
 };
 
 // ECHO / READY: (sender, round, digest) plus a signature in signed mode.
@@ -48,7 +48,7 @@ struct RbcVoteMsg {
   static Bytes SignedMessage(MsgType type, NodeId sender, Round round, const Digest& digest);
 
   Bytes Encode() const;
-  static std::optional<RbcVoteMsg> Decode(const Bytes& payload);
+  [[nodiscard]] static std::optional<RbcVoteMsg> Decode(const Bytes& payload);
 };
 
 // Echo-certificate EC_r(m) of the two-round protocol (Figure 3).
@@ -59,7 +59,7 @@ struct RbcCertMsg {
   MultiSig sig;
 
   Bytes Encode() const;
-  static std::optional<RbcCertMsg> Decode(const Bytes& payload);
+  [[nodiscard]] static std::optional<RbcCertMsg> Decode(const Bytes& payload);
 };
 
 // Download of a missing value from clan members.
@@ -68,7 +68,7 @@ struct RbcPullReqMsg {
   Round round = 0;
 
   Bytes Encode() const;
-  static std::optional<RbcPullReqMsg> Decode(const Bytes& payload);
+  [[nodiscard]] static std::optional<RbcPullReqMsg> Decode(const Bytes& payload);
 };
 
 struct RbcPullRespMsg {
@@ -77,7 +77,7 @@ struct RbcPullRespMsg {
   Bytes value;
 
   Bytes Encode() const;
-  static std::optional<RbcPullRespMsg> Decode(const Bytes& payload);
+  [[nodiscard]] static std::optional<RbcPullRespMsg> Decode(const Bytes& payload);
 };
 
 }  // namespace clandag

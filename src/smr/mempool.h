@@ -53,7 +53,7 @@ struct Transaction {
 
 // Encodes a batch of transactions into a block payload and back.
 Bytes EncodeTxBatch(const std::vector<Transaction>& txs);
-std::optional<std::vector<Transaction>> DecodeTxBatch(const Bytes& payload);
+[[nodiscard]] std::optional<std::vector<Transaction>> DecodeTxBatch(const Bytes& payload);
 
 class Mempool final : public BlockSource {
  public:

@@ -8,19 +8,13 @@
 
 namespace clandag {
 
-int64_t MaxClanFaults(int64_t nc) {
-  // Honest majority requires byz < nc/2, i.e. byz <= ceil(nc/2) - 1.
-  return (nc + 1) / 2 - 1;
-}
-
-int64_t DefaultTribeFaults(int64_t n) {
-  return (n - 1) / 3;
-}
-
 double DishonestMajorityProbability(int64_t n, int64_t f, int64_t nc, MajorityRule rule) {
   CLANDAG_CHECK(n > 0 && nc > 0 && nc <= n && f >= 0 && f <= n);
-  const int64_t threshold =
-      rule == MajorityRule::kTieIsDishonest ? (nc + 1) / 2 : nc / 2 + 1;
+  // Eq. 1 as printed sums from k = ceil(nc/2) = ClanQuorum(nc); the strict
+  // convention starts one past an exact 50/50 split.
+  const int64_t threshold = rule == MajorityRule::kTieIsDishonest
+                                ? static_cast<int64_t>(ClanQuorum(nc))
+                                : nc / 2 + 1;
   const double log_total = LogChoose(n, nc);
   double acc = kNegInf;
   const int64_t k_max = std::min(nc, f);

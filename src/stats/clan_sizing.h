@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "common/quorum.h"
+
 namespace clandag {
 
 // Which Byzantine count makes a clan "dishonest-majority".
@@ -24,12 +26,11 @@ enum class MajorityRule {
   kStrictMajority,  // Failure only when k >= floor(nc/2) + 1.
 };
 
-// Maximum Byzantine members a clan of size nc tolerates while keeping an
-// honest majority: f_c = ceil(nc/2) - 1.
-int64_t MaxClanFaults(int64_t nc);
+// MaxClanFaults (f_c = ceil(nc/2) - 1) now lives in common/quorum.h, the
+// canonical home of all quorum arithmetic.
 
 // Default f for a tribe of n: floor((n-1)/3), the partial-synchrony optimum.
-int64_t DefaultTribeFaults(int64_t n);
+inline int64_t DefaultTribeFaults(int64_t n) { return MaxTribeFaults(n); }
 
 // Pr[clan has a dishonest majority] for a clan of nc drawn without
 // replacement from n parties of which f are Byzantine (Eq. 1).

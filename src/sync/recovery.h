@@ -47,7 +47,7 @@ struct WalRecord {
 Bytes EncodeVertexRecord(const Vertex& v);
 Bytes EncodeAnchorRecord(Round round);
 Bytes EncodeProposalRecord(Round round);
-std::optional<WalRecord> DecodeWalRecord(const Bytes& payload);
+[[nodiscard]] std::optional<WalRecord> DecodeWalRecord(const Bytes& payload);
 
 // Everything a restarting node restores before rejoining the protocol.
 struct RecoveryState {

@@ -47,7 +47,7 @@ struct FetchRequestMsg {
   std::vector<VertexRef> wants;
 
   Bytes Encode() const;
-  static std::optional<FetchRequestMsg> Decode(const Bytes& payload);
+  [[nodiscard]] static std::optional<FetchRequestMsg> Decode(const Bytes& payload);
 };
 
 // Batch of full vertex bodies answering a FetchRequestMsg. Vertices carry no
@@ -57,7 +57,7 @@ struct FetchResponseMsg {
   std::vector<Vertex> vertices;
 
   Bytes Encode() const;
-  static std::optional<FetchResponseMsg> Decode(const Bytes& payload);
+  [[nodiscard]] static std::optional<FetchResponseMsg> Decode(const Bytes& payload);
 };
 
 }  // namespace clandag

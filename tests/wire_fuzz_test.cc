@@ -51,26 +51,26 @@ void FuzzMutations(const Bytes& valid, Fn&& decode) {
 }
 
 TEST(WireFuzz, RbcValMsg) {
-  FuzzRandom(1, [](const Bytes& b) { RbcValMsg::Decode(b); });
+  FuzzRandom(1, [](const Bytes& b) { (void)RbcValMsg::Decode(b); });
   RbcValMsg msg;
   msg.round = 7;
   msg.digest = Digest::Of(ToBytes("x"));
   msg.value = ToBytes("some value");
-  FuzzMutations(msg.Encode(), [](const Bytes& b) { RbcValMsg::Decode(b); });
+  FuzzMutations(msg.Encode(), [](const Bytes& b) { (void)RbcValMsg::Decode(b); });
 }
 
 TEST(WireFuzz, RbcVoteMsg) {
-  FuzzRandom(2, [](const Bytes& b) { RbcVoteMsg::Decode(b); });
+  FuzzRandom(2, [](const Bytes& b) { (void)RbcVoteMsg::Decode(b); });
   RbcVoteMsg msg;
   msg.sender = 3;
   msg.round = 9;
   msg.digest = Digest::Of(ToBytes("y"));
   msg.sig = Signature{Digest::Of(ToBytes("sig"))};
-  FuzzMutations(msg.Encode(), [](const Bytes& b) { RbcVoteMsg::Decode(b); });
+  FuzzMutations(msg.Encode(), [](const Bytes& b) { (void)RbcVoteMsg::Decode(b); });
 }
 
 TEST(WireFuzz, RbcCertMsg) {
-  FuzzRandom(3, [](const Bytes& b) { RbcCertMsg::Decode(b); });
+  FuzzRandom(3, [](const Bytes& b) { (void)RbcCertMsg::Decode(b); });
   Keychain keychain(1, 4);
   SignerBitmap bm(4);
   bm.Set(0);
@@ -82,17 +82,17 @@ TEST(WireFuzz, RbcCertMsg) {
   msg.digest = Digest::Of(ToBytes("z"));
   msg.sig = MultiSig::Aggregate(bm, {keychain.Sign(0, ToBytes("m")), keychain.Sign(1, ToBytes("m")),
                                      keychain.Sign(2, ToBytes("m"))});
-  FuzzMutations(msg.Encode(), [](const Bytes& b) { RbcCertMsg::Decode(b); });
+  FuzzMutations(msg.Encode(), [](const Bytes& b) { (void)RbcCertMsg::Decode(b); });
 }
 
 TEST(WireFuzz, PullMsgs) {
-  FuzzRandom(4, [](const Bytes& b) { RbcPullReqMsg::Decode(b); });
-  FuzzRandom(5, [](const Bytes& b) { RbcPullRespMsg::Decode(b); });
-  FuzzRandom(6, [](const Bytes& b) { ConsPullMsg::Decode(b); });
+  FuzzRandom(4, [](const Bytes& b) { (void)RbcPullReqMsg::Decode(b); });
+  FuzzRandom(5, [](const Bytes& b) { (void)RbcPullRespMsg::Decode(b); });
+  FuzzRandom(6, [](const Bytes& b) { (void)ConsPullMsg::Decode(b); });
 }
 
 TEST(WireFuzz, Vertex) {
-  FuzzRandom(7, [](const Bytes& b) { DecodeVertex(b); });
+  FuzzRandom(7, [](const Bytes& b) { (void)DecodeVertex(b); });
   Vertex v;
   v.round = 4;
   v.source = 2;
@@ -101,47 +101,47 @@ TEST(WireFuzz, Vertex) {
                     StrongEdge{1, Digest::Of(ToBytes("b"))},
                     StrongEdge{3, Digest::Of(ToBytes("c"))}};
   v.weak_edges = {WeakEdge{1, 2, Digest::Of(ToBytes("w"))}};
-  FuzzMutations(EncodeVertex(v), [](const Bytes& b) { DecodeVertex(b); });
+  FuzzMutations(EncodeVertex(v), [](const Bytes& b) { (void)DecodeVertex(b); });
 }
 
 TEST(WireFuzz, Block) {
-  FuzzRandom(8, [](const Bytes& b) { DecodeBlock(b); });
+  FuzzRandom(8, [](const Bytes& b) { (void)DecodeBlock(b); });
   BlockInfo block;
   block.proposer = 1;
   block.round = 2;
   block.tx_count = 100;
   block.tx_size = 512;
   block.payload = ToBytes("real payload bytes");
-  FuzzMutations(EncodeBlock(block), [](const Bytes& b) { DecodeBlock(b); });
+  FuzzMutations(EncodeBlock(block), [](const Bytes& b) { (void)DecodeBlock(b); });
 }
 
 TEST(WireFuzz, TimeoutAndNoVote) {
-  FuzzRandom(9, [](const Bytes& b) { TimeoutMsg::Decode(b); });
-  FuzzRandom(10, [](const Bytes& b) { NoVoteMsg::Decode(b); });
+  FuzzRandom(9, [](const Bytes& b) { (void)TimeoutMsg::Decode(b); });
+  FuzzRandom(10, [](const Bytes& b) { (void)NoVoteMsg::Decode(b); });
   TimeoutMsg to;
   to.round = 3;
   to.sig = Signature{Digest::Of(ToBytes("t"))};
-  FuzzMutations(to.Encode(), [](const Bytes& b) { TimeoutMsg::Decode(b); });
+  FuzzMutations(to.Encode(), [](const Bytes& b) { (void)TimeoutMsg::Decode(b); });
 }
 
 TEST(WireFuzz, TxBatch) {
-  FuzzRandom(11, [](const Bytes& b) { DecodeTxBatch(b); });
+  FuzzRandom(11, [](const Bytes& b) { (void)DecodeTxBatch(b); });
   std::vector<Transaction> txs = {{1, 10, ToBytes("aa")}, {2, 20, ToBytes("bb")}};
-  FuzzMutations(EncodeTxBatch(txs), [](const Bytes& b) { DecodeTxBatch(b); });
+  FuzzMutations(EncodeTxBatch(txs), [](const Bytes& b) { (void)DecodeTxBatch(b); });
 }
 
 TEST(WireFuzz, WalRecord) {
   // A corrupted WAL (bit rot, torn writes the framing CRC missed) must never
   // crash recovery — a node that cannot restart is a node lost forever.
-  FuzzRandom(15, [](const Bytes& b) { DecodeWalRecord(b); });
+  FuzzRandom(15, [](const Bytes& b) { (void)DecodeWalRecord(b); });
   Vertex v;
   v.round = 6;
   v.source = 1;
   v.block_digest = Digest::Of(ToBytes("wal blk"));
   v.strong_edges = {StrongEdge{0, Digest::Of(ToBytes("p"))}};
-  FuzzMutations(EncodeVertexRecord(v), [](const Bytes& b) { DecodeWalRecord(b); });
-  FuzzMutations(EncodeAnchorRecord(9), [](const Bytes& b) { DecodeWalRecord(b); });
-  FuzzMutations(EncodeProposalRecord(11), [](const Bytes& b) { DecodeWalRecord(b); });
+  FuzzMutations(EncodeVertexRecord(v), [](const Bytes& b) { (void)DecodeWalRecord(b); });
+  FuzzMutations(EncodeAnchorRecord(9), [](const Bytes& b) { (void)DecodeWalRecord(b); });
+  FuzzMutations(EncodeProposalRecord(11), [](const Bytes& b) { (void)DecodeWalRecord(b); });
   EXPECT_TRUE(DecodeWalRecord(EncodeVertexRecord(v)).has_value());
   EXPECT_TRUE(DecodeWalRecord(EncodeAnchorRecord(9)).has_value());
   EXPECT_TRUE(DecodeWalRecord(EncodeProposalRecord(11)).has_value());
@@ -155,23 +155,23 @@ TEST(WireFuzz, PoaCert) {
 }
 
 TEST(WireFuzz, FetchRequest) {
-  FuzzRandom(13, [](const Bytes& b) { FetchRequestMsg::Decode(b); });
+  FuzzRandom(13, [](const Bytes& b) { (void)FetchRequestMsg::Decode(b); });
   FetchRequestMsg req;
   req.low_watermark = 17;
   req.wants = {VertexRef{20, 1}, VertexRef{21, 3}};
-  FuzzMutations(req.Encode(), [](const Bytes& b) { FetchRequestMsg::Decode(b); });
+  FuzzMutations(req.Encode(), [](const Bytes& b) { (void)FetchRequestMsg::Decode(b); });
   EXPECT_TRUE(FetchRequestMsg::Decode(req.Encode()).has_value());
 }
 
 TEST(WireFuzz, FetchResponse) {
-  FuzzRandom(14, [](const Bytes& b) { FetchResponseMsg::Decode(b); });
+  FuzzRandom(14, [](const Bytes& b) { (void)FetchResponseMsg::Decode(b); });
   FetchResponseMsg resp;
   Vertex v;
   v.round = 4;
   v.source = 2;
   v.strong_edges = {StrongEdge{0, Digest::Of(ToBytes("p"))}};
   resp.vertices.push_back(v);
-  FuzzMutations(resp.Encode(), [](const Bytes& b) { FetchResponseMsg::Decode(b); });
+  FuzzMutations(resp.Encode(), [](const Bytes& b) { (void)FetchResponseMsg::Decode(b); });
   EXPECT_TRUE(FetchResponseMsg::Decode(resp.Encode()).has_value());
 }
 

@@ -1,0 +1,149 @@
+#include "CallbackUnderLockCheck.h"
+
+#include "NameMatch.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::clandag {
+
+namespace {
+
+// Is `QT` (after desugaring) the clandag::MutexLock RAII holder?
+bool IsMutexLockType(QualType QT) {
+  const CXXRecordDecl* RD = QT.getCanonicalType()->getAsCXXRecordDecl();
+  return RD != nullptr && RD->getIdentifier() != nullptr &&
+         RD->getName() == "MutexLock";
+}
+
+// Is `QT` the clandag::Mutex capability (the type REQUIRES() arguments
+// carry)? ThreadRole capabilities are deliberately excluded: handlers are
+// *supposed* to run on the owning loop thread.
+bool IsMutexType(QualType QT) {
+  const CXXRecordDecl* RD = QT.getNonReferenceType()
+                                .getCanonicalType()
+                                ->getAsCXXRecordDecl();
+  return RD != nullptr && RD->getIdentifier() != nullptr &&
+         RD->getName() == "Mutex";
+}
+
+// Does the enclosing function declare REQUIRES(mu) on a Mutex-typed
+// capability? (Macro CLANDAG_REQUIRES expands to requires_capability.)
+bool RequiresMutexCapability(const FunctionDecl* FD) {
+  if (FD == nullptr) {
+    return false;
+  }
+  for (const auto* A : FD->specific_attrs<RequiresCapabilityAttr>()) {
+    for (const Expr* Arg : A->args()) {
+      if (Arg != nullptr && IsMutexType(Arg->getType())) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Scans the statements of `CS` that precede `Child` (a direct child) for a
+// declaration of a clandag::MutexLock still in scope at `Child`.
+const VarDecl* MutexLockBefore(const CompoundStmt* CS, const Stmt* Child) {
+  for (const Stmt* S : CS->body()) {
+    if (S == Child) {
+      break;
+    }
+    const auto* DS = dyn_cast<DeclStmt>(S);
+    if (DS == nullptr) {
+      continue;
+    }
+    for (const Decl* D : DS->decls()) {
+      if (const auto* VD = dyn_cast<VarDecl>(D)) {
+        if (IsMutexLockType(VD->getType())) {
+          return VD;
+        }
+      }
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void CallbackUnderLockCheck::registerMatchers(MatchFinder* Finder) {
+  // std::function invocation — the deliver-handler shape.
+  Finder->addMatcher(
+      cxxOperatorCallExpr(
+          callee(cxxMethodDecl(
+              hasName("operator()"),
+              ofClass(classTemplateSpecializationDecl(
+                  hasName("::std::function"))))))
+          .bind("fn-call"),
+      this);
+  // Virtual dispatch into a *Handler interface (MessageHandler::OnMessage).
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(isVirtual()))).bind("virt-call"),
+      this);
+}
+
+void CallbackUnderLockCheck::check(const MatchFinder::MatchResult& Result) {
+  const Expr* Call = Result.Nodes.getNodeAs<CXXOperatorCallExpr>("fn-call");
+  StringRef Kind = "std::function callback";
+  if (Call == nullptr) {
+    const auto* MC = Result.Nodes.getNodeAs<CXXMemberCallExpr>("virt-call");
+    if (MC == nullptr) {
+      return;
+    }
+    const CXXRecordDecl* Cls = MC->getMethodDecl()->getParent();
+    if (Cls == nullptr || Cls->getIdentifier() == nullptr ||
+        !EndsWith(Cls->getName(), "Handler")) {
+      return;
+    }
+    Call = MC;
+    Kind = "handler callback";
+  }
+
+  ASTContext& Ctx = *Result.Context;
+
+  // Climb the parent chain. At every CompoundStmt ancestor, a MutexLock
+  // declared lexically before our branch is still held at the call site. The
+  // climb stops at the enclosing function or lambda boundary (a lambda body
+  // runs later, under whatever locks its *invoker* holds).
+  const Stmt* Cur = Call;
+  while (true) {
+    const auto Parents = Ctx.getParents(*Cur);
+    if (Parents.empty()) {
+      return;
+    }
+    if (const Stmt* PS = Parents[0].get<Stmt>()) {
+      if (const auto* CS = dyn_cast<CompoundStmt>(PS)) {
+        if (const VarDecl* Lock = MutexLockBefore(CS, Cur)) {
+          diag(Call->getBeginLoc(),
+               "%0 invoked while holding %1; deadlock shape — copy the "
+               "callback out, release the lock, then invoke "
+               "(move-out-then-invoke)")
+              << Kind << Lock;
+          return;
+        }
+      }
+      if (isa<LambdaExpr>(PS)) {
+        return;
+      }
+      Cur = PS;
+      continue;
+    }
+    // Parent is a Decl: we reached the enclosing function (or an
+    // initializer). A REQUIRES(mu) contract means every caller holds mu.
+    const auto* FD = Parents[0].get<FunctionDecl>();
+    if (FD != nullptr && RequiresMutexCapability(FD)) {
+      diag(Call->getBeginLoc(),
+           "%0 invoked inside a function that REQUIRES a Mutex; deadlock "
+           "shape — hoist the callback invocation out of the locked region")
+          << Kind;
+    }
+    return;
+  }
+}
+
+}  // namespace clang::tidy::clandag

@@ -1,0 +1,28 @@
+// clandag-callback-under-lock: invoking a subscriber callback (a
+// std::function field like a deliver handler, or a virtual *Handler method
+// like MessageHandler::OnMessage) while holding a clandag::Mutex hands
+// arbitrary user code a held lock — the classic re-entrancy deadlock shape.
+// The thread-safety annotations of PR 2 cannot express this: they track who
+// holds what, not what runs underneath. The repo-wide contract is
+// move-out-then-invoke (copy the callback / payload under the lock, leave
+// the scope, then call).
+
+#ifndef CLANDAG_TIDY_CALLBACK_UNDER_LOCK_CHECK_H_
+#define CLANDAG_TIDY_CALLBACK_UNDER_LOCK_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::clandag {
+
+class CallbackUnderLockCheck : public ClangTidyCheck {
+ public:
+  CallbackUnderLockCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace clang::tidy::clandag
+
+#endif  // CLANDAG_TIDY_CALLBACK_UNDER_LOCK_CHECK_H_

@@ -1,0 +1,39 @@
+// clang-tidy plugin module registering ClanDAG's protocol-aware checks.
+//
+// Loaded out-of-tree via `clang-tidy -load clandag_tidy.so`; see
+// tools/run_clang_tidy.sh and DESIGN.md §10 for the catalog. Each check
+// encodes an invariant of the ClanDAG protocol that stock clang-tidy cannot
+// express:
+//
+//   clandag-wire-taint          wire-decoded integers must be bounds-checked
+//                               before sizing allocations or indexing
+//   clandag-quorum-literal      quorum arithmetic only in common/quorum.h
+//   clandag-callback-under-lock no subscriber callback while holding a Mutex
+//   clandag-unchecked-verify    Verify/Decode/Try* results must be consumed
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "CallbackUnderLockCheck.h"
+#include "QuorumLiteralCheck.h"
+#include "UncheckedVerifyCheck.h"
+#include "WireTaintCheck.h"
+
+namespace clang::tidy::clandag {
+
+class ClanDagTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories& factories) override {
+    factories.registerCheck<WireTaintCheck>("clandag-wire-taint");
+    factories.registerCheck<QuorumLiteralCheck>("clandag-quorum-literal");
+    factories.registerCheck<CallbackUnderLockCheck>("clandag-callback-under-lock");
+    factories.registerCheck<UncheckedVerifyCheck>("clandag-unchecked-verify");
+  }
+};
+
+namespace {
+ClangTidyModuleRegistry::Add<ClanDagTidyModule> kRegister(
+    "clandag-module", "ClanDAG protocol-invariant checks.");
+}  // namespace
+
+}  // namespace clang::tidy::clandag

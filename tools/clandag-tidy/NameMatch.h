@@ -1,0 +1,22 @@
+// Version-neutral string predicates. StringRef::startswith was removed in
+// LLVM 18 and starts_with only appeared in LLVM 16; these helpers keep the
+// plugin buildable against every LLVM the distros ship.
+
+#ifndef CLANDAG_TIDY_NAME_MATCH_H_
+#define CLANDAG_TIDY_NAME_MATCH_H_
+
+#include "llvm/ADT/StringRef.h"
+
+namespace clang::tidy::clandag {
+
+inline bool StartsWith(llvm::StringRef str, llvm::StringRef prefix) {
+  return str.size() >= prefix.size() && str.take_front(prefix.size()) == prefix;
+}
+
+inline bool EndsWith(llvm::StringRef str, llvm::StringRef suffix) {
+  return str.size() >= suffix.size() && str.take_back(suffix.size()) == suffix;
+}
+
+}  // namespace clang::tidy::clandag
+
+#endif  // CLANDAG_TIDY_NAME_MATCH_H_

@@ -1,0 +1,140 @@
+#include "QuorumLiteralCheck.h"
+
+#include "NameMatch.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::clandag {
+
+namespace {
+
+// The one header allowed to spell quorum arithmetic (plus its fixture twin).
+bool InWhitelistedFile(const SourceManager& SM, SourceLocation Loc) {
+  StringRef File = SM.getFilename(SM.getSpellingLoc(Loc));
+  return EndsWith(File, "common/quorum.h");
+}
+
+// Identifier names that denote a fault budget. Deliberately narrow: protocol
+// configs use num_faults / f_c; a generic `n` or `count` must not fire.
+bool IsFaultName(StringRef Name) {
+  return Name == "num_faults" || Name == "num_faults_" || Name == "faults" ||
+         Name == "faults_" || Name == "fault_count" || Name == "f" ||
+         Name == "f_" || Name == "f_c" || Name == "fc";
+}
+
+// Identifier names that denote a party count (for the (n-1)/3 shape).
+bool IsNodeCountName(StringRef Name) {
+  return Name == "num_nodes" || Name == "num_nodes_" || Name == "nodes" ||
+         Name == "n" || Name == "n_c" || Name == "nc" || Name == "clan_size" ||
+         Name == "tribe_size";
+}
+
+// Unwraps an operand to the name of the variable / field / nullary method it
+// references, or an empty StringRef.
+StringRef ReferencedName(const Expr* E) {
+  if (E == nullptr) {
+    return {};
+  }
+  E = E->IgnoreParenImpCasts();
+  if (const auto* DRE = dyn_cast<DeclRefExpr>(E)) {
+    if (const auto* ND = dyn_cast<NamedDecl>(DRE->getDecl())) {
+      if (ND->getIdentifier() != nullptr) {
+        return ND->getName();
+      }
+    }
+  } else if (const auto* ME = dyn_cast<MemberExpr>(E)) {
+    if (ME->getMemberDecl()->getIdentifier() != nullptr) {
+      return ME->getMemberDecl()->getName();
+    }
+  } else if (const auto* MC = dyn_cast<CXXMemberCallExpr>(E)) {
+    if (const CXXMethodDecl* MD = MC->getMethodDecl()) {
+      if (MD->getNumParams() == 0 && MD->getIdentifier() != nullptr) {
+        return MD->getName();
+      }
+    }
+  }
+  return {};
+}
+
+// True if any sub-expression references a node-count-named entity.
+bool ContainsNodeCountRef(const Expr* E) {
+  if (E == nullptr) {
+    return false;
+  }
+  if (IsNodeCountName(ReferencedName(E))) {
+    return true;
+  }
+  for (const Stmt* Child : E->children()) {
+    if (const auto* CE = dyn_cast_or_null<Expr>(Child)) {
+      if (ContainsNodeCountRef(CE)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool IsIntLiteral(const Expr* E, uint64_t Value) {
+  if (E == nullptr) {
+    return false;
+  }
+  const auto* IL = dyn_cast<IntegerLiteral>(E->IgnoreParenImpCasts());
+  return IL != nullptr && IL->getValue() == Value;
+}
+
+}  // namespace
+
+void QuorumLiteralCheck::registerMatchers(MatchFinder* Finder) {
+  // Shape 1+2: `2 * f`, `f * 2`, `f + 1`, `1 + f` over a fault-named operand.
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("*", "+")).bind("mul-or-add"), this);
+  // Shape 3: `<expr mentioning a node count> / 3`.
+  Finder->addMatcher(binaryOperator(hasOperatorName("/")).bind("div"), this);
+}
+
+void QuorumLiteralCheck::check(const MatchFinder::MatchResult& Result) {
+  const SourceManager& SM = *Result.SourceManager;
+
+  if (const auto* BO = Result.Nodes.getNodeAs<BinaryOperator>("mul-or-add")) {
+    if (InWhitelistedFile(SM, BO->getBeginLoc())) {
+      return;
+    }
+    const Expr* LHS = BO->getLHS();
+    const Expr* RHS = BO->getRHS();
+    const bool Mul = BO->getOpcode() == BO_Mul;
+    const uint64_t Literal = Mul ? 2 : 1;
+    const Expr* Named = nullptr;
+    if (IsIntLiteral(LHS, Literal) && IsFaultName(ReferencedName(RHS))) {
+      Named = RHS;
+    } else if (IsIntLiteral(RHS, Literal) && IsFaultName(ReferencedName(LHS))) {
+      Named = LHS;
+    }
+    if (Named == nullptr) {
+      return;
+    }
+    diag(BO->getBeginLoc(),
+         "inline quorum arithmetic on '%0'; thresholds live in "
+         "common/quorum.h (ByzantineQuorum / ReadyAmplifyThreshold / "
+         "MaxTribeFaults), a one-off here voids the safety argument")
+        << ReferencedName(Named);
+    return;
+  }
+
+  if (const auto* BO = Result.Nodes.getNodeAs<BinaryOperator>("div")) {
+    if (InWhitelistedFile(SM, BO->getBeginLoc())) {
+      return;
+    }
+    if (!IsIntLiteral(BO->getRHS(), 3) || !ContainsNodeCountRef(BO->getLHS())) {
+      return;
+    }
+    diag(BO->getBeginLoc(),
+         "inline fault-budget arithmetic (n/3 shape); use "
+         "MaxTribeFaults from common/quorum.h");
+  }
+}
+
+}  // namespace clang::tidy::clandag

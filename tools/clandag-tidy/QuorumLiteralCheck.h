@@ -1,0 +1,25 @@
+// clandag-quorum-literal: quorum thresholds are the protocol's safety
+// arithmetic (2f+1 Byzantine quorums, f+1 READY amplification, (n-1)/3 fault
+// budgets — paper Section 4, Eq. 1-2). A single off-by-one at one call site
+// silently voids the hypergeometric argument, so the arithmetic is confined
+// to src/common/quorum.h and every inline occurrence elsewhere is a finding.
+
+#ifndef CLANDAG_TIDY_QUORUM_LITERAL_CHECK_H_
+#define CLANDAG_TIDY_QUORUM_LITERAL_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::clandag {
+
+class QuorumLiteralCheck : public ClangTidyCheck {
+ public:
+  QuorumLiteralCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace clang::tidy::clandag
+
+#endif  // CLANDAG_TIDY_QUORUM_LITERAL_CHECK_H_

@@ -1,0 +1,101 @@
+#include "UncheckedVerifyCheck.h"
+
+#include "NameMatch.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/Stmt.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::clandag {
+
+namespace {
+
+bool HasGuardedName(const FunctionDecl* FD) {
+  if (FD == nullptr || FD->getIdentifier() == nullptr) {
+    return false;
+  }
+  StringRef Name = FD->getName();
+  return StartsWith(Name, "Verify") || StartsWith(Name, "Decode") ||
+         StartsWith(Name, "Try");
+}
+
+}  // namespace
+
+void UncheckedVerifyCheck::registerMatchers(MatchFinder* Finder) {
+  // Any call to a non-void function; name and discard position are decided
+  // in check() (parent-walking beats encoding statement positions as
+  // matchers).
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(unless(returns(voidType()))))).bind("call"),
+      this);
+}
+
+void UncheckedVerifyCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* Call = Result.Nodes.getNodeAs<CallExpr>("call");
+  if (Call == nullptr || !HasGuardedName(Call->getDirectCallee())) {
+    return;
+  }
+  ASTContext& Ctx = *Result.Context;
+
+  // Walk up: the result is discarded iff the call (possibly wrapped in
+  // cleanup nodes) sits in statement position — directly in a compound
+  // statement or as the un-braced body of a control statement. Any other
+  // parent (condition, initializer, operand, explicit (void) cast, return)
+  // consumes the value.
+  const Stmt* Cur = Call;
+  while (true) {
+    const auto Parents = Ctx.getParents(*Cur);
+    if (Parents.empty()) {
+      return;
+    }
+    const Stmt* PS = Parents[0].get<Stmt>();
+    if (PS == nullptr) {
+      return;  // Parent is a Decl (e.g. a variable initializer): consumed.
+    }
+    if (isa<ExprWithCleanups>(PS) || isa<ConstantExpr>(PS)) {
+      Cur = PS;
+      continue;
+    }
+    if (isa<CompoundStmt>(PS)) {
+      break;  // Statement position: discarded.
+    }
+    if (const auto* If = dyn_cast<IfStmt>(PS)) {
+      if (If->getCond() == Cur) {
+        return;
+      }
+      break;  // Un-braced then/else body.
+    }
+    if (const auto* For = dyn_cast<ForStmt>(PS)) {
+      if (For->getCond() == Cur) {
+        return;
+      }
+      break;  // Body or increment clause.
+    }
+    if (const auto* While = dyn_cast<WhileStmt>(PS)) {
+      if (While->getCond() == Cur) {
+        return;
+      }
+      break;
+    }
+    if (const auto* Do = dyn_cast<DoStmt>(PS)) {
+      if (Do->getCond() == Cur) {
+        return;
+      }
+      break;
+    }
+    if (isa<CaseStmt>(PS) || isa<DefaultStmt>(PS) || isa<LabelStmt>(PS)) {
+      break;
+    }
+    return;  // Any other expression parent consumes the value.
+  }
+
+  diag(Call->getBeginLoc(),
+       "result of %0 is discarded; a skipped Verify/Decode/Try check accepts "
+       "Byzantine input unvalidated (assign it, branch on it, or cast to "
+       "void with a justification)")
+      << Call->getDirectCallee();
+}
+
+}  // namespace clang::tidy::clandag

@@ -1,0 +1,25 @@
+// clandag-unchecked-verify: a discarded Verify/Decode/Try* result is a
+// skipped safety check. Backed by [[nodiscard]] on the declarations; this
+// check additionally covers calls the compiler cannot warn about (results
+// discarded inside if/loop bodies via comma-less statement positions, code
+// compiled by non-warning toolchains) and keeps the gate in one CI job.
+
+#ifndef CLANDAG_TIDY_UNCHECKED_VERIFY_CHECK_H_
+#define CLANDAG_TIDY_UNCHECKED_VERIFY_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::clandag {
+
+class UncheckedVerifyCheck : public ClangTidyCheck {
+ public:
+  UncheckedVerifyCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace clang::tidy::clandag
+
+#endif  // CLANDAG_TIDY_UNCHECKED_VERIFY_CHECK_H_

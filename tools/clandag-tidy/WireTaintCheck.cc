@@ -1,0 +1,244 @@
+#include "WireTaintCheck.h"
+
+#include "NameMatch.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::clandag {
+
+namespace {
+
+// Is `E` (casts stripped) a call to one of clandag::Reader's integer
+// primitives — the taint sources?
+const CXXMemberCallExpr* AsReaderIntRead(const Expr* E) {
+  if (E == nullptr) {
+    return nullptr;
+  }
+  const auto* MC = dyn_cast<CXXMemberCallExpr>(E->IgnoreParenCasts());
+  if (MC == nullptr) {
+    return nullptr;
+  }
+  const CXXMethodDecl* MD = MC->getMethodDecl();
+  if (MD == nullptr || MD->getIdentifier() == nullptr) {
+    return nullptr;
+  }
+  const CXXRecordDecl* Cls = MD->getParent();
+  if (Cls == nullptr || Cls->getIdentifier() == nullptr ||
+      Cls->getName() != "Reader") {
+    return nullptr;
+  }
+  StringRef Name = MD->getName();
+  const bool IsIntRead = Name == "U8" || Name == "U16" || Name == "U32" ||
+                         Name == "U64" || Name == "I64" || Name == "Varint";
+  return IsIntRead ? MC : nullptr;
+}
+
+// The local variable a sink argument refers to, if any (casts stripped).
+const VarDecl* AsLocalVarRef(const Expr* E) {
+  if (E == nullptr) {
+    return nullptr;
+  }
+  const auto* DRE = dyn_cast<DeclRefExpr>(E->IgnoreParenCasts());
+  if (DRE == nullptr) {
+    return nullptr;
+  }
+  const auto* VD = dyn_cast<VarDecl>(DRE->getDecl());
+  return (VD != nullptr && VD->hasLocalStorage()) ? VD : nullptr;
+}
+
+// Is the local variable directly initialized from a Reader integer read?
+bool IsTaintedVar(const VarDecl* VD) {
+  return VD != nullptr && VD->hasInit() &&
+         AsReaderIntRead(VD->getInit()) != nullptr;
+}
+
+// Does `E` (casts stripped) reference exactly `VD`?
+bool RefersTo(const Expr* E, const VarDecl* VD) {
+  if (E == nullptr) {
+    return false;
+  }
+  const auto* DRE = dyn_cast<DeclRefExpr>(E->IgnoreParenCasts());
+  return DRE != nullptr && DRE->getDecl() == VD;
+}
+
+// A comparison operand that disqualifies the comparison as a guard: a plain
+// mutable non-parameter local (the `i` of `i < count`). Everything else —
+// literals, constexpr locals, parameters, members, calls, sizeof — bounds
+// the tainted value against something the attacker does not control.
+bool IsMutableLocalRef(const Expr* E) {
+  const VarDecl* VD = AsLocalVarRef(E);
+  return VD != nullptr && !isa<ParmVarDecl>(VD) &&
+         !VD->getType().isConstQualified();
+}
+
+// Callees accepted as bounding helpers when the tainted variable is an
+// argument: std::min/max/clamp and the repo's *Check*/*Valid*/*Bound*/
+// *Cap*/Need naming.
+bool IsBoundingCallee(StringRef Name) {
+  return Name == "min" || Name == "max" || Name == "clamp" ||
+         Name == "Need" || Name.contains("Check") || Name.contains("Valid") ||
+         Name.contains("Bound") || Name.contains("Clamp") ||
+         Name.contains("Cap");
+}
+
+// Recursively scans `S` for a sanitizing use of `VD`:
+//  - a relational/equality comparison of VD against a non-mutable-local, or
+//  - VD passed as an argument to a bounding helper.
+bool HasGuard(const Stmt* S, const VarDecl* VD) {
+  if (S == nullptr) {
+    return false;
+  }
+  if (const auto* BO = dyn_cast<BinaryOperator>(S)) {
+    if (BO->isRelationalOp() || BO->isEqualityOp()) {
+      if (RefersTo(BO->getLHS(), VD) && !IsMutableLocalRef(BO->getRHS())) {
+        return true;
+      }
+      if (RefersTo(BO->getRHS(), VD) && !IsMutableLocalRef(BO->getLHS())) {
+        return true;
+      }
+    }
+  }
+  if (const auto* CE = dyn_cast<CallExpr>(S)) {
+    const FunctionDecl* FD = CE->getDirectCallee();
+    if (FD != nullptr && FD->getIdentifier() != nullptr &&
+        IsBoundingCallee(FD->getName())) {
+      for (const Expr* Arg : CE->arguments()) {
+        if (RefersTo(Arg, VD)) {
+          return true;
+        }
+      }
+    }
+  }
+  for (const Stmt* Child : S->children()) {
+    if (HasGuard(Child, VD)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void WireTaintCheck::registerMatchers(MatchFinder* Finder) {
+  // A sink argument: directly a Reader read, or a reference to a local that
+  // may be tainted (decided in check()).
+  const auto SinkArg = expr().bind("size-arg");
+
+  // resize/reserve/assign/at — any class, first argument.
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName(
+                            "resize", "reserve", "assign", "at"))),
+                        hasArgument(0, SinkArg))
+          .bind("sink-grow"),
+      this);
+  // Raw array subscript.
+  Finder->addMatcher(arraySubscriptExpr(hasIndex(SinkArg)).bind("sink-index"),
+                     this);
+  // operator[] — argument 1 (argument 0 is the object).
+  Finder->addMatcher(
+      cxxOperatorCallExpr(hasOverloadedOperatorName("[]"),
+                          hasArgument(1, SinkArg))
+          .bind("sink-index"),
+      this);
+  // Array new size.
+  Finder->addMatcher(cxxNewExpr(hasArraySize(SinkArg)).bind("sink-alloc"),
+                     this);
+  // std::vector sized construction (covers Bytes = std::vector<uint8_t>).
+  Finder->addMatcher(
+      cxxConstructExpr(hasDeclaration(cxxConstructorDecl(ofClass(
+                           classTemplateSpecializationDecl(
+                               hasName("::std::vector"))))),
+                       hasArgument(0, SinkArg))
+          .bind("sink-alloc"),
+      this);
+  // Loop bound: a relational comparison inside a loop condition. Which side
+  // is tainted and whether it is really the condition is decided in check().
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("<", "<=", ">", ">="),
+                     hasAncestor(stmt(anyOf(forStmt(), whileStmt(), doStmt()))))
+          .bind("sink-loop"),
+      this);
+}
+
+void WireTaintCheck::check(const MatchFinder::MatchResult& Result) {
+  ASTContext& Ctx = *Result.Context;
+
+  const Expr* Arg = nullptr;
+  const Stmt* Sink = nullptr;
+  StringRef What;
+  if ((Sink = Result.Nodes.getNodeAs<Stmt>("sink-grow")) != nullptr) {
+    What = "container size";
+  } else if ((Sink = Result.Nodes.getNodeAs<Stmt>("sink-index")) != nullptr) {
+    What = "index";
+  } else if ((Sink = Result.Nodes.getNodeAs<Stmt>("sink-alloc")) != nullptr) {
+    What = "allocation size";
+  }
+  if (Sink != nullptr) {
+    Arg = Result.Nodes.getNodeAs<Expr>("size-arg");
+  } else if (const auto* Loop =
+                 Result.Nodes.getNodeAs<BinaryOperator>("sink-loop")) {
+    // Loop shape: tainted on one side, a mutable local counter on the other.
+    What = "loop bound";
+    Sink = Loop;
+    if (IsMutableLocalRef(Loop->getLHS()) ) {
+      Arg = Loop->getRHS();
+    } else if (IsMutableLocalRef(Loop->getRHS())) {
+      Arg = Loop->getLHS();
+    } else {
+      return;
+    }
+  }
+  if (Arg == nullptr || Sink == nullptr) {
+    return;
+  }
+
+  // Direct use of a Reader read in a sink: never sanitizable in place.
+  if (const CXXMemberCallExpr* Src = AsReaderIntRead(Arg)) {
+    diag(Src->getBeginLoc(),
+         "wire-decoded value used directly as %0; a Byzantine sender "
+         "controls it — store it, bound it, then use it")
+        << What;
+    return;
+  }
+
+  const VarDecl* VD = AsLocalVarRef(Arg);
+  if (!IsTaintedVar(VD)) {
+    return;
+  }
+
+  // Any guard anywhere in the enclosing function body sanitizes (the repo
+  // convention rejects-then-uses, so ordering is not tracked).
+  const Stmt* Cur = Sink;
+  const FunctionDecl* Enclosing = nullptr;
+  while (Enclosing == nullptr) {
+    const auto Parents = Ctx.getParents(*Cur);
+    if (Parents.empty()) {
+      break;
+    }
+    if (const Stmt* PS = Parents[0].get<Stmt>()) {
+      Cur = PS;
+      continue;
+    }
+    Enclosing = Parents[0].get<FunctionDecl>();
+    break;
+  }
+  if (Enclosing == nullptr || !Enclosing->hasBody()) {
+    return;
+  }
+  if (HasGuard(Enclosing->getBody(), VD)) {
+    return;
+  }
+
+  diag(Arg->getBeginLoc(),
+       "wire-decoded value %0 used as %1 without a bounds check; a "
+       "Byzantine sender controls it — compare it against a limit (and "
+       "Invalidate()/reject) before use")
+      << VD << What;
+}
+
+}  // namespace clang::tidy::clandag

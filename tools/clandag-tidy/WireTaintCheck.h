@@ -1,0 +1,36 @@
+// clandag-wire-taint: every integer read off the wire (clandag::Reader's
+// U8/U16/U32/U64/I64/Varint — the primitives all Decode functions consume
+// Byzantine bytes through) is attacker-controlled until bounded. Using such
+// a value as a container index, a resize/reserve argument, an allocation
+// size, or a loop bound without a bounds comparison first lets a malicious
+// peer drive allocation or indexing with a forged count — the paper's RBC
+// variants exist precisely because senders lie.
+//
+// Analysis is intra-procedural and direct-flow: the taint is the call result
+// itself or a local variable directly initialized from one. A use is
+// sanitized when the enclosing function compares the variable against
+// anything that is not a plain mutable local (a constant, a parameter, a
+// member such as config_.num_nodes, or a call such as r.Remaining()), or
+// passes it to a bounding helper (min/max/clamp, *Check*/*Valid*/*Bound*/
+// *Cap*/Need). Comparing only against a mutable local — the `i < count`
+// loop shape — is the attack, not a guard.
+
+#ifndef CLANDAG_TIDY_WIRE_TAINT_CHECK_H_
+#define CLANDAG_TIDY_WIRE_TAINT_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::clandag {
+
+class WireTaintCheck : public ClangTidyCheck {
+ public:
+  WireTaintCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace clang::tidy::clandag
+
+#endif  // CLANDAG_TIDY_WIRE_TAINT_CHECK_H_

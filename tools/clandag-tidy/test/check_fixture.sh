@@ -1,0 +1,72 @@
+#!/bin/sh
+# Runs one clandag-tidy check against one fixture and asserts the outcome.
+#
+#   check_fixture.sh <clang-tidy> <plugin.so> <check-name> <fixture.cc> \
+#                    <pos|neg> <stub-include-dir>
+#
+# pos: the check must emit at least one of its own diagnostics.
+# neg: the check must emit none.
+# Exits 77 (ctest SKIP_RETURN_CODE) when the toolchain or plugin is absent,
+# mirroring the annotation gates elsewhere in the repo. CI asserts the plugin
+# built before running `ctest -L analysis`, so skips cannot hide failures.
+set -u
+
+CLANG_TIDY="$1"
+PLUGIN="$2"
+CHECK="$3"
+FIXTURE="$4"
+MODE="$5"
+STUB_DIR="$6"
+
+if [ "$PLUGIN" = "PLUGIN-NOT-BUILT" ] || [ ! -e "$PLUGIN" ]; then
+  echo "SKIP: clandag_tidy plugin not built (no Clang dev headers)"
+  exit 77
+fi
+if [ "$CLANG_TIDY" = "CLANG-TIDY-NOT-FOUND" ] || \
+   ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "SKIP: clang-tidy binary not found"
+  exit 77
+fi
+
+OUT=$("$CLANG_TIDY" -load "$PLUGIN" "--checks=-*,$CHECK" \
+        "--warnings-as-errors=" "$FIXTURE" -- \
+        -std=c++20 -I "$STUB_DIR" 2>&1)
+STATUS=$?
+
+echo "$OUT"
+
+# clang-tidy exits non-zero on configuration/compile errors even without
+# findings; treat that as a hard failure in either mode.
+if echo "$OUT" | grep -q "error:"; then
+  echo "FAIL: fixture did not compile cleanly"
+  exit 1
+fi
+if [ "$STATUS" -ne 0 ]; then
+  echo "FAIL: clang-tidy exited $STATUS"
+  exit 1
+fi
+
+HITS=$(echo "$OUT" | grep -c "warning: .*\[$CHECK\]")
+
+case "$MODE" in
+  pos)
+    if [ "$HITS" -ge 1 ]; then
+      echo "PASS: $CHECK fired $HITS time(s) on positive fixture"
+      exit 0
+    fi
+    echo "FAIL: $CHECK did not fire on positive fixture"
+    exit 1
+    ;;
+  neg)
+    if [ "$HITS" -eq 0 ]; then
+      echo "PASS: $CHECK stayed silent on negative fixture"
+      exit 0
+    fi
+    echo "FAIL: $CHECK fired $HITS time(s) on negative fixture"
+    exit 1
+    ;;
+  *)
+    echo "FAIL: unknown mode '$MODE'"
+    exit 1
+    ;;
+esac

@@ -1,0 +1,42 @@
+// Negative fixture for clandag-callback-under-lock: the repo's sanctioned
+// move-out-then-invoke shapes — silent.
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "clandag_stubs.h"
+
+namespace clandag {
+
+// Copy the callback out under the lock, invoke after the scope closes.
+void GoodMoveOut(Mutex& mu, const std::function<void(int)>& on_deliver) {
+  std::function<void(int)> pending;
+  {
+    MutexLock lock(mu);
+    pending = on_deliver;
+  }
+  if (pending) {
+    pending(7);
+  }
+}
+
+// Dispatch to the handler after the locked scope.
+void GoodDeferredDispatch(Mutex& mu, MessageHandler* handler) {
+  int from = 0;
+  {
+    MutexLock lock(mu);
+    from = 3;
+  }
+  handler->OnMessage(from);
+}
+
+// Capturing the callback in a queued lambda defers it: the lambda body runs
+// under whatever locks its *invoker* holds, not ours.
+void GoodQueued(Mutex& mu, std::function<void()>& cb,
+                std::vector<std::function<void()>>& queue) {
+  MutexLock lock(mu);
+  queue.push_back([&cb] { cb(); });
+}
+
+}  // namespace clandag

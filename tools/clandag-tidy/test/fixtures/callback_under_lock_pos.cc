@@ -1,0 +1,30 @@
+// Positive fixture for clandag-callback-under-lock: subscriber callbacks
+// invoked while a MutexLock is live in an enclosing scope — each must fire.
+
+#include <functional>
+
+#include "clandag_stubs.h"
+
+namespace clandag {
+
+// std::function deliver-handler called with the lock held.
+void BadDeliver(Mutex& mu, const std::function<void(int)>& on_deliver) {
+  MutexLock lock(mu);
+  on_deliver(7);
+}
+
+// Virtual *Handler dispatch with the lock held.
+void BadDispatch(Mutex& mu, MessageHandler* handler) {
+  MutexLock lock(mu);
+  handler->OnMessage(3);
+}
+
+// The lock lives in an outer scope; still held at the call site.
+void BadNestedScope(Mutex& mu, const std::function<void(int)>& on_deliver) {
+  MutexLock lock(mu);
+  {
+    on_deliver(9);
+  }
+}
+
+}  // namespace clandag

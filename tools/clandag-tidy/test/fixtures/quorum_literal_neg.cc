@@ -1,0 +1,36 @@
+// Negative fixture for clandag-quorum-literal: thresholds obtained from the
+// canonical helpers, plus arithmetic that merely looks similar — silent.
+
+#include "clandag_stubs.h"
+
+namespace clandag {
+
+// The sanctioned spelling: delegate to common/quorum.h helpers.
+uint32_t GoodQuorum(uint32_t num_faults) {
+  return ByzantineQuorum(num_faults);
+}
+
+uint32_t GoodAmplify(uint32_t num_faults) {
+  return ReadyAmplifyThreshold(num_faults);
+}
+
+int64_t GoodFaultBudget(int64_t num_nodes) {
+  return MaxTribeFaults(num_nodes);
+}
+
+// 2x+1 over a non-fault quantity is ordinary arithmetic, not a quorum.
+uint32_t GoodUnrelatedArith(uint32_t width) {
+  return 2 * width + 1;
+}
+
+// Dividing a non-node-count by 3 is not a fault budget.
+size_t GoodUnrelatedDiv(size_t total_bytes) {
+  return total_bytes / 3;
+}
+
+// Incrementing a generic counter is not a threshold.
+uint64_t GoodIncrement(uint64_t round) {
+  return round + 1;
+}
+
+}  // namespace clandag

@@ -1,0 +1,34 @@
+// Positive fixture for clandag-quorum-literal: inline quorum arithmetic
+// outside common/quorum.h — each function must fire.
+
+#include "clandag_stubs.h"
+
+namespace clandag {
+
+// The 2f+1 Byzantine quorum, spelled inline.
+uint32_t BadQuorum(uint32_t num_faults) {
+  return 2 * num_faults + 1;
+}
+
+// The f+1 ready-amplification threshold, spelled inline.
+uint32_t BadAmplify(uint32_t num_faults) {
+  return num_faults + 1;
+}
+
+// Commuted operands are still the same shape.
+uint32_t BadCommuted(uint32_t f) {
+  return f * 2;
+}
+
+// The (n-1)/3 fault budget, spelled inline.
+int64_t BadFaultBudget(int64_t num_nodes) {
+  return (num_nodes - 1) / 3;
+}
+
+// Member-field spelling of the fault budget.
+struct BadConfig {
+  uint32_t num_faults = 1;
+  uint32_t Quorum() const { return 2 * num_faults + 1; }
+};
+
+}  // namespace clandag

@@ -1,0 +1,34 @@
+// Negative fixture for clandag-unchecked-verify: every consumption shape —
+// branch, assignment, return, explicit (void) with justification — silent.
+
+#include "clandag_stubs.h"
+
+namespace clandag {
+
+bool VerifySignature(const Bytes& msg);
+bool DecodeHeader(const Bytes& buf);
+bool TryDequeue(int* out);
+
+bool GoodCallers(const Bytes& b) {
+  if (!VerifySignature(b)) {
+    return false;
+  }
+  const bool decoded = DecodeHeader(b);
+  while (TryDequeue(nullptr)) {
+  }
+  // Fuzz harnesses only exercise the parser; the sanctioned suppression.
+  (void)DecodeHeader(b);
+  return decoded;
+}
+
+bool GoodReturn(const Bytes& b) {
+  return VerifySignature(b);
+}
+
+// Unrelated names never fire, used or not.
+int ComputeChecksum(const Bytes& b);
+void GoodUnrelated(const Bytes& b) {
+  ComputeChecksum(b);
+}
+
+}  // namespace clandag

@@ -1,0 +1,27 @@
+// Positive fixture for clandag-unchecked-verify: Verify/Decode/Try results
+// dropped on the floor in statement position — each must fire.
+
+#include "clandag_stubs.h"
+
+namespace clandag {
+
+bool VerifySignature(const Bytes& msg);
+bool DecodeHeader(const Bytes& buf);
+bool TryDequeue(int* out);
+
+void BadCallers(const Bytes& b) {
+  VerifySignature(b);
+
+  DecodeHeader(b);
+
+  int v = 0;
+  TryDequeue(&v);
+}
+
+// Un-braced control-statement body is still a discard.
+void BadBranchBody(const Bytes& b, bool retry) {
+  if (retry)
+    DecodeHeader(b);
+}
+
+}  // namespace clandag

@@ -1,0 +1,50 @@
+// Negative fixture for clandag-wire-taint: every decoded integer below is
+// bounded before use, in each of the guard shapes the repo relies on — the
+// check must stay silent.
+
+#include "clandag_stubs.h"
+
+namespace clandag {
+
+// Guard against a constant (the src/dag/types.cc Vertex::Parse shape).
+bool GoodConstGuard(Reader& r, Bytes& out) {
+  const uint64_t count = r.Varint();
+  if (count > (1u << 20)) {
+    return false;
+  }
+  out.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    out[i] = r.U8();
+  }
+  return true;
+}
+
+// Guard against a parameter (the avid_rbc.cc DecodeDisperse shape).
+bool GoodParamGuard(Reader& r, uint32_t max_nodes, Bytes& table) {
+  const uint32_t idx = r.U32();
+  if (idx >= max_nodes) {
+    return false;
+  }
+  table[idx] = 1;
+  return true;
+}
+
+// Bounding helper consumes the value (the Reader::Blob Need(len) shape).
+bool GoodNeedGuard(Reader& r, Bytes& out) {
+  const uint64_t len = r.Varint();
+  if (!r.Need(len)) {
+    return false;
+  }
+  out.resize(len);
+  return true;
+}
+
+// Untainted sizes never fire, wherever they come from.
+void GoodUntainted(Bytes& out, uint32_t n) {
+  out.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    out[i] = 0;
+  }
+}
+
+}  // namespace clandag

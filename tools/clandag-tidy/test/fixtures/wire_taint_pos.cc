@@ -1,0 +1,42 @@
+// Positive fixture for clandag-wire-taint: every function below uses a
+// wire-decoded integer in a sink with no bounds check — each must fire.
+
+#include "clandag_stubs.h"
+
+namespace clandag {
+
+// Tainted local drives resize.
+void BadResize(Reader& r, Bytes& out) {
+  const uint64_t count = r.Varint();
+  out.resize(count);
+}
+
+// Reader read used directly as an allocation size.
+void BadDirect(Reader& r, Bytes& out) {
+  out.resize(r.Varint());
+}
+
+// Tainted local drives operator[].
+void BadIndex(Reader& r, Bytes& table) {
+  const uint32_t idx = r.U32();
+  table[idx] = 1;
+}
+
+// Tainted local drives an array-new size.
+uint8_t* BadAlloc(Reader& r) {
+  const uint32_t n = r.U32();
+  return new uint8_t[n];
+}
+
+// Tainted local bounds a loop; comparing against the mutable counter `i`
+// is the attack shape, not a guard.
+uint64_t BadLoop(Reader& r) {
+  const uint32_t count = r.U32();
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    sum += r.U8();
+  }
+  return sum;
+}
+
+}  // namespace clandag

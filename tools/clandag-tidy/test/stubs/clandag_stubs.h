@@ -1,0 +1,61 @@
+// Minimal stand-ins for the clandag types the fixtures exercise. The checks
+// match on *names* (Reader, Mutex, MutexLock, *Handler), so these stubs keep
+// the fixtures self-contained — no dependency on the real tree, no risk of a
+// fixture failing because an unrelated src/ header changed. Declarations
+// only where possible: fixture TUs are analyzed, never linked, and a stub
+// body could itself trip a check.
+
+#ifndef CLANDAG_TIDY_TEST_STUBS_CLANDAG_STUBS_H_
+#define CLANDAG_TIDY_TEST_STUBS_CLANDAG_STUBS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace clandag {
+
+using Bytes = std::vector<uint8_t>;
+
+// Wire decoder — the taint source for clandag-wire-taint.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size);
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64();
+  uint64_t Varint();
+  bool Need(size_t n);
+  bool ok() const;
+};
+
+// Lock types — what clandag-callback-under-lock keys on.
+class __attribute__((capability("mutex"))) Mutex {
+ public:
+  void Lock() __attribute__((acquire_capability()));
+  void Unlock() __attribute__((release_capability()));
+};
+
+class __attribute__((scoped_lockable)) MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) __attribute__((acquire_capability(mu)));
+  ~MutexLock() __attribute__((release_capability()));
+};
+
+// Subscriber interface — the virtual-dispatch callback shape.
+class MessageHandler {
+ public:
+  virtual ~MessageHandler() = default;
+  virtual void OnMessage(int from) = 0;
+};
+
+// Canonical quorum helpers (declarations only — the real arithmetic lives in
+// src/common/quorum.h, the one file clandag-quorum-literal whitelists).
+uint32_t ByzantineQuorum(uint32_t num_faults);
+uint32_t ReadyAmplifyThreshold(uint32_t num_faults);
+int64_t MaxTribeFaults(int64_t num_nodes);
+
+}  // namespace clandag
+
+#endif  // CLANDAG_TIDY_TEST_STUBS_CLANDAG_STUBS_H_

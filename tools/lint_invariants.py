@@ -35,6 +35,14 @@ threading-contract
     comment (a line containing `Threading:` or `Thread-safety:`) stating
     which thread owns what and which locks guard what.
 
+nolint-justification
+    A `NOLINT` / `NOLINTNEXTLINE` / `NOLINTBEGIN` that suppresses a
+    clandag-* protocol check (or names no check at all, which suppresses
+    every check) must carry a justification: a `: reason` after the check
+    list, or a // comment on the line directly above. The clandag-* checks
+    encode safety arguments (DESIGN.md §10); silencing one silently is how
+    a quorum bug ships.
+
 A finding can be waived on its line with `// lint:allow(<rule-name>)` plus a
 reason; waivers are expected to be rare and reviewed.
 """
@@ -64,6 +72,7 @@ CONCURRENCY_INCLUDE_RE = re.compile(
 )
 CONTRACT_RE = re.compile(r"Threading:|Thread-safety:")
 WAIVER_RE = re.compile(r"//\s*lint:allow\(([\w-]+)\)")
+NOLINT_RE = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?(?:\(([^)]*)\))?(.*)")
 
 # The annotated wrappers themselves legitimately hold the naked primitives.
 PRIMITIVE_EXEMPT = {"src/common/mutex.h", "src/common/thread_annotations.h"}
@@ -158,6 +167,36 @@ class Linter:
                         "(common/check.h), active in all build modes",
                         line)
 
+    # -- Rule: nolint-justification -----------------------------------------
+    def check_nolint_justifications(self):
+        for path in self.src_files({".h", ".cc"}):
+            lines = path.read_text().splitlines()
+            for lineno, line in enumerate(lines, 1):
+                m = NOLINT_RE.search(line)
+                if not m or "NOLINTEND" in m.group(0):
+                    continue
+                checks = m.group(1)
+                # A check list that names only non-clandag checks is stock
+                # clang-tidy business; no parens at all suppresses everything,
+                # clandag-* included.
+                if checks is not None and "clandag-" not in checks:
+                    continue
+                trailer = (m.group(2) or "").strip()
+                justified = trailer.startswith(":") and len(trailer) > 2
+                if not justified and lineno >= 2:
+                    prev = lines[lineno - 2].strip()
+                    justified = prev.startswith("//") and len(prev) > 3 \
+                        and "NOLINT" not in prev
+                if not justified:
+                    what = (f"NOLINT({checks})" if checks is not None
+                            else "bare NOLINT (suppresses clandag-* too)")
+                    self.report(
+                        "nolint-justification", path, lineno,
+                        f"{what} without a justification; append ': <reason>' "
+                        f"or add a comment line above explaining why the "
+                        f"protocol check is wrong here",
+                        line)
+
     # -- Rule: threading-contract -------------------------------------------
     def check_threading_contracts(self):
         for path in self.src_files({".h"}):
@@ -178,6 +217,7 @@ class Linter:
         self.check_primitives()
         self.check_decoders()
         self.check_asserts()
+        self.check_nolint_justifications()
         self.check_threading_contracts()
         return self.findings
 

@@ -7,6 +7,12 @@
 # CMAKE_EXPORT_COMPILE_COMMANDS=ON if it does not already contain a
 # compile_commands.json, then lints every translation unit under src/.
 # Exits non-zero on any finding (WarningsAsErrors promotes everything).
+#
+# Protocol-aware checks: when the clandag_tidy plugin (tools/clandag-tidy/,
+# DESIGN.md §10) is available it is passed via `-load`, enabling the
+# clandag-* checks that .clang-tidy requests. Auto-detected from the build
+# dir; override with CLANDAG_TIDY_PLUGIN=/path/to/clandag_tidy.so, or set
+# CLANDAG_TIDY_PLUGIN=none to force the stock checks only.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,14 +29,29 @@ if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
       -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 fi
 
+PLUGIN="${CLANDAG_TIDY_PLUGIN:-}"
+if [ -z "${PLUGIN}" ]; then
+  PLUGIN=$(find "${BUILD_DIR}" -name 'clandag_tidy.*' \
+             \( -name '*.so' -o -name '*.dylib' \) 2>/dev/null | head -n 1)
+fi
+LOAD_ARGS=()
+if [ -n "${PLUGIN}" ] && [ "${PLUGIN}" != "none" ] && [ -e "${PLUGIN}" ]; then
+  LOAD_ARGS=(-load "${PLUGIN}")
+  echo "clang-tidy: loading clandag checks from ${PLUGIN}"
+else
+  echo "clang-tidy: clandag_tidy plugin not found; running stock checks only"
+fi
+
 FILES=$(find src -name '*.cc' | sort)
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 if command -v run-clang-tidy >/dev/null 2>&1; then
   # run-clang-tidy wants regexes of file paths, anchored at the path root.
-  run-clang-tidy -p "${BUILD_DIR}" -j "${JOBS}" -quiet ${FILES}
+  run-clang-tidy -p "${BUILD_DIR}" -j "${JOBS}" -quiet \
+    ${LOAD_ARGS:+-load "${PLUGIN}"} ${FILES}
 else
-  echo "${FILES}" | xargs -P "${JOBS}" -n 4 clang-tidy -p "${BUILD_DIR}" --quiet
+  echo "${FILES}" | xargs -P "${JOBS}" -n 4 \
+    clang-tidy -p "${BUILD_DIR}" --quiet "${LOAD_ARGS[@]}"
 fi
 
 echo "clang-tidy: clean"
