@@ -1,0 +1,29 @@
+// Process-wide heap allocation counters for the ingress bench.
+//
+// bench/alloc_counter.cc replaces the global operator new/delete with
+// counting wrappers; link it ONLY into binaries that want the metric
+// (bench_fig6_ingress reports allocations per committed request). Counters
+// are relaxed atomics, so the TCP sweep's multi-threaded event loops count
+// correctly; the cost is one fetch_add per allocation.
+
+#ifndef CLANDAG_BENCH_ALLOC_COUNTER_H_
+#define CLANDAG_BENCH_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace clandag {
+namespace bench {
+
+struct AllocSnapshot {
+  uint64_t allocs = 0;
+  uint64_t bytes = 0;
+};
+
+// Cumulative counts since process start. Subtract two snapshots to meter a
+// window. Returns zeros unless alloc_counter.cc is linked in.
+AllocSnapshot ReadAllocCounter();
+
+}  // namespace bench
+}  // namespace clandag
+
+#endif  // CLANDAG_BENCH_ALLOC_COUNTER_H_

@@ -1,6 +1,8 @@
 // Figure 6: throughput vs transactions per proposal at n = 150 for the
 // three protocols, at the paper's load points {250, 500, 1000, 1500}
 // (Sailfish omitted at 1500, as in the paper).
+//
+// Pass --out BENCH_fig6.json to also emit the sweep as a JSON artifact.
 
 #include "bench/bench_util.h"
 
@@ -9,19 +11,34 @@ using namespace clandag::bench;
 
 int main(int argc, char** argv) {
   const bool quick = QuickMode(argc, argv);
+  const char* out_path = ArgValue(argc, argv, "--out");
   const std::vector<uint32_t> loads =
       quick ? std::vector<uint32_t>{250} : std::vector<uint32_t>{250, 500, 1000, 1500};
 
+  std::vector<FigureRow> rows;
   PrintFigureHeader("Figure 6: throughput vs txs/proposal, n = 150");
   for (uint32_t txs : loads) {
     if (txs <= 1000) {
-      RunPoint("sailfish", PaperOptions(150, DisseminationMode::kFull, txs));
+      rows.push_back(RunPoint("sailfish", PaperOptions(150, DisseminationMode::kFull, txs)));
     }
-    RunPoint("single-clan-sailfish", PaperOptions(150, DisseminationMode::kSingleClan, txs));
-    RunPoint("multi-clan-sailfish", PaperOptions(150, DisseminationMode::kMultiClan, txs));
+    rows.push_back(
+        RunPoint("single-clan-sailfish", PaperOptions(150, DisseminationMode::kSingleClan, txs)));
+    rows.push_back(
+        RunPoint("multi-clan-sailfish", PaperOptions(150, DisseminationMode::kMultiClan, txs)));
   }
   std::printf(
       "\nexpected shape (paper): at equal load multi-clan ~2x single-clan (two clans\n"
       "in parallel, comparable clan sizes 75 vs 80); Sailfish tops out lowest.\n");
+
+  if (out_path != nullptr) {
+    std::vector<std::string> json_rows;
+    json_rows.reserve(rows.size());
+    for (const FigureRow& row : rows) {
+      json_rows.push_back(FigureRowJson(row));
+    }
+    if (!WriteJsonArrayFile(out_path, json_rows)) {
+      return 1;
+    }
+  }
   return 0;
 }

@@ -18,10 +18,12 @@
 #ifndef CLANDAG_BENCH_BENCH_UTIL_H_
 #define CLANDAG_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/scenario.h"
@@ -106,6 +108,126 @@ inline FigureRow RunPoint(const char* protocol, const ScenarioOptions& options) 
   row.result = RunScenario(options);
   PrintFigureRow(row);
   return row;
+}
+
+// --- BENCH_*.json emission --------------------------------------------------
+//
+// Every figure bench can dump its sweep as a JSON array of flat objects (one
+// per measurement point) for CI artifacts and plotting:
+//
+//   ./bench_fig6_tput_vs_load --out BENCH_fig6.json
+//
+// JsonObject accumulates one row; WriteJsonArrayFile writes the file whole.
+// No external JSON dependency: the schema is flat key -> number/string/bool.
+
+inline const char* ArgValue(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+class JsonObject {
+ public:
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T> && !std::is_same_v<T, bool>>>
+  JsonObject& Field(const char* key, T value) {
+    char buf[64];
+    if constexpr (std::is_floating_point_v<T>) {
+      std::snprintf(buf, sizeof(buf), "%.6g", static_cast<double>(value));
+    } else if constexpr (std::is_signed_v<T>) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+    }
+    Key(key);
+    body_ += buf;
+    return *this;
+  }
+
+  JsonObject& Field(const char* key, bool value) {
+    Key(key);
+    body_ += value ? "true" : "false";
+    return *this;
+  }
+
+  JsonObject& Field(const char* key, const std::string& value) {
+    Key(key);
+    body_ += '"';
+    for (char c : value) {
+      switch (c) {
+        case '"':
+          body_ += "\\\"";
+          break;
+        case '\\':
+          body_ += "\\\\";
+          break;
+        case '\n':
+          body_ += "\\n";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char esc[8];
+            std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+            body_ += esc;
+          } else {
+            body_ += c;
+          }
+      }
+    }
+    body_ += '"';
+    return *this;
+  }
+
+  JsonObject& Field(const char* key, const char* value) { return Field(key, std::string(value)); }
+
+  std::string Str() const { return "{" + body_ + "}"; }
+
+ private:
+  void Key(const char* key) {
+    if (!body_.empty()) {
+      body_ += ", ";
+    }
+    body_ += '"';
+    body_ += key;
+    body_ += "\": ";
+  }
+
+  std::string body_;
+};
+
+inline bool WriteJsonArrayFile(const char* path, const std::vector<std::string>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return false;
+  }
+  std::fputs("[\n", f);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", rows[i].c_str(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fputs("]\n", f);
+  std::fclose(f);
+  std::printf("wrote %zu rows to %s\n", rows.size(), path);
+  return true;
+}
+
+inline std::string FigureRowJson(const FigureRow& row) {
+  JsonObject o;
+  o.Field("protocol", row.protocol)
+      .Field("txs_per_proposal", row.txs)
+      .Field("ok", row.result.ok)
+      .Field("throughput_ktps", row.result.throughput_ktps)
+      .Field("mean_latency_ms", row.result.mean_latency_ms)
+      .Field("p50_latency_ms", row.result.p50_latency_ms)
+      .Field("p95_latency_ms", row.result.p95_latency_ms)
+      .Field("agreement_ok", row.result.agreement_ok);
+  if (!row.result.ok) {
+    o.Field("error", row.result.error);
+  }
+  return o.Str();
 }
 
 }  // namespace bench

@@ -13,6 +13,15 @@ AppNode::AppNode(Runtime& runtime, const Keychain& keychain, const ClanTopology&
       options_(options),
       callbacks_(std::move(callbacks)),
       mempool_(Mempool::Options{options.max_txs_per_block}) {
+  if (options_.enable_ingress) {
+    ingress_ = std::make_unique<IngressFrontEnd>(
+        runtime_.id(), topology_.ClanQuorumFor(runtime_.id()), options_.ingress,
+        [this](uint64_t client, const ClientReplyMsg& reply) {
+          if (callbacks_.on_client_reply) {
+            callbacks_.on_client_reply(client, reply);
+          }
+        });
+  }
   SailfishCallbacks consensus_callbacks;
   consensus_callbacks.on_ordered = [this](const Vertex& v) { OnOrdered(v); };
   if (callbacks_.on_completed) {
@@ -28,8 +37,9 @@ AppNode::AppNode(Runtime& runtime, const Keychain& keychain, const ClanTopology&
       wal_->AppendProposal(r);
     }
   };
+  BlockSource* source = ingress_ ? static_cast<BlockSource*>(ingress_.get()) : &mempool_;
   consensus_ = std::make_unique<SailfishNode>(runtime_, keychain, topology_, options_.consensus,
-                                              &mempool_, std::move(consensus_callbacks));
+                                              source, std::move(consensus_callbacks));
 }
 
 void AppNode::Start() {
@@ -78,6 +88,18 @@ void AppNode::SubmitTransaction(uint64_t id, Bytes data) {
   mempool_.Submit(std::move(tx));
 }
 
+void AppNode::SubmitClientRequest(const Bytes& frame) {
+  if (ingress_) {
+    ingress_->SubmitRaw(frame, runtime_.Now());
+  }
+}
+
+void AppNode::OnExecutorReceipt(NodeId executor, const ExecutionReceipt& receipt) {
+  if (ingress_) {
+    ingress_->OnExecutorReceipt(executor, receipt, runtime_.Now());
+  }
+}
+
 void AppNode::OnOrdered(const Vertex& v) {
   ++ordered_count_;
   if (wal_) {
@@ -122,6 +144,10 @@ void AppNode::DrainExecutionQueue() {
     }
     ExecutionReceipt receipt = execution_.ExecuteBlock(*block);
     ++executed_blocks_;
+    if (ingress_) {
+      // This node's own execution vote toward its clients' f_c+1 quorum.
+      ingress_->OnExecutorReceipt(runtime_.id(), receipt, runtime_.Now());
+    }
     if (callbacks_.on_receipt) {
       callbacks_.on_receipt(receipt);
     }

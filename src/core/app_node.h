@@ -25,6 +25,7 @@
 #include <string>
 
 #include "consensus/sailfish.h"
+#include "ingress/front_end.h"
 #include "smr/execution.h"
 #include "smr/mempool.h"
 #include "sync/wal_vertex_store.h"
@@ -40,6 +41,11 @@ struct AppNodeOptions {
   // Start(); the node then also serves committed history to catching-up
   // peers after the DAG pruned it.
   std::string wal_path;
+  // Replace the raw Mempool with the full ingress pipeline (admission,
+  // batching, dedup, reply routing). Clients then enter via
+  // SubmitClientRequest and are answered through on_client_reply.
+  bool enable_ingress = false;
+  IngressOptions ingress;
 };
 
 struct AppNodeCallbacks {
@@ -55,6 +61,10 @@ struct AppNodeCallbacks {
   // Fired during Start() when the WAL held state: the replayed committed
   // prefix, before any live vertex is ordered.
   std::function<void(const RecoveryState&)> on_recovered;
+  // Ingress mode only: a reply frame addressed to `client` (commit,
+  // rejection, or expiry). The embedder routes it back over its client
+  // transport. Fires on the event-loop thread; must not reenter the node.
+  std::function<void(uint64_t client, const ClientReplyMsg&)> on_client_reply;
 };
 
 struct RecoveryStats {
@@ -77,6 +87,14 @@ class AppNode final : public MessageHandler {
   // Queues a client transaction for inclusion in this node's next proposal.
   void SubmitTransaction(uint64_t id, Bytes data);
 
+  // Ingress mode: feeds one raw client request frame (ClientRequestMsg
+  // bytes) through admission/batching/dedup. No-op unless enable_ingress.
+  void SubmitClientRequest(const Bytes& frame);
+
+  // Ingress mode: a clan peer's execution receipt, for the f_c+1 client
+  // reply quorum. This node's own receipts are fed internally.
+  void OnExecutorReceipt(NodeId executor, const ExecutionReceipt& receipt);
+
   uint64_t OrderedVertices() const { return ordered_count_; }
   uint64_t ExecutedBlocks() const { return executed_blocks_; }
   // Ordered blocks whose payload became unobtainable (pruned everywhere
@@ -84,6 +102,9 @@ class AppNode final : public MessageHandler {
   uint64_t BlocksSkipped() const { return blocks_skipped_; }
   const ExecutionEngine& execution() const { return execution_; }
   SailfishNode& consensus() { return *consensus_; }
+  // Null unless enable_ingress.
+  IngressFrontEnd* ingress() { return ingress_.get(); }
+  const IngressFrontEnd* ingress() const { return ingress_.get(); }
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
   SyncStats sync_stats() const { return consensus_->sync_stats(); }
 
@@ -97,6 +118,7 @@ class AppNode final : public MessageHandler {
   AppNodeCallbacks callbacks_;
 
   Mempool mempool_;
+  std::unique_ptr<IngressFrontEnd> ingress_;  // Replaces mempool_ when set.
   ExecutionEngine execution_;
   std::unique_ptr<SailfishNode> consensus_;
   std::unique_ptr<WalVertexStore> wal_;

@@ -6,11 +6,14 @@
 #include <utility>
 #include <vector>
 
+#include <unordered_map>
+
 #include "common/quorum.h"
 #include "core/app_node.h"
 #include "core/byzantine.h"
 #include "fault/fault_runtime.h"
 #include "fault/oracles.h"
+#include "ingress/load_gen.h"
 #include "sim/network.h"
 
 namespace clandag {
@@ -52,6 +55,22 @@ class ChaosCluster {
       }
     }
     scheduler_.ScheduleCallbackAt(plan_.HealTime(), [this] { liveness_.MarkHealed(); });
+
+    if (opts_.use_ingress) {
+      executed_ids_.resize(plan_.num_nodes);
+      for (NodeId id = 0; id < plan_.num_nodes; ++id) {
+        LoadGenOptions lg;
+        lg.seed = plan_.seed ^ ((id + 1) * 0x9e3779b97f4a7c15ULL);
+        lg.num_clients = opts_.ingress_clients_per_node;
+        // Disjoint per-node client-id spaces: with dedup state per serving
+        // node, cross-node collisions would be indistinguishable from
+        // genuine duplicates.
+        lg.client_id_base = id << 24;
+        lg.offered_load_tps = opts_.ingress_load_tps;
+        loadgens_.push_back(std::make_unique<OpenLoopLoadGen>(lg, 0));
+        SchedulePump(id);
+      }
+    }
   }
 
   ~ChaosCluster() {
@@ -79,6 +98,13 @@ class ChaosCluster {
     }
     report.honest_ordered = safety_.TotalOrdered();
     report.restarts_recovered = restarts_recovered_;
+    for (const auto& gen : loadgens_) {
+      report.ingress_committed += gen->stats().committed;
+      report.ingress_expired += gen->stats().expired;
+      report.ingress_rejected += gen->stats().rate_rejected + gen->stats().capacity_rejected;
+      report.ingress_duplicate_replies += gen->stats().duplicate_replies;
+    }
+    report.duplicate_executions = duplicate_executions_;
 
     const std::string safety_err = safety_.Check();
     report.safety_ok = safety_err.empty();
@@ -96,6 +122,12 @@ class ChaosCluster {
       report.error = (report.safety_ok ? "liveness: " + liveness_err
                                        : "safety: " + safety_err) +
                      " [replay with seed " + std::to_string(plan_.seed) + "; plan: " +
+                     report.plan_summary + "]";
+    } else if (duplicate_executions_ > 0) {
+      report.ok = false;
+      report.error = "ingress: " + std::to_string(duplicate_executions_) +
+                     " client request(s) executed in two different blocks "
+                     "[replay with seed " + std::to_string(plan_.seed) + "; plan: " +
                      report.plan_summary + "]";
     }
     return report;
@@ -176,14 +208,85 @@ class ChaosCluster {
       }
     };
 
+    if (opts_.use_ingress) {
+      options.enable_ingress = true;
+      options.ingress.batch_expiry = opts_.ingress_batch_expiry;
+      callbacks.on_client_reply = [this, id, active](uint64_t, const ClientReplyMsg& reply) {
+        if (!*active) {
+          return;
+        }
+        loadgens_[id]->OnReply(reply, scheduler_.Now());
+      };
+      callbacks.on_receipt = [this, id, active](const ExecutionReceipt& receipt) {
+        if (!*active) {
+          return;
+        }
+        CheckNoDuplicateExecution(id, receipt);
+        // Gossip the receipt to live peers across open links; each front
+        // end keeps only receipts for its own proposals. Direct calls stand
+        // in for the kClientReply gossip frames the TCP driver would send,
+        // but still respect crash and partition state.
+        for (NodeId peer = 0; peer < plan_.num_nodes; ++peer) {
+          if (peer == id || !*stacks_[peer].active) {
+            continue;
+          }
+          if (injector_.Partitioned(id, peer, scheduler_.Now())) {
+            continue;
+          }
+          stacks_[peer].node->OnExecutorReceipt(id, receipt);
+        }
+      };
+    }
+
     stack.node = std::make_unique<AppNode>(*runtime, keychain_, topology_, options,
                                            std::move(callbacks));
-    for (uint64_t i = 0; i < opts_.txs_per_node; ++i) {
-      stack.node->SubmitTransaction(static_cast<uint64_t>(id) * 100000 + i,
-                                    Bytes(64, 0x5a));
+    if (!opts_.use_ingress) {
+      for (uint64_t i = 0; i < opts_.txs_per_node; ++i) {
+        stack.node->SubmitTransaction(static_cast<uint64_t>(id) * 100000 + i,
+                                      Bytes(64, 0x5a));
+      }
     }
     network_.RegisterHandler(id, stack.node.get());
     stacks_[id] = std::move(stack);
+  }
+
+  // Pumps one node's load generator: clients keep sending on their open-loop
+  // schedule whether or not the node is up; frames aimed at a crashed node
+  // are simply lost in flight.
+  void SchedulePump(NodeId id) {
+    scheduler_.ScheduleCallbackAt(scheduler_.Now() + opts_.ingress_poll, [this, id] {
+      std::vector<Bytes> frames = loadgens_[id]->Poll(scheduler_.Now());
+      if (*stacks_[id].active) {
+        for (const Bytes& frame : frames) {
+          stacks_[id].node->SubmitClientRequest(frame);
+        }
+      }
+      SchedulePump(id);
+    });
+  }
+
+  // Oracle: a client request (packed id) executed in two *different* blocks
+  // means the dedup window failed end to end — a retry was re-batched.
+  // Re-executing the same (round, proposer) block (WAL replay after restart)
+  // is legitimate and not counted.
+  void CheckNoDuplicateExecution(NodeId id, const ExecutionReceipt& receipt) {
+    const BlockInfo* block =
+        stacks_[id].node->consensus().disseminator().GetBlock(receipt.proposer, receipt.round);
+    if (block == nullptr) {
+      return;
+    }
+    auto txs = DecodeTxBatch(block->payload);
+    if (!txs.has_value()) {
+      return;
+    }
+    const std::pair<Round, NodeId> slot{receipt.round, receipt.proposer};
+    auto& seen = executed_ids_[id];
+    for (const Transaction& tx : *txs) {
+      auto [it, inserted] = seen.emplace(tx.id, slot);
+      if (!inserted && it->second != slot) {
+        ++duplicate_executions_;
+      }
+    }
   }
 
   void Crash(NodeId id) {
@@ -210,6 +313,13 @@ class ChaosCluster {
   std::vector<NodeStack> stacks_;
   std::vector<NodeStack> zombies_;
   uint32_t restarts_recovered_ = 0;
+
+  // Ingress mode. Load generators persist across their node's restarts (the
+  // client population is external to the server). executed_ids_ maps packed
+  // request id -> the (round, proposer) block that executed it, per node.
+  std::vector<std::unique_ptr<OpenLoopLoadGen>> loadgens_;
+  std::vector<std::unordered_map<uint64_t, std::pair<Round, NodeId>>> executed_ids_;
+  uint64_t duplicate_executions_ = 0;
 };
 
 }  // namespace

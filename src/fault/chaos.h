@@ -33,6 +33,18 @@ struct ChaosOptions {
   Round min_post_heal_progress = 3;
   // Directory for per-node WAL files (empty = /tmp).
   std::string wal_dir;
+
+  // Ingress mode: instead of preloading each node's mempool, every node runs
+  // the full ingress pipeline (admission/batching/dedup/reply routing) fed
+  // by a per-node open-loop load generator with a disjoint client-id space.
+  // Receipts gossip between live, unpartitioned nodes, and an additional
+  // oracle asserts no client request is ever executed in two different
+  // blocks (dedup end to end, including retry-after-expiry).
+  bool use_ingress = false;
+  double ingress_load_tps = 300.0;        // Per-node offered load.
+  uint32_t ingress_clients_per_node = 2000;
+  TimeMicros ingress_poll = Millis(10);   // Load-generator pump interval.
+  TimeMicros ingress_batch_expiry = Seconds(2);
 };
 
 struct ChaosReport {
@@ -50,6 +62,13 @@ struct ChaosReport {
   uint64_t honest_ordered = 0;     // Entries across honest total-order logs.
   uint32_t restarts_recovered = 0; // Restarts that replayed WAL state.
   FaultInjectionStats injected;
+
+  // Ingress mode only (use_ingress).
+  uint64_t ingress_committed = 0;  // kCommitted replies across all clients.
+  uint64_t ingress_expired = 0;    // Unknown-outcome replies (then retried).
+  uint64_t ingress_rejected = 0;   // Rate + capacity rejections.
+  uint64_t ingress_duplicate_replies = 0;  // Retries screened by dedup.
+  uint64_t duplicate_executions = 0;       // Oracle: MUST stay zero.
 };
 
 ChaosReport RunChaosPlan(const FaultPlan& plan, const ChaosOptions& options);

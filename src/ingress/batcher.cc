@@ -1,0 +1,90 @@
+#include "ingress/batcher.h"
+
+#include "common/check.h"
+
+namespace clandag {
+
+Batcher::Batcher(BatcherOptions options) : options_(options) {
+  CLANDAG_CHECK(options_.max_batch_bytes > 0);
+  CLANDAG_CHECK(options_.max_closed_batches > 0);
+}
+
+void Batcher::CloseOpen() {
+  CLANDAG_CHECK(closed_.size() < options_.max_closed_batches);
+  closed_.push_back(std::move(open_));
+  open_ = IngressBatch{};
+}
+
+bool Batcher::Add(PendingTx tx, TimeMicros now) {
+  const size_t tx_bytes = tx.tx.data.size();
+  const bool oversize = tx_bytes >= options_.max_batch_bytes;
+  const bool would_overflow = open_.payload_bytes + tx_bytes > options_.max_batch_bytes;
+  // Landing exactly on max_batch_bytes closes the open batch after the add.
+  const bool fills_exactly =
+      !oversize && !would_overflow && open_.payload_bytes + tx_bytes >= options_.max_batch_bytes;
+
+  // How many closed-queue slots this Add may need: one to flush the current
+  // open batch (overflow or oversize arrival, or an exact fill), plus one
+  // more for the oversize transaction's own immediately-closed batch.
+  size_t slots_needed = 0;
+  if ((oversize || would_overflow) && !open_.txs.empty()) {
+    slots_needed += 1;
+  }
+  if (oversize || fills_exactly) {
+    slots_needed += 1;
+  }
+  if (closed_.size() + slots_needed > options_.max_closed_batches) {
+    ++stats_.refused_full;
+    return false;
+  }
+
+  if ((oversize || would_overflow) && !open_.txs.empty()) {
+    ++stats_.closed_by_size;
+    CloseOpen();
+  }
+
+  if (open_.txs.empty()) {
+    open_.opened_at = now;
+  }
+  open_.payload_bytes += tx_bytes;
+  open_.charged_bytes += tx.charged_bytes;
+  pending_bytes_ += tx_bytes;
+  open_.txs.push_back(std::move(tx));
+
+  if (oversize) {
+    ++stats_.closed_oversize;
+    CloseOpen();
+  } else if (open_.payload_bytes >= options_.max_batch_bytes) {
+    ++stats_.closed_by_size;
+    CloseOpen();
+  }
+  return true;
+}
+
+void Batcher::CloseExpired(TimeMicros now) {
+  if (open_.txs.empty()) {
+    return;  // Deadline never fires on an empty batch.
+  }
+  if (now - open_.opened_at < options_.max_batch_wait) {
+    return;
+  }
+  if (closed_.size() >= options_.max_closed_batches) {
+    return;  // No room; the batch stays open (its bytes are already counted).
+  }
+  ++stats_.closed_by_deadline;
+  CloseOpen();
+}
+
+std::optional<IngressBatch> Batcher::PopClosed(TimeMicros now) {
+  CloseExpired(now);
+  if (closed_.empty()) {
+    return std::nullopt;
+  }
+  IngressBatch batch = std::move(closed_.front());
+  closed_.pop_front();
+  CLANDAG_CHECK(pending_bytes_ >= batch.payload_bytes);
+  pending_bytes_ -= batch.payload_bytes;
+  return batch;
+}
+
+}  // namespace clandag

@@ -1,0 +1,97 @@
+// Batcher: accumulates admitted client transactions into block payloads
+// under a byte-size/deadline policy — a batch closes at max_batch_bytes or
+// max_batch_wait after its first transaction, whichever comes first.
+//
+// Closed batches queue up (bounded by kMaxClosedBatches) until the
+// consensus layer pulls one via the front end's BlockSource::NextBlock.
+// When the closed queue is full, Add() refuses and the front end converts
+// that into a capacity rejection — backpressure, never unbounded queuing.
+//
+// Edge policies (tested in tests/ingress_test.cc):
+//  - an empty open batch never closes on deadline (there is nothing to
+//    propose; the deadline clock starts at the first Add);
+//  - a single transaction at least max_batch_bytes long closes the current
+//    open batch and then forms its own one-transaction batch, closed
+//    immediately (it could otherwise never ship).
+//
+// Threading: confined to the owning node's event-loop thread.
+
+#ifndef CLANDAG_INGRESS_BATCHER_H_
+#define CLANDAG_INGRESS_BATCHER_H_
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "smr/mempool.h"
+
+namespace clandag {
+
+// Cap on closed-but-unproposed batches queued inside the Batcher.
+inline constexpr size_t kMaxClosedBatches = 8;
+
+struct BatcherOptions {
+  size_t max_batch_bytes = 128u << 10;
+  TimeMicros max_batch_wait = Millis(50);
+  size_t max_closed_batches = kMaxClosedBatches;
+};
+
+// One admitted transaction waiting in a batch. `charged_bytes` is what the
+// admission controller charged for it (payload bytes), released when the
+// batch resolves.
+struct PendingTx {
+  Transaction tx;  // tx.id = PackRequestId(client, seq).
+  size_t charged_bytes = 0;
+};
+
+struct IngressBatch {
+  std::vector<PendingTx> txs;
+  size_t payload_bytes = 0;  // Sum of tx data sizes.
+  size_t charged_bytes = 0;  // Sum of admission charges.
+  TimeMicros opened_at = 0;  // Time of the first Add.
+};
+
+struct BatcherStats {
+  uint64_t closed_by_size = 0;
+  uint64_t closed_by_deadline = 0;
+  uint64_t closed_oversize = 0;  // Single-tx batches above max_batch_bytes.
+  uint64_t refused_full = 0;     // Adds refused because the closed queue was full.
+};
+
+class Batcher {
+ public:
+  explicit Batcher(BatcherOptions options);
+
+  // Appends one admitted transaction. Returns false (and takes nothing)
+  // when the closed-batch queue is full and the open batch would need to
+  // close to make room — the caller must reject the request upstream.
+  [[nodiscard]] bool Add(PendingTx tx, TimeMicros now);
+
+  // Closes the open batch if its deadline has passed (deadline expiry is
+  // evaluated lazily: at Add, at PopClosed, and via this explicit hook).
+  void CloseExpired(TimeMicros now);
+
+  // Pops the oldest closed batch, first folding in an expired open batch.
+  std::optional<IngressBatch> PopClosed(TimeMicros now);
+
+  // Bytes held across the open batch and all closed batches.
+  size_t PendingBytes() const { return pending_bytes_; }
+  size_t ClosedCount() const { return closed_.size(); }
+  size_t OpenCount() const { return open_.txs.size(); }
+  const BatcherStats& stats() const { return stats_; }
+
+ private:
+  // Moves the open batch to the closed queue (caller checked capacity).
+  void CloseOpen();
+
+  BatcherOptions options_;
+  IngressBatch open_;
+  std::deque<IngressBatch> closed_;  // Bounded by max_closed_batches.
+  size_t pending_bytes_ = 0;
+  BatcherStats stats_;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_INGRESS_BATCHER_H_

@@ -1,0 +1,72 @@
+#include "net/client_wire.h"
+
+namespace clandag {
+
+const char* ClientReplyStatusName(ClientReplyStatus status) {
+  switch (status) {
+    case ClientReplyStatus::kCommitted: return "Committed";
+    case ClientReplyStatus::kDuplicate: return "Duplicate";
+    case ClientReplyStatus::kRejectedRate: return "RejectedRate";
+    case ClientReplyStatus::kRejectedCapacity: return "RejectedCapacity";
+    case ClientReplyStatus::kRejectedMalformed: return "RejectedMalformed";
+    case ClientReplyStatus::kExpired: return "Expired";
+  }
+  return "Unknown";
+}
+
+Bytes ClientRequestMsg::Encode() const {
+  Writer w;
+  w.U32(client_id);
+  w.U32(client_seq);
+  w.Blob(payload);
+  return w.Take();
+}
+
+std::optional<ClientRequestMsg> ClientRequestMsg::Decode(const Bytes& payload) {
+  Reader r(payload);
+  ClientRequestMsg m;
+  m.client_id = r.U32();
+  m.client_seq = r.U32();
+  m.payload = r.Blob();
+  if (m.payload.size() > kMaxClientPayloadBytes) {
+    r.Invalidate();
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+Bytes ClientReplyMsg::Encode() const {
+  Writer w;
+  w.U32(client_id);
+  w.U32(client_seq);
+  w.U8(static_cast<uint8_t>(status));
+  w.U64(round);
+  w.U32(proposer);
+  w.I64(retry_after);
+  state_digest.Serialize(w);
+  return w.Take();
+}
+
+std::optional<ClientReplyMsg> ClientReplyMsg::Decode(const Bytes& payload) {
+  Reader r(payload);
+  ClientReplyMsg m;
+  m.client_id = r.U32();
+  m.client_seq = r.U32();
+  const uint8_t status = r.U8();
+  if (status > static_cast<uint8_t>(ClientReplyStatus::kExpired)) {
+    r.Invalidate();
+  }
+  m.status = static_cast<ClientReplyStatus>(status);
+  m.round = r.U64();
+  m.proposer = r.U32();
+  m.retry_after = r.I64();
+  m.state_digest = Digest::Parse(r);
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+}  // namespace clandag

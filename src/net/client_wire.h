@@ -1,0 +1,93 @@
+// Client-facing wire frames: the request a client submits to a node's
+// ingress front end and the reply the node returns once the transaction is
+// confirmed (or rejected at admission).
+//
+// These bytes cross the trust boundary in both directions: requests come
+// from untrusted clients (arbitrary bytes, replayed frames, absurd sizes),
+// and replies are parsed by client libraries that must survive a Byzantine
+// node. Both decoders therefore reject anything malformed or oversized
+// through the usual Reader::ok() channel.
+//
+// A request is identified by (client_id, client_seq). The pair is also
+// packed into the 64-bit Transaction::id that travels inside block payloads
+// (PackRequestId below), which is what lets the chaos oracles verify
+// end-to-end that no client transaction is ever executed twice.
+
+#ifndef CLANDAG_NET_CLIENT_WIRE_H_
+#define CLANDAG_NET_CLIENT_WIRE_H_
+
+#include <optional>
+
+#include "common/codec.h"
+#include "common/time.h"
+#include "crypto/digest.h"
+#include "net/runtime.h"
+
+namespace clandag {
+
+// Redeclared at the wire layer (same alias as dag/types.h) so client frames
+// do not pull the DAG headers below the net layer — same idiom as rbc/wire.h.
+using Round = uint64_t;
+
+inline constexpr MsgType kClientRequest = 20;
+inline constexpr MsgType kClientReply = 21;
+
+// Hard cap on a single client transaction payload; a frame above this is
+// rejected at decode time (before any buffering).
+inline constexpr size_t kMaxClientPayloadBytes = 1u << 20;
+
+// Reply status codes. kRejectedRate / kRejectedCapacity carry a retry_after
+// hint: the explicit-backpressure contract is "reject with retry-after,
+// never queue unboundedly".
+enum class ClientReplyStatus : uint8_t {
+  kCommitted = 0,         // Executed; f_c+1 identical clan receipts matched.
+  kDuplicate = 1,         // (client, seq) already admitted or too old to tell.
+  kRejectedRate = 2,      // Per-client token bucket empty; retry later.
+  kRejectedCapacity = 3,  // Global byte budget / queue caps hit; retry later.
+  kRejectedMalformed = 4, // Frame failed to decode or payload oversized.
+  kExpired = 5,           // Batched but unconfirmed in time; outcome unknown.
+};
+
+const char* ClientReplyStatusName(ClientReplyStatus status);
+
+// Packs (client_id, client_seq) into the Transaction::id carried in block
+// payloads. 32 bits each: enough for the 10^5..10^6 simulated clients and
+// for any sequence number a sliding dedup window can still distinguish.
+constexpr uint64_t PackRequestId(uint32_t client_id, uint32_t client_seq) {
+  return (static_cast<uint64_t>(client_id) << 32) | client_seq;
+}
+constexpr uint32_t RequestClientOf(uint64_t packed) {
+  return static_cast<uint32_t>(packed >> 32);
+}
+constexpr uint32_t RequestSeqOf(uint64_t packed) {
+  return static_cast<uint32_t>(packed & 0xffffffffu);
+}
+
+struct ClientRequestMsg {
+  uint32_t client_id = 0;
+  uint32_t client_seq = 0;
+  Bytes payload;
+
+  Bytes Encode() const;
+  [[nodiscard]] static std::optional<ClientRequestMsg> Decode(const Bytes& payload);
+};
+
+struct ClientReplyMsg {
+  uint32_t client_id = 0;
+  uint32_t client_seq = 0;
+  ClientReplyStatus status = ClientReplyStatus::kRejectedMalformed;
+  // Where the transaction committed (kCommitted / kExpired only).
+  Round round = 0;
+  NodeId proposer = 0;
+  // Backpressure hint for kRejectedRate / kRejectedCapacity.
+  TimeMicros retry_after = 0;
+  // Confirmed post-execution state digest (kCommitted only).
+  Digest state_digest;
+
+  Bytes Encode() const;
+  [[nodiscard]] static std::optional<ClientReplyMsg> Decode(const Bytes& payload);
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_NET_CLIENT_WIRE_H_

@@ -4,9 +4,45 @@
 
 namespace clandag {
 
+void ClientReplyCollector::EvictForSpace() {
+  // Two passes over insertion order: displace the oldest *confirmed* entry
+  // first (its job is done); fall back to the oldest pending one.
+  for (const bool want_confirmed : {true, false}) {
+    for (auto it = insertion_order_.begin(); it != insertion_order_.end(); ++it) {
+      auto req = requests_.find(*it);
+      if (req == requests_.end()) {
+        continue;  // Already pruned; lazily discarded below.
+      }
+      if (req->second.confirmed != want_confirmed) {
+        continue;
+      }
+      if (!want_confirmed) {
+        ++evicted_pending_;
+      }
+      requests_.erase(req);
+      insertion_order_.erase(it);
+      return;
+    }
+  }
+  // Compact stale insertion-order keys (entries erased by PruneBelow).
+  insertion_order_.erase(
+      std::remove_if(insertion_order_.begin(), insertion_order_.end(),
+                     [this](const Key& k) { return requests_.find(k) == requests_.end(); }),
+      insertion_order_.end());
+}
+
 std::optional<ExecutionReceipt> ClientReplyCollector::AddReply(NodeId executor,
                                                                const ExecutionReceipt& receipt) {
-  PendingRequest& req = requests_[{receipt.round, receipt.proposer}];
+  const Key key{receipt.round, receipt.proposer};
+  auto it = requests_.find(key);
+  if (it == requests_.end()) {
+    while (requests_.size() >= max_tracked_) {
+      EvictForSpace();
+    }
+    it = requests_.emplace(key, PendingRequest{}).first;
+    insertion_order_.push_back(key);
+  }
+  PendingRequest& req = it->second;
   if (req.confirmed) {
     return std::nullopt;
   }
@@ -36,6 +72,23 @@ std::optional<ExecutionReceipt> ClientReplyCollector::AddReply(NodeId executor,
 bool ClientReplyCollector::IsConfirmed(Round round, NodeId proposer) const {
   auto it = requests_.find({round, proposer});
   return it != requests_.end() && it->second.confirmed;
+}
+
+void ClientReplyCollector::PruneBelow(Round round) {
+  for (auto it = requests_.begin(); it != requests_.end();) {
+    if (it->first.first < round) {
+      it = requests_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // insertion_order_ keys for pruned entries are discarded lazily by
+  // EvictForSpace; drop them eagerly here to keep the deque proportional to
+  // the live map.
+  insertion_order_.erase(
+      std::remove_if(insertion_order_.begin(), insertion_order_.end(),
+                     [this](const Key& k) { return requests_.find(k) == requests_.end(); }),
+      insertion_order_.end());
 }
 
 }  // namespace clandag

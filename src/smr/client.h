@@ -1,10 +1,21 @@
 // Client-side reply matching (paper §1 key idea: a client accepts once
 // f_c+1 clan members return consistent execution results, so n_c >= 2f_c+1
 // suffices for the execution committee).
+//
+// Memory contract: the collector tracks at most `max_tracked` requests at
+// once. Entries leave the table when explicitly pruned as stale via
+// PruneBelow(round), or displaced FIFO when a new request would exceed the
+// cap (oldest confirmed entries first; an unconfirmed entry is displaced
+// only when nothing confirmed remains, and is counted in EvictedPending).
+// A displaced confirmed entry forgets its confirmation — late receipts for
+// it may re-confirm, so consumers must treat confirmation as at-least-once.
+// Before this bound existed the map retained every (round, proposer) key
+// forever — a long-lived ingress node leaked one entry per proposed block.
 
 #ifndef CLANDAG_SMR_CLIENT_H_
 #define CLANDAG_SMR_CLIENT_H_
 
+#include <deque>
 #include <map>
 #include <optional>
 
@@ -12,10 +23,15 @@
 
 namespace clandag {
 
+// Default cap on simultaneously tracked (round, proposer) requests.
+inline constexpr size_t kMaxTrackedRequests = 4096;
+
 class ClientReplyCollector {
  public:
   // `clan_quorum` = f_c + 1 for the serving clan.
-  explicit ClientReplyCollector(uint32_t clan_quorum) : clan_quorum_(clan_quorum) {}
+  explicit ClientReplyCollector(uint32_t clan_quorum,
+                                size_t max_tracked = kMaxTrackedRequests)
+      : clan_quorum_(clan_quorum), max_tracked_(max_tracked == 0 ? 1 : max_tracked) {}
 
   // Records a receipt from `executor` for the request keyed (round,
   // proposer). Returns the confirmed receipt the first time f_c+1 identical
@@ -25,6 +41,15 @@ class ClientReplyCollector {
   bool IsConfirmed(Round round, NodeId proposer) const;
   uint32_t ConfirmedCount() const { return confirmed_count_; }
 
+  // Drops every tracked request with round < `round` (the caller's
+  // staleness horizon — e.g. the consensus GC floor).
+  void PruneBelow(Round round);
+
+  // Requests currently held in memory (bounded by max_tracked).
+  size_t TrackedCount() const { return requests_.size(); }
+  // Unconfirmed requests displaced by the FIFO cap (diagnostic).
+  uint64_t EvictedPending() const { return evicted_pending_; }
+
  private:
   struct PendingRequest {
     // Distinct receipt values seen, with their supporters.
@@ -32,9 +57,18 @@ class ClientReplyCollector {
     bool confirmed = false;
   };
 
+  using Key = std::pair<Round, NodeId>;
+
+  // Makes room for one more entry when at the cap (confirmed-first FIFO).
+  void EvictForSpace();
+
   uint32_t clan_quorum_;
-  std::map<std::pair<Round, NodeId>, PendingRequest> requests_;
+  size_t max_tracked_;
+  std::map<Key, PendingRequest> requests_;
+  // Insertion order, for FIFO displacement (may hold keys already pruned).
+  std::deque<Key> insertion_order_;
   uint32_t confirmed_count_ = 0;
+  uint64_t evicted_pending_ = 0;
 };
 
 }  // namespace clandag

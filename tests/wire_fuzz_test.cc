@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "consensus/poa_baseline.h"
 #include "consensus/wire.h"
+#include "net/client_wire.h"
 #include "rbc/wire.h"
 #include "smr/mempool.h"
 #include "sync/recovery.h"
@@ -222,6 +223,54 @@ TEST(WireFuzz, VertexHugeEdgeCountRejected) {
   w.Varint(0xffffffffULL);       // absurd strong-edge count
   auto v = DecodeVertex(w.Buffer());
   EXPECT_FALSE(v.has_value());
+}
+
+// Client request frames come straight from untrusted clients — the most
+// exposed decoder in the system.
+TEST(WireFuzz, ClientRequestMsg) {
+  FuzzRandom(16, [](const Bytes& b) { (void)ClientRequestMsg::Decode(b); });
+  ClientRequestMsg msg;
+  msg.client_id = 77;
+  msg.client_seq = 12345;
+  msg.payload = ToBytes("transfer 3 coins");
+  FuzzMutations(msg.Encode(), [](const Bytes& b) { (void)ClientRequestMsg::Decode(b); });
+  EXPECT_TRUE(ClientRequestMsg::Decode(msg.Encode()).has_value());
+}
+
+TEST(WireFuzz, ClientReplyMsg) {
+  FuzzRandom(17, [](const Bytes& b) { (void)ClientReplyMsg::Decode(b); });
+  ClientReplyMsg msg;
+  msg.client_id = 77;
+  msg.client_seq = 12345;
+  msg.status = ClientReplyStatus::kCommitted;
+  msg.round = 42;
+  msg.proposer = 3;
+  msg.state_digest = Digest::Of(ToBytes("state"));
+  FuzzMutations(msg.Encode(), [](const Bytes& b) { (void)ClientReplyMsg::Decode(b); });
+  EXPECT_TRUE(ClientReplyMsg::Decode(msg.Encode()).has_value());
+}
+
+// A request claiming a payload over the hard cap must be rejected before
+// any buffer is sized from the claimed length.
+TEST(WireFuzz, ClientRequestOversizedPayloadRejected) {
+  Writer w;
+  w.U32(1);                              // client id
+  w.U32(0);                              // client seq
+  w.Varint(kMaxClientPayloadBytes + 1);  // absurd payload length
+  EXPECT_FALSE(ClientRequestMsg::Decode(w.Buffer()).has_value());
+}
+
+// An out-of-range status byte from a Byzantine node must not map onto a
+// valid enum value.
+TEST(WireFuzz, ClientReplyBadStatusRejected) {
+  ClientReplyMsg msg;
+  msg.client_id = 1;
+  msg.client_seq = 2;
+  msg.status = ClientReplyStatus::kCommitted;
+  Bytes b = msg.Encode();
+  // The status byte follows the two u32 identifiers.
+  b[8] = 0xee;
+  EXPECT_FALSE(ClientReplyMsg::Decode(b).has_value());
 }
 
 // Valid encodings always round-trip (sanity for the fuzz corpus).

@@ -35,6 +35,15 @@ threading-contract
     comment (a line containing `Threading:` or `Thread-safety:`) stating
     which thread owns what and which locks guard what.
 
+ingress-queue-caps
+    Every container member in a src/ingress/ header must reference the named
+    constant (kMax*) or options field (max_*) that caps it, in a comment on
+    or directly above its declaration, and the header must carry a
+    threading-contract comment. The ingress subsystem's core promise is
+    bounded memory under overload (explicit backpressure, never unbounded
+    queuing); an uncapped container there is a liveness bug a Byzantine
+    client population will find.
+
 nolint-justification
     A `NOLINT` / `NOLINTNEXTLINE` / `NOLINTBEGIN` that suppresses a
     clandag-* protocol check (or names no check at all, which suppresses
@@ -71,6 +80,12 @@ CONCURRENCY_INCLUDE_RE = re.compile(
     r"|\"common/mutex\.h\")"
 )
 CONTRACT_RE = re.compile(r"Threading:|Thread-safety:")
+# A container data member of an ingress class: std::deque<...> foo_;
+INGRESS_CONTAINER_RE = re.compile(
+    r"std::(deque|vector|map|unordered_map|unordered_set|set|list|priority_queue)<"
+)
+INGRESS_MEMBER_RE = re.compile(r">\s+(\w+_)\s*;")
+INGRESS_CAP_REF_RE = re.compile(r"\bkMax\w+|\bmax_\w+|[Bb]ounded")
 WAIVER_RE = re.compile(r"//\s*lint:allow\(([\w-]+)\)")
 NOLINT_RE = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?(?:\(([^)]*)\))?(.*)")
 
@@ -197,6 +212,41 @@ class Linter:
                         f"protocol check is wrong here",
                         line)
 
+    # -- Rule: ingress-queue-caps -------------------------------------------
+    def check_ingress_queue_caps(self):
+        ingress = self.root / "src" / "ingress"
+        if not ingress.is_dir():
+            return
+        for path in sorted(ingress.glob("*.h")):
+            lines = path.read_text().splitlines()
+            has_contract = any(CONTRACT_RE.search(l) for l in lines)
+            if not has_contract:
+                self.report(
+                    "ingress-queue-caps", path, 1,
+                    "ingress header has no 'Threading:' / 'Thread-safety:' "
+                    "contract comment (required for every src/ingress/ header)")
+            for lineno, line in enumerate(lines, 1):
+                code = strip_comments(line)
+                if not (INGRESS_CONTAINER_RE.search(code)
+                        and INGRESS_MEMBER_RE.search(code)):
+                    continue
+                # The cap reference may sit in a trailing comment or in the
+                # comment block directly above the declaration.
+                context = [line]
+                back = lineno - 2
+                while back >= 0 and lines[back].strip().startswith("//"):
+                    context.append(lines[back])
+                    back -= 1
+                if not any(INGRESS_CAP_REF_RE.search(c) for c in context):
+                    member = INGRESS_MEMBER_RE.search(code).group(1)
+                    self.report(
+                        "ingress-queue-caps", path, lineno,
+                        f"container member '{member}' does not name its cap: "
+                        f"comment the kMax* constant or max_* option that "
+                        f"bounds it (ingress memory must stay bounded under "
+                        f"overload)",
+                        line)
+
     # -- Rule: threading-contract -------------------------------------------
     def check_threading_contracts(self):
         for path in self.src_files({".h"}):
@@ -218,6 +268,7 @@ class Linter:
         self.check_decoders()
         self.check_asserts()
         self.check_nolint_justifications()
+        self.check_ingress_queue_caps()
         self.check_threading_contracts()
         return self.findings
 
