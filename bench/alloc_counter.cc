@@ -1,5 +1,6 @@
 // Counting global operator new/delete. See alloc_counter.h for the contract.
 
+#define CLANDAG_ALLOC_COUNTER_IMPL
 #include "bench/alloc_counter.h"
 
 #include <atomic>

@@ -20,8 +20,14 @@ struct AllocSnapshot {
 };
 
 // Cumulative counts since process start. Subtract two snapshots to meter a
-// window. Returns zeros unless alloc_counter.cc is linked in.
+// window. The weak definition below returns zeros; linking alloc_counter.cc
+// (whose strong definition reads the real counters) overrides it, so any
+// binary may include this header without linking the counting allocator.
+#ifdef CLANDAG_ALLOC_COUNTER_IMPL
 AllocSnapshot ReadAllocCounter();
+#else
+__attribute__((weak)) AllocSnapshot ReadAllocCounter() { return {}; }
+#endif
 
 }  // namespace bench
 }  // namespace clandag

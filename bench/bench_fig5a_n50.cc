@@ -1,5 +1,8 @@
 // Figure 5a: throughput vs latency at n = 50 (Sailfish vs single-clan
 // Sailfish, clan of 32), sweeping transactions per proposal.
+//
+// Pass --out BENCH_fig5a.json to also emit the sweep as a JSON artifact
+// (throughput/latency plus allocs-per-commit; see bench_util.h).
 
 #include "bench/bench_util.h"
 
@@ -8,19 +11,26 @@ using namespace clandag::bench;
 
 int main(int argc, char** argv) {
   const bool quick = QuickMode(argc, argv);
+  const char* out_path = ArgValue(argc, argv, "--out");
   const std::vector<uint32_t> loads =
       quick ? std::vector<uint32_t>{1, 500, 2000}
             : std::vector<uint32_t>{1, 125, 500, 1000, 2000, 4000, 6000};
 
+  std::vector<FigureRow> rows;
   PrintFigureHeader("Figure 5a: throughput vs latency, n = 50 (clan 32)");
   for (uint32_t txs : loads) {
-    RunPoint("sailfish", PaperOptions(50, DisseminationMode::kFull, txs));
+    rows.push_back(RunPoint("sailfish", PaperOptions(50, DisseminationMode::kFull, txs)));
   }
   for (uint32_t txs : loads) {
-    RunPoint("single-clan-sailfish", PaperOptions(50, DisseminationMode::kSingleClan, txs));
+    rows.push_back(
+        RunPoint("single-clan-sailfish", PaperOptions(50, DisseminationMode::kSingleClan, txs)));
   }
   std::printf(
       "\nexpected shape (paper): single-clan reaches a higher saturation throughput at\n"
       "equal or lower latency; Sailfish saturates first.\n");
+
+  if (out_path != nullptr && !WriteFigureRowsJson(out_path, rows)) {
+    return 1;
+  }
   return 0;
 }

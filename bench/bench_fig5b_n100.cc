@@ -1,5 +1,7 @@
 // Figure 5b: throughput vs latency at n = 100 (Sailfish vs single-clan
 // Sailfish, clan of 60).
+//
+// Pass --out BENCH_fig5b.json to also emit the sweep as a JSON artifact.
 
 #include "bench/bench_util.h"
 
@@ -8,16 +10,23 @@ using namespace clandag::bench;
 
 int main(int argc, char** argv) {
   const bool quick = QuickMode(argc, argv);
+  const char* out_path = ArgValue(argc, argv, "--out");
   const std::vector<uint32_t> loads = quick
                                           ? std::vector<uint32_t>{1, 1000}
                                           : std::vector<uint32_t>{1, 250, 1000, 2000, 4000, 6000};
 
+  std::vector<FigureRow> rows;
   PrintFigureHeader("Figure 5b: throughput vs latency, n = 100 (clan 60)");
   for (uint32_t txs : loads) {
-    RunPoint("sailfish", PaperOptions(100, DisseminationMode::kFull, txs));
+    rows.push_back(RunPoint("sailfish", PaperOptions(100, DisseminationMode::kFull, txs)));
   }
   for (uint32_t txs : loads) {
-    RunPoint("single-clan-sailfish", PaperOptions(100, DisseminationMode::kSingleClan, txs));
+    rows.push_back(
+        RunPoint("single-clan-sailfish", PaperOptions(100, DisseminationMode::kSingleClan, txs)));
+  }
+
+  if (out_path != nullptr && !WriteFigureRowsJson(out_path, rows)) {
+    return 1;
   }
   return 0;
 }

@@ -3,6 +3,8 @@
 //
 // As in the paper, Sailfish is not swept past 1000 txs/proposal (its latency
 // is already disproportionate there).
+//
+// Pass --out BENCH_fig5c.json to also emit the sweep as a JSON artifact.
 
 #include "bench/bench_util.h"
 
@@ -11,23 +13,31 @@ using namespace clandag::bench;
 
 int main(int argc, char** argv) {
   const bool quick = QuickMode(argc, argv);
+  const char* out_path = ArgValue(argc, argv, "--out");
   const std::vector<uint32_t> sailfish_loads =
       quick ? std::vector<uint32_t>{1} : std::vector<uint32_t>{1, 250, 1000};
   const std::vector<uint32_t> clan_loads =
       quick ? std::vector<uint32_t>{1, 1000} : std::vector<uint32_t>{1, 250, 1000, 3000, 6000};
 
+  std::vector<FigureRow> rows;
   PrintFigureHeader("Figure 5c: throughput vs latency, n = 150 (clan 80 / 2x75)");
   for (uint32_t txs : sailfish_loads) {
-    RunPoint("sailfish", PaperOptions(150, DisseminationMode::kFull, txs));
+    rows.push_back(RunPoint("sailfish", PaperOptions(150, DisseminationMode::kFull, txs)));
   }
   for (uint32_t txs : clan_loads) {
-    RunPoint("single-clan-sailfish", PaperOptions(150, DisseminationMode::kSingleClan, txs));
+    rows.push_back(
+        RunPoint("single-clan-sailfish", PaperOptions(150, DisseminationMode::kSingleClan, txs)));
   }
   for (uint32_t txs : clan_loads) {
-    RunPoint("multi-clan-sailfish", PaperOptions(150, DisseminationMode::kMultiClan, txs));
+    rows.push_back(
+        RunPoint("multi-clan-sailfish", PaperOptions(150, DisseminationMode::kMultiClan, txs)));
   }
   std::printf(
       "\nexpected shape (paper): single-clan sustains markedly more throughput than\n"
       "Sailfish; multi-clan roughly doubles single-clan at somewhat higher latency.\n");
+
+  if (out_path != nullptr && !WriteFigureRowsJson(out_path, rows)) {
+    return 1;
+  }
   return 0;
 }

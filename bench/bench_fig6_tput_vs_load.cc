@@ -30,15 +30,8 @@ int main(int argc, char** argv) {
       "\nexpected shape (paper): at equal load multi-clan ~2x single-clan (two clans\n"
       "in parallel, comparable clan sizes 75 vs 80); Sailfish tops out lowest.\n");
 
-  if (out_path != nullptr) {
-    std::vector<std::string> json_rows;
-    json_rows.reserve(rows.size());
-    for (const FigureRow& row : rows) {
-      json_rows.push_back(FigureRowJson(row));
-    }
-    if (!WriteJsonArrayFile(out_path, json_rows)) {
-      return 1;
-    }
+  if (out_path != nullptr && !WriteFigureRowsJson(out_path, rows)) {
+    return 1;
   }
   return 0;
 }

@@ -26,6 +26,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "bench/alloc_counter.h"
 #include "core/scenario.h"
 
 namespace clandag {
@@ -80,12 +81,17 @@ struct FigureRow {
   std::string protocol;
   uint32_t txs;
   ScenarioResult result;
+  // Heap allocations per committed (ordered) vertex over the whole run,
+  // metered via bench/alloc_counter.cc. Zero when the counting operator new
+  // is not linked into the binary (see bench/CMakeLists.txt).
+  double allocs_per_commit = 0.0;
+  double alloc_mb_per_commit = 0.0;
 };
 
 inline void PrintFigureHeader(const char* title) {
   std::printf("== %s ==\n", title);
-  std::printf("%-22s %10s %12s %12s %12s %12s %10s\n", "protocol", "txs/prop", "kTPS",
-              "mean ms", "p50 ms", "p95 ms", "agree");
+  std::printf("%-22s %10s %12s %12s %12s %12s %10s %14s\n", "protocol", "txs/prop", "kTPS",
+              "mean ms", "p50 ms", "p95 ms", "agree", "allocs/commit");
 }
 
 inline void PrintFigureRow(const FigureRow& row) {
@@ -94,10 +100,10 @@ inline void PrintFigureRow(const FigureRow& row) {
                 row.result.error.c_str());
     return;
   }
-  std::printf("%-22s %10u %12.1f %12.0f %12.0f %12.0f %10s\n", row.protocol.c_str(), row.txs,
-              row.result.throughput_ktps, row.result.mean_latency_ms,
+  std::printf("%-22s %10u %12.1f %12.0f %12.0f %12.0f %10s %14.0f\n", row.protocol.c_str(),
+              row.txs, row.result.throughput_ktps, row.result.mean_latency_ms,
               row.result.p50_latency_ms, row.result.p95_latency_ms,
-              row.result.agreement_ok ? "yes" : "NO");
+              row.result.agreement_ok ? "yes" : "NO", row.allocs_per_commit);
   std::fflush(stdout);
 }
 
@@ -105,7 +111,15 @@ inline FigureRow RunPoint(const char* protocol, const ScenarioOptions& options) 
   FigureRow row;
   row.protocol = protocol;
   row.txs = options.txs_per_proposal;
+  const AllocSnapshot before = ReadAllocCounter();
   row.result = RunScenario(options);
+  const AllocSnapshot after = ReadAllocCounter();
+  if (row.result.ordered_vertices > 0) {
+    const double commits = static_cast<double>(row.result.ordered_vertices);
+    row.allocs_per_commit = static_cast<double>(after.allocs - before.allocs) / commits;
+    row.alloc_mb_per_commit =
+        static_cast<double>(after.bytes - before.bytes) / commits / (1024.0 * 1024.0);
+  }
   PrintFigureRow(row);
   return row;
 }
@@ -214,6 +228,8 @@ inline bool WriteJsonArrayFile(const char* path, const std::vector<std::string>&
   return true;
 }
 
+inline bool WriteFigureRowsJson(const char* path, const std::vector<FigureRow>& rows);
+
 inline std::string FigureRowJson(const FigureRow& row) {
   JsonObject o;
   o.Field("protocol", row.protocol)
@@ -223,11 +239,23 @@ inline std::string FigureRowJson(const FigureRow& row) {
       .Field("mean_latency_ms", row.result.mean_latency_ms)
       .Field("p50_latency_ms", row.result.p50_latency_ms)
       .Field("p95_latency_ms", row.result.p95_latency_ms)
-      .Field("agreement_ok", row.result.agreement_ok);
+      .Field("agreement_ok", row.result.agreement_ok)
+      .Field("ordered_vertices", row.result.ordered_vertices)
+      .Field("allocs_per_commit", row.allocs_per_commit)
+      .Field("alloc_mb_per_commit", row.alloc_mb_per_commit);
   if (!row.result.ok) {
     o.Field("error", row.result.error);
   }
   return o.Str();
+}
+
+inline bool WriteFigureRowsJson(const char* path, const std::vector<FigureRow>& rows) {
+  std::vector<std::string> json_rows;
+  json_rows.reserve(rows.size());
+  for (const FigureRow& row : rows) {
+    json_rows.push_back(FigureRowJson(row));
+  }
+  return WriteJsonArrayFile(path, json_rows);
 }
 
 }  // namespace bench

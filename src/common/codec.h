@@ -22,6 +22,9 @@ namespace clandag {
 class Writer {
  public:
   Writer() = default;
+  // Reuses the capacity of an existing buffer (cleared first) — the pooled
+  // encode path (common/pool.h) hands recycled buffers through here.
+  explicit Writer(Bytes&& reuse) : buf_(std::move(reuse)) { buf_.clear(); }
 
   void U8(uint8_t v);
   void U16(uint16_t v);

@@ -1,0 +1,139 @@
+#include "common/work_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace clandag {
+
+OrderedVerifyPool::OrderedVerifyPool(Options options, Executor deliver)
+    : options_(options), deliver_(std::move(deliver)) {
+  CLANDAG_CHECK(options_.max_batch > 0);
+  if (options_.num_workers > 0) {
+    CLANDAG_CHECK(deliver_ != nullptr);
+    workers_.reserve(options_.num_workers);
+    for (uint32_t i = 0; i < options_.num_workers; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+OrderedVerifyPool::~OrderedVerifyPool() {
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.NotifyAll();
+  space_cv_.NotifyAll();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+  // Jobs never handed to the executor die with the pool (see file comment).
+}
+
+void OrderedVerifyPool::Submit(std::function<bool()> verify, std::function<void(bool)> done) {
+  if (options_.num_workers == 0) {
+    const bool ok = verify();
+    done(ok);
+    return;
+  }
+  {
+    MutexLock lock(mu_);
+    if (jobs_.size() >= kMaxPendingJobs) {
+      ++blocked_submits_;
+      while (jobs_.size() >= kMaxPendingJobs && !stopping_) {
+        space_cv_.Wait(mu_);
+      }
+    }
+    if (stopping_) {
+      return;
+    }
+    Job job;
+    job.verify = std::move(verify);
+    job.done = std::move(done);
+    jobs_.push_back(std::move(job));
+    ++submitted_;
+  }
+  work_cv_.NotifyOne();
+}
+
+void OrderedVerifyPool::WorkerLoop() {
+  // Claimed jobs carry stable Job pointers for the write-back: std::deque
+  // never invalidates element pointers on push_back/pop_front, and a
+  // kRunning job is never popped (release stops at the first incomplete
+  // front), so the pointer stays valid while the verify runs unlocked.
+  struct Claimed {
+    Job* job;
+    std::function<bool()> verify;
+  };
+  std::vector<Claimed> batch;
+  batch.reserve(options_.max_batch);
+
+  mu_.Lock();
+  while (true) {
+    while (!stopping_ && next_pending_ >= jobs_.size()) {
+      work_cv_.Wait(mu_);
+    }
+    if (stopping_) {
+      mu_.Unlock();
+      return;
+    }
+    batch.clear();
+    while (next_pending_ < jobs_.size() && batch.size() < options_.max_batch) {
+      Job& job = jobs_[next_pending_];
+      job.state = JobState::kRunning;
+      batch.push_back(Claimed{&job, std::move(job.verify)});
+      ++next_pending_;
+    }
+    mu_.Unlock();
+    for (Claimed& c : batch) {
+      c.job->ok = c.verify();  // Off-lock: the expensive part.
+    }
+    mu_.Lock();
+    for (Claimed& c : batch) {
+      c.job->state = JobState::kCompleted;
+    }
+    ReleaseCompleted();
+  }
+}
+
+void OrderedVerifyPool::ReleaseCompleted() {
+  // Single-releaser token: whichever thread holds `releasing_` extracts
+  // in-order completed runs and hands them to the executor. Extraction and
+  // the deliver_ call both happen with mu_ held by that one thread, so runs
+  // reach the executor in job order even when workers finish out of order.
+  // deliver_ only enqueues (TcpRuntime::Post: leaf mutex + eventfd write),
+  // so holding mu_ across it is cheap and cycle-free.
+  if (releasing_) {
+    return;  // The current releaser will pick up what this worker completed.
+  }
+  releasing_ = true;
+  while (!jobs_.empty() && jobs_.front().state == JobState::kCompleted) {
+    auto run = std::make_shared<std::vector<std::pair<std::function<void(bool)>, bool>>>();
+    while (!jobs_.empty() && jobs_.front().state == JobState::kCompleted) {
+      run->emplace_back(std::move(jobs_.front().done), jobs_.front().ok);
+      jobs_.pop_front();
+      CLANDAG_CHECK(next_pending_ > 0);
+      --next_pending_;
+    }
+    ++delivered_batches_;
+    deliver_([run] {
+      for (auto& [done, ok] : *run) {
+        done(ok);
+      }
+    });
+    space_cv_.NotifyAll();
+  }
+  releasing_ = false;
+}
+
+OrderedVerifyPool::Stats OrderedVerifyPool::stats() const {
+  MutexLock lock(mu_);
+  Stats s;
+  s.submitted = submitted_;
+  s.delivered_batches = delivered_batches_;
+  s.blocked_submits = blocked_submits_;
+  return s;
+}
+
+}  // namespace clandag

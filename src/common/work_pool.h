@@ -1,0 +1,123 @@
+// OrderedVerifyPool: off-thread batched verification with in-order delivery.
+//
+// Signature and certificate checks are the consensus thread's largest CPU
+// item at scale (one HMAC per echo, one multisig per certificate). This pool
+// moves them onto a small set of worker threads while preserving the one
+// property the protocol layer relies on: results come back IN SUBMISSION
+// ORDER, so a node observes the same message sequence it would have seen
+// verifying inline — just without stalling its event loop.
+//
+// Shape:
+//
+//   OrderedVerifyPool pool({.num_workers = 2},
+//                          [&rt](std::function<void()> fn) { rt.Post(std::move(fn)); });
+//   pool.Submit([=] { return keychain.Verify(...); },   // any worker thread
+//               [=](bool ok) { if (ok) Process(...); }); // executor, in order
+//
+// Workers pull jobs in batches (up to Options::max_batch per lock
+// acquisition) so a burst of echoes costs a handful of mutex round-trips,
+// not one per message. Completed results are released as contiguous
+// in-order runs: one executor closure carries the whole run, so delivery
+// cost is also batched.
+//
+// Capacity: at most kMaxPendingJobs jobs may be queued or running; a
+// Submit() beyond that blocks until the workers drain below the bound
+// (backpressure — workers never depend on the submitting thread, so this
+// cannot deadlock). num_workers = 0 selects inline mode: Submit() verifies
+// and delivers synchronously, which is what the single-threaded simulator
+// uses (its Schedule() is driver-thread-only, so no cross-thread delivery
+// exists there).
+//
+// Threading: Submit() is single-producer — call it only from the owning
+// event-loop thread. `verify` closures run on worker threads and must only
+// touch thread-safe or thread-local state (Keychain::Verify is pure; the
+// wire-scratch helpers are thread_local). `done` closures run wherever the
+// executor runs them; the executor must execute posted closures in FIFO
+// order (TcpRuntime::Post and Schedule(0, ...) both do). The destructor
+// joins the workers; jobs not yet handed to the executor are discarded, so
+// destroy the pool before the state the callbacks touch.
+
+#ifndef CLANDAG_COMMON_WORK_POOL_H_
+#define CLANDAG_COMMON_WORK_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace clandag {
+
+class OrderedVerifyPool {
+ public:
+  struct Options {
+    // Worker thread count; 0 = inline mode (see file comment).
+    uint32_t num_workers = 0;
+    // Max jobs one worker claims per lock acquisition.
+    size_t max_batch = 16;
+  };
+
+  // Bound on jobs admitted but not yet handed to the executor. Submit()
+  // blocks at the bound until workers drain.
+  static constexpr size_t kMaxPendingJobs = 4096;
+
+  // Runs a closure on the delivery thread, preserving call order.
+  using Executor = std::function<void(std::function<void()>)>;
+
+  OrderedVerifyPool(Options options, Executor deliver);
+  ~OrderedVerifyPool();
+
+  OrderedVerifyPool(const OrderedVerifyPool&) = delete;
+  OrderedVerifyPool& operator=(const OrderedVerifyPool&) = delete;
+
+  // Queues one verification. `done(ok)` is executed by the executor; across
+  // Submits, done callbacks run in submission order regardless of which
+  // worker finished first.
+  void Submit(std::function<bool()> verify, std::function<void(bool)> done);
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t delivered_batches = 0;  // Executor closures issued.
+    uint64_t blocked_submits = 0;    // Submits that hit kMaxPendingJobs.
+  };
+  Stats stats() const;
+
+ private:
+  enum class JobState : uint8_t { kPending, kRunning, kCompleted };
+
+  struct Job {
+    std::function<bool()> verify;
+    std::function<void(bool)> done;
+    JobState state = JobState::kPending;
+    bool ok = false;
+  };
+
+  void WorkerLoop();
+  // Hands every leading completed job to the executor, preserving order
+  // even when several threads race to release.
+  void ReleaseCompleted() CLANDAG_REQUIRES(mu_);
+
+  const Options options_;
+  const Executor deliver_;
+
+  mutable Mutex mu_;
+  // Jobs in submission order; the front is the oldest undelivered job.
+  std::deque<Job> jobs_ CLANDAG_GUARDED_BY(mu_);
+  size_t next_pending_ CLANDAG_GUARDED_BY(mu_) = 0;  // Index of oldest kPending.
+  bool releasing_ CLANDAG_GUARDED_BY(mu_) = false;
+  bool stopping_ CLANDAG_GUARDED_BY(mu_) = false;
+  uint64_t submitted_ CLANDAG_GUARDED_BY(mu_) = 0;
+  uint64_t delivered_batches_ CLANDAG_GUARDED_BY(mu_) = 0;
+  uint64_t blocked_submits_ CLANDAG_GUARDED_BY(mu_) = 0;
+  CondVar work_cv_;   // Signals workers: pending job or stop.
+  CondVar space_cv_;  // Signals the producer: room below kMaxPendingJobs.
+
+  // Bounded at construction: exactly Options::num_workers threads.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_COMMON_WORK_POOL_H_

@@ -1,9 +1,31 @@
 #include "consensus/dissemination.h"
 
+#include <algorithm>
+#include <memory>
+#include <utility>
+
 #include "common/check.h"
 #include "common/log.h"
+#include "common/pool.h"
 
 namespace clandag {
+
+namespace {
+
+// Reusable scratch for the signed-message preimage of echo votes; one is
+// built per echo sent/verified, so a fresh heap buffer each time would show
+// up on the allocator profile. thread_local: verification may run on a
+// work-pool thread (common/work_pool.h) concurrently with the consensus
+// thread signing.
+const Bytes& SignedVoteScratch(MsgType type, NodeId sender, Round round, const Digest& digest) {
+  thread_local Bytes scratch;
+  Writer w(std::move(scratch));
+  RbcVoteMsg::SignedMessageTo(w, type, sender, round, digest);
+  scratch = w.Take();
+  return scratch;
+}
+
+}  // namespace
 
 VertexDisseminator::VertexDisseminator(Runtime& runtime, const Keychain& keychain,
                                        const ClanTopology& topology, DisseminationConfig config,
@@ -33,18 +55,17 @@ void VertexDisseminator::Propose(const Vertex& v, std::optional<BlockInfo> block
     CLANDAG_CHECK_MSG(block->ComputeDigest() == v.block_digest, "block/vertex digest mismatch");
   }
 
-  // Vertex (metadata) to the entire tribe. A copy is kept for anti-entropy
-  // rebroadcast (RebroadcastLatest).
-  Bytes vertex_bytes = EncodeVertex(v);
-  last_val_bytes_ = vertex_bytes;
-  has_last_val_ = true;
-  runtime_.Broadcast(kConsVertexVal, std::move(vertex_bytes));
+  // Vertex (metadata) to the entire tribe: serialized once into a pooled
+  // buffer, the same bytes enqueued per peer. The shared handle doubles as
+  // the anti-entropy rebroadcast copy (RebroadcastLatest).
+  last_val_bytes_ = EncodeToShared([&](Writer& w) { v.Serialize(w); });
+  runtime_.Broadcast(kConsVertexVal, last_val_bytes_);
 
   // Block only to the serving clan, with its modelled wire size.
   if (block.has_value()) {
     const size_t wire = block->WireSize();
-    runtime_.Multicast(topology_.BlockRecipients(v.source), kConsBlock, EncodeBlock(*block),
-                       wire);
+    runtime_.Multicast(topology_.BlockRecipients(v.source), kConsBlock,
+                       EncodeToShared([&](Writer& w) { block->Serialize(w); }), wire);
   }
 }
 
@@ -101,6 +122,7 @@ bool VertexDisseminator::HasCompleted(NodeId source, Round round) const {
 }
 
 void VertexDisseminator::PruneBelow(Round round) {
+  prune_floor_ = std::max(prune_floor_, round);
   for (auto it = instances_.begin(); it != instances_.end();) {
     if (it->first.second < round) {
       it = instances_.erase(it);
@@ -163,12 +185,19 @@ void VertexDisseminator::AcceptVertexBody(NodeId source, Round round, Instance& 
 
 void VertexDisseminator::ReplyCompletionEvidence(NodeId from, NodeId source, Round round,
                                                  Instance& inst) {
-  if (from == runtime_.id() || !inst.evidence_sent.insert(from).second) {
+  if (from == runtime_.id()) {
+    return;
+  }
+  if (inst.evidence_sent.num_parties() == 0) {
+    inst.evidence_sent = SignerBitmap(config_.num_nodes);
+  }
+  if (inst.evidence_sent.Test(from)) {
     return;  // At most one repair reply per peer per instance.
   }
+  inst.evidence_sent.Set(from);
   if (config_.flavor == RbcFlavor::kTwoRound) {
-    if (!inst.cert_bytes.empty()) {
-      runtime_.Send(from, kConsCert, inst.cert_bytes);
+    if (inst.cert_bytes != nullptr) {
+      runtime_.Send(from, kConsCert, inst.cert_bytes, inst.cert_bytes->size());
     }
     return;
   }
@@ -182,7 +211,7 @@ void VertexDisseminator::ReplyCompletionEvidence(NodeId from, NodeId source, Rou
 }
 
 void VertexDisseminator::RebroadcastLatest() {
-  if (has_last_val_) {
+  if (last_val_bytes_ != nullptr) {
     runtime_.Broadcast(kConsVertexVal, last_val_bytes_);
   }
 }
@@ -249,44 +278,67 @@ void VertexDisseminator::MaybeEcho(NodeId source, Round round, Instance& inst) {
   echo.digest = inst.vertex_digest;
   if (config_.flavor == RbcFlavor::kTwoRound) {
     echo.sig = keychain_.Sign(
-        runtime_.id(), RbcVoteMsg::SignedMessage(kConsEcho, source, round, inst.vertex_digest));
+        runtime_.id(), SignedVoteScratch(kConsEcho, source, round, inst.vertex_digest));
   }
-  runtime_.Broadcast(kConsEcho, echo.Encode());
+  runtime_.Broadcast(kConsEcho, EncodeToShared([&](Writer& w) { echo.EncodeTo(w); }));
 }
 
 void VertexDisseminator::OnEcho(NodeId from, const Bytes& payload) {
   auto msg = RbcVoteMsg::Decode(payload);
-  if (!msg.has_value() || msg->sender >= config_.num_nodes) {
+  if (!msg.has_value() || msg->sender >= config_.num_nodes || msg->round < prune_floor_) {
     return;
   }
   if (config_.flavor == RbcFlavor::kTwoRound) {
     if (!msg->sig.has_value()) {
       return;
     }
-    if (config_.verify_signatures &&
-        !keychain_.Verify(from,
-                          RbcVoteMsg::SignedMessage(kConsEcho, msg->sender, msg->round,
-                                                    msg->digest),
-                          *msg->sig)) {
-      return;
+    if (config_.verify_signatures) {
+      if (config_.verify_pool != nullptr) {
+        // Authenticate on a worker; the rest of the handler runs when the
+        // result comes back in receive order.
+        const RbcVoteMsg m = *msg;
+        config_.verify_pool->Submit(
+            [this, from, m] {
+              return keychain_.Verify(
+                  from, SignedVoteScratch(kConsEcho, m.sender, m.round, m.digest), *m.sig);
+            },
+            [this, from, m](bool ok) {
+              if (ok) {
+                ProcessEcho(from, m);
+              }
+            });
+        return;
+      }
+      if (!keychain_.Verify(from,
+                            SignedVoteScratch(kConsEcho, msg->sender, msg->round, msg->digest),
+                            *msg->sig)) {
+        return;
+      }
     }
   }
-  Instance& inst = GetInstance(msg->sender, msg->round);
+  ProcessEcho(from, *msg);
+}
+
+void VertexDisseminator::ProcessEcho(NodeId from, const RbcVoteMsg& msg) {
+  if (msg.round < prune_floor_) {
+    return;  // Committed and pruned while the echo sat in the verify pool.
+  }
+  Instance& inst = GetInstance(msg.sender, msg.round);
   if (inst.completed) {
     // Late echo: `from` is still working on an instance this node finished
     // long ago — it likely lost the original traffic to a partition or a
     // crash. Re-send the completion evidence so it can finish too; this is
     // the repair path that lets a healed cluster un-wedge.
-    ReplyCompletionEvidence(from, msg->sender, msg->round, inst);
+    ReplyCompletionEvidence(from, msg.sender, msg.round, inst);
     return;
   }
-  auto [it, inserted] = inst.echoes.try_emplace(msg->digest, config_.num_nodes);
+  auto [it, inserted] = inst.echoes.try_emplace(msg.digest, config_.num_nodes);
   VoteTracker& tracker = it->second;
-  if (!tracker.Add(from, topology_.ReceivesBlocksOf(msg->sender, from), msg->sig)) {
+  if (!tracker.Add(from, topology_.ReceivesBlocksOf(msg.sender, from), msg.sig)) {
     return;
   }
   const bool quorum = tracker.Count() >= config_.Quorum() &&
-                      tracker.ClanCount() >= topology_.ClanQuorumFor(msg->sender);
+                      tracker.ClanCount() >= topology_.ClanQuorumFor(msg.sender);
   if (!quorum) {
     return;
   }
@@ -295,24 +347,24 @@ void VertexDisseminator::OnEcho(NodeId from, const Bytes& payload) {
       return;
     }
     RbcCertMsg cert;
-    cert.sender = msg->sender;
-    cert.round = msg->round;
-    cert.digest = msg->digest;
+    cert.sender = msg.sender;
+    cert.round = msg.round;
+    cert.digest = msg.digest;
     cert.sig = tracker.BuildCert();
-    inst.cert_bytes = cert.Encode();
+    inst.cert_bytes = EncodeToShared([&](Writer& w) { cert.EncodeTo(w); });
     if (config_.multicast_cert) {
       runtime_.Broadcast(kConsCert, inst.cert_bytes);
     }
-    OnQuorum(msg->sender, msg->round, inst, msg->digest);
+    OnQuorum(msg.sender, msg.round, inst, msg.digest);
   } else {
     // Bracha: 2f+1 ECHO (with clan threshold) triggers READY.
     if (!inst.ready_sent) {
       inst.ready_sent = true;
       RbcVoteMsg ready;
-      ready.sender = msg->sender;
-      ready.round = msg->round;
-      ready.digest = msg->digest;
-      runtime_.Broadcast(kConsReady, ready.Encode());
+      ready.sender = msg.sender;
+      ready.round = msg.round;
+      ready.digest = msg.digest;
+      runtime_.Broadcast(kConsReady, EncodeToShared([&](Writer& w) { ready.EncodeTo(w); }));
     }
   }
 }
@@ -337,25 +389,23 @@ void VertexDisseminator::OnReady(NodeId from, const Bytes& payload) {
     ready.sender = msg->sender;
     ready.round = msg->round;
     ready.digest = msg->digest;
-    runtime_.Broadcast(kConsReady, ready.Encode());
+    runtime_.Broadcast(kConsReady, EncodeToShared([&](Writer& w) { ready.EncodeTo(w); }));
   }
   if (tracker.Count() >= config_.Quorum()) {
     OnQuorum(msg->sender, msg->round, inst, msg->digest);
   }
 }
 
-void VertexDisseminator::OnCert(NodeId /*from*/, const Bytes& payload) {
+void VertexDisseminator::OnCert(NodeId from, const Bytes& payload) {
   if (config_.flavor != RbcFlavor::kTwoRound) {
     return;
   }
   auto msg = RbcCertMsg::Decode(payload);
-  if (!msg.has_value() || msg->sender >= config_.num_nodes) {
+  if (!msg.has_value() || msg->sender >= config_.num_nodes || msg->round < prune_floor_) {
     return;
   }
-  Instance& inst = GetInstance(msg->sender, msg->round);
-  if (inst.completed || inst.awaiting_vertex) {
-    return;
-  }
+  // Structural checks are cheap and stay on this thread; only the multisig
+  // evaluation (one HMAC per signer) is worth shipping to the pool.
   if (msg->sig.Count() < config_.Quorum()) {
     return;
   }
@@ -368,14 +418,42 @@ void VertexDisseminator::OnCert(NodeId /*from*/, const Bytes& payload) {
   if (clan_signers < topology_.ClanQuorumFor(msg->sender)) {
     return;
   }
-  if (config_.verify_signatures &&
-      !msg->sig.Verify(keychain_,
-                       RbcVoteMsg::SignedMessage(kConsEcho, msg->sender, msg->round,
-                                                 msg->digest))) {
+  if (config_.verify_signatures) {
+    if (config_.verify_pool != nullptr) {
+      auto m = std::make_shared<const RbcCertMsg>(std::move(*msg));
+      config_.verify_pool->Submit(
+          [this, m] {
+            return m->sig.Verify(keychain_,
+                                 SignedVoteScratch(kConsEcho, m->sender, m->round, m->digest));
+          },
+          [this, from, m](bool ok) {
+            if (ok) {
+              ProcessCert(from, *m);
+            }
+          });
+      return;
+    }
+    if (!msg->sig.Verify(keychain_,
+                         SignedVoteScratch(kConsEcho, msg->sender, msg->round, msg->digest))) {
+      return;
+    }
+  }
+  ProcessCert(from, *msg);
+}
+
+void VertexDisseminator::ProcessCert(NodeId /*from*/, const RbcCertMsg& msg) {
+  if (msg.round < prune_floor_) {
+    return;  // Committed and pruned while the cert sat in the verify pool.
+  }
+  Instance& inst = GetInstance(msg.sender, msg.round);
+  if (inst.completed || inst.awaiting_vertex) {
     return;
   }
-  inst.cert_bytes = payload;  // Verified evidence, kept for peer repair.
-  OnQuorum(msg->sender, msg->round, inst, msg->digest);
+  // Verified evidence, kept for peer repair. Re-encoded (canonically, equal
+  // to the received frame) into a pooled shared buffer so repair sends
+  // enqueue it without copying.
+  inst.cert_bytes = EncodeToShared([&](Writer& w) { msg.EncodeTo(w); });
+  OnQuorum(msg.sender, msg.round, inst, msg.digest);
 }
 
 void VertexDisseminator::OnQuorum(NodeId source, Round round, Instance& inst,
@@ -425,11 +503,11 @@ void VertexDisseminator::StartVertexPull(NodeId source, Round round) {
   ConsPullMsg req;
   req.source = source;
   req.round = round;
-  Bytes req_bytes = req.Encode();
+  auto req_bytes = EncodeToShared([&](Writer& w) { req.EncodeTo(w); });
   for (uint32_t i = 0; i < config_.pull_fanout; ++i) {
     NodeId target = holders[(inst.pull_rr + i) % holders.size()];
     if (target != runtime_.id()) {
-      runtime_.Send(target, kConsVertexPullReq, req_bytes);
+      runtime_.Send(target, kConsVertexPullReq, req_bytes, req_bytes->size());
     }
   }
   inst.pull_rr += config_.pull_fanout;
@@ -457,11 +535,11 @@ void VertexDisseminator::StartBlockPull(NodeId source, Round round) {
   ConsPullMsg req;
   req.source = source;
   req.round = round;
-  Bytes req_bytes = req.Encode();
+  auto req_bytes = EncodeToShared([&](Writer& w) { req.EncodeTo(w); });
   for (uint32_t i = 0; i < config_.pull_fanout; ++i) {
     NodeId target = holders[(inst.pull_rr + i) % holders.size()];
     if (target != runtime_.id()) {
-      runtime_.Send(target, kConsBlockPullReq, req_bytes);
+      runtime_.Send(target, kConsBlockPullReq, req_bytes, req_bytes->size());
     }
   }
   inst.pull_rr += config_.pull_fanout;
@@ -482,7 +560,9 @@ void VertexDisseminator::OnVertexPullReq(NodeId from, const Bytes& payload) {
   if (inst == nullptr || !inst->vertex.has_value()) {
     return;
   }
-  runtime_.Send(from, kConsVertexPullResp, EncodeVertex(*inst->vertex));
+  const Vertex& stored = *inst->vertex;
+  auto resp = EncodeToShared([&](Writer& w) { stored.Serialize(w); });
+  runtime_.Send(from, kConsVertexPullResp, resp, resp->size());
 }
 
 void VertexDisseminator::OnVertexPullResp(NodeId /*from*/, const Bytes& payload) {
@@ -507,8 +587,9 @@ void VertexDisseminator::OnBlockPullReq(NodeId from, const Bytes& payload) {
     return;
   }
   const size_t wire = inst->block->WireSize();
-  auto shared = std::make_shared<const Bytes>(EncodeBlock(*inst->block));
-  runtime_.Send(from, kConsBlockPullResp, shared, wire);
+  const BlockInfo& stored = *inst->block;
+  runtime_.Send(from, kConsBlockPullResp,
+                EncodeToShared([&](Writer& w) { stored.Serialize(w); }), wire);
 }
 
 void VertexDisseminator::OnBlockPullResp(NodeId /*from*/, const Bytes& payload) {

@@ -25,11 +25,12 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
-#include <set>
 #include <unordered_map>
 
 #include "common/quorum.h"
+#include "common/work_pool.h"
 #include "consensus/clan.h"
 #include "consensus/wire.h"
 #include "crypto/keychain.h"
@@ -57,6 +58,13 @@ struct DisseminationConfig {
   bool verify_signatures = true;
   uint32_t pull_fanout = 2;
   TimeMicros pull_retry = Millis(250);
+  // Optional off-thread verification (common/work_pool.h). When set (and
+  // verify_signatures is on), echo HMACs and certificate multisigs are
+  // checked on the pool's workers and the remaining handler logic runs when
+  // the in-order result comes back. Null = verify inline. The pool must
+  // outlive the disseminator's runtime callbacks — in practice: owner
+  // destroys the disseminator (or stops the transport) before the pool.
+  OrderedVerifyPool* verify_pool = nullptr;
 
   uint32_t Quorum() const { return ByzantineQuorum(num_faults); }
   uint32_t ReadyAmplify() const { return ReadyAmplifyThreshold(num_faults); }
@@ -124,11 +132,16 @@ class VertexDisseminator {
     std::map<Digest, VoteTracker> echoes;
     std::map<Digest, VoteTracker> readies;
     uint32_t pull_rr = 0;
-    // Completion evidence for repairing lagging peers (two-round flavour:
-    // the encoded echo-certificate; empty for Bracha, which re-READYs).
-    Bytes cert_bytes;
+    // Completion evidence (two-round flavour: the encoded echo-certificate;
+    // null for Bracha, which re-READYs). Shared, not copied: every echo
+    // that lands after completion — ~n - 2f-1 per instance in the good
+    // case — gets this buffer re-enqueued verbatim, so a per-reply copy
+    // would dominate the allocator profile at n = 150. The pool's caps are
+    // sized to tolerate these instance-lifetime pins (see pool.h).
+    std::shared_ptr<const Bytes> cert_bytes;
     // Peers already sent evidence, so a spammed echo can't amplify.
-    std::set<NodeId> evidence_sent;
+    // Lazily sized on first repair reply (most instances never need it).
+    SignerBitmap evidence_sent;
   };
 
   Instance& GetInstance(NodeId source, Round round);
@@ -149,6 +162,11 @@ class VertexDisseminator {
   void OnEcho(NodeId from, const Bytes& payload);
   void OnReady(NodeId from, const Bytes& payload);
   void OnCert(NodeId from, const Bytes& payload);
+  // Post-authentication halves of OnEcho/OnCert: run inline when the
+  // signature checked on this thread, or as the verify pool's in-order
+  // completion callback when it checked off-thread.
+  void ProcessEcho(NodeId from, const RbcVoteMsg& msg);
+  void ProcessCert(NodeId from, const RbcCertMsg& msg);
   void OnVertexPullReq(NodeId from, const Bytes& payload);
   void OnVertexPullResp(NodeId from, const Bytes& payload);
   void OnBlockPullReq(NodeId from, const Bytes& payload);
@@ -170,9 +188,14 @@ class VertexDisseminator {
   DisseminationConfig config_;
   DisseminationCallbacks callbacks_;
   std::unordered_map<std::pair<NodeId, Round>, Instance, InstanceKeyHash> instances_;
-  // Last own Propose() VAL, for anti-entropy rebroadcast.
-  Bytes last_val_bytes_;
-  bool has_last_val_ = false;
+  // Rounds below this were pruned after commit. Messages for them are
+  // dropped instead of resurrecting an Instance — essential with a verify
+  // pool, where a message can come back from the workers after the commit
+  // that made it irrelevant already pruned its round.
+  Round prune_floor_ = 0;
+  // Last own Propose() VAL (shared: rebroadcast re-enqueues the same
+  // buffer); null until the first Propose().
+  std::shared_ptr<const Bytes> last_val_bytes_;
 };
 
 }  // namespace clandag

@@ -186,12 +186,15 @@ bool SailfishNode::StructurallyValid(const Vertex& v) const {
   if (v.strong_edges.size() < config_.Quorum()) {
     return false;
   }
-  // No duplicate strong-edge sources.
-  std::set<NodeId> seen;
+  // No duplicate strong-edge sources. Reusable scratch bitmap: this runs
+  // once per completed vertex per node, and a per-call std::set was a top
+  // allocation site at benchmark scale.
+  dup_scratch_.assign(config_.num_nodes, 0);
   for (const StrongEdge& e : v.strong_edges) {
-    if (e.source >= config_.num_nodes || !seen.insert(e.source).second) {
+    if (e.source >= config_.num_nodes || dup_scratch_[e.source] != 0) {
       return false;
     }
+    dup_scratch_[e.source] = 1;
   }
   for (const WeakEdge& e : v.weak_edges) {
     if (e.source >= config_.num_nodes || e.round + 1 >= v.round) {
@@ -227,14 +230,14 @@ void SailfishNode::TryAdmit(Vertex v, const Digest& digest) {
     fetcher_->AddBlocked(std::move(v), digest);
     return;
   }
-  if (AdmitNow(v, digest)) {
+  if (AdmitNow(std::move(v), digest)) {
     DrainFetcher();
     MaybeAdvance();
     TryPendingProposal();
   }
 }
 
-bool SailfishNode::AdmitNow(const Vertex& v, const Digest& /*digest*/) {
+bool SailfishNode::AdmitNow(Vertex v, const Digest& /*digest*/) {
   // Edge digests must match the vertices actually in the DAG (a Byzantine
   // vertex cannot smuggle in references to equivocated bodies). A parent in
   // a fully-pruned round is committed history whose digest the DAG no longer
@@ -262,11 +265,12 @@ bool SailfishNode::AdmitNow(const Vertex& v, const Digest& /*digest*/) {
                  static_cast<unsigned long long>(v.round), v.source);
     return false;
   }
-  Vertex copy = v;
-  if (!dag_.Insert(std::move(copy))) {
+  const Round round = v.round;
+  const NodeId source = v.source;
+  if (!dag_.Insert(std::move(v))) {
     return false;
   }
-  const Vertex* stored = dag_.Get(v.round, v.source);
+  const Vertex* stored = dag_.Get(round, source);
   committer_.OnVertexAdded(*stored);
   return true;
 }
@@ -276,7 +280,7 @@ void SailfishNode::DrainFetcher() {
   while (progressed) {
     progressed = false;
     for (auto& [v, d] : fetcher_->TakeAdmissible()) {
-      if (AdmitNow(v, d)) {
+      if (AdmitNow(std::move(v), d)) {
         progressed = true;
       }
     }

@@ -147,7 +147,7 @@ class SailfishNode final : public MessageHandler {
   // Admits `v` if its parents are present (else hands it to the fetcher,
   // which repairs the missing parents); drains dependents.
   void TryAdmit(Vertex v, const Digest& digest);
-  bool AdmitNow(const Vertex& v, const Digest& digest);
+  bool AdmitNow(Vertex v, const Digest& digest);
   void DrainFetcher();
 
   void MaybeAdvance();
@@ -193,6 +193,9 @@ class SailfishNode final : public MessageHandler {
   std::map<Round, TimeoutCert> tcs_;
   std::map<Round, VoteTracker> novote_votes_;
   std::map<Round, NoVoteCert> nvcs_;
+  // Scratch for StructurallyValid's duplicate-source check (capacity
+  // retained across calls; single-threaded like all consensus state).
+  mutable std::vector<uint8_t> dup_scratch_;
 };
 
 }  // namespace clandag

@@ -59,9 +59,13 @@ std::optional<NoVoteMsg> NoVoteMsg::Decode(const Bytes& payload) {
 
 Bytes ConsPullMsg::Encode() const {
   Writer w;
+  EncodeTo(w);
+  return w.Take();
+}
+
+void ConsPullMsg::EncodeTo(Writer& w) const {
   w.U32(source);
   w.U64(round);
-  return w.Take();
 }
 
 std::optional<ConsPullMsg> ConsPullMsg::Decode(const Bytes& payload) {

@@ -63,6 +63,7 @@ struct ConsPullMsg {
   Round round = 0;
 
   Bytes Encode() const;
+  void EncodeTo(Writer& w) const;
   [[nodiscard]] static std::optional<ConsPullMsg> Decode(const Bytes& payload);
 };
 

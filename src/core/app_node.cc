@@ -38,6 +38,12 @@ AppNode::AppNode(Runtime& runtime, const Keychain& keychain, const ClanTopology&
     }
   };
   BlockSource* source = ingress_ ? static_cast<BlockSource*>(ingress_.get()) : &mempool_;
+  if (options_.verify_workers > 0) {
+    verify_pool_ = std::make_unique<OrderedVerifyPool>(
+        OrderedVerifyPool::Options{options_.verify_workers, /*max_batch=*/16},
+        [this](std::function<void()> fn) { runtime_.Schedule(0, std::move(fn)); });
+    options_.consensus.dissemination.verify_pool = verify_pool_.get();
+  }
   consensus_ = std::make_unique<SailfishNode>(runtime_, keychain, topology_, options_.consensus,
                                               source, std::move(consensus_callbacks));
 }

@@ -24,6 +24,7 @@
 #include <memory>
 #include <string>
 
+#include "common/work_pool.h"
 #include "consensus/sailfish.h"
 #include "ingress/front_end.h"
 #include "smr/execution.h"
@@ -46,6 +47,12 @@ struct AppNodeOptions {
   // SubmitClientRequest and are answered through on_client_reply.
   bool enable_ingress = false;
   IngressOptions ingress;
+  // Off-thread signature/certificate verification (common/work_pool.h):
+  // > 0 starts that many worker threads and routes echo HMAC and
+  // certificate multisig checks through them, delivered back in receive
+  // order via Runtime::Schedule(0, ...). Leave 0 over the simulator (its
+  // Schedule is driver-thread-only) and for single-core deployments.
+  uint32_t verify_workers = 0;
 };
 
 struct AppNodeCallbacks {
@@ -121,6 +128,10 @@ class AppNode final : public MessageHandler {
   std::unique_ptr<IngressFrontEnd> ingress_;  // Replaces mempool_ when set.
   ExecutionEngine execution_;
   std::unique_ptr<SailfishNode> consensus_;
+  // Declared after consensus_ so it is destroyed first: joining the verify
+  // workers before the disseminator dies guarantees no verification closure
+  // runs against torn-down state (its pending callbacks are discarded).
+  std::unique_ptr<OrderedVerifyPool> verify_pool_;
   std::unique_ptr<WalVertexStore> wal_;
   RecoveryStats recovery_stats_;
 

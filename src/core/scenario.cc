@@ -204,6 +204,9 @@ ScenarioResult RunScenario(const ScenarioOptions& options) {
     }
     result.ordered_vertices_checked += log.size();
   }
+  if (longest != nullptr) {
+    result.ordered_vertices = longest->size();
+  }
 
   result.ok = result.agreement_ok;
   result.measure_seconds = ToSeconds(window_end - window_start);

@@ -95,6 +95,9 @@ struct ScenarioResult {
 
   bool agreement_ok = false;
   uint64_t ordered_vertices_checked = 0;
+  // Length of the longest honest ordered log (committed vertices at the most
+  // advanced node); the denominator for allocs-per-commit metering.
+  uint64_t ordered_vertices = 0;
 
   // State-sync counters summed over all live nodes (missing-parent repairs
   // triggered during the run).

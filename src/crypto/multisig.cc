@@ -8,20 +8,21 @@ namespace clandag {
 
 void SignerBitmap::Set(NodeId id) {
   CLANDAG_CHECK(id < num_parties_);
-  bits_[id / 8] |= static_cast<uint8_t>(1u << (id % 8));
+  bits()[id / 8] |= static_cast<uint8_t>(1u << (id % 8));
 }
 
 bool SignerBitmap::Test(NodeId id) const {
   if (id >= num_parties_) {
     return false;
   }
-  return (bits_[id / 8] >> (id % 8)) & 1u;
+  return (bits()[id / 8] >> (id % 8)) & 1u;
 }
 
 uint32_t SignerBitmap::Count() const {
   uint32_t total = 0;
-  for (uint8_t byte : bits_) {
-    total += static_cast<uint32_t>(__builtin_popcount(byte));
+  const uint8_t* b = bits();
+  for (size_t i = 0; i < ByteLen(); ++i) {
+    total += static_cast<uint32_t>(__builtin_popcount(b[i]));
   }
   return total;
 }
@@ -39,20 +40,24 @@ std::vector<NodeId> SignerBitmap::Ids() const {
 
 void SignerBitmap::Serialize(Writer& w) const {
   w.U32(num_parties_);
-  w.Blob(bits_.data(), bits_.size());
+  w.Blob(bits(), ByteLen());
 }
 
 SignerBitmap SignerBitmap::Parse(Reader& r) {
   SignerBitmap b;
   b.num_parties_ = r.U32();
-  Bytes raw = r.Blob();
-  size_t expected = (b.num_parties_ + 7) / 8;
-  if (raw.size() != expected) {
+  const size_t expected = b.ByteLen();
+  const uint64_t len = r.Varint();
+  if (!r.ok() || len != expected || len > r.Remaining()) {
+    r.Invalidate();
     b.num_parties_ = 0;
-    b.bits_.clear();
+    b.overflow_.clear();
     return b;
   }
-  b.bits_ = std::move(raw);
+  if (expected > kInlineBytes) {
+    b.overflow_.assign(expected, 0);
+  }
+  r.Raw(b.bits(), expected);
   return b;
 }
 

@@ -10,7 +10,9 @@
 #ifndef CLANDAG_CRYPTO_MULTISIG_H_
 #define CLANDAG_CRYPTO_MULTISIG_H_
 
+#include <array>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "common/bytes.h"
@@ -19,11 +21,20 @@
 namespace clandag {
 
 // Compact signer set as a bit-vector over node ids.
+//
+// Bitmaps up to kInlineBytes (n <= 256) live inline — no heap allocation on
+// construction or parse, which matters because one bitmap is built per vote
+// tracker and parsed per certificate on the consensus hot path. Larger
+// systems spill to a heap vector transparently.
 class SignerBitmap {
  public:
+  static constexpr size_t kInlineBytes = 32;
+
   SignerBitmap() = default;
   explicit SignerBitmap(uint32_t num_parties) : num_parties_(num_parties) {
-    bits_.assign((num_parties + 7) / 8, 0);
+    if (ByteLen() > kInlineBytes) {
+      overflow_.assign(ByteLen(), 0);
+    }
   }
 
   void Set(NodeId id);
@@ -33,18 +44,26 @@ class SignerBitmap {
   std::vector<NodeId> Ids() const;
 
   // Wire size in bytes (what enters the bandwidth model).
-  size_t ByteSize() const { return 4 + bits_.size(); }
+  size_t ByteSize() const { return 4 + ByteLen(); }
 
   void Serialize(Writer& w) const;
   static SignerBitmap Parse(Reader& r);
 
   friend bool operator==(const SignerBitmap& a, const SignerBitmap& b) {
-    return a.num_parties_ == b.num_parties_ && a.bits_ == b.bits_;
+    return a.num_parties_ == b.num_parties_ &&
+           std::memcmp(a.bits(), b.bits(), a.ByteLen()) == 0;
   }
 
  private:
+  size_t ByteLen() const { return (static_cast<size_t>(num_parties_) + 7) / 8; }
+  uint8_t* bits() { return ByteLen() <= kInlineBytes ? inline_.data() : overflow_.data(); }
+  const uint8_t* bits() const {
+    return ByteLen() <= kInlineBytes ? inline_.data() : overflow_.data();
+  }
+
   uint32_t num_parties_ = 0;
-  std::vector<uint8_t> bits_;
+  std::array<uint8_t, kInlineBytes> inline_{};
+  std::vector<uint8_t> overflow_;  // Used only when ByteLen() > kInlineBytes.
 };
 
 // An aggregate signature over one message by the parties in `signers`.

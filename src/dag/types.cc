@@ -73,10 +73,25 @@ size_t BlockInfo::WireSize() const {
   return kBlockHeaderBytes + PayloadSize();
 }
 
+namespace {
+
+// Hashing a vertex/block serializes it first; reusing one thread-local
+// scratch buffer keeps DagStore::Insert and AcceptBlock allocation-free
+// once the buffer has grown to the working-set size.
+template <typename T>
+Digest DigestOfSerialized(const T& msg) {
+  thread_local Bytes scratch;
+  Writer w(std::move(scratch));
+  msg.Serialize(w);
+  Digest d = Digest::Of(w.Buffer());
+  scratch = w.Take();
+  return d;
+}
+
+}  // namespace
+
 Digest BlockInfo::ComputeDigest() const {
-  Writer w;
-  Serialize(w);
-  return Digest::Of(w.Buffer());
+  return DigestOfSerialized(*this);
 }
 
 void BlockInfo::Serialize(Writer& w) const {
@@ -119,9 +134,7 @@ bool Vertex::HasStrongEdgeTo(NodeId parent_source) const {
 }
 
 Digest Vertex::ComputeDigest() const {
-  Writer w;
-  Serialize(w);
-  return Digest::Of(w.Buffer());
+  return DigestOfSerialized(*this);
 }
 
 void Vertex::Serialize(Writer& w) const {

@@ -1,25 +1,45 @@
 #include "net/runtime.h"
 
+#include "common/pool.h"
+
 namespace clandag {
+
+void Runtime::Send(NodeId to, MsgType type, Bytes payload) {
+  size_t size = payload.size();
+  Send(to, type, BufferPool::Global().AdoptShared(std::move(payload)), size);
+}
 
 void Runtime::Multicast(const std::vector<NodeId>& targets, MsgType type, Bytes payload,
                         size_t wire_size) {
   if (wire_size == 0) {
     wire_size = payload.size();
   }
-  auto shared = std::make_shared<const Bytes>(std::move(payload));
-  for (NodeId to : targets) {
-    Send(to, type, shared, wire_size);
-  }
+  Multicast(targets, type, BufferPool::Global().AdoptShared(std::move(payload)), wire_size);
 }
 
 void Runtime::Broadcast(MsgType type, Bytes payload, size_t wire_size) {
   if (wire_size == 0) {
     wire_size = payload.size();
   }
-  auto shared = std::make_shared<const Bytes>(std::move(payload));
+  Broadcast(type, BufferPool::Global().AdoptShared(std::move(payload)), wire_size);
+}
+
+void Runtime::Multicast(const std::vector<NodeId>& targets, MsgType type,
+                        std::shared_ptr<const Bytes> payload, size_t wire_size) {
+  if (wire_size == 0) {
+    wire_size = payload->size();
+  }
+  for (NodeId to : targets) {
+    Send(to, type, payload, wire_size);
+  }
+}
+
+void Runtime::Broadcast(MsgType type, std::shared_ptr<const Bytes> payload, size_t wire_size) {
+  if (wire_size == 0) {
+    wire_size = payload->size();
+  }
   for (NodeId to = 0; to < num_nodes(); ++to) {
-    Send(to, type, shared, wire_size);
+    Send(to, type, payload, wire_size);
   }
 }
 

@@ -63,16 +63,26 @@ class Runtime {
 
   // -- Convenience helpers (non-virtual). --
 
-  void Send(NodeId to, MsgType type, Bytes payload) {
-    size_t size = payload.size();
-    Send(to, type, std::make_shared<const Bytes>(std::move(payload)), size);
-  }
+  // The by-value helpers move `payload` into a pooled shared buffer
+  // (common/pool.h), so the capacity is recycled once the transport drops
+  // its last reference.
+  void Send(NodeId to, MsgType type, Bytes payload);
 
   void Multicast(const std::vector<NodeId>& targets, MsgType type, Bytes payload,
                  size_t wire_size = 0);
 
   // Sends to every node in the system, including self.
   void Broadcast(MsgType type, Bytes payload, size_t wire_size = 0);
+
+  // Pre-shared variants: serialize once, enqueue the same buffer everywhere
+  // (see EncodeToShared in common/pool.h). `wire_size` of 0 means the
+  // payload's own size. Virtual so transports can fan the shared buffer out
+  // in one hop (TcpRuntime encodes one frame header and appends the same
+  // payload to every per-peer out-queue); the default loops over Send().
+  virtual void Multicast(const std::vector<NodeId>& targets, MsgType type,
+                         std::shared_ptr<const Bytes> payload, size_t wire_size = 0);
+  virtual void Broadcast(MsgType type, std::shared_ptr<const Bytes> payload,
+                         size_t wire_size = 0);
 };
 
 }  // namespace clandag

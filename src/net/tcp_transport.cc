@@ -7,6 +7,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -16,6 +17,7 @@
 #include "common/check.h"
 #include "common/codec.h"
 #include "common/log.h"
+#include "common/pool.h"
 
 namespace clandag {
 
@@ -37,28 +39,29 @@ void SetNoDelay(int fd) {
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-Bytes EncodeFrame(MsgType type, const Bytes& payload) {
-  Bytes frame;
-  frame.reserve(kFrameHeader + 2 + payload.size());
-  uint32_t len = static_cast<uint32_t>(2 + payload.size());
-  for (int i = 0; i < 4; ++i) {
-    frame.push_back(static_cast<uint8_t>(len >> (8 * i)));
-  }
-  frame.push_back(static_cast<uint8_t>(type));
-  frame.push_back(static_cast<uint8_t>(type >> 8));
-  frame.insert(frame.end(), payload.begin(), payload.end());
-  return frame;
-}
-
-Bytes EncodeHello(NodeId id) {
-  Writer w;
-  w.U32(kHelloMagic);
-  w.U32(id);
-  Bytes payload = w.Take();
-  return EncodeFrame(0xffff, payload);
-}
-
 }  // namespace
+
+TcpRuntime::OutFrame TcpRuntime::MakeFrame(MsgType type, std::shared_ptr<const Bytes> payload,
+                                           bool control) {
+  OutFrame f;
+  const uint32_t len = static_cast<uint32_t>(2 + payload->size());
+  for (int i = 0; i < 4; ++i) {
+    f.header[static_cast<size_t>(i)] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  f.header[4] = static_cast<uint8_t>(type);
+  f.header[5] = static_cast<uint8_t>(type >> 8);
+  f.payload = std::move(payload);
+  f.control = control;
+  return f;
+}
+
+TcpRuntime::OutFrame TcpRuntime::EncodeHello(NodeId id) {
+  return MakeFrame(0xffff, EncodeToShared([id](Writer& w) {
+                     w.U32(kHelloMagic);
+                     w.U32(id);
+                   }),
+                   /*control=*/true);
+}
 
 TcpRuntime::TcpRuntime(TcpConfig config, MessageHandler* handler)
     : config_(std::move(config)), handler_(handler) {
@@ -188,29 +191,64 @@ void TcpRuntime::Send(NodeId to, MsgType type, std::shared_ptr<const Bytes> payl
   }
   Post([this, to, type, payload = std::move(payload)] {
     loop_role_.AssertHeld();
-    n_sends_.fetch_add(1, std::memory_order_relaxed);
-    Bytes frame = EncodeFrame(type, *payload);
-    const int fd = outbound_fd_[to];
-    auto it = fd >= 0 ? conns_.find(fd) : conns_.end();
-    if (it == conns_.end() || !it->second->connected) {
-      // No established connection (mesh still forming, or the link is down
-      // mid-partition): hold the frame instead of silently dropping it.
-      BufferPreconnect(to, std::move(frame));
-      return;
-    }
-    if (EnqueueFrame(*it->second, std::move(frame))) {
-      FlushConn(*it->second);
+    RouteFrame(to, MakeFrame(type, std::move(payload)));
+  });
+}
+
+void TcpRuntime::Multicast(const std::vector<NodeId>& targets, MsgType type,
+                           std::shared_ptr<const Bytes> payload, size_t /*wire_size*/) {
+  // One command for the whole fan-out: the header is encoded once and every
+  // target's queue gets a frame aliasing the same payload buffer.
+  Post([this, targets, type, payload = std::move(payload)] {
+    loop_role_.AssertHeld();
+    const OutFrame frame = MakeFrame(type, payload);
+    for (NodeId to : targets) {
+      if (to == config_.id) {
+        handler_->OnMessage(config_.id, type, *payload);
+        continue;
+      }
+      RouteFrame(to, frame);
     }
   });
 }
 
-void TcpRuntime::BufferPreconnect(NodeId peer, Bytes frame) {
+void TcpRuntime::Broadcast(MsgType type, std::shared_ptr<const Bytes> payload,
+                           size_t /*wire_size*/) {
+  Post([this, type, payload = std::move(payload)] {
+    loop_role_.AssertHeld();
+    const OutFrame frame = MakeFrame(type, payload);
+    for (NodeId to = 0; to < config_.num_nodes; ++to) {
+      if (to == config_.id) {
+        handler_->OnMessage(config_.id, type, *payload);
+        continue;
+      }
+      RouteFrame(to, frame);
+    }
+  });
+}
+
+void TcpRuntime::RouteFrame(NodeId to, OutFrame frame) {
+  n_sends_.fetch_add(1, std::memory_order_relaxed);
+  const int fd = outbound_fd_[to];
+  auto it = fd >= 0 ? conns_.find(fd) : conns_.end();
+  if (it == conns_.end() || !it->second->connected) {
+    // No established connection (mesh still forming, or the link is down
+    // mid-partition): hold the frame instead of silently dropping it.
+    BufferPreconnect(to, std::move(frame));
+    return;
+  }
+  if (EnqueueFrame(*it->second, std::move(frame))) {
+    FlushConn(*it->second);
+  }
+}
+
+void TcpRuntime::BufferPreconnect(NodeId peer, OutFrame frame) {
   n_preconnect_buffered_.fetch_add(1, std::memory_order_relaxed);
   if (frame.size() > config_.max_preconnect_bytes) {
     n_preconnect_dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  std::deque<Bytes>& buf = preconnect_buf_[peer];
+  std::deque<OutFrame>& buf = preconnect_buf_[peer];
   size_t& bytes = preconnect_bytes_[peer];
   bytes += frame.size();
   buf.push_back(std::move(frame));
@@ -221,14 +259,14 @@ void TcpRuntime::BufferPreconnect(NodeId peer, Bytes frame) {
   }
 }
 
-bool TcpRuntime::EnqueueFrame(Conn& conn, Bytes frame) {
+bool TcpRuntime::EnqueueFrame(Conn& conn, OutFrame frame) {
   if (config_.max_out_queue_bytes != 0 &&
       conn.out_bytes + frame.size() > config_.max_out_queue_bytes) {
     n_queue_dropped_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   conn.out_bytes += frame.size();
-  conn.out_queue.push_back(OutFrame{std::move(frame), false});
+  conn.out_queue.push_back(std::move(frame));
   return true;
 }
 
@@ -301,16 +339,16 @@ void TcpRuntime::ScheduleRedial(NodeId peer) {
 
 void TcpRuntime::OnOutboundEstablished(Conn& conn) {
   conn.connected = true;
-  conn.out_queue.push_front(OutFrame{EncodeHello(config_.id), true});
-  conn.out_bytes += conn.out_queue.front().bytes.size();
+  conn.out_queue.push_front(EncodeHello(config_.id));
+  conn.out_bytes += conn.out_queue.front().size();
   connected_peers_.fetch_add(1);
   peer_failures_[conn.peer].store(0, std::memory_order_relaxed);
   peer_connected_[conn.peer].store(true, std::memory_order_relaxed);
   // Release everything buffered while the link was down. A frame evicted
   // here by the queue bound is counted in queue_dropped.
-  std::deque<Bytes>& buf = preconnect_buf_[conn.peer];
+  std::deque<OutFrame>& buf = preconnect_buf_[conn.peer];
   while (!buf.empty()) {
-    Bytes frame = std::move(buf.front());
+    OutFrame frame = std::move(buf.front());
     buf.pop_front();
     preconnect_bytes_[conn.peer] -= frame.size();
     n_preconnect_flushed_.fetch_add(1, std::memory_order_relaxed);
@@ -444,12 +482,45 @@ void TcpRuntime::FlushConn(Conn& conn) {
   if (!conn.connected) {
     return;
   }
+  // Headers and payloads are scattered straight from the queue with
+  // sendmsg(): no per-peer frame assembly, and up to kGatherFrames frames
+  // go out per syscall. `out_offset` is the byte offset into the *front*
+  // frame (header + payload) already written.
+  constexpr size_t kGatherFrames = 32;
   while (!conn.out_queue.empty()) {
-    const Bytes& front = conn.out_queue.front().bytes;
+    iovec iov[kGatherFrames * 2];
+    size_t niov = 0;
+    size_t gathered = 0;
+    size_t skip = conn.out_offset;  // Only the front frame is partially sent.
+    for (const OutFrame& f : conn.out_queue) {
+      if (niov + 2 > kGatherFrames * 2) {
+        break;
+      }
+      size_t off = skip;
+      skip = 0;
+      if (off < kHeaderBytes) {
+        iov[niov].iov_base = const_cast<uint8_t*>(f.header.data() + off);
+        iov[niov].iov_len = kHeaderBytes - off;
+        gathered += iov[niov].iov_len;
+        ++niov;
+        off = 0;
+      } else {
+        off -= kHeaderBytes;
+      }
+      const Bytes& p = *f.payload;
+      if (off < p.size()) {
+        iov[niov].iov_base = const_cast<uint8_t*>(p.data() + off);
+        iov[niov].iov_len = p.size() - off;
+        gathered += iov[niov].iov_len;
+        ++niov;
+      }
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
     // MSG_NOSIGNAL: a peer that closed mid-send must surface as EPIPE, not
     // kill the process with SIGPIPE.
-    ssize_t n = send(conn.fd, front.data() + conn.out_offset, front.size() - conn.out_offset,
-                     MSG_NOSIGNAL);
+    ssize_t n = sendmsg(conn.fd, &mh, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         break;
@@ -458,10 +529,15 @@ void TcpRuntime::FlushConn(Conn& conn) {
       return;
     }
     conn.out_offset += static_cast<size_t>(n);
-    if (conn.out_offset == front.size()) {
-      conn.out_bytes -= front.size();
+    while (!conn.out_queue.empty() && conn.out_offset >= conn.out_queue.front().size()) {
+      conn.out_offset -= conn.out_queue.front().size();
+      conn.out_bytes -= conn.out_queue.front().size();
       conn.out_queue.pop_front();
-      conn.out_offset = 0;
+    }
+    if (static_cast<size_t>(n) < gathered) {
+      // Short write: the socket buffer is full, so the next sendmsg() would
+      // only return EAGAIN. Leave the rest for EPOLLOUT.
+      break;
     }
   }
   UpdateEpoll(conn);
@@ -526,7 +602,7 @@ void TcpRuntime::CloseConn(int fd) {
         continue;
       }
       if (!f.control) {
-        BufferPreconnect(conn.peer, std::move(f.bytes));
+        BufferPreconnect(conn.peer, std::move(f));
       }
     }
     if (running_.load()) {

@@ -26,6 +26,7 @@
 #ifndef CLANDAG_NET_TCP_TRANSPORT_H_
 #define CLANDAG_NET_TCP_TRANSPORT_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <deque>
@@ -98,18 +99,39 @@ class TcpRuntime final : public Runtime {
   void Post(std::function<void()> fn);
 
   // -- Runtime --
-  using Runtime::Send;  // Keep the by-value convenience overload visible.
+  // Keep the by-value convenience overloads visible alongside the overrides.
+  using Runtime::Send;
+  using Runtime::Multicast;
+  using Runtime::Broadcast;
   NodeId id() const override { return config_.id; }
   uint32_t num_nodes() const override { return config_.num_nodes; }
   TimeMicros Now() const override;
   void Schedule(TimeMicros delay, std::function<void()> fn) override;
   void Send(NodeId to, MsgType type, std::shared_ptr<const Bytes> payload,
             size_t wire_size) override;
+  // Single-serialize fan-out: one loop-thread hop encodes one frame header
+  // and appends the same shared payload to every target's out-queue (the
+  // default base implementations would Post one command per target and the
+  // old transport additionally copied payload bytes into a frame per peer).
+  void Multicast(const std::vector<NodeId>& targets, MsgType type,
+                 std::shared_ptr<const Bytes> payload, size_t wire_size = 0) override;
+  void Broadcast(MsgType type, std::shared_ptr<const Bytes> payload,
+                 size_t wire_size = 0) override;
 
  private:
+  // Wire frame header: u32 length of (type + payload), u16 type.
+  static constexpr size_t kHeaderBytes = 6;
+
+  // One queued outbound frame. The header lives inline; the payload is the
+  // shared message buffer itself — a broadcast queues the same Bytes on
+  // every peer and the writer scatters header + payload with sendmsg(), so
+  // payload bytes are never copied per peer.
   struct OutFrame {
-    Bytes bytes;
+    std::array<uint8_t, kHeaderBytes> header{};
+    std::shared_ptr<const Bytes> payload;
     bool control = false;  // Hello frame: never salvaged across reconnects.
+
+    size_t size() const { return kHeaderBytes + payload->size(); }
   };
 
   struct Conn {
@@ -132,6 +154,10 @@ class TcpRuntime final : public Runtime {
     }
   };
 
+  static OutFrame MakeFrame(MsgType type, std::shared_ptr<const Bytes> payload,
+                            bool control = false);
+  static OutFrame EncodeHello(NodeId id);
+
   void Loop() CLANDAG_REQUIRES(loop_role_);
   void StartListen();
   void DialPeer(NodeId peer) CLANDAG_REQUIRES(loop_role_);
@@ -143,10 +169,13 @@ class TcpRuntime final : public Runtime {
   void OnOutboundEstablished(Conn& conn) CLANDAG_REQUIRES(loop_role_);
   // Appends `frame` to the peer's pre-connect buffer, evicting oldest frames
   // to stay under max_preconnect_bytes.
-  void BufferPreconnect(NodeId peer, Bytes frame) CLANDAG_REQUIRES(loop_role_);
+  void BufferPreconnect(NodeId peer, OutFrame frame) CLANDAG_REQUIRES(loop_role_);
   // Appends a payload frame to an established conn, enforcing
   // max_out_queue_bytes (false = dropped and counted).
-  bool EnqueueFrame(Conn& conn, Bytes frame) CLANDAG_REQUIRES(loop_role_);
+  bool EnqueueFrame(Conn& conn, OutFrame frame) CLANDAG_REQUIRES(loop_role_);
+  // Routes one frame towards `to`: out-queue of the established connection,
+  // or the pre-connect buffer while the link is down.
+  void RouteFrame(NodeId to, OutFrame frame) CLANDAG_REQUIRES(loop_role_);
   void HandleAccept() CLANDAG_REQUIRES(loop_role_);
   void HandleReadable(Conn& conn) CLANDAG_REQUIRES(loop_role_);
   void HandleWritable(Conn& conn) CLANDAG_REQUIRES(loop_role_);
@@ -175,7 +204,7 @@ class TcpRuntime final : public Runtime {
   // Peer id -> fd (-1 if down).
   std::vector<int> outbound_fd_ CLANDAG_GUARDED_BY(loop_role_);
   // Frames awaiting an outbound connection, per peer, with their byte total.
-  std::vector<std::deque<Bytes>> preconnect_buf_ CLANDAG_GUARDED_BY(loop_role_);
+  std::vector<std::deque<OutFrame>> preconnect_buf_ CLANDAG_GUARDED_BY(loop_role_);
   std::vector<size_t> preconnect_bytes_ CLANDAG_GUARDED_BY(loop_role_);
   DetRng rng_ CLANDAG_GUARDED_BY(loop_role_){1};
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_

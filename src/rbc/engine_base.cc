@@ -197,11 +197,11 @@ void RbcEngineBase::StartPull(NodeId sender, Round round) {
   RbcPullReqMsg req;
   req.sender = sender;
   req.round = round;
-  Bytes req_bytes = req.Encode();
+  auto req_bytes = std::make_shared<const Bytes>(req.Encode());
   for (uint32_t i = 0; i < config_.pull_fanout; ++i) {
     NodeId target = holders[(inst.pull_round_robin + i) % holders.size()];
     if (target != runtime_.id()) {
-      runtime_.Send(target, kRbcPullReq, req_bytes);
+      runtime_.Send(target, kRbcPullReq, req_bytes, req_bytes->size());
     }
   }
   inst.pull_round_robin += config_.pull_fanout;

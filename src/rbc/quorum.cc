@@ -1,5 +1,7 @@
 #include "rbc/quorum.h"
 
+#include <algorithm>
+
 namespace clandag {
 
 bool VoteTracker::Add(NodeId voter, bool in_clan, std::optional<Signature> sig) {
@@ -11,7 +13,10 @@ bool VoteTracker::Add(NodeId voter, bool in_clan, std::optional<Signature> sig) 
     ++clan_count_;
   }
   if (sig.has_value()) {
-    sigs_.emplace(voter, *sig);
+    if (sigs_.empty()) {
+      sigs_.reserve(voters_.num_parties());
+    }
+    sigs_.emplace_back(voter, *sig);
   }
   return true;
 }
@@ -27,10 +32,15 @@ std::vector<NodeId> VoteTracker::ClanVoters(const std::vector<NodeId>& clan) con
 }
 
 MultiSig VoteTracker::BuildCert() const {
+  // MultiSig::Aggregate wants parts aligned with signers.Ids() (id order);
+  // votes arrive in network order, so sort a copy.
+  std::vector<std::pair<NodeId, Signature>> sorted = sigs_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   SignerBitmap signers(voters_.num_parties());
   std::vector<Signature> parts;
-  parts.reserve(sigs_.size());
-  for (const auto& [id, sig] : sigs_) {
+  parts.reserve(sorted.size());
+  for (const auto& [id, sig] : sorted) {
     signers.Set(id);
     parts.push_back(sig);
   }

@@ -3,8 +3,8 @@
 #ifndef CLANDAG_RBC_QUORUM_H_
 #define CLANDAG_RBC_QUORUM_H_
 
-#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "crypto/multisig.h"
@@ -13,6 +13,10 @@ namespace clandag {
 
 // Counts distinct voters for one (instance, digest) pair, tracking how many
 // come from inside a clan and retaining signatures for certificate assembly.
+//
+// Signatures live in a flat append-only vector (the voter bitmap already
+// deduplicates), reserved once on the first signed vote — one allocation per
+// tracker instead of one map node per vote on the consensus hot path.
 class VoteTracker {
  public:
   explicit VoteTracker(uint32_t num_nodes) : voters_(num_nodes) {}
@@ -34,7 +38,7 @@ class VoteTracker {
  private:
   SignerBitmap voters_;
   uint32_t clan_count_ = 0;
-  std::map<NodeId, Signature> sigs_;
+  std::vector<std::pair<NodeId, Signature>> sigs_;  // Unsorted; BuildCert sorts.
 };
 
 }  // namespace clandag

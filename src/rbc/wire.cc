@@ -37,15 +37,25 @@ std::optional<RbcValMsg> RbcValMsg::Decode(const Bytes& payload) {
 
 Bytes RbcVoteMsg::SignedMessage(MsgType type, NodeId sender, Round round, const Digest& digest) {
   Writer w;
+  SignedMessageTo(w, type, sender, round, digest);
+  return w.Take();
+}
+
+void RbcVoteMsg::SignedMessageTo(Writer& w, MsgType type, NodeId sender, Round round,
+                                 const Digest& digest) {
   w.U16(type);
   w.U32(sender);
   w.U64(round);
   digest.Serialize(w);
-  return w.Take();
 }
 
 Bytes RbcVoteMsg::Encode() const {
   Writer w;
+  EncodeTo(w);
+  return w.Take();
+}
+
+void RbcVoteMsg::EncodeTo(Writer& w) const {
   w.U32(sender);
   w.U64(round);
   digest.Serialize(w);
@@ -53,7 +63,6 @@ Bytes RbcVoteMsg::Encode() const {
   if (sig.has_value()) {
     sig->Serialize(w);
   }
-  return w.Take();
 }
 
 std::optional<RbcVoteMsg> RbcVoteMsg::Decode(const Bytes& payload) {
@@ -73,11 +82,15 @@ std::optional<RbcVoteMsg> RbcVoteMsg::Decode(const Bytes& payload) {
 
 Bytes RbcCertMsg::Encode() const {
   Writer w;
+  EncodeTo(w);
+  return w.Take();
+}
+
+void RbcCertMsg::EncodeTo(Writer& w) const {
   w.U32(sender);
   w.U64(round);
   digest.Serialize(w);
   sig.Serialize(w);
-  return w.Take();
 }
 
 std::optional<RbcCertMsg> RbcCertMsg::Decode(const Bytes& payload) {

@@ -46,8 +46,12 @@ struct RbcVoteMsg {
 
   // Bytes covered by the signature in signed mode.
   static Bytes SignedMessage(MsgType type, NodeId sender, Round round, const Digest& digest);
+  // Same, into a caller-provided Writer (reusable scratch on the hot path).
+  static void SignedMessageTo(Writer& w, MsgType type, NodeId sender, Round round,
+                              const Digest& digest);
 
   Bytes Encode() const;
+  void EncodeTo(Writer& w) const;
   [[nodiscard]] static std::optional<RbcVoteMsg> Decode(const Bytes& payload);
 };
 
@@ -59,6 +63,7 @@ struct RbcCertMsg {
   MultiSig sig;
 
   Bytes Encode() const;
+  void EncodeTo(Writer& w) const;
   [[nodiscard]] static std::optional<RbcCertMsg> Decode(const Bytes& payload);
 };
 

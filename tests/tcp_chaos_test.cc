@@ -224,6 +224,10 @@ TEST(TcpChaos, ByzantineSuiteOverTcpPreservesSafety) {
       options.consensus.num_nodes = kNodes;
       options.consensus.num_faults = 1;
       options.consensus.round_timeout = Millis(500);
+      // Chaos coverage for the off-thread verification path: echo HMACs and
+      // cert multisigs are checked on worker threads under real Byzantine
+      // traffic, with in-order delivery back onto the loop thread.
+      options.verify_workers = 2;
       AppNodeCallbacks callbacks;
       auto* counter = &ordered[id];
       callbacks.on_ordered = [counter, id, &oracle](const Vertex& v) {

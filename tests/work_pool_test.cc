@@ -1,0 +1,206 @@
+// OrderedVerifyPool (common/work_pool.h): in-order delivery despite
+// out-of-order completion, inline mode, verdict propagation, backpressure
+// accounting, and a 30-seed randomized stress ("chaos") sweep.
+
+#include "common/work_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace clandag {
+namespace {
+
+// FIFO executor standing in for TcpRuntime::Post: worker threads enqueue,
+// one drainer thread runs the closures in order.
+class FifoExecutor {
+ public:
+  FifoExecutor() : drainer_([this] { Drain(); }) {}
+  ~FifoExecutor() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    drainer_.join();
+  }
+
+  void Post(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(fn));
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  void Drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty() && stopping_) {
+        return;
+      }
+      auto fn = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      fn();
+      lock.lock();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::thread drainer_;
+};
+
+TEST(OrderedVerifyPool, InlineModeRunsSynchronously) {
+  OrderedVerifyPool pool({.num_workers = 0}, nullptr);
+  int order = 0;
+  int verified_at = -1;
+  int done_at = -1;
+  pool.Submit(
+      [&] {
+        verified_at = order++;
+        return true;
+      },
+      [&](bool ok) {
+        EXPECT_TRUE(ok);
+        done_at = order++;
+      });
+  EXPECT_EQ(verified_at, 0);
+  EXPECT_EQ(done_at, 1);
+}
+
+TEST(OrderedVerifyPool, VerdictReachesDone) {
+  FifoExecutor exec;
+  OrderedVerifyPool pool({.num_workers = 2},
+                         [&exec](std::function<void()> fn) { exec.Post(std::move(fn)); });
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<bool> verdicts;
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([i] { return i % 3 == 0; },
+                [&, i](bool ok) {
+                  std::lock_guard<std::mutex> lock(mu);
+                  EXPECT_EQ(ok, i % 3 == 0);
+                  verdicts.push_back(ok);
+                  cv.notify_all();
+                });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                          [&] { return verdicts.size() == 10; }));
+}
+
+// The core contract: done callbacks run in submission order even when slow
+// early jobs finish after fast later ones.
+TEST(OrderedVerifyPool, OutOfOrderCompletionDeliversInOrder) {
+  FifoExecutor exec;
+  OrderedVerifyPool pool({.num_workers = 4, .max_batch = 1},
+                         [&exec](std::function<void()> fn) { exec.Post(std::move(fn)); });
+  constexpr int kJobs = 64;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> delivered;
+  for (int i = 0; i < kJobs; ++i) {
+    pool.Submit(
+        [i] {
+          // Early jobs are the slowest: forces completion order to invert
+          // submission order unless the pool re-orders on release.
+          std::this_thread::sleep_for(std::chrono::microseconds((kJobs - i) * 50));
+          return true;
+        },
+        [&, i](bool) {
+          std::lock_guard<std::mutex> lock(mu);
+          delivered.push_back(i);
+          cv.notify_all();
+        });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return delivered.size() == kJobs; }));
+  for (int i = 0; i < kJobs; ++i) {
+    ASSERT_EQ(delivered[static_cast<size_t>(i)], i) << "delivery out of order";
+  }
+}
+
+// Chaos sweep: 30 fixed seeds of randomized verify latencies and batch
+// shapes; every seed must deliver every job exactly once, in order.
+TEST(OrderedVerifyPool, ThirtySeedRandomizedSweepKeepsOrder) {
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    uint64_t rng = seed * 0x9e3779b97f4a7c15ULL;
+    auto next = [&rng] {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+    FifoExecutor exec;
+    OrderedVerifyPool pool(
+        {.num_workers = static_cast<uint32_t>(1 + next() % 4),
+         .max_batch = static_cast<size_t>(1 + next() % 8)},
+        [&exec](std::function<void()> fn) { exec.Post(std::move(fn)); });
+    const int jobs = static_cast<int>(20 + next() % 50);
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<int> delivered;
+    for (int i = 0; i < jobs; ++i) {
+      const auto delay = std::chrono::microseconds(next() % 300);
+      pool.Submit(
+          [delay] {
+            std::this_thread::sleep_for(delay);
+            return true;
+          },
+          [&, i](bool) {
+            std::lock_guard<std::mutex> lock(mu);
+            delivered.push_back(i);
+            cv.notify_all();
+          });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return static_cast<int>(delivered.size()) == jobs; }))
+        << "seed " << seed;
+    for (int i = 0; i < jobs; ++i) {
+      ASSERT_EQ(delivered[static_cast<size_t>(i)], i) << "seed " << seed;
+    }
+  }
+}
+
+TEST(OrderedVerifyPool, StatsCountSubmissions) {
+  FifoExecutor exec;
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  {
+    OrderedVerifyPool pool({.num_workers = 1},
+                           [&exec](std::function<void()> fn) { exec.Post(std::move(fn)); });
+    for (int i = 0; i < 5; ++i) {
+      pool.Submit([] { return true; },
+                  [&](bool) {
+                    std::lock_guard<std::mutex> lock(mu);
+                    ++done;
+                    cv.notify_all();
+                  });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10), [&] { return done == 5; }));
+    const OrderedVerifyPool::Stats stats = pool.stats();
+    EXPECT_EQ(stats.submitted, 5u);
+    EXPECT_GE(stats.delivered_batches, 1u);
+    EXPECT_LE(stats.delivered_batches, 5u);
+  }
+}
+
+}  // namespace
+}  // namespace clandag

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json sweep against its checked-in baseline.
+
+CI's bench-perf job reruns the quick Figure 5 / Figure 6 / ingress sweeps and
+feeds each fresh JSON through this checker with the repo's committed baseline:
+
+    tools/check_bench_regression.py --baseline BENCH_fig5.json \
+        --current fresh_fig5.json --summary "$GITHUB_STEP_SUMMARY"
+
+A run fails (exit 1) when any baseline row's counterpart:
+  - is missing from the current sweep, or reports ok/agreement failure;
+  - drops goodput (throughput_ktps or goodput_tps) more than --goodput-drop-pct;
+  - raises allocs_per_commit more than --allocs-rise-pct AND more than
+    --allocs-abs-slack allocations (the absolute slack keeps already-tiny
+    alloc counts from tripping on scheduler noise).
+
+Rows are matched on (protocol, txs_per_proposal) for figure sweeps and
+(runtime, offered_tps) for ingress sweeps; the schema is auto-detected.
+A markdown delta table goes to stdout and, with --summary, is appended to
+that file (CI passes $GITHUB_STEP_SUMMARY).
+
+Refreshing baselines intentionally: regenerate with the bench's --out flag and
+commit the new JSON alongside the change that moved the numbers (see README).
+
+`--self-test` exercises the checker against synthetic pass/regress fixtures
+and is wired into ctest so the gate itself cannot silently rot.
+"""
+
+import argparse
+import json
+import sys
+
+GOODPUT_KEYS = ("throughput_ktps", "goodput_tps")
+KEY_FIELDS = (("protocol", "txs_per_proposal"), ("runtime", "offered_tps"))
+
+
+def row_key(row):
+    for fields in KEY_FIELDS:
+        if all(f in row for f in fields):
+            return tuple((f, row[f]) for f in fields)
+    raise ValueError(f"row has no recognised key fields: {sorted(row)}")
+
+
+def goodput_of(row):
+    for key in GOODPUT_KEYS:
+        if key in row:
+            return key, float(row[key])
+    raise ValueError(f"row has no goodput field: {sorted(row)}")
+
+
+def row_ok(row):
+    return bool(row.get("ok", True)) and bool(row.get("agreement_ok", True))
+
+
+def fmt_key(key):
+    return " ".join(str(v) for _, v in key)
+
+
+def fmt_pct(base, cur):
+    if base == 0:
+        return "n/a"
+    return f"{(cur - base) / base * 100.0:+.1f}%"
+
+
+def compare(baseline, current, goodput_drop_pct, allocs_rise_pct, allocs_abs_slack):
+    """Returns (failures, table_lines)."""
+    current_by_key = {row_key(r): r for r in current}
+    failures = []
+    lines = [
+        "| point | goodput (base) | goodput (now) | Δ | allocs/commit (base) | allocs/commit (now) | Δ | status |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for base in baseline:
+        key = row_key(base)
+        name = fmt_key(key)
+        cur = current_by_key.get(key)
+        if cur is None:
+            failures.append(f"{name}: missing from current sweep")
+            lines.append(f"| {name} | | | | | | | MISSING |")
+            continue
+        if not row_ok(cur):
+            failures.append(f"{name}: current run reports failure "
+                            f"({cur.get('error', 'agreement_ok=false')})")
+            lines.append(f"| {name} | | | | | | | RUN FAILED |")
+            continue
+
+        _, g_base = goodput_of(base)
+        _, g_cur = goodput_of(cur)
+        a_base = float(base.get("allocs_per_commit", 0.0))
+        a_cur = float(cur.get("allocs_per_commit", 0.0))
+
+        status = "ok"
+        if g_base > 0 and g_cur < g_base * (1.0 - goodput_drop_pct / 100.0):
+            failures.append(
+                f"{name}: goodput {g_cur:.1f} dropped more than "
+                f"{goodput_drop_pct:.0f}% below baseline {g_base:.1f}")
+            status = "GOODPUT REGRESSION"
+        if (a_base > 0 and a_cur > a_base * (1.0 + allocs_rise_pct / 100.0)
+                and a_cur - a_base > allocs_abs_slack):
+            failures.append(
+                f"{name}: allocs/commit {a_cur:.0f} rose more than "
+                f"{allocs_rise_pct:.0f}% above baseline {a_base:.0f}")
+            status = ("ALLOCS REGRESSION" if status == "ok"
+                      else status + " + ALLOCS REGRESSION")
+
+        lines.append(
+            f"| {name} | {g_base:.1f} | {g_cur:.1f} | {fmt_pct(g_base, g_cur)} "
+            f"| {a_base:.0f} | {a_cur:.0f} | {fmt_pct(a_base, a_cur)} | {status} |")
+    return failures, lines
+
+
+def self_test():
+    baseline = [
+        {"protocol": "sailfish", "txs_per_proposal": 500, "ok": True,
+         "agreement_ok": True, "throughput_ktps": 100.0, "allocs_per_commit": 700.0},
+        {"runtime": "sim", "offered_tps": 8000, "goodput_tps": 10000.0,
+         "allocs_per_commit": 55.0},
+    ]
+
+    # Identical sweep passes.
+    failures, _ = compare(baseline, baseline, 15.0, 10.0, 50.0)
+    assert not failures, f"identical sweep flagged: {failures}"
+
+    # Noise inside the band passes: -10% goodput, +8% allocs.
+    noisy = json.loads(json.dumps(baseline))
+    noisy[0]["throughput_ktps"] = 90.0
+    noisy[0]["allocs_per_commit"] = 756.0
+    failures, _ = compare(baseline, noisy, 15.0, 10.0, 50.0)
+    assert not failures, f"in-band noise flagged: {failures}"
+
+    # Synthetic goodput regression fails.
+    slow = json.loads(json.dumps(baseline))
+    slow[0]["throughput_ktps"] = 70.0
+    failures, _ = compare(baseline, slow, 15.0, 10.0, 50.0)
+    assert len(failures) == 1 and "goodput" in failures[0], failures
+
+    # Synthetic alloc regression fails.
+    leaky = json.loads(json.dumps(baseline))
+    leaky[0]["allocs_per_commit"] = 7000.0
+    failures, _ = compare(baseline, leaky, 15.0, 10.0, 50.0)
+    assert len(failures) == 1 and "allocs" in failures[0], failures
+
+    # Tiny absolute alloc wiggle on a small-count row passes (abs slack),
+    # even though it exceeds the percentage band.
+    wiggle = json.loads(json.dumps(baseline))
+    wiggle[1]["allocs_per_commit"] = 85.0  # +55% but +30 absolute.
+    failures, _ = compare(baseline, wiggle, 15.0, 10.0, 50.0)
+    assert not failures, f"abs-slack wiggle flagged: {failures}"
+
+    # Missing row fails.
+    failures, _ = compare(baseline, baseline[:1], 15.0, 10.0, 50.0)
+    assert len(failures) == 1 and "missing" in failures[0], failures
+
+    # A row that ran but lost agreement fails.
+    broken = json.loads(json.dumps(baseline))
+    broken[0]["agreement_ok"] = False
+    failures, _ = compare(baseline, broken, 15.0, 10.0, 50.0)
+    assert len(failures) == 1 and "failure" in failures[0], failures
+
+    print("self-test: ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline", help="checked-in BENCH_*.json")
+    parser.add_argument("--current", help="freshly generated JSON to check")
+    parser.add_argument("--goodput-drop-pct", type=float, default=15.0)
+    parser.add_argument("--allocs-rise-pct", type=float, default=10.0)
+    parser.add_argument("--allocs-abs-slack", type=float, default=50.0,
+                        help="alloc rises below this absolute count never fail")
+    parser.add_argument("--summary", help="file to append the markdown delta table to")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required (or --self-test)")
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    failures, lines = compare(baseline, current, args.goodput_drop_pct,
+                              args.allocs_rise_pct, args.allocs_abs_slack)
+
+    table = "\n".join([f"### {args.baseline} vs {args.current}", ""] + lines + [""])
+    print(table)
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(table + "\n")
+
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(baseline)} points within tolerance "
+          f"(goodput -{args.goodput_drop_pct:.0f}%, allocs +{args.allocs_rise_pct:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,14 @@ ingress-queue-caps
     queuing); an uncapped container there is a liveness bug a Byzantine
     client population will find.
 
+pool-capacity-contract
+    Same contract as ingress-queue-caps, applied to the hot-path pools in
+    src/common/pool.h and src/common/work_pool.h: every container member must
+    name the kMax* constant or max_* option that caps it, and each header must
+    carry a threading-contract comment. The pools sit under every message the
+    node sends or verifies; an uncapped free list or job queue is unbounded
+    memory on the hot path.
+
 nolint-justification
     A `NOLINT` / `NOLINTNEXTLINE` / `NOLINTBEGIN` that suppresses a
     clandag-* protocol check (or names no check at all, which suppresses
@@ -212,40 +220,54 @@ class Linter:
                         f"protocol check is wrong here",
                         line)
 
-    # -- Rule: ingress-queue-caps -------------------------------------------
+    # -- Rules: ingress-queue-caps + pool-capacity-contract -----------------
+    def _check_capped_header(self, rule, path, contract_msg, cap_msg):
+        lines = path.read_text().splitlines()
+        if not any(CONTRACT_RE.search(l) for l in lines):
+            self.report(rule, path, 1, contract_msg)
+        for lineno, line in enumerate(lines, 1):
+            code = strip_comments(line)
+            if not (INGRESS_CONTAINER_RE.search(code)
+                    and INGRESS_MEMBER_RE.search(code)):
+                continue
+            # The cap reference may sit in a trailing comment or in the
+            # comment block directly above the declaration.
+            context = [line]
+            back = lineno - 2
+            while back >= 0 and lines[back].strip().startswith("//"):
+                context.append(lines[back])
+                back -= 1
+            if not any(INGRESS_CAP_REF_RE.search(c) for c in context):
+                member = INGRESS_MEMBER_RE.search(code).group(1)
+                self.report(
+                    rule, path, lineno,
+                    f"container member '{member}' does not name its cap: "
+                    f"comment the kMax* constant or max_* option that "
+                    f"bounds it ({cap_msg})",
+                    line)
+
     def check_ingress_queue_caps(self):
         ingress = self.root / "src" / "ingress"
         if not ingress.is_dir():
             return
         for path in sorted(ingress.glob("*.h")):
-            lines = path.read_text().splitlines()
-            has_contract = any(CONTRACT_RE.search(l) for l in lines)
-            if not has_contract:
-                self.report(
-                    "ingress-queue-caps", path, 1,
-                    "ingress header has no 'Threading:' / 'Thread-safety:' "
-                    "contract comment (required for every src/ingress/ header)")
-            for lineno, line in enumerate(lines, 1):
-                code = strip_comments(line)
-                if not (INGRESS_CONTAINER_RE.search(code)
-                        and INGRESS_MEMBER_RE.search(code)):
-                    continue
-                # The cap reference may sit in a trailing comment or in the
-                # comment block directly above the declaration.
-                context = [line]
-                back = lineno - 2
-                while back >= 0 and lines[back].strip().startswith("//"):
-                    context.append(lines[back])
-                    back -= 1
-                if not any(INGRESS_CAP_REF_RE.search(c) for c in context):
-                    member = INGRESS_MEMBER_RE.search(code).group(1)
-                    self.report(
-                        "ingress-queue-caps", path, lineno,
-                        f"container member '{member}' does not name its cap: "
-                        f"comment the kMax* constant or max_* option that "
-                        f"bounds it (ingress memory must stay bounded under "
-                        f"overload)",
-                        line)
+            self._check_capped_header(
+                "ingress-queue-caps", path,
+                "ingress header has no 'Threading:' / 'Thread-safety:' "
+                "contract comment (required for every src/ingress/ header)",
+                "ingress memory must stay bounded under overload")
+
+    def check_pool_capacity_contracts(self):
+        for name in ("pool.h", "work_pool.h"):
+            path = self.root / "src" / "common" / name
+            if not path.is_file():
+                continue
+            self._check_capped_header(
+                "pool-capacity-contract", path,
+                f"src/common/{name} has no 'Threading:' / 'Thread-safety:' "
+                f"contract comment (required for the hot-path pools)",
+                "the pools sit under every message sent or verified; an "
+                "uncapped container here is unbounded hot-path memory")
 
     # -- Rule: threading-contract -------------------------------------------
     def check_threading_contracts(self):
@@ -269,6 +291,7 @@ class Linter:
         self.check_asserts()
         self.check_nolint_justifications()
         self.check_ingress_queue_caps()
+        self.check_pool_capacity_contracts()
         self.check_threading_contracts()
         return self.findings
 
