@@ -5,6 +5,10 @@
 #include <cstdio>
 #include <cstring>
 
+#ifdef CLANDAG_SCT
+#include "testing/sct/sct.h"
+#endif
+
 namespace clandag {
 
 namespace {
@@ -38,6 +42,13 @@ LogLevel GetLogLevel() {
 }
 
 void LogImpl(LogLevel level, const char* fmt, ...) {
+#ifdef CLANDAG_SCT
+  // Logging is the one cross-thread rendezvous (the shared stderr stream)
+  // the mutex hooks cannot see; make it an explicit schedule point so log
+  // statements perturb schedules under exploration exactly like they perturb
+  // real timing.
+  sct::SchedulePoint();
+#endif
   // Format the whole line into one buffer and emit it with a single stdio
   // call: fprintf locks the stream only per call, so the old
   // prefix/body/newline triple could interleave with lines from other

@@ -92,7 +92,7 @@ class ControlBlockArena {
  private:
   bool Owns(const void* p) const CLANDAG_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"pool.arena", lock_rank::kControlArena};
   std::vector<std::unique_ptr<unsigned char[]>> slabs_ CLANDAG_GUARDED_BY(mu_);
   std::vector<void*> free_slots_ CLANDAG_GUARDED_BY(mu_);
   size_t slots_carved_ CLANDAG_GUARDED_BY(mu_) = 0;
@@ -212,7 +212,7 @@ class BufferPool {
   Bytes* Checkout();
   void Return(Bytes* buf);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"pool.buffers", lock_rank::kBufferPool};
   std::vector<std::unique_ptr<Bytes>> free_ CLANDAG_GUARDED_BY(mu_);
   size_t retained_bytes_ CLANDAG_GUARDED_BY(mu_) = 0;
   uint64_t acquires_ CLANDAG_GUARDED_BY(mu_) = 0;

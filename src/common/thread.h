@@ -1,0 +1,97 @@
+// clandag::Thread — the only way to spawn a thread in src/ (the invariant
+// linter forbids naked std::thread/std::jthread outside this file and the
+// SCT internals).
+//
+// A thin std::thread wrapper that, under a CLANDAG_SCT build *and* inside an
+// active sct::Explore schedule, registers the child with the deterministic
+// scheduler: the child participates in cooperative scheduling from its first
+// instruction to its last, join() is a modeled blocking operation, and the
+// spawn itself is a schedule point (the child may be scheduled before the
+// parent's next statement). Outside a schedule — including all production
+// builds — it is exactly std::thread plus a name.
+//
+// Sched::kFreeRunning opts a thread out of scheduling even inside a
+// schedule: required for threads that wait on real-world events the
+// scheduler cannot model (epoll loops, real-time timer waits). Scheduled
+// threads may share mutexes with free-running ones (mutual exclusion still
+// holds; see scheduler.h "Hybrid caveat") but must not depend on condvar
+// signals from them.
+//
+// Thread-safety: like std::thread — join() from one thread at a time;
+// destruction requires the thread to be joined (std::terminate otherwise,
+// same as std::thread).
+
+#ifndef CLANDAG_COMMON_THREAD_H_
+#define CLANDAG_COMMON_THREAD_H_
+
+#include <functional>
+#include <thread>
+#include <utility>
+
+#ifdef CLANDAG_SCT
+#include "testing/sct/sct.h"
+#endif
+
+namespace clandag {
+
+class Thread {
+ public:
+  enum class Sched {
+    kManaged,      // Cooperatively scheduled when spawned inside a schedule.
+    kFreeRunning,  // Never scheduled: real OS timing (epoll/timer loops).
+  };
+
+  Thread() = default;
+
+  explicit Thread(const char* name, std::function<void()> fn,
+                  Sched sched = Sched::kManaged) {
+#ifdef CLANDAG_SCT
+    if (sched == Sched::kManaged) {
+      sct_id_ = sct::PreRegisterThread(name);
+    }
+    if (sct_id_ != 0) {
+      const uint64_t id = sct_id_;
+      thread_ = std::thread([id, fn = std::move(fn)] {  // lint:allow(naked-thread-spawn)
+        sct::EnterChildThread(id);
+        fn();
+        sct::ExitChildThread();
+      });
+      // Creation schedule point: the strategy may run the child first.
+      sct::AfterThreadSpawn(id);
+      return;
+    }
+#endif
+    (void)name;
+    (void)sched;
+    thread_ = std::thread(std::move(fn));  // lint:allow(naked-thread-spawn)
+  }
+
+  Thread(Thread&&) = default;
+  Thread& operator=(Thread&&) = default;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  bool joinable() const { return thread_.joinable(); }
+
+  void join() {
+#ifdef CLANDAG_SCT
+    if (sct_id_ != 0) {
+      // Cooperative join: block in the scheduler until the child's modeled
+      // exit, then reap the real (already-finished or about-to-finish) thread.
+      sct::OnThreadJoin(sct_id_);
+      sct_id_ = 0;
+    }
+#endif
+    thread_.join();
+  }
+
+ private:
+  std::thread thread_;  // lint:allow(naked-thread-spawn)
+#ifdef CLANDAG_SCT
+  uint64_t sct_id_ = 0;  // 0 = not registered with a schedule.
+#endif
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_COMMON_THREAD_H_

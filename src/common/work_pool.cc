@@ -9,11 +9,12 @@ namespace clandag {
 OrderedVerifyPool::OrderedVerifyPool(Options options, Executor deliver)
     : options_(options), deliver_(std::move(deliver)) {
   CLANDAG_CHECK(options_.max_batch > 0);
+  CLANDAG_CHECK(options_.max_pending > 0);
   if (options_.num_workers > 0) {
     CLANDAG_CHECK(deliver_ != nullptr);
     workers_.reserve(options_.num_workers);
     for (uint32_t i = 0; i < options_.num_workers; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+      workers_.emplace_back("verify-worker", [this] { WorkerLoop(); });
     }
   }
 }
@@ -25,7 +26,7 @@ OrderedVerifyPool::~OrderedVerifyPool() {
   }
   work_cv_.NotifyAll();
   space_cv_.NotifyAll();
-  for (std::thread& t : workers_) {
+  for (Thread& t : workers_) {
     t.join();
   }
   // Jobs never handed to the executor die with the pool (see file comment).
@@ -39,9 +40,9 @@ void OrderedVerifyPool::Submit(std::function<bool()> verify, std::function<void(
   }
   {
     MutexLock lock(mu_);
-    if (jobs_.size() >= kMaxPendingJobs) {
+    if (jobs_.size() >= options_.max_pending) {
       ++blocked_submits_;
-      while (jobs_.size() >= kMaxPendingJobs && !stopping_) {
+      while (jobs_.size() >= options_.max_pending && !stopping_) {
         space_cv_.Wait(mu_);
       }
     }

@@ -43,25 +43,28 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <thread>
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/thread.h"
 
 namespace clandag {
 
 class OrderedVerifyPool {
  public:
+  // Default bound on jobs admitted but not yet handed to the executor.
+  // Submit() blocks at the bound until workers drain.
+  static constexpr size_t kMaxPendingJobs = 4096;
+
   struct Options {
     // Worker thread count; 0 = inline mode (see file comment).
     uint32_t num_workers = 0;
     // Max jobs one worker claims per lock acquisition.
     size_t max_batch = 16;
+    // Backpressure bound (see kMaxPendingJobs); SCT tests shrink it to
+    // reach the full/empty edges in a handful of schedule steps.
+    size_t max_pending = kMaxPendingJobs;
   };
-
-  // Bound on jobs admitted but not yet handed to the executor. Submit()
-  // blocks at the bound until workers drain.
-  static constexpr size_t kMaxPendingJobs = 4096;
 
   // Runs a closure on the delivery thread, preserving call order.
   using Executor = std::function<void(std::function<void()>)>;
@@ -102,7 +105,7 @@ class OrderedVerifyPool {
   const Options options_;
   const Executor deliver_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"workpool.jobs", lock_rank::kWorkPool};
   // Jobs in submission order; the front is the oldest undelivered job.
   std::deque<Job> jobs_ CLANDAG_GUARDED_BY(mu_);
   size_t next_pending_ CLANDAG_GUARDED_BY(mu_) = 0;  // Index of oldest kPending.
@@ -112,10 +115,10 @@ class OrderedVerifyPool {
   uint64_t delivered_batches_ CLANDAG_GUARDED_BY(mu_) = 0;
   uint64_t blocked_submits_ CLANDAG_GUARDED_BY(mu_) = 0;
   CondVar work_cv_;   // Signals workers: pending job or stop.
-  CondVar space_cv_;  // Signals the producer: room below kMaxPendingJobs.
+  CondVar space_cv_;  // Signals the producer: room below max_pending.
 
   // Bounded at construction: exactly Options::num_workers threads.
-  std::vector<std::thread> workers_;
+  std::vector<Thread> workers_;
 };
 
 }  // namespace clandag

@@ -64,7 +64,7 @@ class FaultInjector {
 
  private:
   const FaultPlan plan_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"fault.injector", lock_rank::kInjector};
   DetRng rng_ CLANDAG_GUARDED_BY(mu_);
   FaultInjectionStats stats_ CLANDAG_GUARDED_BY(mu_);
 };

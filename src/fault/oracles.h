@@ -59,7 +59,7 @@ class SafetyOracle {
   uint64_t TotalOrdered() const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"oracle.safety", lock_rank::kOracle};
   std::vector<bool> faulty_ CLANDAG_GUARDED_BY(mu_);
   // Per honest observer: the total order as a (round, source) sequence.
   std::vector<std::vector<std::pair<Round, NodeId>>> logs_ CLANDAG_GUARDED_BY(mu_);
@@ -89,7 +89,7 @@ class LivenessOracle {
   std::vector<int64_t> PerNodeCommitted() const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"oracle.liveness", lock_rank::kOracle};
   std::vector<int64_t> committed_ CLANDAG_GUARDED_BY(mu_);  // -1 = nothing yet.
   int64_t healed_frontier_ CLANDAG_GUARDED_BY(mu_) = -1;
   bool healed_marked_ CLANDAG_GUARDED_BY(mu_) = false;

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <queue>
-#include <thread>
 
 #include "common/check.h"
 #include "common/mutex.h"
+#include "common/thread.h"
 
 namespace clandag {
 
@@ -74,7 +74,12 @@ class InProcCluster::NodeLoop final : public Runtime {
 
   void PostTask(std::function<void()> fn) { Schedule(0, std::move(fn)); }
 
-  void Start() { thread_ = std::thread([this] { Run(); }); }
+  // Free-running even under SCT: Run() waits on real-time timer deadlines
+  // (WaitUntil against steady_clock), which the deterministic time model of
+  // the cooperative scheduler would never fire while other threads can run.
+  void Start() {
+    thread_ = Thread("inproc-loop", [this] { Run(); }, Thread::Sched::kFreeRunning);
+  }
 
   void Stop() {
     {
@@ -134,14 +139,14 @@ class InProcCluster::NodeLoop final : public Runtime {
   // Set before Start(), read only by the loop thread afterwards.
   MessageHandler* handler_ = nullptr;
 
-  Mutex mu_;
+  Mutex mu_{"inproc.loop", lock_rank::kInprocLoop};
   CondVar cv_;
   std::queue<Mail> mailbox_ CLANDAG_GUARDED_BY(mu_);
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_
       CLANDAG_GUARDED_BY(mu_);
   uint64_t next_seq_ CLANDAG_GUARDED_BY(mu_) = 0;
   bool stopping_ CLANDAG_GUARDED_BY(mu_) = false;
-  std::thread thread_;
+  Thread thread_;
 };
 
 InProcCluster::InProcCluster(uint32_t num_nodes) {

@@ -102,11 +102,18 @@ void TcpRuntime::Start() {
   CLANDAG_CHECK(!running_.load());
   StartListen();
   running_.store(true);
-  thread_ = std::thread([this] {
-    loop_role_.Acquire();
-    Loop();
-    loop_role_.Release();
-  });
+  // Free-running even under SCT: the loop blocks in epoll_wait on real
+  // sockets and timers, which the cooperative scheduler cannot model.
+  // Scheduled test threads interact with it only through command_mu_ /
+  // eventfd (safe; see scheduler.h "Hybrid caveat").
+  thread_ = Thread(
+      "tcp-loop",
+      [this] {
+        loop_role_.Acquire();
+        Loop();
+        loop_role_.Release();
+      },
+      Thread::Sched::kFreeRunning);
 
   // Kick off dialling from the loop thread.
   Post([this] {

@@ -35,10 +35,10 @@
 #include <memory>
 #include <queue>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/thread.h"
 #include "common/rng.h"
 #include "net/runtime.h"
 #include "net/transport_stats.h"
@@ -211,12 +211,12 @@ class TcpRuntime final : public Runtime {
       CLANDAG_GUARDED_BY(loop_role_);
   uint64_t next_timer_seq_ CLANDAG_GUARDED_BY(loop_role_) = 0;
 
-  Mutex command_mu_;
+  Mutex command_mu_{"tcp.command", lock_rank::kTcpCommand};
   std::deque<std::function<void()>> commands_ CLANDAG_GUARDED_BY(command_mu_);
 
   std::atomic<bool> running_{false};
   std::atomic<uint32_t> connected_peers_{0};
-  std::thread thread_;
+  Thread thread_;
 
   // Per-peer consecutive dial failures (reset on connect) and outbound link
   // state. Atomic so HealthOf() reads them off-loop; written only by the

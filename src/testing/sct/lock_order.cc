@@ -1,0 +1,311 @@
+#include "testing/sct/lock_order.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace clandag::sct::lockorder {
+
+namespace {
+
+struct Node {
+  std::string label;
+  int rank = -1;
+};
+
+struct Graph {
+  std::mutex m;
+  // Bumped on Mutex destruction and ResetForTest; per-thread caches that
+  // saw an older generation discard themselves (address reuse / node reuse).
+  std::atomic<uint64_t> generation{1};
+  std::map<const void*, uint32_t> live;       // live mutex addr -> node
+  std::map<std::string, uint32_t> by_name;    // named lock classes
+  std::vector<Node> nodes;
+  std::vector<std::set<uint32_t>> adj;        // acquisition-order edges
+  Stats stats;
+  std::string report;
+  std::set<std::pair<uint32_t, uint32_t>> reported_rank;
+  std::set<std::pair<uint32_t, uint32_t>> reported_wait;
+  std::set<std::pair<uint32_t, uint32_t>> reported_cycle;
+};
+
+// Leaked singleton: mutexes with static storage duration may be destroyed
+// (and report here) after any non-leaked global would already be gone.
+Graph* G() {
+  static Graph* g = new Graph;
+  return g;
+}
+
+struct Held {
+  const void* addr = nullptr;
+  uint32_t node = 0;
+  int rank = -1;
+};
+
+struct TlState {
+  std::vector<Held> held;
+  uint64_t cache_generation = 0;
+  // Pairs (held_node << 32 | acquired_node) already pushed through the
+  // global graph; keeps steady-state re-acquisition off the global mutex.
+  std::unordered_set<uint64_t> edge_cache;
+  std::unordered_map<const void*, std::pair<uint32_t, int>> node_cache;
+};
+
+TlState& Tl() {
+  static thread_local TlState t;
+  return t;
+}
+
+void RefreshTlGeneration(Graph* g, TlState& tl) {
+  const uint64_t gen = g->generation.load(std::memory_order_acquire);
+  if (tl.cache_generation != gen) {
+    tl.edge_cache.clear();
+    tl.node_cache.clear();
+    tl.cache_generation = gen;
+  }
+}
+
+// g->m held. Resolves (or creates) the node for a mutex instance.
+uint32_t ResolveNodeLocked(Graph* g, const void* mu, const char* name, int rank) {
+  auto it = g->live.find(mu);
+  if (it != g->live.end()) {
+    return it->second;
+  }
+  uint32_t node;
+  if (name != nullptr && name[0] != '\0') {
+    auto named = g->by_name.find(name);
+    if (named != g->by_name.end()) {
+      node = named->second;
+    } else {
+      node = static_cast<uint32_t>(g->nodes.size());
+      g->nodes.push_back(Node{name, rank});
+      g->adj.emplace_back();
+      g->by_name.emplace(name, node);
+    }
+  } else {
+    node = static_cast<uint32_t>(g->nodes.size());
+    char label[32];
+    std::snprintf(label, sizeof(label), "mutex#%u", node);
+    g->nodes.push_back(Node{label, rank});
+    g->adj.emplace_back();
+  }
+  g->live[mu] = node;
+  return node;
+}
+
+// g->m held. True iff `to` is reachable from `from`; fills `path` with the
+// node sequence from `from` to `to` inclusive.
+bool FindPathLocked(const Graph* g, uint32_t from, uint32_t to,
+                    std::vector<uint32_t>* path) {
+  std::vector<uint32_t> parent(g->nodes.size(), UINT32_MAX);
+  std::vector<uint32_t> stack{from};
+  std::vector<bool> seen(g->nodes.size(), false);
+  seen[from] = true;
+  while (!stack.empty()) {
+    const uint32_t cur = stack.back();
+    stack.pop_back();
+    if (cur == to) {
+      path->clear();
+      for (uint32_t n = to;; n = parent[n]) {
+        path->push_back(n);
+        if (n == from) {
+          break;
+        }
+      }
+      std::reverse(path->begin(), path->end());
+      return true;
+    }
+    for (uint32_t next : g->adj[cur]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        parent[next] = cur;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+void AppendReportLocked(Graph* g, const std::string& line) {
+  g->report += line;
+  g->report += '\n';
+  std::fprintf(stderr, "lock-order: %s\n", line.c_str());
+}
+
+// g->m held. Processes the ordered pair held -> acquired: edge insertion,
+// cycle detection, rank monotonicity.
+void ProcessPairLocked(Graph* g, const Held& held, uint32_t node, int rank) {
+  if (held.node >= g->nodes.size() || node >= g->nodes.size()) {
+    return;  // Stale ids from before a ResetForTest.
+  }
+  const bool is_new_edge = g->adj[held.node].insert(node).second;
+  if (is_new_edge) {
+    ++g->stats.distinct_edges;
+    // The new edge held->node closes a cycle iff held is reachable from node.
+    std::vector<uint32_t> path;
+    if (FindPathLocked(g, node, held.node, &path) &&
+        g->reported_cycle.emplace(held.node, node).second) {
+      ++g->stats.cycles;
+      std::string line = "acquisition-graph cycle: " + g->nodes[held.node].label;
+      for (uint32_t n : path) {
+        line += " -> " + g->nodes[n].label;
+      }
+      AppendReportLocked(g, line);
+    }
+  }
+  if (held.rank >= 0 && rank >= 0 && held.rank >= rank &&
+      g->reported_rank.emplace(held.node, node).second) {
+    ++g->stats.rank_violations;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "rank violation: acquired %s (rank %d) while holding %s "
+                  "(rank %d); ranks must strictly increase",
+                  g->nodes[node].label.c_str(), rank,
+                  g->nodes[held.node].label.c_str(), held.rank);
+    AppendReportLocked(g, buf);
+  }
+}
+
+}  // namespace
+
+bool Enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("CLANDAG_LOCK_ORDER");
+    return v == nullptr || !(v[0] == '0' && v[1] == '\0');
+  }();
+  return enabled;
+}
+
+void OnAcquired(const void* mu, const char* name, int rank) {
+  if (!Enabled()) {
+    return;
+  }
+  Graph* g = G();
+  TlState& tl = Tl();
+  RefreshTlGeneration(g, tl);
+  uint32_t node;
+  auto cached = tl.node_cache.find(mu);
+  if (cached != tl.node_cache.end()) {
+    node = cached->second.first;
+    rank = cached->second.second;
+  } else {
+    std::lock_guard<std::mutex> lk(g->m);
+    node = ResolveNodeLocked(g, mu, name, rank);
+    rank = g->nodes[node].rank;
+    tl.node_cache.emplace(mu, std::make_pair(node, rank));
+  }
+  if (!tl.held.empty()) {
+    bool need_global = false;
+    for (const Held& h : tl.held) {
+      const uint64_t key = (static_cast<uint64_t>(h.node) << 32) | node;
+      if (tl.edge_cache.count(key) == 0) {
+        need_global = true;
+        break;
+      }
+    }
+    if (need_global) {
+      std::lock_guard<std::mutex> lk(g->m);
+      for (const Held& h : tl.held) {
+        const uint64_t key = (static_cast<uint64_t>(h.node) << 32) | node;
+        if (tl.edge_cache.insert(key).second) {
+          ProcessPairLocked(g, h, node, rank);
+        }
+      }
+    }
+  }
+  tl.held.push_back(Held{mu, node, rank});
+}
+
+void OnReleased(const void* mu) {
+  if (!Enabled()) {
+    return;
+  }
+  TlState& tl = Tl();
+  for (auto it = tl.held.rbegin(); it != tl.held.rend(); ++it) {
+    if (it->addr == mu) {
+      tl.held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void OnDestroyed(const void* mu) {
+  if (!Enabled()) {
+    return;
+  }
+  Graph* g = G();
+  std::lock_guard<std::mutex> lk(g->m);
+  if (g->live.erase(mu) > 0) {
+    // Address may be recycled for a different lock class: invalidate caches.
+    g->generation.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void OnCondWait(const void* mu) {
+  if (!Enabled()) {
+    return;
+  }
+  Graph* g = G();
+  TlState& tl = Tl();
+  uint32_t wait_node = UINT32_MAX;
+  for (const Held& h : tl.held) {
+    if (h.addr == mu) {
+      wait_node = h.node;
+      break;
+    }
+  }
+  for (const Held& h : tl.held) {
+    if (h.addr == mu) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lk(g->m);
+    if (h.node >= g->nodes.size() ||
+        !g->reported_wait.emplace(h.node, wait_node).second) {
+      continue;
+    }
+    ++g->stats.wait_while_holding;
+    std::string line = "condvar wait on " +
+                       (wait_node < g->nodes.size() ? g->nodes[wait_node].label
+                                                    : std::string("?")) +
+                       " while holding " + g->nodes[h.node].label +
+                       " (second lock held across a blocking wait)";
+    AppendReportLocked(g, line);
+  }
+}
+
+Stats GetStats() {
+  Graph* g = G();
+  std::lock_guard<std::mutex> lk(g->m);
+  return g->stats;
+}
+
+std::string Report() {
+  Graph* g = G();
+  std::lock_guard<std::mutex> lk(g->m);
+  return g->report;
+}
+
+void ResetForTest() {
+  Graph* g = G();
+  std::lock_guard<std::mutex> lk(g->m);
+  g->live.clear();
+  g->by_name.clear();
+  g->nodes.clear();
+  g->adj.clear();
+  g->stats = Stats{};
+  g->report.clear();
+  g->reported_rank.clear();
+  g->reported_wait.clear();
+  g->reported_cycle.clear();
+  g->generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace clandag::sct::lockorder

@@ -1,0 +1,74 @@
+// Runtime lock-order analyzer (lockdep-style), always on in SCT and debug
+// builds (see CLANDAG_LOCK_ANALYZER in common/mutex.h).
+//
+// Every Mutex acquisition/release reports here. The analyzer maintains:
+//   - a per-thread stack of currently-held locks (thread_local, lock-free on
+//     the fast path),
+//   - a process-global lock-acquisition graph: node = lock *class* (named
+//     mutexes aggregate all instances under the name; unnamed mutexes get a
+//     per-instance node), edge A→B = "some thread held A while acquiring B".
+//
+// Detected at the moment the offending acquisition happens (each distinct
+// pair is reported once to stderr, and counted in Stats):
+//   - acquisition-graph cycles: a new edge closing a cycle is a potential
+//     deadlock even if it never fired in this run;
+//   - rank violations: both locks carry a lock_rank and the inner one's rank
+//     is not strictly greater than every held rank (the documented hierarchy
+//     in common/mutex.h must be acquired in ascending order);
+//   - condvar waits while holding another lock: Wait(mu) releases only mu,
+//     so any second held lock is held across a blocking wait — a classic
+//     deadlock shape.
+//
+// Tests assert Stats() stays at zero across the suite (a gtest Environment
+// in tests/sct_main.cc); detection-power tests trigger violations on
+// purpose and call ResetForTest().
+//
+// Threading: all entry points are safe from any thread. The global graph is
+// guarded by an internal raw std::mutex; a per-thread generation-stamped
+// edge cache keeps the common re-acquisition path off that lock.
+
+#ifndef CLANDAG_TESTING_SCT_LOCK_ORDER_H_
+#define CLANDAG_TESTING_SCT_LOCK_ORDER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace clandag::sct::lockorder {
+
+struct Stats {
+  uint64_t distinct_edges = 0;       // Distinct acquisition-order edges seen.
+  uint64_t cycles = 0;               // Edges that closed a cycle.
+  uint64_t rank_violations = 0;      // Distinct (held, inner) rank inversions.
+  uint64_t wait_while_holding = 0;   // Distinct condvar-wait-with-extra-lock.
+
+  bool clean() const {
+    return cycles == 0 && rank_violations == 0 && wait_while_holding == 0;
+  }
+};
+
+// Reported by Mutex immediately after/before the real operation. `name` may
+// be null (unnamed mutex: per-instance node); `rank` is
+// lock_rank::kUnranked (-1) when unranked.
+void OnAcquired(const void* mu, const char* name, int rank);
+void OnReleased(const void* mu);
+// Reported by Mutex's destructor so a recycled address is never aliased to
+// the dead instance's node.
+void OnDestroyed(const void* mu);
+// Reported by CondVar::Wait/WaitUntil with the associated mutex; flags any
+// OTHER lock the calling thread still holds.
+void OnCondWait(const void* mu);
+
+Stats GetStats();
+// Human-readable report of every cycle / rank violation / wait-while-holding
+// recorded since the last reset (empty string when clean).
+std::string Report();
+// Clears the graph, stats and report, and invalidates per-thread caches.
+void ResetForTest();
+
+// False when the environment sets CLANDAG_LOCK_ORDER=0 (escape hatch for
+// perf-sensitive debug runs); every entry point no-ops then.
+bool Enabled();
+
+}  // namespace clandag::sct::lockorder
+
+#endif  // CLANDAG_TESTING_SCT_LOCK_ORDER_H_

@@ -1,0 +1,670 @@
+#include "testing/sct/scheduler.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+#include "testing/sct/sct.h"
+
+namespace clandag::sct {
+
+namespace {
+Scheduler* g_active = nullptr;
+}  // namespace
+
+// Thread-local registration slots. A thread belongs to at most one schedule
+// at a time; both are cleared when the thread exits the schedule.
+thread_local void* Scheduler::tl_self_ = nullptr;
+thread_local Scheduler* Scheduler::tl_sched_ = nullptr;
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kRandomWalk:
+      return "random";
+    case Strategy::kPct:
+      return "pct";
+    case Strategy::kDfs:
+      return "dfs";
+  }
+  return "?";
+}
+
+const char* OpName(OpKind op) {
+  switch (op) {
+    case OpKind::kMutexAcquire:
+      return "lock-acquire";
+    case OpKind::kMutexRelease:
+      return "lock-release";
+    case OpKind::kMutexTryAcquire:
+      return "lock-try";
+    case OpKind::kCondWait:
+      return "cond-wait";
+    case OpKind::kCondWake:
+      return "cond-wake";
+    case OpKind::kCondTimeout:
+      return "cond-timeout";
+    case OpKind::kNotifyOne:
+      return "notify-one";
+    case OpKind::kNotifyAll:
+      return "notify-all";
+    case OpKind::kThreadCreate:
+      return "thread-create";
+    case OpKind::kThreadStart:
+      return "thread-start";
+    case OpKind::kThreadExit:
+      return "thread-exit";
+    case OpKind::kThreadJoin:
+      return "thread-join";
+    case OpKind::kYield:
+      return "yield";
+  }
+  return "?";
+}
+
+const char* Scheduler::StateName(State s) {
+  switch (s) {
+    case State::kRunnable:
+      return "runnable";
+    case State::kBlockedMutex:
+      return "blocked-mutex";
+    case State::kBlockedCond:
+      return "blocked-cond";
+    case State::kBlockedJoin:
+      return "blocked-join";
+    case State::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+// -- DfsState ---------------------------------------------------------------
+
+uint32_t DfsState::Pick(size_t pos, uint32_t n) {
+  if (pos < stack_.size()) {
+    // Same decision position, different enabled count ⇒ the body is not
+    // deterministic; DFS replay would silently explore garbage.
+    CLANDAG_CHECK_MSG(stack_[pos].second == n,
+                      "SCT DFS: nondeterministic body (enabled-set size changed "
+                      "on replay)");
+    return stack_[pos].first;
+  }
+  stack_.emplace_back(0u, n);
+  return 0;
+}
+
+bool DfsState::Advance() {
+  while (!stack_.empty() && stack_.back().first + 1 >= stack_.back().second) {
+    stack_.pop_back();
+  }
+  if (stack_.empty()) {
+    exhausted_ = true;
+    return false;
+  }
+  ++stack_.back().first;
+  return true;
+}
+
+// -- Scheduler --------------------------------------------------------------
+
+Scheduler::Scheduler(const ScheduleOptions& options, DfsState* dfs)
+    : options_(options), dfs_(dfs), rng_(options.seed) {
+  if (options_.strategy == Strategy::kPct) {
+    const uint64_t k = options_.pct_steps_estimate > 0 ? options_.pct_steps_estimate : 1;
+    for (int i = 0; i + 1 < options_.pct_depth; ++i) {
+      change_points_.insert(1 + rng_.NextBelow(k));
+    }
+  }
+}
+
+Scheduler::~Scheduler() = default;
+
+Scheduler* ActiveScheduler() { return g_active; }
+
+bool Scheduler::CurrentThreadRegistered() { return tl_self_ != nullptr; }
+
+Scheduler* Scheduler::CurrentScheduler() { return tl_sched_; }
+
+void Scheduler::RegisterMain() {
+  std::unique_lock<std::mutex> lk(m_);
+  CLANDAG_CHECK_MSG(g_active == nullptr, "SCT: nested Explore is not supported");
+  CLANDAG_CHECK(tl_self_ == nullptr);
+  auto rec = std::make_unique<ThreadRec>();
+  rec->tid = 0;
+  rec->name = "main";
+  rec->priority = static_cast<int64_t>(rng_.Next() >> 1);
+  tl_self_ = rec.get();
+  tl_sched_ = this;
+  threads_.push_back(std::move(rec));
+  g_active = this;
+}
+
+void Scheduler::FinishMain() {
+  std::unique_lock<std::mutex> lk(m_);
+  auto* self = static_cast<ThreadRec*>(tl_self_);
+  CLANDAG_CHECK(self != nullptr && self->tid == 0);
+  for (const auto& t : threads_) {
+    if (t->tid != 0 && !t->exited) {
+      std::fprintf(stderr,
+                   "SCT: thread T%u(%s) is still running at the end of the "
+                   "Explore body; join every clandag::Thread before returning\n%s",
+                   t->tid, t->name, DumpLocked().c_str());
+      DieLocked("leaked scheduled thread");
+    }
+  }
+  tl_self_ = nullptr;
+  tl_sched_ = nullptr;
+  g_active = nullptr;
+}
+
+std::vector<Scheduler::ThreadRec*> Scheduler::Enabled() {
+  std::vector<ThreadRec*> out;
+  for (const auto& t : threads_) {
+    if (t->state == State::kRunnable) {
+      out.push_back(t.get());
+    }
+  }
+  return out;
+}
+
+Scheduler::ThreadRec* Scheduler::PickNext(const std::vector<ThreadRec*>& enabled) {
+  CLANDAG_CHECK(!enabled.empty());
+  const auto n = static_cast<uint32_t>(enabled.size());
+  if (n == 1) {
+    return enabled[0];
+  }
+  switch (options_.strategy) {
+    case Strategy::kRandomWalk:
+      return enabled[rng_.NextBelow(n)];
+    case Strategy::kPct: {
+      ThreadRec* best = enabled[0];
+      for (ThreadRec* t : enabled) {
+        if (t->priority > best->priority) {
+          best = t;
+        }
+      }
+      return best;
+    }
+    case Strategy::kDfs:
+      return enabled[dfs_->Pick(dfs_pos_++, n)];
+  }
+  return enabled[0];
+}
+
+void Scheduler::Grant(ThreadRec* next, ThreadRec* self) {
+  if (next == self) {
+    return;
+  }
+  next->granted = true;
+  next->grant_cv.notify_one();
+}
+
+void Scheduler::Switch(std::unique_lock<std::mutex>& lk, ThreadRec* self) {
+  ThreadRec* next = PickNext(Enabled());
+  Grant(next, self);
+  if (next == self) {
+    return;
+  }
+  while (!self->granted) {
+    self->grant_cv.wait(lk);
+  }
+  self->granted = false;
+}
+
+void Scheduler::SwitchBlocked(std::unique_lock<std::mutex>& lk, ThreadRec* self,
+                              bool self_finished) {
+  std::vector<ThreadRec*> enabled = Enabled();
+  if (enabled.empty()) {
+    ResolveStall(self);
+    enabled = Enabled();
+    CLANDAG_CHECK(!enabled.empty());
+  }
+  ThreadRec* next = PickNext(enabled);
+  CLANDAG_CHECK(next != self);
+  Grant(next, self);
+  if (self_finished) {
+    return;
+  }
+  while (!self->granted) {
+    self->grant_cv.wait(lk);
+  }
+  self->granted = false;
+}
+
+Scheduler::ThreadRec* Scheduler::ResolveStall(ThreadRec* self) {
+  // Deterministic time model: a timed condvar wait may only fire its timeout
+  // when nothing else can run. Oldest waiter first (FIFO by block_seq).
+  ThreadRec* oldest = nullptr;
+  for (const auto& t : threads_) {
+    if (t->state == State::kBlockedCond && t->timed_wait &&
+        (oldest == nullptr || t->block_seq < oldest->block_seq)) {
+      oldest = t.get();
+    }
+  }
+  if (oldest != nullptr) {
+    oldest->notified = false;
+    oldest->state = State::kRunnable;
+    return oldest;
+  }
+  std::fprintf(stderr, "SCT: deadlock: all scheduled threads blocked\n%s",
+               DumpLocked().c_str());
+  (void)self;
+  DieLocked("deadlock");
+}
+
+void Scheduler::WakeMutexWaiters(const void* mu) {
+  for (const auto& t : threads_) {
+    if (t->state == State::kBlockedMutex && t->wait_obj == mu) {
+      t->state = State::kRunnable;
+    }
+  }
+}
+
+void Scheduler::Trace(ThreadRec* self, OpKind op, const void* obj, const char* name) {
+  ++steps_;
+  if (steps_ > options_.max_steps) {
+    std::fprintf(stderr,
+                 "SCT: step budget exceeded (%" PRIu64
+                 " steps): livelock, or raise ScheduleOptions::max_steps\n%s",
+                 options_.max_steps, DumpLocked().c_str());
+    DieLocked("step budget exceeded");
+  }
+  if (options_.strategy == Strategy::kPct && change_points_.count(steps_) != 0) {
+    self->priority = demote_priority_--;  // PCT change point: demote the runner.
+  }
+  if (name != nullptr && obj != nullptr) {
+    obj_names_[obj] = name;
+  }
+  trace_.push_back(TraceEvent{steps_, self->tid, op, obj, name});
+}
+
+void Scheduler::AcquireMutex(const void* mu, const char* name) {
+  std::unique_lock<std::mutex> lk(m_);
+  auto* self = static_cast<ThreadRec*>(tl_self_);
+  Trace(self, OpKind::kMutexAcquire, mu, name);
+  Switch(lk, self);  // Pre-acquire schedule point.
+  auto it = mutex_owner_.find(mu);
+  while (it != mutex_owner_.end() && it->second != self) {
+    self->state = State::kBlockedMutex;
+    self->wait_obj = mu;
+    self->block_seq = next_block_seq_++;
+    SwitchBlocked(lk, self, false);
+    it = mutex_owner_.find(mu);
+  }
+  mutex_owner_[mu] = self;
+  self->held.push_back(mu);
+}
+
+void Scheduler::ReleaseMutex(const void* mu, const char* name) {
+  std::unique_lock<std::mutex> lk(m_);
+  auto* self = static_cast<ThreadRec*>(tl_self_);
+  Trace(self, OpKind::kMutexRelease, mu, name);
+  auto it = mutex_owner_.find(mu);
+  if (it != mutex_owner_.end() && it->second == self) {
+    mutex_owner_.erase(it);
+    for (auto held = self->held.rbegin(); held != self->held.rend(); ++held) {
+      if (*held == mu) {
+        self->held.erase(std::next(held).base());
+        break;
+      }
+    }
+    WakeMutexWaiters(mu);
+  }
+  Switch(lk, self);  // Post-release schedule point.
+}
+
+bool Scheduler::TryAcquireMutex(const void* mu, const char* name) {
+  std::unique_lock<std::mutex> lk(m_);
+  auto* self = static_cast<ThreadRec*>(tl_self_);
+  Trace(self, OpKind::kMutexTryAcquire, mu, name);
+  Switch(lk, self);
+  auto it = mutex_owner_.find(mu);
+  if (it != mutex_owner_.end() && it->second != self) {
+    return false;
+  }
+  mutex_owner_[mu] = self;
+  self->held.push_back(mu);
+  return true;
+}
+
+void Scheduler::TryAcquireRollback(const void* mu) {
+  std::unique_lock<std::mutex> lk(m_);
+  auto* self = static_cast<ThreadRec*>(tl_self_);
+  auto it = mutex_owner_.find(mu);
+  if (it != mutex_owner_.end() && it->second == self) {
+    mutex_owner_.erase(it);
+    if (!self->held.empty() && self->held.back() == mu) {
+      self->held.pop_back();
+    }
+    WakeMutexWaiters(mu);
+  }
+}
+
+bool Scheduler::CondWait(const void* cv, const void* mu, const char* mu_name,
+                         bool timed) {
+  std::unique_lock<std::mutex> lk(m_);
+  auto* self = static_cast<ThreadRec*>(tl_self_);
+  Trace(self, OpKind::kCondWait, cv, mu_name);
+  // Modeled release of the associated mutex.
+  auto it = mutex_owner_.find(mu);
+  CLANDAG_CHECK_MSG(it != mutex_owner_.end() && it->second == self,
+                    "SCT: CondVar wait without holding the mutex");
+  mutex_owner_.erase(it);
+  for (auto held = self->held.rbegin(); held != self->held.rend(); ++held) {
+    if (*held == mu) {
+      self->held.erase(std::next(held).base());
+      break;
+    }
+  }
+  WakeMutexWaiters(mu);
+  self->state = State::kBlockedCond;
+  self->wait_obj = cv;
+  self->timed_wait = timed;
+  self->notified = false;
+  self->block_seq = next_block_seq_++;
+  SwitchBlocked(lk, self, false);
+  const bool was_notified = self->notified;
+  Trace(self, was_notified ? OpKind::kCondWake : OpKind::kCondTimeout, cv, mu_name);
+  // Re-acquire the modeled mutex before returning, like the real primitive.
+  it = mutex_owner_.find(mu);
+  while (it != mutex_owner_.end() && it->second != self) {
+    self->state = State::kBlockedMutex;
+    self->wait_obj = mu;
+    self->block_seq = next_block_seq_++;
+    SwitchBlocked(lk, self, false);
+    it = mutex_owner_.find(mu);
+  }
+  mutex_owner_[mu] = self;
+  self->held.push_back(mu);
+  return was_notified;
+}
+
+void Scheduler::CondNotify(const void* cv, bool all) {
+  std::unique_lock<std::mutex> lk(m_);
+  auto* self = static_cast<ThreadRec*>(tl_self_);
+  Trace(self, all ? OpKind::kNotifyAll : OpKind::kNotifyOne, cv, nullptr);
+  // FIFO wake order (by block_seq), like a fair condvar. Deterministic.
+  while (true) {
+    ThreadRec* oldest = nullptr;
+    for (const auto& t : threads_) {
+      if (t->state == State::kBlockedCond && t->wait_obj == cv &&
+          (oldest == nullptr || t->block_seq < oldest->block_seq)) {
+        oldest = t.get();
+      }
+    }
+    if (oldest == nullptr) {
+      break;
+    }
+    oldest->notified = true;
+    oldest->state = State::kRunnable;
+    if (!all) {
+      break;
+    }
+  }
+  Switch(lk, self);  // Post-notify schedule point.
+}
+
+uint64_t Scheduler::PreRegisterThread(const char* name) {
+  std::unique_lock<std::mutex> lk(m_);
+  auto* self = static_cast<ThreadRec*>(tl_self_);
+  auto rec = std::make_unique<ThreadRec>();
+  rec->tid = static_cast<uint32_t>(threads_.size());
+  rec->name = name != nullptr ? name : "";
+  rec->priority = static_cast<int64_t>(rng_.Next() >> 1);
+  // Schedulable immediately: if the strategy picks it before the OS has
+  // actually started it, the grant simply waits for EnterChildThread — the
+  // modeled decision sequence is unaffected by thread-startup timing.
+  rec->state = State::kRunnable;
+  ThreadRec* raw = rec.get();
+  threads_.push_back(std::move(rec));
+  Trace(self, OpKind::kThreadCreate, raw, name);
+  return raw->tid;
+}
+
+void Scheduler::EnterChildThread(uint64_t id) {
+  std::unique_lock<std::mutex> lk(m_);
+  CLANDAG_CHECK(id < threads_.size());
+  ThreadRec* self = threads_[id].get();
+  tl_self_ = self;
+  tl_sched_ = this;
+  while (!self->granted) {
+    self->grant_cv.wait(lk);
+  }
+  self->granted = false;
+  Trace(self, OpKind::kThreadStart, self, self->name);
+}
+
+void Scheduler::ExitChildThread() {
+  std::unique_lock<std::mutex> lk(m_);
+  auto* self = static_cast<ThreadRec*>(tl_self_);
+  Trace(self, OpKind::kThreadExit, self, self->name);
+  self->exited = true;
+  self->state = State::kFinished;
+  for (const auto& t : threads_) {
+    if (t->state == State::kBlockedJoin && t->wait_obj == self) {
+      t->state = State::kRunnable;
+    }
+  }
+  tl_self_ = nullptr;
+  tl_sched_ = nullptr;
+  SwitchBlocked(lk, self, /*self_finished=*/true);
+}
+
+void Scheduler::AfterThreadSpawn(uint64_t id) {
+  std::unique_lock<std::mutex> lk(m_);
+  auto* self = static_cast<ThreadRec*>(tl_self_);
+  (void)id;
+  Switch(lk, self);  // Creation schedule point: child may run first.
+}
+
+void Scheduler::JoinThread(uint64_t id) {
+  std::unique_lock<std::mutex> lk(m_);
+  auto* self = static_cast<ThreadRec*>(tl_self_);
+  CLANDAG_CHECK(id < threads_.size());
+  ThreadRec* target = threads_[id].get();
+  Trace(self, OpKind::kThreadJoin, target, target->name);
+  while (!target->exited) {
+    self->state = State::kBlockedJoin;
+    self->wait_obj = target;
+    self->block_seq = next_block_seq_++;
+    SwitchBlocked(lk, self, false);
+  }
+}
+
+void Scheduler::Yield() {
+  std::unique_lock<std::mutex> lk(m_);
+  auto* self = static_cast<ThreadRec*>(tl_self_);
+  Trace(self, OpKind::kYield, nullptr, nullptr);
+  Switch(lk, self);
+}
+
+void Scheduler::Fail(const char* message) {
+  std::unique_lock<std::mutex> lk(m_);
+  if (!failed_) {
+    failed_ = true;
+    failure_message_ = message;
+  }
+}
+
+bool Scheduler::failed() const {
+  std::unique_lock<std::mutex> lk(m_);
+  return failed_;
+}
+
+std::string Scheduler::failure_message() const {
+  std::unique_lock<std::mutex> lk(m_);
+  return failure_message_;
+}
+
+uint64_t Scheduler::steps() const {
+  std::unique_lock<std::mutex> lk(m_);
+  return steps_;
+}
+
+std::string Scheduler::FormatTrace() const {
+  std::unique_lock<std::mutex> lk(m_);
+  return FormatTraceLocked();
+}
+
+std::string Scheduler::FormatTraceLocked() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "SCT schedule trace (strategy=%s seed=%" PRIu64 "):\n",
+                StrategyName(options_.strategy), options_.seed);
+  out += line;
+  for (const TraceEvent& e : trace_) {
+    const char* name = e.obj_name;
+    if (name == nullptr && e.obj != nullptr) {
+      auto it = obj_names_.find(e.obj);
+      if (it != obj_names_.end()) {
+        name = it->second;
+      }
+    }
+    const char* tname = "";
+    if (e.tid < threads_.size()) {
+      tname = threads_[e.tid]->name;
+    }
+    if (name != nullptr) {
+      std::snprintf(line, sizeof(line), "  #%-5" PRIu64 " T%u(%s) %s %s\n", e.step,
+                    e.tid, tname, OpName(e.op), name);
+    } else if (e.obj != nullptr) {
+      std::snprintf(line, sizeof(line), "  #%-5" PRIu64 " T%u(%s) %s obj@%p\n", e.step,
+                    e.tid, tname, OpName(e.op), e.obj);
+    } else {
+      std::snprintf(line, sizeof(line), "  #%-5" PRIu64 " T%u(%s) %s\n", e.step, e.tid,
+                    tname, OpName(e.op));
+    }
+    out += line;
+  }
+  return out;
+}
+
+std::string Scheduler::DumpLocked() const {
+  std::string out = "SCT thread dump:\n";
+  char line[256];
+  for (const auto& t : threads_) {
+    const char* wait_name = "";
+    if (t->wait_obj != nullptr) {
+      auto it = obj_names_.find(t->wait_obj);
+      if (it != obj_names_.end()) {
+        wait_name = it->second;
+      }
+    }
+    std::snprintf(line, sizeof(line), "  T%u(%s) %s wait=%s held=[", t->tid, t->name,
+                  StateName(t->state),
+                  t->state == State::kRunnable || t->state == State::kFinished
+                      ? "-"
+                      : (wait_name[0] != '\0' ? wait_name : "?"));
+    out += line;
+    for (size_t i = 0; i < t->held.size(); ++i) {
+      const void* mu = t->held[i];
+      auto it = obj_names_.find(mu);
+      if (it != obj_names_.end()) {
+        std::snprintf(line, sizeof(line), "%s%s", i > 0 ? ", " : "", it->second);
+      } else {
+        std::snprintf(line, sizeof(line), "%sobj@%p", i > 0 ? ", " : "", mu);
+      }
+      out += line;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+void Scheduler::DieLocked(const char* why) {
+  std::fprintf(stderr, "%sSCT: fatal: %s (strategy=%s seed=%" PRIu64
+                       "; the same seed replays this schedule bit-identically)\n",
+               FormatTraceLocked().c_str(), why, StrategyName(options_.strategy),
+               options_.seed);
+  std::abort();
+}
+
+// -- Hook surface (sct.h) ---------------------------------------------------
+
+bool InSchedule() { return Scheduler::CurrentThreadRegistered(); }
+
+void SchedulePoint() {
+  if (Scheduler* s = Scheduler::CurrentScheduler(); s != nullptr && InSchedule()) {
+    s->Yield();
+  }
+}
+
+void OnMutexAcquire(const void* mu, const char* name) {
+  if (Scheduler* s = Scheduler::CurrentScheduler(); s != nullptr && InSchedule()) {
+    s->AcquireMutex(mu, name);
+  }
+}
+
+void OnMutexRelease(const void* mu, const char* name) {
+  if (Scheduler* s = Scheduler::CurrentScheduler(); s != nullptr && InSchedule()) {
+    s->ReleaseMutex(mu, name);
+  }
+}
+
+bool OnMutexTryAcquire(const void* mu, const char* name) {
+  if (Scheduler* s = Scheduler::CurrentScheduler(); s != nullptr && InSchedule()) {
+    return s->TryAcquireMutex(mu, name);
+  }
+  return true;
+}
+
+void OnMutexTryAcquireRollback(const void* mu) {
+  if (Scheduler* s = Scheduler::CurrentScheduler(); s != nullptr && InSchedule()) {
+    s->TryAcquireRollback(mu);
+  }
+}
+
+bool OnCondVarWait(const void* cv, const void* mu, const char* mu_name, bool timed) {
+  Scheduler* s = Scheduler::CurrentScheduler();
+  CLANDAG_CHECK(s != nullptr);
+  return s->CondWait(cv, mu, mu_name, timed);
+}
+
+void OnCondVarNotify(const void* cv, bool notify_all) {
+  if (Scheduler* s = Scheduler::CurrentScheduler(); s != nullptr && InSchedule()) {
+    s->CondNotify(cv, notify_all);
+  }
+}
+
+uint64_t PreRegisterThread(const char* name) {
+  if (Scheduler* s = Scheduler::CurrentScheduler(); s != nullptr && InSchedule()) {
+    return s->PreRegisterThread(name);
+  }
+  return 0;
+}
+
+void EnterChildThread(uint64_t id) {
+  Scheduler* s = ActiveScheduler();
+  CLANDAG_CHECK(s != nullptr);
+  s->EnterChildThread(id);
+}
+
+void ExitChildThread() {
+  Scheduler* s = Scheduler::CurrentScheduler();
+  CLANDAG_CHECK(s != nullptr);
+  s->ExitChildThread();
+}
+
+void AfterThreadSpawn(uint64_t id) {
+  if (Scheduler* s = Scheduler::CurrentScheduler(); s != nullptr && InSchedule()) {
+    s->AfterThreadSpawn(id);
+  }
+}
+
+void OnThreadJoin(uint64_t id) {
+  if (Scheduler* s = Scheduler::CurrentScheduler(); s != nullptr && InSchedule()) {
+    s->JoinThread(id);
+  }
+}
+
+void FailCurrentSchedule(const char* message) {
+  if (Scheduler* s = Scheduler::CurrentScheduler(); s != nullptr && InSchedule()) {
+    s->Fail(message);
+    return;
+  }
+  std::fprintf(stderr, "SCT failure outside a schedule: %s\n", message);
+  std::abort();
+}
+
+}  // namespace clandag::sct

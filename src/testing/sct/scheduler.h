@@ -1,0 +1,246 @@
+// Deterministic cooperative scheduler for systematic concurrency testing.
+//
+// Under a CLANDAG_SCT build, every Mutex::Lock/Unlock, CondVar wait/notify
+// and clandag::Thread create/join (plus opt-in SchedulePoint() yields) calls
+// into the active Scheduler, which serializes execution: exactly one
+// registered thread runs at a time, and at every schedule point the next
+// runnable thread is picked by a pluggable strategy. Because all decisions
+// flow from a seeded DetRng (or an explicit DFS choice stack), a schedule is
+// a pure function of (strategy, seed): any failing seed replays
+// bit-identically and the recorded trace names every decision.
+//
+// Strategies:
+//   kRandomWalk  uniform choice among enabled threads at every point.
+//   kPct         Burckhardt et al.'s probabilistic concurrency testing:
+//                random distinct thread priorities, d-1 random change points
+//                that demote the running thread; always run the
+//                highest-priority enabled thread. Finds depth-d bugs with
+//                probability >= 1/(n * k^(d-1)) per schedule.
+//   kDfs         exhaustive depth-first enumeration of all schedules via a
+//                persistent choice stack (small cases only; budget-capped).
+//
+// Blocking model: mutex waiters and condvar waiters block cooperatively and
+// never touch the real primitives while suspended, so the scheduler always
+// knows the full enabled set. A timed condvar wait (WaitUntil/WaitFor) may
+// be "timed out" by the scheduler only when no other thread is runnable —
+// the deterministic analogue of "time advances when nothing else can
+// happen". When every registered thread is blocked and no timed wait can
+// fire, the scheduler prints a held/waiting dump plus the full schedule
+// trace and aborts: that is a real deadlock in the code under test.
+//
+// Hybrid caveat: threads NOT registered with the scheduler (e.g. a
+// TcpRuntime epoll loop spawned with Thread::Sched::kFreeRunning) run
+// concurrently in real time. Mutual exclusion against them still holds —
+// scheduled threads take the real lock after the modeled one — but modeled
+// decisions never depend on them, so the schedule trace stays deterministic
+// while such threads interact only through mutexes (never condvar waits that
+// scheduled threads are expected to wake, and vice versa).
+//
+// Threading: the Scheduler instance itself is shared by all registered
+// threads; every member below is guarded by the internal raw m_ (this file
+// IS the instrumentation layer, so it must use the naked std primitives —
+// see the exemption in tools/lint_invariants.py).
+
+#ifndef CLANDAG_TESTING_SCT_SCHEDULER_H_
+#define CLANDAG_TESTING_SCT_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace clandag::sct {
+
+enum class Strategy : uint8_t {
+  kRandomWalk = 0,
+  kPct = 1,
+  kDfs = 2,
+};
+
+const char* StrategyName(Strategy s);
+
+enum class OpKind : uint8_t {
+  kMutexAcquire,
+  kMutexRelease,
+  kMutexTryAcquire,
+  kCondWait,
+  kCondWake,
+  kCondTimeout,
+  kNotifyOne,
+  kNotifyAll,
+  kThreadCreate,
+  kThreadStart,
+  kThreadExit,
+  kThreadJoin,
+  kYield,
+};
+
+const char* OpName(OpKind op);
+
+struct TraceEvent {
+  uint64_t step = 0;
+  uint32_t tid = 0;
+  OpKind op = OpKind::kYield;
+  const void* obj = nullptr;
+  const char* obj_name = nullptr;  // Mutex name when provided, else null.
+};
+
+// Persistent DFS frontier shared across the schedules of one exploration:
+// a stack of (choice index, number of enabled threads) per decision point
+// with more than one enabled thread. Advance() bumps the deepest
+// incrementable choice; exploration is exhausted when the stack empties.
+class DfsState {
+ public:
+  // Choice for decision position `pos` with `n` enabled threads.
+  uint32_t Pick(size_t pos, uint32_t n);
+  // Move to the next unexplored schedule; false when the space is exhausted.
+  bool Advance();
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  std::vector<std::pair<uint32_t, uint32_t>> stack_;  // (choice, n_enabled)
+  bool exhausted_ = false;
+};
+
+struct ScheduleOptions {
+  Strategy strategy = Strategy::kRandomWalk;
+  uint64_t seed = 1;
+  // PCT depth d: number of priority change points is d - 1.
+  int pct_depth = 2;
+  // Estimated schedule length k for PCT change-point sampling; Explore
+  // feeds back the previous schedule's step count.
+  uint64_t pct_steps_estimate = 256;
+  // Hard step cap: a schedule exceeding it is reported as a livelock and
+  // the process aborts with the trace (deterministically reproducible).
+  uint64_t max_steps = 200000;
+};
+
+class Scheduler {
+ public:
+  Scheduler(const ScheduleOptions& options, DfsState* dfs);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Registers the calling thread as T0 and makes this the process-active
+  // scheduler. Must be balanced by FinishMain on the same thread.
+  void RegisterMain();
+  // Ends the schedule: asserts every child thread exited (a leaked running
+  // thread would make the next schedule nondeterministic) and detaches the
+  // process-active scheduler.
+  void FinishMain();
+
+  // Hook implementations (see sct.h for contracts).
+  void AcquireMutex(const void* mu, const char* name);
+  void ReleaseMutex(const void* mu, const char* name);
+  bool TryAcquireMutex(const void* mu, const char* name);
+  void TryAcquireRollback(const void* mu);
+  bool CondWait(const void* cv, const void* mu, const char* mu_name, bool timed);
+  void CondNotify(const void* cv, bool all);
+  uint64_t PreRegisterThread(const char* name);
+  void EnterChildThread(uint64_t id);
+  void ExitChildThread();
+  void AfterThreadSpawn(uint64_t id);
+  void JoinThread(uint64_t id);
+  void Yield();
+
+  void Fail(const char* message);
+
+  // True iff the calling thread is registered with a live schedule; the
+  // scheduler it belongs to. Used by the sct.h hook free functions.
+  static bool CurrentThreadRegistered();
+  static Scheduler* CurrentScheduler();
+
+  bool failed() const;
+  std::string failure_message() const;
+  uint64_t steps() const;
+  // Human-readable schedule trace: one line per decision.
+  std::string FormatTrace() const;
+
+ private:
+  enum class State : uint8_t {
+    kRunnable,      // May be granted execution (includes "not yet entered").
+    kBlockedMutex,  // Waiting for a modeled mutex to free up.
+    kBlockedCond,   // In a modeled condvar wait.
+    kBlockedJoin,   // Joining another scheduled thread.
+    kFinished,
+  };
+
+  struct ThreadRec {
+    uint32_t tid = 0;
+    const char* name = "";
+    State state = State::kRunnable;
+    const void* wait_obj = nullptr;  // Mutex/cv/joinee per state.
+    uint64_t block_seq = 0;          // FIFO order among waiters.
+    bool timed_wait = false;         // kBlockedCond: WaitUntil/WaitFor.
+    bool notified = false;           // kBlockedCond wake reason.
+    bool exited = false;
+    bool granted = false;            // Execution token handshake.
+    int64_t priority = 0;            // PCT.
+    std::condition_variable grant_cv;
+    std::vector<const void*> held;   // Modeled locks held (deadlock dump).
+  };
+
+  static const char* StateName(State s);
+
+  // Picks the next thread among runnable ones and hands the execution token
+  // over, then blocks the caller until the token returns. `lk` must hold m_.
+  void Switch(std::unique_lock<std::mutex>& lk, ThreadRec* self);
+  // Like Switch but `self` is not runnable (blocked/finished); the caller
+  // resumes only after another thread makes it runnable and the strategy
+  // picks it. `self_finished` skips the wait entirely (thread exit).
+  void SwitchBlocked(std::unique_lock<std::mutex>& lk, ThreadRec* self,
+                     bool self_finished);
+  // Grants the token to `next` (may equal self: no-op then).
+  void Grant(ThreadRec* next, ThreadRec* self);
+  // Strategy choice among `enabled` (non-empty, sorted by tid).
+  ThreadRec* PickNext(const std::vector<ThreadRec*>& enabled);
+  std::vector<ThreadRec*> Enabled();
+  // No runnable thread: fire the oldest timed condvar wait as a timeout, or
+  // report a deadlock (dump + trace + abort).
+  ThreadRec* ResolveStall(ThreadRec* self);
+  void WakeMutexWaiters(const void* mu);
+  void Trace(ThreadRec* self, OpKind op, const void* obj, const char* name);
+  [[noreturn]] void DieLocked(const char* why);
+  std::string DumpLocked() const;
+  std::string FormatTraceLocked() const;
+
+  // Registration slots for the calling thread (ThreadRec* stored as void* so
+  // the nested type stays private to this class).
+  static thread_local void* tl_self_;
+  static thread_local Scheduler* tl_sched_;
+
+  const ScheduleOptions options_;
+  DfsState* const dfs_;  // Null unless strategy == kDfs.
+
+  mutable std::mutex m_;
+  std::deque<std::unique_ptr<ThreadRec>> threads_;
+  std::map<const void*, ThreadRec*> mutex_owner_;
+  std::map<const void*, const char*> obj_names_;
+  std::vector<TraceEvent> trace_;
+  DetRng rng_;
+  uint64_t steps_ = 0;
+  uint64_t next_block_seq_ = 1;
+  size_t dfs_pos_ = 0;
+  bool failed_ = false;
+  std::string failure_message_;
+  // PCT state: pending change-point steps and the descending priority
+  // assigned at each one.
+  std::set<uint64_t> change_points_;
+  int64_t demote_priority_ = -1;
+};
+
+// The process-active scheduler (null outside Explore). Set by RegisterMain.
+Scheduler* ActiveScheduler();
+
+}  // namespace clandag::sct
+
+#endif  // CLANDAG_TESTING_SCT_SCHEDULER_H_

@@ -1,0 +1,75 @@
+// SCT hook surface: the functions common/mutex.h and common/thread.h call
+// under a CLANDAG_SCT build to route every synchronization operation through
+// the deterministic schedule explorer (scheduler.h).
+//
+// Every hook is a no-op unless the calling thread is registered with the
+// active Scheduler (i.e. it is executing inside an sct::Explore body). That
+// property is what lets the whole test suite — and production binaries
+// accidentally built with CLANDAG_SCT — run unchanged: outside a schedule
+// the wrappers fall straight through to the real primitives.
+//
+// This header is deliberately tiny and self-contained (no scheduler types)
+// so common/mutex.h can include it without pulling the explorer into every
+// translation unit.
+//
+// Threading: all functions are safe to call from any thread; they consult a
+// thread_local registration slot and the process-global active scheduler
+// (see scheduler.cc for the serialization protocol).
+
+#ifndef CLANDAG_TESTING_SCT_SCT_H_
+#define CLANDAG_TESTING_SCT_SCT_H_
+
+#include <cstdint>
+
+namespace clandag::sct {
+
+// True iff the current thread is registered with an active schedule. All
+// other hooks no-op (or pass through) when this is false.
+bool InSchedule();
+
+// Opt-in yield: a schedule point with no associated synchronization object.
+// Sprinkle into lock-free/atomic sections that the mutex hooks cannot see
+// (e.g. common/log.cc does this under CLANDAG_SCT).
+void SchedulePoint();
+
+// -- Mutex hooks (called by clandag::Mutex) ---------------------------------
+// Acquire blocks cooperatively until the modeled mutex is free, then marks
+// the caller as owner; the caller takes the real lock afterwards (always
+// uncontended among scheduled threads, so the real lock never blocks the
+// schedule). Release clears the owner, wakes modeled waiters and yields.
+void OnMutexAcquire(const void* mu, const char* name);
+void OnMutexRelease(const void* mu, const char* name);
+// Modeled try-lock: returns the deterministic outcome for the current
+// schedule state. On a hybrid race where the real try_lock still fails,
+// the caller must roll the modeled acquisition back.
+bool OnMutexTryAcquire(const void* mu, const char* name);
+void OnMutexTryAcquireRollback(const void* mu);
+
+// -- Condition-variable hooks (called by clandag::CondVar) ------------------
+// The caller must hold the modeled mutex and have released the REAL mutex
+// before calling; on return the modeled mutex is re-held and the caller
+// re-takes the real one. Returns true when woken by a notify, false when the
+// scheduler chose to time the wait out (only possible for timed == true, and
+// only when no other thread could make progress — see scheduler.h).
+bool OnCondVarWait(const void* cv, const void* mu, const char* mu_name, bool timed);
+void OnCondVarNotify(const void* cv, bool notify_all);
+
+// -- Thread hooks (called by clandag::Thread) -------------------------------
+// PreRegisterThread allocates a scheduler slot for a child about to be
+// spawned (returns 0 when not in a schedule: spawn a plain thread). The
+// child calls EnterChildThread first thing and ExitChildThread last; the
+// parent yields at AfterThreadSpawn (the creation schedule point) and uses
+// OnThreadJoin for a cooperative join.
+uint64_t PreRegisterThread(const char* name);
+void EnterChildThread(uint64_t id);
+void ExitChildThread();
+void AfterThreadSpawn(uint64_t id);
+void OnThreadJoin(uint64_t id);
+
+// Records a schedule failure (used by SCT_ASSERT in explore.h). When no
+// schedule is active this aborts the process like CLANDAG_CHECK.
+void FailCurrentSchedule(const char* message);
+
+}  // namespace clandag::sct
+
+#endif  // CLANDAG_TESTING_SCT_SCT_H_

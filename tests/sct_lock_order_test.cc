@@ -1,0 +1,140 @@
+// Detection-power tests for the runtime lock-order analyzer: provoke each
+// finding class on purpose (cycle, rank inversion, wait-while-holding) and
+// assert the counters move — then ResetForTest() so the suite-wide
+// zero-findings Environment (sct_main.cc) stays green. Unlike the explorer
+// tests these need only CLANDAG_LOCK_ANALYZER, so they run in plain debug
+// builds as well as SCT builds.
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "common/mutex.h"
+
+#ifdef CLANDAG_LOCK_ANALYZER
+
+#include "testing/sct/lock_order.h"
+
+namespace clandag {
+namespace {
+
+namespace lockorder = sct::lockorder;
+
+class LockOrderDetectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!lockorder::Enabled()) {
+      GTEST_SKIP() << "analyzer disabled via CLANDAG_LOCK_ORDER=0";
+    }
+    // Start from a clean graph so deltas below are exact, not >=.
+    lockorder::ResetForTest();
+  }
+  void TearDown() override {
+    // Leave no intentional findings behind for the global Environment.
+    lockorder::ResetForTest();
+  }
+};
+
+TEST_F(LockOrderDetectionTest, AcquisitionCycleIsDetectedOnce) {
+  Mutex a;  // Unnamed: per-instance graph nodes.
+  Mutex b;
+  auto nest = [](Mutex& outer, Mutex& inner) {
+    MutexLock lock_outer(outer);
+    MutexLock lock_inner(inner);
+  };
+  nest(a, b);  // Edge a→b.
+  EXPECT_EQ(lockorder::GetStats().cycles, 0u);
+  nest(b, a);  // Edge b→a closes the cycle (no real deadlock fired).
+  EXPECT_EQ(lockorder::GetStats().cycles, 1u);
+  EXPECT_GE(lockorder::GetStats().distinct_edges, 2u);
+  // Report-once: repeating the inverted nesting does not re-count.
+  nest(b, a);
+  EXPECT_EQ(lockorder::GetStats().cycles, 1u);
+  EXPECT_NE(lockorder::Report().find("cycle"), std::string::npos);
+}
+
+TEST_F(LockOrderDetectionTest, NamedInstancesAggregateIntoOneClass) {
+  // Two INSTANCES of the same named class on two distinct other-class
+  // mutexes: instance identity must not split the node, so the pair of
+  // nestings still closes a class-level cycle.
+  Mutex pool_a("sct_test.class.pool");
+  Mutex pool_b("sct_test.class.pool");
+  Mutex other("sct_test.class.other");
+  {
+    MutexLock l1(pool_a);
+    MutexLock l2(other);  // Edge pool→other.
+  }
+  {
+    MutexLock l1(other);
+    MutexLock l2(pool_b);  // Edge other→pool: cycle at class granularity.
+  }
+  EXPECT_EQ(lockorder::GetStats().cycles, 1u);
+}
+
+TEST_F(LockOrderDetectionTest, RankInversionIsDetectedOnce) {
+  Mutex outer("sct_test.rank.outer", lock_rank::kTcpCommand);  // 80 (leaf).
+  Mutex inner("sct_test.rank.inner", lock_rank::kOracle);      // 10.
+  for (int round = 0; round < 2; ++round) {
+    MutexLock lock_outer(outer);
+    MutexLock lock_inner(inner);  // Descending rank: hierarchy violation.
+  }
+  EXPECT_EQ(lockorder::GetStats().rank_violations, 1u);  // Once, not twice.
+  EXPECT_NE(lockorder::Report().find("rank"), std::string::npos);
+}
+
+TEST_F(LockOrderDetectionTest, AscendingRanksAreClean) {
+  Mutex low("sct_test.rank.low", lock_rank::kOracle);
+  Mutex mid("sct_test.rank.mid", lock_rank::kWorkPool);
+  Mutex high("sct_test.rank.high", lock_rank::kTcpCommand);
+  {
+    MutexLock l1(low);
+    MutexLock l2(mid);
+    MutexLock l3(high);
+  }
+  EXPECT_TRUE(lockorder::GetStats().clean()) << lockorder::Report();
+}
+
+TEST_F(LockOrderDetectionTest, CondWaitWhileHoldingSecondLockIsDetected) {
+  Mutex held("sct_test.wwh.held");
+  Mutex waited("sct_test.wwh.waited");
+  CondVar cv;
+  MutexLock lock_held(held);
+  MutexLock lock_waited(waited);
+  // Wait releases only `waited`; `held` stays held across the block — the
+  // classic shape where the notifier needs `held` and never runs. The timed
+  // wait expires immediately, so the test itself cannot hang.
+  bool timed_out = false;
+  while (!timed_out) {
+    timed_out = !cv.WaitFor(waited, std::chrono::microseconds(1));
+  }
+  EXPECT_EQ(lockorder::GetStats().wait_while_holding, 1u);
+  EXPECT_NE(lockorder::Report().find("wait"), std::string::npos);
+}
+
+TEST_F(LockOrderDetectionTest, CondWaitHoldingOnlyItsMutexIsClean) {
+  Mutex mu("sct_test.wwh.solo");
+  CondVar cv;
+  MutexLock lock(mu);
+  bool timed_out = false;
+  while (!timed_out) {
+    timed_out = !cv.WaitFor(mu, std::chrono::microseconds(1));
+  }
+  EXPECT_EQ(lockorder::GetStats().wait_while_holding, 0u);
+}
+
+}  // namespace
+}  // namespace clandag
+
+#else  // !CLANDAG_LOCK_ANALYZER
+
+namespace clandag {
+namespace {
+
+TEST(LockOrderDetectionTest, AnalyzerCompiledOut) {
+  GTEST_SKIP() << "lock-order analyzer is off in release non-SCT builds";
+}
+
+}  // namespace
+}  // namespace clandag
+
+#endif  // CLANDAG_LOCK_ANALYZER

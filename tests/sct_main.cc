@@ -1,0 +1,38 @@
+// Entry point for the SCT suite: installs a global environment that fails
+// the binary if the runtime lock-order analyzer recorded any acquisition-
+// graph cycle, rank violation, or wait-while-holding across ALL tests —
+// the "zero findings across the SCT suite" gate from ISSUE 8. Detection-
+// power tests that provoke violations on purpose call ResetForTest()
+// before finishing.
+
+#include <gtest/gtest.h>
+
+#include "testing/sct/lock_order.h"
+
+namespace {
+
+class LockOrderEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const auto stats = clandag::sct::lockorder::GetStats();
+    EXPECT_EQ(stats.cycles, 0u)
+        << "lock-acquisition-graph cycles recorded across the suite:\n"
+        << clandag::sct::lockorder::Report();
+    EXPECT_EQ(stats.rank_violations, 0u)
+        << "lock-rank violations recorded across the suite:\n"
+        << clandag::sct::lockorder::Report();
+    EXPECT_EQ(stats.wait_while_holding, 0u)
+        << "condvar waits while holding a second lock:\n"
+        << clandag::sct::lockorder::Report();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Death tests (deadlock detection fixtures) spawn threads before dying.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ::testing::InitGoogleTest(&argc, argv);
+  ::testing::AddGlobalTestEnvironment(new LockOrderEnvironment);
+  return RUN_ALL_TESTS();
+}

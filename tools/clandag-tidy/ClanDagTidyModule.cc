@@ -10,11 +10,13 @@
 //   clandag-quorum-literal      quorum arithmetic only in common/quorum.h
 //   clandag-callback-under-lock no subscriber callback while holding a Mutex
 //   clandag-unchecked-verify    Verify/Decode/Try* results must be consumed
+//   clandag-cv-wait-loop        CondVar waits must sit in a predicate loop
 
 #include "clang-tidy/ClangTidyModule.h"
 #include "clang-tidy/ClangTidyModuleRegistry.h"
 
 #include "CallbackUnderLockCheck.h"
+#include "CvWaitLoopCheck.h"
 #include "QuorumLiteralCheck.h"
 #include "UncheckedVerifyCheck.h"
 #include "WireTaintCheck.h"
@@ -28,6 +30,7 @@ class ClanDagTidyModule : public ClangTidyModule {
     factories.registerCheck<QuorumLiteralCheck>("clandag-quorum-literal");
     factories.registerCheck<CallbackUnderLockCheck>("clandag-callback-under-lock");
     factories.registerCheck<UncheckedVerifyCheck>("clandag-unchecked-verify");
+    factories.registerCheck<CvWaitLoopCheck>("clandag-cv-wait-loop");
   }
 };
 

@@ -1,0 +1,78 @@
+#include "CvWaitLoopCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::clandag {
+
+void CvWaitLoopCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("Wait", "WaitUntil", "WaitFor"),
+                               ofClass(hasName("CondVar")))))
+          .bind("wait-call"),
+      this);
+}
+
+void CvWaitLoopCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* Call = Result.Nodes.getNodeAs<CXXMemberCallExpr>("wait-call");
+  if (Call == nullptr) {
+    return;
+  }
+
+  ASTContext& Ctx = *Result.Context;
+
+  // Climb the parent chain looking for a loop statement. The climb stops at
+  // the enclosing function or lambda boundary: a wait inside a lambda needs
+  // its loop inside that SAME lambda — the call site's loop runs in a
+  // different activation and cannot re-check the predicate around this wait.
+  const Stmt* Cur = Call;
+  while (true) {
+    const auto Parents = Ctx.getParents(*Cur);
+    if (Parents.empty()) {
+      break;
+    }
+    if (const Stmt* PS = Parents[0].get<Stmt>()) {
+      // A wait in a loop *condition* (while (cv.WaitFor(...))) re-runs per
+      // iteration, so any loop ancestor counts, whichever child arm holds it.
+      if (isa<WhileStmt>(PS) || isa<ForStmt>(PS) || isa<DoStmt>(PS) ||
+          isa<CXXForRangeStmt>(PS)) {
+        return;
+      }
+      if (isa<LambdaExpr>(PS)) {
+        break;
+      }
+      Cur = PS;
+      continue;
+    }
+    const auto* FD = Parents[0].get<FunctionDecl>();
+    if (FD != nullptr) {
+      // CondVar's own members are the one legitimate non-looping wait:
+      // WaitFor delegates straight to WaitUntil; the caller owns the loop.
+      if (const auto* MD = dyn_cast<CXXMethodDecl>(FD)) {
+        const CXXRecordDecl* Cls = MD->getParent();
+        if (Cls != nullptr && Cls->getIdentifier() != nullptr &&
+            Cls->getName() == "CondVar") {
+          return;
+        }
+      }
+      break;
+    }
+    // Non-function Decl parent (e.g. a variable initializer): keep climbing
+    // through the semantic parent chain is not possible from here; treat as
+    // outside a loop.
+    break;
+  }
+
+  diag(Call->getBeginLoc(),
+       "%0 outside a loop; condition variables wake spuriously and a notify "
+       "can land before the wait — re-check the predicate: while (!ready) "
+       "cv.%0(...)")
+      << Call->getMethodDecl()->getName();
+}
+
+}  // namespace clang::tidy::clandag

@@ -1,0 +1,29 @@
+// clandag-cv-wait-loop: every CondVar::Wait/WaitUntil/WaitFor must sit
+// lexically inside a loop (while/for/do) that re-checks its predicate.
+// Condition variables wake spuriously, and a notify that lands between the
+// predicate check and the wait is lost forever — the missed-notify shape the
+// SCT explorer finds dynamically (tests/sct_explorer_test.cc's
+// FindsMissedNotifyDeadlockWithinBudget fixture); this check rejects it
+// statically. clandag's CondVar deliberately has no predicate overloads
+// (a lambda predicate is opaque to -Wthread-safety), so the loop must be
+// spelled out — and therefore can be enforced syntactically.
+
+#ifndef CLANDAG_TIDY_CV_WAIT_LOOP_CHECK_H_
+#define CLANDAG_TIDY_CV_WAIT_LOOP_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::clandag {
+
+class CvWaitLoopCheck : public ClangTidyCheck {
+ public:
+  CvWaitLoopCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace clang::tidy::clandag
+
+#endif  // CLANDAG_TIDY_CV_WAIT_LOOP_CHECK_H_

@@ -1,0 +1,56 @@
+// Negative fixture for clandag-cv-wait-loop: every wait below re-checks its
+// predicate in a lexically-enclosing loop — none may draw a diagnostic.
+
+#include "clandag_stubs.h"
+
+namespace clandag {
+
+// The canonical shape from common/mutex.h's doc comment.
+void WhileLoopWait(Mutex& mu, CondVar& cv, const bool& ready) {
+  mu.Lock();
+  while (!ready) {
+    cv.Wait(mu);
+  }
+  mu.Unlock();
+}
+
+// do/while and for loops re-check too.
+void DoWhileWait(Mutex& mu, CondVar& cv, const bool& ready) {
+  mu.Lock();
+  do {
+    cv.Wait(mu);
+  } while (!ready);
+  mu.Unlock();
+}
+
+bool ForLoopTimedWait(Mutex& mu, CondVar& cv, const bool& ready) {
+  bool notified = false;
+  mu.Lock();
+  for (int round = 0; round < 3 && !ready; ++round) {
+    notified = cv.WaitFor(mu, 1000);
+  }
+  mu.Unlock();
+  return notified;
+}
+
+// Wait in the loop CONDITION re-runs every iteration.
+void WaitInLoopCondition(Mutex& mu, CondVar& cv, const bool& ready) {
+  mu.Lock();
+  while (!ready && cv.WaitFor(mu, 1000)) {
+  }
+  mu.Unlock();
+}
+
+// A lambda with its own loop is fine wherever it is invoked from.
+void LoopInsideLambda(Mutex& mu, CondVar& cv, const bool& ready) {
+  auto waiter = [&] {
+    mu.Lock();
+    while (!ready) {
+      cv.WaitUntil(mu, 2000);
+    }
+    mu.Unlock();
+  };
+  waiter();
+}
+
+}  // namespace clandag

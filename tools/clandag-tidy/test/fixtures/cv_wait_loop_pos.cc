@@ -1,0 +1,49 @@
+// Positive fixture for clandag-cv-wait-loop: every wait below lacks a
+// lexically-enclosing loop, so each must draw a diagnostic.
+
+#include "clandag_stubs.h"
+
+namespace clandag {
+
+// Naked wait: one spurious wakeup past the notify and the caller proceeds
+// on a false predicate.
+void NakedWait(Mutex& mu, CondVar& cv) {
+  mu.Lock();
+  cv.Wait(mu);  // want-warning
+  mu.Unlock();
+}
+
+// if-guarded wait: checks the predicate ONCE — the exact missed-notify shape
+// (notify lands between the check and the wait and is lost forever).
+void IfGuardedWait(Mutex& mu, CondVar& cv, const bool& ready) {
+  mu.Lock();
+  if (!ready) {
+    cv.Wait(mu);  // want-warning
+  }
+  mu.Unlock();
+}
+
+// Timed variants are not exempt: a timeout does not re-check the predicate.
+bool NakedTimedWait(Mutex& mu, CondVar& cv) {
+  mu.Lock();
+  bool ok = cv.WaitFor(mu, 1000);  // want-warning
+  ok = ok && cv.WaitUntil(mu, 2000);  // want-warning
+  mu.Unlock();
+  return ok;
+}
+
+// A loop at the CALL SITE does not excuse a naked wait inside a lambda: the
+// lambda body is its own activation and the outer loop cannot re-check the
+// predicate around this wait.
+void LoopOutsideLambda(Mutex& mu, CondVar& cv) {
+  auto waiter = [&] {
+    mu.Lock();
+    cv.Wait(mu);  // want-warning
+    mu.Unlock();
+  };
+  for (int i = 0; i < 3; ++i) {
+    waiter();
+  }
+}
+
+}  // namespace clandag

@@ -43,6 +43,20 @@ class __attribute__((scoped_lockable)) MutexLock {
   ~MutexLock() __attribute__((release_capability()));
 };
 
+// Condition variable — what clandag-cv-wait-loop keys on. Mirrors the real
+// API shape: no predicate overloads, timed waits return false on timeout.
+class CondVar {
+ public:
+  void NotifyOne();
+  void NotifyAll();
+  void Wait(Mutex& mu);
+  bool WaitUntil(Mutex& mu, long long deadline);
+  bool WaitFor(Mutex& mu, long long timeout) {
+    // Delegation inside CondVar itself is the one exempt non-looping wait.
+    return WaitUntil(mu, timeout);
+  }
+};
+
 // Subscriber interface — the virtual-dispatch callback shape.
 class MessageHandler {
  public:

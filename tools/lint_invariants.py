@@ -9,9 +9,10 @@ Rules
 -----
 raw-concurrency-primitive
     No naked std::mutex / std::lock_guard / std::condition_variable / ... in
-    src/ outside src/common/mutex.h. The wrappers there carry the Clang
-    thread-safety annotations; a naked primitive is invisible to
-    `-Wthread-safety` and therefore unchecked.
+    src/ outside src/common/mutex.h and the SCT runtime (src/testing/sct/,
+    which implements the instrumented types and cannot recurse into them).
+    The wrappers carry the Clang thread-safety annotations; a naked
+    primitive is invisible to `-Wthread-safety` and therefore unchecked.
 
 decode-bounds
     Every wire-decode translation unit (one defining a `Decode*` function
@@ -28,6 +29,14 @@ no-assert
     No `assert(` in src/ (and no <cassert>/<assert.h> includes): NDEBUG
     builds would silently drop protocol invariants. Use CLANDAG_CHECK /
     CLANDAG_CHECK_MSG (common/check.h), which are active in release builds.
+
+naked-thread-spawn
+    No std::thread / std::jthread in src/ outside src/common/thread.h and
+    the SCT runtime itself (src/testing/sct/). All spawns go through
+    clandag::Thread so the deterministic schedule explorer (DESIGN.md §13)
+    sees every thread; a naked spawn is invisible to CLANDAG_SCT builds and
+    its interleavings are never explored. (std::thread::id and
+    std::this_thread remain fine — the rule targets spawning, not ids.)
 
 threading-contract
     Every src/ header that includes <thread>, <atomic>, <mutex>,
@@ -97,8 +106,27 @@ INGRESS_CAP_REF_RE = re.compile(r"\bkMax\w+|\bmax_\w+|[Bb]ounded")
 WAIVER_RE = re.compile(r"//\s*lint:allow\(([\w-]+)\)")
 NOLINT_RE = re.compile(r"NOLINT(?:NEXTLINE|BEGIN|END)?(?:\(([^)]*)\))?(.*)")
 
-# The annotated wrappers themselves legitimately hold the naked primitives.
-PRIMITIVE_EXEMPT = {"src/common/mutex.h", "src/common/thread_annotations.h"}
+# The annotated wrappers themselves legitimately hold the naked primitives,
+# and the SCT runtime underneath them must not recurse into the instrumented
+# types it implements. Prefix-matched: a trailing '/' exempts a directory.
+PRIMITIVE_EXEMPT_PREFIXES = (
+    "src/common/mutex.h",
+    "src/common/thread_annotations.h",
+    "src/testing/sct/",
+)
+
+
+def _path_exempt(rel: str, prefixes) -> bool:
+    return any(rel == p or (p.endswith("/") and rel.startswith(p))
+               for p in prefixes)
+
+# `std::thread` / `std::jthread` spawns outside the SCT-aware wrapper. The
+# lookahead spares `std::thread::id` (thread identity, not spawning).
+THREAD_SPAWN_RE = re.compile(r"std::jthread\b|std::thread\b(?!::)")
+# Prefix-matched (a trailing '/' exempts a whole directory): the wrapper
+# holds the real std::thread, and the SCT runtime underneath it may not
+# recurse into itself.
+THREAD_SPAWN_EXEMPT_PREFIXES = ("src/common/thread.h", "src/testing/sct/")
 
 
 def strip_comments(line: str) -> str:
@@ -126,7 +154,8 @@ class Linter:
     # -- Rule: raw-concurrency-primitive ------------------------------------
     def check_primitives(self):
         for path in self.src_files({".h", ".cc"}):
-            if str(path.relative_to(self.root)) in PRIMITIVE_EXEMPT:
+            if _path_exempt(str(path.relative_to(self.root)),
+                            PRIMITIVE_EXEMPT_PREFIXES):
                 continue
             for lineno, line in enumerate(path.read_text().splitlines(), 1):
                 code = strip_comments(line)
@@ -136,6 +165,23 @@ class Linter:
                         "raw-concurrency-primitive", path, lineno,
                         f"use the annotated wrappers in common/mutex.h instead of "
                         f"'{m.group(0).strip()}' (invisible to -Wthread-safety)",
+                        line)
+
+    # -- Rule: naked-thread-spawn -------------------------------------------
+    def check_thread_spawns(self):
+        for path in self.src_files({".h", ".cc"}):
+            if _path_exempt(str(path.relative_to(self.root)),
+                            THREAD_SPAWN_EXEMPT_PREFIXES):
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                code = strip_comments(line)
+                m = THREAD_SPAWN_RE.search(code)
+                if m:
+                    self.report(
+                        "naked-thread-spawn", path, lineno,
+                        f"'{m.group(0)}' bypasses clandag::Thread "
+                        f"(common/thread.h); a naked spawn is invisible to "
+                        f"the SCT schedule explorer",
                         line)
 
     # -- Rules: decode-bounds + decode-fuzz-coverage ------------------------
@@ -287,6 +333,7 @@ class Linter:
 
     def run(self):
         self.check_primitives()
+        self.check_thread_spawns()
         self.check_decoders()
         self.check_asserts()
         self.check_nolint_justifications()
