@@ -21,6 +21,16 @@ void Committer::RestoreCommitted(int64_t round) {
   last_committed_ = round;
 }
 
+void Committer::AdvanceCommitted(int64_t round) {
+  if (round <= last_committed_) {
+    return;
+  }
+  last_committed_ = round;
+  const Round r = static_cast<Round>(round);
+  votes_.erase(votes_.begin(), votes_.upper_bound(r));
+  quorum_digest_.erase(quorum_digest_.begin(), quorum_digest_.upper_bound(r));
+}
+
 void Committer::CountVote(const Vertex& voter) {
   if (voter.round == 0) {
     return;

@@ -46,6 +46,11 @@ class Committer {
   // is processed; rounds <= `round` are never re-ordered.
   void RestoreCommitted(int64_t round);
 
+  // Snapshot install: jumps the commit frontier forward mid-run (the
+  // snapshot already ordered everything at or below `round`), dropping the
+  // now-dead vote bookkeeping. No-op when `round` is not ahead.
+  void AdvanceCommitted(int64_t round);
+
   // Counts the leader vote carried by `voter` (a round >= 1 vertex seen via
   // VAL or added to the DAG). Idempotent per (voter round, voter source).
   void CountVote(const Vertex& voter);

@@ -45,6 +45,8 @@ SailfishNode::SailfishNode(Runtime& runtime, const Keychain& keychain,
   fetcher_->SetDeliver([this](Vertex v, const Digest& d) { OnFetchedVertex(std::move(v), d); });
   fetcher_->SetLowWatermark(
       [this] { return static_cast<Round>(committer_.LastCommittedRound() + 1); });
+  fetcher_->SetSnapshotDeliver(
+      [this](NodeId from, SnapshotData snap) { InstallSnapshot(from, std::move(snap)); });
   responder_ = std::make_unique<FetchResponder>(runtime_, dag_, config_.responder);
 }
 
@@ -60,26 +62,57 @@ void SailfishNode::Start() {
   ScheduleTimeout(0);
 }
 
-RecoveryOutcome SailfishNode::RestoreFromWal(const RecoveryState& state) {
+RecoveryOutcome SailfishNode::RestoreFromWal(const RecoveryState& state,
+                                             const SnapshotData* snapshot) {
   CLANDAG_CHECK(!recovered_ && !proposed_any_ && current_round_ == 0);
   recovered_ = true;
   RecoveryOutcome out;
-  committer_.RestoreCommitted(state.last_committed);
   Round max_round = 0;
-  // The WAL's append order is the agreed total order, which respects
-  // causality, so parents are always present when a vertex is re-inserted.
-  for (const Vertex& v : state.ordered) {
-    Vertex copy = v;
-    if (!dag_.Insert(std::move(copy))) {
-      continue;  // Duplicate record survived log dedup; harmless.
+  int64_t committed = state.last_committed;
+  Round snap_propose_floor = 0;
+  if (snapshot != nullptr) {
+    // Install the compaction base first: the DAG frontier at rounds <= the
+    // snapshot's commit round (unordered holes included, so weak edges to
+    // stragglers resolve identically to a node that never restarted). The
+    // frontier is stored ascending by round, so parents precede children.
+    dag_.ResetToFrontier(snapshot->dag_floor);
+    for (size_t i = 0; i < snapshot->vertices.size(); ++i) {
+      const bool ordered = i < snapshot->ordered.size() && snapshot->ordered[i] != 0;
+      if (RestoreVertex(snapshot->vertices[i], ordered)) {
+        max_round = std::max(max_round, snapshot->vertices[i].round);
+        ++out.snapshot_vertices;
+      }
     }
-    dag_.MarkOrdered(v.round, v.source);
+    committed = std::max(committed, static_cast<int64_t>(snapshot->last_committed));
+    snap_propose_floor = snapshot->propose_floor;
+    out.from_snapshot = true;
+  } else if (state.snapshot_committed >= 0) {
+    // The WAL was compacted against a snapshot nothing could load: degrade
+    // to a floor-only restore from the kSnapshotMark. Rounds at or below the
+    // mark's commit round become pruned history; WAL records above it still
+    // replay (records at or below it are skipped as pruned — bounded data
+    // loss, never a crash).
+    dag_.ResetToFrontier(static_cast<Round>(state.snapshot_committed) + 1);
+    max_round = static_cast<Round>(state.snapshot_committed);
+    CLANDAG_WARN(
+        "node %u: WAL names snapshot seq %llu but no snapshot file loads; "
+        "floor-only recovery above round %lld (execution state lost)",
+        runtime_.id(), static_cast<unsigned long long>(state.snapshot_seq),
+        static_cast<long long>(state.snapshot_committed));
+  }
+  committer_.RestoreCommitted(committed);
+  // The WAL's append order is the agreed total order, which respects
+  // causality, so parents are always present when a vertex is re-inserted
+  // (or pruned, after a floor-only restore).
+  for (const Vertex& v : state.ordered) {
+    if (!RestoreVertex(v, true)) {
+      continue;  // Duplicate record or below the snapshot floor; harmless.
+    }
     max_round = std::max(max_round, v.round);
     ++out.restored_vertices;
   }
   for (const Vertex& v : state.trailing) {
-    Vertex copy = v;
-    if (!dag_.Insert(std::move(copy))) {
+    if (!RestoreVertex(v, false)) {
       continue;
     }
     max_round = std::max(max_round, v.round);
@@ -89,19 +122,122 @@ RecoveryOutcome SailfishNode::RestoreFromWal(const RecoveryState& state) {
     // repeating the pre-crash order past the durable barrier.
     committer_.OnVertexAdded(*dag_.Get(v.round, v.source));
   }
-  const Round after_restored =
-      (out.restored_vertices + out.trailing_vertices) > 0 ? max_round + 1 : 0;
-  current_round_ = std::max(after_restored, state.propose_floor);
-  if (state.propose_floor > 0) {
+  const bool restored_any = (out.restored_vertices + out.trailing_vertices +
+                             out.snapshot_vertices) > 0 ||
+                            state.snapshot_committed >= 0;
+  const Round after_restored = restored_any ? max_round + 1 : 0;
+  const Round propose_floor = std::max(state.propose_floor, snap_propose_floor);
+  current_round_ = std::max(after_restored, propose_floor);
+  if (propose_floor > 0) {
     proposed_any_ = true;
-    last_proposed_ = state.propose_floor - 1;
+    last_proposed_ = propose_floor - 1;
   }
   out.resume_round = current_round_;
   return out;
 }
 
+bool SailfishNode::RestoreVertex(const Vertex& v, bool ordered) {
+  if (dag_.Has(v.round, v.source)) {
+    // Already present: a snapshot-frontier hole or a duplicate record. An
+    // ordered WAL record for an unordered frontier hole still carries new
+    // information — the straggler was ordered after the snapshot cut — and
+    // must be marked or the live committer would re-emit it (MarkOrdered is
+    // idempotent for genuine duplicates).
+    if (ordered) {
+      dag_.MarkOrdered(v.round, v.source);
+    }
+    return false;
+  }
+  if (dag_.StatusOf(v.round, v.source) == VertexStatus::kPruned) {
+    return false;  // Below the snapshot floor: committed history, body elided.
+  }
+  if (!dag_.ParentsPresent(v)) {
+    // A well-formed snapshot/WAL never produces this (capture and append
+    // order respect causality); a corrupt or hand-edited record can. Skip it
+    // rather than crash — the fetcher repairs real holes later.
+    CLANDAG_WARN("node %u: dropping restored vertex (%llu, %u) with unresolved parents",
+                 runtime_.id(), static_cast<unsigned long long>(v.round), v.source);
+    return false;
+  }
+  Vertex copy = v;
+  if (!dag_.Insert(std::move(copy))) {
+    return false;
+  }
+  if (ordered) {
+    dag_.MarkOrdered(v.round, v.source);
+  }
+  return true;
+}
+
+void SailfishNode::CaptureSnapshot(Round anchor_round, SnapshotData* out) const {
+  out->last_committed = anchor_round;
+  out->dag_floor = dag_.PrunedFloor();
+  out->vertices.clear();
+  out->ordered.clear();
+  dag_.ForEachUpTo(out->last_committed, [out](const Vertex& v, bool ordered) {
+    out->vertices.push_back(v);
+    out->ordered.push_back(ordered ? 1 : 0);
+  });
+}
+
+void SailfishNode::InstallSnapshot(NodeId from, SnapshotData snap) {
+  if (static_cast<int64_t>(snap.last_committed) <= committer_.LastCommittedRound()) {
+    return;  // Normal catch-up outran the transfer; stale.
+  }
+  CLANDAG_INFO("node %u: installing snapshot from %u (committed %llu, %zu vertices)",
+               runtime_.id(), from, static_cast<unsigned long long>(snap.last_committed),
+               snap.vertices.size());
+  dag_.ResetToFrontier(snap.dag_floor);
+  for (size_t i = 0; i < snap.vertices.size(); ++i) {
+    const bool ordered = i < snap.ordered.size() && snap.ordered[i] != 0;
+    RestoreVertex(snap.vertices[i], ordered);
+  }
+  committer_.AdvanceCommitted(static_cast<int64_t>(snap.last_committed));
+  // Rounds at or below the new commit frontier are settled: drop the sync
+  // and round bookkeeping the jump made dead.
+  const Round floor = snap.last_committed + 1;
+  fetcher_->PruneBelow(floor);
+  dissem_->PruneBelow(snap.dag_floor);
+  auto prune_round_map = [floor](auto& m) { m.erase(m.begin(), m.lower_bound(floor)); };
+  prune_round_map(timeout_votes_);
+  prune_round_map(tcs_);
+  prune_round_map(novote_votes_);
+  prune_round_map(nvcs_);
+  while (!timeout_fired_.empty() && *timeout_fired_.begin() < floor) {
+    timeout_fired_.erase(timeout_fired_.begin());
+  }
+  while (!no_voted_.empty() && *no_voted_.begin() < floor) {
+    no_voted_.erase(no_voted_.begin());
+  }
+  // Let the SMR layer restore execution, persist the snapshot and cut its
+  // WAL before this node proposes again (the proposal marker must land in
+  // the post-cut log or a restart could self-equivocate).
+  if (callbacks_.on_snapshot_installed) {
+    callbacks_.on_snapshot_installed(snap);
+  }
+  if (current_round_ < floor) {
+    current_round_ = floor;
+    pending_proposal_.reset();
+    if (!ProposeForRound(current_round_)) {
+      pending_proposal_ = current_round_;
+    }
+    ScheduleTimeout(current_round_);
+  }
+  DrainFetcher();
+  MaybeAdvance();
+  TryPendingProposal();
+}
+
 void SailfishNode::SetHistoryProvider(DagStore::PrunedLookupFn fn) {
   dag_.SetPrunedLookup(std::move(fn));
+}
+
+void SailfishNode::SetSnapshotSource(FetchResponder::SnapshotSourceFn fn) {
+  responder_->SetSnapshotSource(std::move(fn));
+}
+
+void SailfishNode::SetSnapshotBySeq(FetchResponder::SnapshotBySeqFn fn) {
+  responder_->SetSnapshotBySeq(std::move(fn));
 }
 
 SyncStats SailfishNode::sync_stats() const {
@@ -129,6 +265,17 @@ void SailfishNode::OnMessage(NodeId from, MsgType type, const Bytes& payload) {
       DrainFetcher();
       MaybeAdvance();
       TryPendingProposal();
+      return;
+    case kConsSnapshotOffer:
+      fetcher_->OnSnapshotOffer(from, payload);
+      return;
+    case kConsSnapshotChunkRequest:
+      responder_->OnSnapshotChunkRequest(from, payload);
+      return;
+    case kConsSnapshotChunk:
+      // The final chunk hands the decoded snapshot to InstallSnapshot
+      // synchronously via the fetcher's deliver callback.
+      fetcher_->OnSnapshotChunk(from, payload);
       return;
     default:
       CLANDAG_DEBUG("node %u: unknown message type %u (%s) from %u", runtime_.id(), type,

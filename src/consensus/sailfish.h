@@ -36,6 +36,7 @@
 #include "net/runtime.h"
 #include "sync/fetch_responder.h"
 #include "sync/recovery.h"
+#include "sync/snapshot.h"
 #include "sync/vertex_fetcher.h"
 
 namespace clandag {
@@ -87,6 +88,10 @@ struct SailfishCallbacks {
   // Fired after a committed anchor finished ordering its history batch; the
   // WAL writes its durable commit barrier here.
   std::function<void(Round)> on_anchor;  // Optional.
+  // Fired after a peer-served snapshot was installed into live consensus
+  // state (deep catch-up): the SMR layer restores execution, persists the
+  // snapshot locally and re-anchors its order position. Optional.
+  std::function<void(const SnapshotData&)> on_snapshot_installed;  // Optional.
 };
 
 // What RestoreFromWal reconstructed.
@@ -94,6 +99,8 @@ struct RecoveryOutcome {
   size_t restored_vertices = 0;   // Committed prefix re-inserted and marked.
   size_t trailing_vertices = 0;   // Re-inserted unordered (will re-commit).
   Round resume_round = 0;         // Round the node rejoins the protocol at.
+  bool from_snapshot = false;     // A snapshot supplied the base state.
+  size_t snapshot_vertices = 0;   // Frontier vertices installed from it.
 };
 
 class SailfishNode final : public MessageHandler {
@@ -115,11 +122,32 @@ class SailfishNode final : public MessageHandler {
   // live committer re-orders them identically, which may fire on_ordered
   // synchronously here), and moves the propose floor above every round this
   // node may have proposed in a previous life.
-  RecoveryOutcome RestoreFromWal(const RecoveryState& state);
+  //
+  // `snapshot` (optional) supplies the base the WAL was compacted against:
+  // its frontier vertices are installed first (ordered prefix marked, holes
+  // left unordered) and the WAL's records replay on top. When the WAL names
+  // a snapshot that could not be loaded, recovery degrades to a floor-only
+  // restore from the kSnapshotMark alone — bounded data, never a crash.
+  RecoveryOutcome RestoreFromWal(const RecoveryState& state,
+                                 const SnapshotData* snapshot = nullptr);
 
   // Installs the committed-history lookup the DagStore consults for pruned
   // rounds (the FetchResponder serves from it).
   void SetHistoryProvider(DagStore::PrunedLookupFn fn);
+
+  // Installs the durable-snapshot source the FetchResponder offers to
+  // deep-lagging peers (SnapshotStore::serve_state).
+  void SetSnapshotSource(FetchResponder::SnapshotSourceFn fn);
+  void SetSnapshotBySeq(FetchResponder::SnapshotBySeqFn fn);
+
+  // Fills the consensus-owned part of a checkpoint at committed anchor round
+  // `anchor_round`: pruned floor and every DAG vertex at rounds <= the
+  // anchor with its ordered flag. Must be called from the on_anchor callback
+  // (the committer may already have advanced LastCommittedRound past
+  // `anchor_round` mid-chain, but only rounds <= `anchor_round` have their
+  // order emitted at that point). The SMR layer adds execution state and
+  // order counters.
+  void CaptureSnapshot(Round anchor_round, SnapshotData* out) const;
 
   // MessageHandler.
   void OnMessage(NodeId from, MsgType type, const Bytes& payload) override;
@@ -160,6 +188,13 @@ class SailfishNode final : public MessageHandler {
   void OnTimeoutMsg(NodeId from, const Bytes& payload);
   void OnNoVoteMsg(NodeId from, const Bytes& payload);
   void GarbageCollect();
+  // Adopts a peer-served snapshot mid-run: resets the DAG to its frontier,
+  // advances the commit frontier and jumps the round. No-op when stale.
+  void InstallSnapshot(NodeId from, SnapshotData snap);
+  // Shared by WAL replay and snapshot install: inserts a restored vertex if
+  // its parents resolve, marking it ordered when flagged. Returns false (and
+  // warns) on an inconsistent record instead of crashing.
+  bool RestoreVertex(const Vertex& v, bool ordered);
 
   Runtime& runtime_;
   const Keychain& keychain_;

@@ -17,6 +17,9 @@ const char* MsgTypeName(MsgType type) {
     case kConsTimeout: return "Timeout";
     case kConsFetchRequest: return "FetchRequest";
     case kConsFetchResponse: return "FetchResponse";
+    case kConsSnapshotOffer: return "SnapshotOffer";
+    case kConsSnapshotChunkRequest: return "SnapshotChunkRequest";
+    case kConsSnapshotChunk: return "SnapshotChunk";
     default: return "Unknown";
   }
 }

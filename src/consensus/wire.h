@@ -31,8 +31,14 @@ inline constexpr MsgType kConsTimeout = 11;
 // of message types.
 inline constexpr MsgType kConsFetchRequest = kSyncFetchRequest;
 inline constexpr MsgType kConsFetchResponse = kSyncFetchResponse;
+inline constexpr MsgType kConsSnapshotOffer = kSyncSnapshotOffer;
+inline constexpr MsgType kConsSnapshotChunkRequest = kSyncSnapshotChunkRequest;
+inline constexpr MsgType kConsSnapshotChunk = kSyncSnapshotChunk;
 static_assert(kConsFetchRequest == 12 && kConsFetchResponse == 13,
               "sync wire types must extend the consensus numbering");
+static_assert(kConsSnapshotOffer == 14 && kConsSnapshotChunkRequest == 15 &&
+                  kConsSnapshotChunk == 16,
+              "snapshot wire types must extend the consensus numbering");
 
 // Human-readable tag for logs and debug counters.
 const char* MsgTypeName(MsgType type);

@@ -29,6 +29,7 @@
 #include "ingress/front_end.h"
 #include "smr/execution.h"
 #include "smr/mempool.h"
+#include "sync/snapshot.h"
 #include "sync/wal_vertex_store.h"
 
 namespace clandag {
@@ -53,6 +54,17 @@ struct AppNodeOptions {
   // order via Runtime::Schedule(0, ...). Leave 0 over the simulator (its
   // Schedule is driver-thread-only) and for single-core deployments.
   uint32_t verify_workers = 0;
+  // > 0 = checkpoint the executed state and DAG frontier to <wal_path>.snap
+  // every this-many committed anchor rounds, then compact the WAL against
+  // the checkpoint (restart replay becomes bounded by this interval, and
+  // deep-lagging peers are served the snapshot instead of pruned history).
+  // Requires wal_path; 0 disables snapshots.
+  Round snapshot_interval_rounds = 0;
+  // Chaos hooks (fault/ injection; leave unset in production). The write
+  // fault corrupts or tears a snapshot write; the install hook, returning
+  // true, simulates a crash mid-install (before execution state is adopted).
+  SnapshotStore::WriteFaultFn snapshot_write_fault;
+  std::function<bool(uint64_t seq)> snapshot_install_crash;
 };
 
 struct AppNodeCallbacks {
@@ -72,6 +84,10 @@ struct AppNodeCallbacks {
   // rejection, or expiry). The embedder routes it back over its client
   // transport. Fires on the event-loop thread; must not reenter the node.
   std::function<void(uint64_t client, const ClientReplyMsg&)> on_client_reply;
+  // A peer-served snapshot was installed (deep catch-up): execution state
+  // was replaced and the total-order position re-anchored at
+  // snap.order_count. Chaos oracles re-anchor their logs here. Optional.
+  std::function<void(const SnapshotData&)> on_snapshot_installed;
 };
 
 struct RecoveryStats {
@@ -81,6 +97,12 @@ struct RecoveryStats {
   Round resume_round = 0;
   uint64_t wal_records = 0;
   int64_t duration_us = 0;  // Host wall clock spent replaying the WAL.
+  // Snapshot-assisted restart: the durable checkpoint supplied the base
+  // state and the WAL replayed only records past its order barrier.
+  bool from_snapshot = false;
+  uint64_t snapshot_seq = 0;
+  uint64_t order_base = 0;
+  size_t snapshot_vertices = 0;
 };
 
 class AppNode final : public MessageHandler {
@@ -113,11 +135,30 @@ class AppNode final : public MessageHandler {
   IngressFrontEnd* ingress() { return ingress_.get(); }
   const IngressFrontEnd* ingress() const { return ingress_.get(); }
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
-  SyncStats sync_stats() const { return consensus_->sync_stats(); }
+  // Fetcher + responder counters, plus this node's snapshot lifecycle
+  // counters (written / installed / WAL records compacted away).
+  SyncStats sync_stats() const;
+  // Null unless snapshots are enabled and the WAL opened.
+  const SnapshotStore* snapshots() const { return snapshot_store_.get(); }
+  // Global total-order position of the next ordered vertex (snapshot base +
+  // everything ordered since).
+  uint64_t TotalOrderPosition() const { return total_order_position_; }
 
  private:
   void OnOrdered(const Vertex& v);
   void DrainExecutionQueue();
+  // on_anchor hook: checkpoint + WAL cut when the interval elapsed. The WAL
+  // tail is exactly the anchor-`r` barrier record at that point, so the cut
+  // loses nothing.
+  void MaybeSnapshot(Round r);
+  // Consensus installed a peer-served snapshot: adopt its execution state
+  // and order base, persist it locally and cut the WAL.
+  void HandleSnapshotInstalled(const SnapshotData& snap);
+  // Fills the SMR-owned part of a checkpoint (execution state + counters).
+  void FillSnapshotAppState(SnapshotData* snap) const;
+  // Cuts the WAL against snapshot `seq` and re-asserts the proposal floor in
+  // the fresh log (the floor must survive even a lost snapshot file).
+  uint64_t CutWalToSnapshot(uint64_t seq, uint64_t order_count, Round committed);
 
   Runtime& runtime_;
   const ClanTopology& topology_;
@@ -133,7 +174,16 @@ class AppNode final : public MessageHandler {
   // runs against torn-down state (its pending callbacks are discarded).
   std::unique_ptr<OrderedVerifyPool> verify_pool_;
   std::unique_ptr<WalVertexStore> wal_;
+  std::unique_ptr<SnapshotStore> snapshot_store_;
   RecoveryStats recovery_stats_;
+  // Snapshot lifecycle counters merged into sync_stats().
+  SyncStats snapshot_stats_;
+  Round last_snapshot_round_ = 0;
+  // First round this node may still propose for (mirrors the WAL's proposal
+  // markers; persisted into locally-written snapshots, never adopted from a
+  // peer's).
+  Round propose_floor_ = 0;
+  uint64_t total_order_position_ = 0;
 
   // Ordered vertices with blocks this node must execute, in order.
   std::deque<Vertex> execution_queue_;

@@ -81,10 +81,12 @@ double LatencyStats::Max() const {
 }
 
 std::string FormatSyncStats(const SyncStats& s) {
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "fetch: req=%llu retry=%llu resp=%llu got=%llu bad=%llu dropped=%llu | "
-                "serve: req=%llu sent=%llu wal=%llu",
+                "serve: req=%llu sent=%llu wal=%llu | "
+                "snap: written=%llu installed=%llu wal_cut=%llu chunk_retry=%llu "
+                "offers=%llu chunks=%llu",
                 static_cast<unsigned long long>(s.requests_sent),
                 static_cast<unsigned long long>(s.retries),
                 static_cast<unsigned long long>(s.responses_received),
@@ -93,7 +95,13 @@ std::string FormatSyncStats(const SyncStats& s) {
                 static_cast<unsigned long long>(s.fetches_abandoned),
                 static_cast<unsigned long long>(s.requests_served),
                 static_cast<unsigned long long>(s.vertices_served),
-                static_cast<unsigned long long>(s.wal_vertices_served));
+                static_cast<unsigned long long>(s.wal_vertices_served),
+                static_cast<unsigned long long>(s.snapshots_written),
+                static_cast<unsigned long long>(s.snapshots_installed),
+                static_cast<unsigned long long>(s.wal_records_truncated),
+                static_cast<unsigned long long>(s.snapshot_chunk_retries),
+                static_cast<unsigned long long>(s.snapshot_offers_sent),
+                static_cast<unsigned long long>(s.snapshot_chunks_served));
   return std::string(buf);
 }
 

@@ -271,4 +271,26 @@ void DagStore::PruneBelow(Round round) {
   }
 }
 
+void DagStore::ResetToFrontier(Round floor) {
+  rounds_.clear();
+  uncovered_.clear();
+  total_ = 0;
+  ordered_count_ = 0;
+  pruned_floor_ = floor;
+}
+
+void DagStore::ForEachUpTo(Round max_round,
+                           const std::function<void(const Vertex&, bool ordered)>& fn) const {
+  for (const auto& [round, slot] : rounds_) {
+    if (round > max_round) {
+      break;
+    }
+    for (const auto& stored : slot.by_source) {
+      if (stored != nullptr) {
+        fn(stored->v, stored->ordered);
+      }
+    }
+  }
+}
+
 }  // namespace clandag

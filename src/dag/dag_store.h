@@ -101,6 +101,17 @@ class DagStore {
   // never past a round a blocked vertex still needs.
   void PruneBelow(Round round);
 
+  // Snapshot install: drops every vertex and all derived state, then sets
+  // the pruned floor to `floor`. The caller re-populates the store by
+  // inserting a snapshot's frontier vertices in ascending round order.
+  void ResetToFrontier(Round floor);
+
+  // Snapshot capture: visits every stored vertex with round <= max_round in
+  // ascending (round, source) order, with its ordered flag — the exact order
+  // ResetToFrontier's caller can re-insert them in.
+  void ForEachUpTo(Round max_round,
+                   const std::function<void(const Vertex&, bool ordered)>& fn) const;
+
  private:
   struct Stored {
     Vertex v;

@@ -40,8 +40,9 @@ class ChaosCluster {
       safety_.SetFaulty(b.node, true);
     }
     stacks_.resize(plan_.num_nodes);
+    snapshot_fault_used_.resize(plan_.snapshots.size(), false);
     for (NodeId id = 0; id < plan_.num_nodes; ++id) {
-      std::remove(WalPath(id).c_str());
+      RemoveNodeFiles(id);
       BuildNode(id);
     }
     // Fault schedule. Ties at one timestamp fire in scheduling order, so the
@@ -52,6 +53,13 @@ class ChaosCluster {
       if (c.Restarts()) {
         scheduler_.ScheduleCallbackAt(c.restart_at,
                                       [this, node = c.node] { Restart(node); });
+      }
+    }
+    for (size_t i = 0; i < plan_.snapshots.size(); ++i) {
+      const SnapshotFault& sf = plan_.snapshots[i];
+      if (sf.kind == SnapshotFaultKind::kCorruptOnDisk) {
+        scheduler_.ScheduleCallbackAt(
+            sf.at, [this, node = sf.node] { CorruptSnapshotOnDisk(node); });
       }
     }
     scheduler_.ScheduleCallbackAt(plan_.HealTime(), [this] { liveness_.MarkHealed(); });
@@ -75,7 +83,7 @@ class ChaosCluster {
 
   ~ChaosCluster() {
     for (NodeId id = 0; id < plan_.num_nodes; ++id) {
-      std::remove(WalPath(id).c_str());
+      RemoveNodeFiles(id);
     }
   }
 
@@ -98,6 +106,11 @@ class ChaosCluster {
     }
     report.honest_ordered = safety_.TotalOrdered();
     report.restarts_recovered = restarts_recovered_;
+    for (auto& s : stacks_) {
+      const SyncStats stats = s.node->sync_stats();
+      report.snapshots_written += stats.snapshots_written;
+      report.snapshots_installed += stats.snapshots_installed;
+    }
     for (const auto& gen : loadgens_) {
       report.ingress_committed += gen->stats().committed;
       report.ingress_expired += gen->stats().expired;
@@ -151,6 +164,14 @@ class ChaosCluster {
            std::to_string(id) + ".wal";
   }
 
+  void RemoveNodeFiles(NodeId id) const {
+    const std::string wal = WalPath(id);
+    std::remove(wal.c_str());
+    std::remove((wal + ".snap").c_str());
+    std::remove((wal + ".snap.prev").c_str());
+    std::remove((wal + ".snap.tmp").c_str());
+  }
+
   void BuildNode(NodeId id) {
     NodeStack stack;
     stack.active = std::make_shared<bool>(true);
@@ -176,6 +197,31 @@ class ChaosCluster {
 
     AppNodeCallbacks callbacks;
     const std::shared_ptr<bool> active = stack.active;
+    if (opts_.use_wal && opts_.snapshot_interval_rounds > 0) {
+      options.snapshot_interval_rounds = opts_.snapshot_interval_rounds;
+      options.snapshot_write_fault = [this, id, active](uint64_t seq) {
+        if (!*active) {
+          return SnapshotWriteFault::kNone;
+        }
+        return SnapshotWriteFaultFor(id, seq);
+      };
+      options.snapshot_install_crash = [this, id, active](uint64_t seq) {
+        if (!*active) {
+          return false;
+        }
+        return MaybeCrashMidInstall(id, seq);
+      };
+      // A snapshot install replaces everything below the checkpoint: the
+      // node's order log restarts at global position snap.order_count, and
+      // its commit frontier jumps to the checkpointed round.
+      callbacks.on_snapshot_installed = [this, id, active](const SnapshotData& snap) {
+        if (!*active) {
+          return;
+        }
+        safety_.ResetLog(id, {}, snap.order_count);
+        liveness_.OnCommit(id, snap.last_committed);
+      };
+    }
     callbacks.on_ordered = [this, id, active](const Vertex& v) {
       if (!*active) {
         return;
@@ -195,14 +241,18 @@ class ChaosCluster {
       }
       // The restarted node's total order resumes from its replayed committed
       // prefix; the oracle log is rebuilt so prefix consistency is checked
-      // over the combined (recovered + live) sequence.
+      // over the combined (recovered + live) sequence. With checkpointing the
+      // prefix starts at the snapshot's global position, not zero.
       std::vector<std::pair<Round, NodeId>> prefix;
       prefix.reserve(state.ordered.size());
       for (const Vertex& v : state.ordered) {
         prefix.emplace_back(v.round, v.source);
         liveness_.OnCommit(id, v.round);
       }
-      safety_.ResetLog(id, std::move(prefix));
+      safety_.ResetLog(id, std::move(prefix), state.order_base);
+      if (state.last_committed >= 0) {
+        liveness_.OnCommit(id, static_cast<Round>(state.last_committed));
+      }
       if (state.HasData()) {
         ++restarts_recovered_;
       }
@@ -294,6 +344,80 @@ class ChaosCluster {
     *stacks_[id].active = false;
   }
 
+  // Crash from inside the node's own call stack (a write-fault or install
+  // hook). Safe inline under the zombie pattern — only the network and the
+  // active flag flip; the object finishes its call as a zombie — with the
+  // restart scheduled like a planned CrashFault.
+  void CrashWithRestart(NodeId id, TimeMicros delay) {
+    Crash(id);
+    scheduler_.ScheduleCallbackAt(scheduler_.Now() + delay,
+                                  [this, id] { Restart(id); });
+  }
+
+  // Consumes the first unused seq-triggered snapshot fault for `node` whose
+  // at_seq has been reached. Crash kinds also schedule the crash+restart;
+  // the store then observes the matching torn/partial write.
+  SnapshotWriteFault SnapshotWriteFaultFor(NodeId node, uint64_t seq) {
+    for (size_t i = 0; i < plan_.snapshots.size(); ++i) {
+      const SnapshotFault& sf = plan_.snapshots[i];
+      if (snapshot_fault_used_[i] || sf.node != node || seq < sf.at_seq) {
+        continue;
+      }
+      switch (sf.kind) {
+        case SnapshotFaultKind::kTornWrite:
+          snapshot_fault_used_[i] = true;
+          CrashWithRestart(node, sf.restart_delay);
+          return SnapshotWriteFault::kTornTmp;
+        case SnapshotFaultKind::kSkipRename:
+          snapshot_fault_used_[i] = true;
+          CrashWithRestart(node, sf.restart_delay);
+          return SnapshotWriteFault::kSkipRename;
+        case SnapshotFaultKind::kCorruptPayload:
+          snapshot_fault_used_[i] = true;
+          return SnapshotWriteFault::kCorruptPayload;
+        case SnapshotFaultKind::kCorruptOnDisk:
+        case SnapshotFaultKind::kCrashMidInstall:
+          break;  // Not write-time faults.
+      }
+    }
+    return SnapshotWriteFault::kNone;
+  }
+
+  bool MaybeCrashMidInstall(NodeId node, uint64_t seq) {
+    for (size_t i = 0; i < plan_.snapshots.size(); ++i) {
+      const SnapshotFault& sf = plan_.snapshots[i];
+      if (snapshot_fault_used_[i] || sf.node != node || seq < sf.at_seq ||
+          sf.kind != SnapshotFaultKind::kCrashMidInstall) {
+        continue;
+      }
+      snapshot_fault_used_[i] = true;
+      CrashWithRestart(node, sf.restart_delay);
+      return true;
+    }
+    return false;
+  }
+
+  // Flips one byte in the middle of the node's current snapshot file; the
+  // next load must reject it by checksum and fall back (prev, then WAL).
+  void CorruptSnapshotOnDisk(NodeId id) {
+    const std::string path = WalPath(id) + ".snap";
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    if (f == nullptr) {
+      return;
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    if (size > 16) {
+      std::fseek(f, size / 2, SEEK_SET);
+      int c = std::fgetc(f);
+      if (c != EOF) {
+        std::fseek(f, size / 2, SEEK_SET);
+        std::fputc(c ^ 0x20, f);
+      }
+    }
+    std::fclose(f);
+  }
+
   void Restart(NodeId id) {
     zombies_.push_back(std::move(stacks_[id]));
     BuildNode(id);
@@ -313,6 +437,8 @@ class ChaosCluster {
   std::vector<NodeStack> stacks_;
   std::vector<NodeStack> zombies_;
   uint32_t restarts_recovered_ = 0;
+  // One-shot consumption marks, parallel to plan_.snapshots.
+  std::vector<bool> snapshot_fault_used_;
 
   // Ingress mode. Load generators persist across their node's restarts (the
   // client population is external to the server). executed_ids_ maps packed

@@ -34,6 +34,12 @@ struct ChaosOptions {
   // Directory for per-node WAL files (empty = /tmp).
   std::string wal_dir;
 
+  // > 0 (and use_wal): every node checkpoints executed state + DAG frontier
+  // each `snapshot_interval_rounds` committed rounds and compacts its WAL to
+  // the checkpoint. Enables plan.snapshots faults and snapshot-assisted
+  // catch-up for deep laggards.
+  Round snapshot_interval_rounds = 0;
+
   // Ingress mode: instead of preloading each node's mempool, every node runs
   // the full ingress pipeline (admission/batching/dedup/reply routing) fed
   // by a per-node open-loop load generator with a disjoint client-id space.
@@ -62,6 +68,11 @@ struct ChaosReport {
   uint64_t honest_ordered = 0;     // Entries across honest total-order logs.
   uint32_t restarts_recovered = 0; // Restarts that replayed WAL state.
   FaultInjectionStats injected;
+
+  // Snapshot mode only (snapshot_interval_rounds > 0); summed over the
+  // final (live) node stacks — zombie pre-restart stacks are not counted.
+  uint64_t snapshots_written = 0;
+  uint64_t snapshots_installed = 0;
 
   // Ingress mode only (use_ingress).
   uint64_t ingress_committed = 0;  // kCommitted replies across all clients.

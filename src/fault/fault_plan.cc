@@ -25,6 +25,22 @@ const char* BehaviorName(ByzantineBehavior b) {
   return "?";
 }
 
+const char* SnapshotKindName(SnapshotFaultKind k) {
+  switch (k) {
+    case SnapshotFaultKind::kTornWrite:
+      return "torn-write";
+    case SnapshotFaultKind::kSkipRename:
+      return "skip-rename";
+    case SnapshotFaultKind::kCorruptPayload:
+      return "corrupt-payload";
+    case SnapshotFaultKind::kCorruptOnDisk:
+      return "corrupt-on-disk";
+    case SnapshotFaultKind::kCrashMidInstall:
+      return "crash-mid-install";
+  }
+  return "?";
+}
+
 }  // namespace
 
 TimeMicros FaultPlan::HealTime() const {
@@ -103,6 +119,17 @@ std::string FaultPlan::Describe() const {
                   static_cast<long long>(l.start / 1000),
                   static_cast<long long>(l.end / 1000), scope, l.drop_prob, l.dup_prob,
                   static_cast<long long>(l.extra_delay), static_cast<long long>(l.jitter));
+    out += buf;
+  }
+  for (const SnapshotFault& s : snapshots) {
+    if (s.kind == SnapshotFaultKind::kCorruptOnDisk) {
+      std::snprintf(buf, sizeof(buf), " snap[n%u:%s@%lldms]", s.node,
+                    SnapshotKindName(s.kind), static_cast<long long>(s.at / 1000));
+    } else {
+      std::snprintf(buf, sizeof(buf), " snap[n%u:%s@seq%llu]", s.node,
+                    SnapshotKindName(s.kind),
+                    static_cast<unsigned long long>(s.at_seq));
+    }
     out += buf;
   }
   for (const ByzantineAssignment& b : byzantine) {
@@ -246,6 +273,56 @@ FaultPlan FaultPlan::Random(uint64_t seed, uint32_t num_nodes) {
       p.side[victims.empty() ? 0 : victims[i % victims.size()]] = 1;
     }
     plan.partitions.push_back(std::move(p));
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::RandomWithSnapshots(uint64_t seed, uint32_t num_nodes) {
+  FaultPlan plan = Random(seed, num_nodes);
+  DetRng rng(seed ^ 0x5caff01d5ULL);
+  // One or two distinct victims. Snapshot crash kinds always restart, so the
+  // permanently-faulty envelope of the base plan is unchanged; a transient
+  // overlap with the base plan's faults can stall progress mid-run but
+  // everything still heals before the liveness window.
+  const uint32_t count =
+      1 + static_cast<uint32_t>(rng.NextBelow(std::min<uint32_t>(2, num_nodes)));
+  std::vector<uint32_t> picks = rng.SampleWithoutReplacement(num_nodes, count);
+  static constexpr SnapshotFaultKind kKinds[] = {
+      SnapshotFaultKind::kTornWrite,       SnapshotFaultKind::kSkipRename,
+      SnapshotFaultKind::kCorruptPayload,  SnapshotFaultKind::kCorruptOnDisk,
+      SnapshotFaultKind::kCrashMidInstall,
+  };
+  for (uint32_t pick : picks) {
+    SnapshotFault sf;
+    sf.node = static_cast<NodeId>(pick);
+    sf.kind = kKinds[rng.NextBelow(5)];
+    sf.at_seq = 1 + rng.NextBelow(2);
+    sf.restart_delay =
+        Millis(300) + static_cast<TimeMicros>(rng.NextBelow(Millis(500)));
+    if (sf.kind == SnapshotFaultKind::kCorruptOnDisk ||
+        sf.kind == SnapshotFaultKind::kCorruptPayload) {
+      // Corruption only bites on replay: pair it with a crash+restart after
+      // the rot lands, so HealTime() accounts for the recovery.
+      sf.at = Seconds(2) + static_cast<TimeMicros>(rng.NextBelow(Seconds(2)));
+      CrashFault c;
+      c.node = sf.node;
+      c.crash_at =
+          sf.at + Millis(500) + static_cast<TimeMicros>(rng.NextBelow(Seconds(1)));
+      c.restart_at =
+          c.crash_at + Millis(400) + static_cast<TimeMicros>(rng.NextBelow(Millis(800)));
+      plan.crashes.push_back(c);
+    } else if (sf.kind == SnapshotFaultKind::kCrashMidInstall) {
+      // The install path only runs for a deep laggard: keep the victim down
+      // long enough that peers compact their WALs past its horizon and must
+      // serve it a snapshot on restart.
+      CrashFault c;
+      c.node = sf.node;
+      c.crash_at = Seconds(1) + static_cast<TimeMicros>(rng.NextBelow(Seconds(1)));
+      c.restart_at =
+          c.crash_at + Seconds(3) + static_cast<TimeMicros>(rng.NextBelow(Seconds(2)));
+      plan.crashes.push_back(c);
+    }
+    plan.snapshots.push_back(sf);
   }
   return plan;
 }

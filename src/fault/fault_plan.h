@@ -85,6 +85,32 @@ struct ByzantineAssignment {
   std::set<ByzantineBehavior> behaviors;
 };
 
+// Snapshot-subsystem fault (only meaningful when the chaos run enables
+// checkpointing). Seq-triggered kinds fire once, at the victim's first
+// snapshot with seq >= at_seq; crash kinds crash the node at the trigger and
+// restart it restart_delay later.
+enum class SnapshotFaultKind : uint8_t {
+  kTornWrite = 0,    // Crash mid-checkpoint-write: half a temp file remains.
+  kSkipRename,       // Crash after the temp write, before the atomic rename.
+  kCorruptPayload,   // Bit rot at write time: the on-disk payload is flipped.
+  kCorruptOnDisk,    // Scheduled corruption of the current snapshot file.
+  kCrashMidInstall,  // Crash mid-install of a peer-served snapshot.
+};
+
+struct SnapshotFault {
+  NodeId node = 0;
+  SnapshotFaultKind kind = SnapshotFaultKind::kTornWrite;
+  uint64_t at_seq = 1;                     // Seq-triggered kinds.
+  TimeMicros at = 0;                       // kCorruptOnDisk only.
+  TimeMicros restart_delay = Millis(500);  // Crash kinds only.
+
+  bool Crashes() const {
+    return kind == SnapshotFaultKind::kTornWrite ||
+           kind == SnapshotFaultKind::kSkipRename ||
+           kind == SnapshotFaultKind::kCrashMidInstall;
+  }
+};
+
 struct FaultPlan {
   uint64_t seed = 0;  // The seed that generated (and replays) this plan.
   uint32_t num_nodes = 0;
@@ -96,6 +122,7 @@ struct FaultPlan {
   std::vector<CrashFault> crashes;
   std::vector<LinkFault> links;
   std::vector<ByzantineAssignment> byzantine;
+  std::vector<SnapshotFault> snapshots;
 
   // Latest instant any transient fault is still active (0 if none).
   TimeMicros HealTime() const;
@@ -106,6 +133,10 @@ struct FaultPlan {
 
   // Deterministic randomized plan: same (seed, num_nodes) -> same plan.
   static FaultPlan Random(uint64_t seed, uint32_t num_nodes);
+  // Random() plus snapshot-subsystem faults (torn/corrupt checkpoint writes,
+  // crash-mid-install, on-disk rot paired with a later restart). Use with a
+  // chaos run that enables checkpointing.
+  static FaultPlan RandomWithSnapshots(uint64_t seed, uint32_t num_nodes);
 };
 
 }  // namespace clandag

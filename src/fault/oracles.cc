@@ -7,7 +7,7 @@
 namespace clandag {
 
 SafetyOracle::SafetyOracle(uint32_t num_nodes)
-    : faulty_(num_nodes, false), logs_(num_nodes) {}
+    : faulty_(num_nodes, false), logs_(num_nodes), bases_(num_nodes, 0) {}
 
 void SafetyOracle::SetFaulty(NodeId node, bool faulty) {
   MutexLock lock(mu_);
@@ -43,10 +43,12 @@ void SafetyOracle::OnOrdered(NodeId node, Round round, NodeId source) {
 }
 
 void SafetyOracle::ResetLog(NodeId node,
-                            std::vector<std::pair<Round, NodeId>> recovered_prefix) {
+                            std::vector<std::pair<Round, NodeId>> recovered_prefix,
+                            uint64_t base) {
   MutexLock lock(mu_);
   CLANDAG_CHECK(node < logs_.size());
   logs_[node] = std::move(recovered_prefix);
+  bases_[node] = base;
 }
 
 std::string SafetyOracle::Check() const {
@@ -54,36 +56,38 @@ std::string SafetyOracle::Check() const {
   if (!violation_.empty()) {
     return violation_;
   }
-  // Prefix consistency: every honest log must match the longest honest log
-  // position by position over its own length.
-  const std::vector<std::pair<Round, NodeId>>* longest = nullptr;
-  NodeId longest_node = 0;
-  for (NodeId id = 0; id < logs_.size(); ++id) {
-    if (faulty_[id]) {
+  // Order consistency at global positions: node i's log covers positions
+  // [bases_[i], bases_[i] + len_i); every pair of honest logs must agree on
+  // their overlap. For base-0 logs this is the classic pairwise prefix
+  // check; a snapshot-installed node's suffix log is compared exactly where
+  // it overlaps everyone else.
+  bool any_honest = false;
+  for (NodeId a = 0; a < logs_.size(); ++a) {
+    if (faulty_[a]) {
       continue;
     }
-    if (longest == nullptr || logs_[id].size() > longest->size()) {
-      longest = &logs_[id];
-      longest_node = id;
-    }
-  }
-  if (longest == nullptr) {
-    return "no honest nodes registered";
-  }
-  for (NodeId id = 0; id < logs_.size(); ++id) {
-    if (faulty_[id] || &logs_[id] == longest) {
-      continue;
-    }
-    for (size_t i = 0; i < logs_[id].size(); ++i) {
-      if (logs_[id][i] != (*longest)[i]) {
-        return "total-order divergence: node " + std::to_string(id) + " position " +
-               std::to_string(i) + " has (round " + std::to_string(logs_[id][i].first) +
-               ", source " + std::to_string(logs_[id][i].second) + ") but node " +
-               std::to_string(longest_node) + " has (round " +
-               std::to_string((*longest)[i].first) + ", source " +
-               std::to_string((*longest)[i].second) + ")";
+    any_honest = true;
+    for (NodeId b = a + 1; b < logs_.size(); ++b) {
+      if (faulty_[b]) {
+        continue;
+      }
+      const uint64_t lo = std::max(bases_[a], bases_[b]);
+      const uint64_t hi = std::min(bases_[a] + logs_[a].size(), bases_[b] + logs_[b].size());
+      for (uint64_t pos = lo; pos < hi; ++pos) {
+        const auto& ea = logs_[a][pos - bases_[a]];
+        const auto& eb = logs_[b][pos - bases_[b]];
+        if (ea != eb) {
+          return "total-order divergence: position " + std::to_string(pos) + ": node " +
+                 std::to_string(a) + " has (round " + std::to_string(ea.first) +
+                 ", source " + std::to_string(ea.second) + ") but node " +
+                 std::to_string(b) + " has (round " + std::to_string(eb.first) +
+                 ", source " + std::to_string(eb.second) + ")";
+        }
       }
     }
+  }
+  if (!any_honest) {
+    return "no honest nodes registered";
   }
   return "";
 }

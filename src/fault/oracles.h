@@ -47,10 +47,15 @@ class SafetyOracle {
   // Tap: `node` appended (round, source) to its total order.
   void OnOrdered(NodeId node, Round round, NodeId source);
 
-  // Restart support: replaces `node`'s order log with its recovered
-  // committed prefix; the live stream then appends to it (the combined
-  // sequence is what must stay prefix-consistent across nodes).
-  void ResetLog(NodeId node, std::vector<std::pair<Round, NodeId>> recovered_prefix);
+  // Restart / snapshot support: replaces `node`'s order log with its
+  // recovered committed prefix; the live stream then appends to it (the
+  // combined sequence is what must stay consistent across nodes). `base` is
+  // the global total-order position the prefix starts at — 0 for a full WAL
+  // replay, the snapshot's order_count when a checkpoint supplied positions
+  // 0..base-1 (those positions are then exempt from this node's comparison;
+  // the snapshot content itself was produced by an already-checked log).
+  void ResetLog(NodeId node, std::vector<std::pair<Round, NodeId>> recovered_prefix,
+                uint64_t base = 0);
 
   // Empty string when both properties hold; otherwise a description of the
   // first violation found.
@@ -61,8 +66,10 @@ class SafetyOracle {
  private:
   mutable Mutex mu_{"oracle.safety", lock_rank::kOracle};
   std::vector<bool> faulty_ CLANDAG_GUARDED_BY(mu_);
-  // Per honest observer: the total order as a (round, source) sequence.
+  // Per honest observer: the total order as a (round, source) sequence,
+  // starting at global position bases_[node].
   std::vector<std::vector<std::pair<Round, NodeId>>> logs_ CLANDAG_GUARDED_BY(mu_);
+  std::vector<uint64_t> bases_ CLANDAG_GUARDED_BY(mu_);
   // First honest-delivered digest per (round, source), and who delivered it.
   std::map<std::pair<Round, NodeId>, std::pair<Digest, NodeId>> completed_
       CLANDAG_GUARDED_BY(mu_);

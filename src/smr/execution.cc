@@ -1,5 +1,7 @@
 #include "smr/execution.h"
 
+#include <algorithm>
+
 #include "crypto/sha256.h"
 
 namespace clandag {
@@ -34,6 +36,24 @@ void ExecutionEngine::MixDigest(const uint8_t* data, size_t len) {
   h.Update(state_digest_.bytes().data(), Digest::kSize);
   h.Update(data, len);
   state_digest_ = Digest(h.Finalize());
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> ExecutionEngine::ExportBalances() const {
+  std::vector<std::pair<uint32_t, uint64_t>> out(balances_.begin(), balances_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExecutionEngine::RestoreState(uint64_t initial_balance,
+                                   const std::vector<std::pair<uint32_t, uint64_t>>& balances,
+                                   const Digest& state_digest, uint64_t executed_txs,
+                                   uint64_t rejected_txs) {
+  initial_balance_ = initial_balance;
+  balances_.clear();
+  balances_.insert(balances.begin(), balances.end());
+  state_digest_ = state_digest;
+  executed_txs_ = executed_txs;
+  rejected_txs_ = rejected_txs;
 }
 
 uint64_t ExecutionEngine::BalanceOf(uint32_t account) const {

@@ -14,6 +14,7 @@
 #define CLANDAG_SMR_EXECUTION_H_
 
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dag/types.h"
@@ -45,6 +46,16 @@ class ExecutionEngine {
   const Digest& StateDigest() const { return state_digest_; }
   uint64_t ExecutedTxs() const { return executed_txs_; }
   uint64_t RejectedTxs() const { return rejected_txs_; }
+  uint64_t InitialBalance() const { return initial_balance_; }
+
+  // Snapshot support (sync/snapshot.h serializes this as part of a
+  // checkpoint). ExportBalances returns only the touched accounts, sorted by
+  // account id so the encoding is deterministic across replicas.
+  std::vector<std::pair<uint32_t, uint64_t>> ExportBalances() const;
+  // Replaces the whole engine state with a snapshot's contents.
+  void RestoreState(uint64_t initial_balance,
+                    const std::vector<std::pair<uint32_t, uint64_t>>& balances,
+                    const Digest& state_digest, uint64_t executed_txs, uint64_t rejected_txs);
 
  private:
   void MixDigest(const uint8_t* data, size_t len);

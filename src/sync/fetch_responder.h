@@ -9,14 +9,24 @@
 // fetch per vertex. Both the want list (decode side) and the response size
 // (budget) are capped.
 //
+// Deep laggards: when a want lies below the pruned horizon and committed
+// history cannot serve it either (the WAL was compacted against a snapshot),
+// the responder offers its latest durable snapshot instead and serves it in
+// checksummed chunks — the peer installs state wholesale rather than paging
+// unbounded history vertex-by-vertex.
+//
 // Threading: confined to the owning node's event-loop thread (invoked from
 // the node's OnMessage path); no internal locking.
 
 #ifndef CLANDAG_SYNC_FETCH_RESPONDER_H_
 #define CLANDAG_SYNC_FETCH_RESPONDER_H_
 
+#include <functional>
+#include <memory>
+
 #include "dag/dag_store.h"
 #include "net/runtime.h"
+#include "sync/snapshot.h"
 #include "sync/sync_stats.h"
 #include "sync/sync_wire.h"
 
@@ -27,6 +37,8 @@ struct ResponderConfig {
   uint32_t max_vertices_per_response = 256;
   // How many rounds below a requested vertex the ancestor walk may descend.
   Round max_ancestor_depth = 32;
+  // Chunk size for snapshot transfers (capped at kMaxSnapshotChunkBytes).
+  uint32_t snapshot_chunk_size = 64 * 1024;
 };
 
 class FetchResponder {
@@ -36,9 +48,28 @@ class FetchResponder {
   FetchResponder(const FetchResponder&) = delete;
   FetchResponder& operator=(const FetchResponder&) = delete;
 
+  // Source of the latest durable snapshot (SnapshotStore::serve_state);
+  // null / returning null disables snapshot offers.
+  using SnapshotSourceFn = std::function<std::shared_ptr<const SnapshotServeState>()>;
+  void SetSnapshotSource(SnapshotSourceFn fn) { snapshot_source_ = std::move(fn); }
+
+  // Seq-addressed lookup (SnapshotStore::serve_state_for): checkpoints
+  // rotate every interval, so chunk requests for a transfer that started one
+  // rotation ago must still be servable. Optional; without it only the
+  // current seq is served.
+  using SnapshotBySeqFn =
+      std::function<std::shared_ptr<const SnapshotServeState>(uint64_t seq)>;
+  void SetSnapshotBySeq(SnapshotBySeqFn fn) { snapshot_by_seq_ = std::move(fn); }
+
   // Handles a kFetchRequest payload; replies with kFetchResponse when
-  // anything was found.
+  // anything was found, and with a kSyncSnapshotOffer when a want fell below
+  // the servable horizon.
   void OnRequest(NodeId from, const Bytes& payload);
+
+  // Handles a kSyncSnapshotChunkRequest payload; replies with the chunk if
+  // the named snapshot is still servable, else re-offers the current one so
+  // the requester can restart against it instead of retrying a dead seq.
+  void OnSnapshotChunkRequest(NodeId from, const Bytes& payload);
 
   const SyncStats& stats() const { return stats_; }
 
@@ -46,6 +77,11 @@ class FetchResponder {
   Runtime& runtime_;
   const DagStore& dag_;
   ResponderConfig config_;
+  void OfferSnapshot(NodeId to, const SnapshotServeState& snap,
+                     Round requester_watermark);
+
+  SnapshotSourceFn snapshot_source_;
+  SnapshotBySeqFn snapshot_by_seq_;
   SyncStats stats_;
 };
 

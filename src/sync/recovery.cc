@@ -25,6 +25,15 @@ Bytes EncodeProposalRecord(Round round) {
   return w.Take();
 }
 
+Bytes EncodeSnapshotMarkRecord(uint64_t seq, uint64_t order_count, Round committed) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(WalRecordType::kSnapshotMark));
+  w.U64(seq);
+  w.U64(order_count);
+  w.U64(committed);
+  return w.Take();
+}
+
 std::optional<WalRecord> DecodeWalRecord(const Bytes& payload) {
   Reader r(payload);
   WalRecord rec;
@@ -40,6 +49,12 @@ std::optional<WalRecord> DecodeWalRecord(const Bytes& payload) {
       break;
     case static_cast<uint8_t>(WalRecordType::kProposal):
       rec.type = WalRecordType::kProposal;
+      rec.round = r.U64();
+      break;
+    case static_cast<uint8_t>(WalRecordType::kSnapshotMark):
+      rec.type = WalRecordType::kSnapshotMark;
+      rec.seq = r.U64();
+      rec.order_count = r.U64();
       rec.round = r.U64();
       break;
     default:

@@ -1,6 +1,6 @@
 // Crash-recovery WAL record schema and replay.
 //
-// Three record types, appended by the SMR layer as consensus progresses:
+// Record types, appended by the SMR layer as consensus progresses:
 //  - kOrderedVertex: every vertex emitted by the total order, in order;
 //  - kAnchor: written (and fsynced) right after a committed anchor finished
 //    ordering its history batch — the durable commit barrier;
@@ -36,26 +36,42 @@ enum class WalRecordType : uint8_t {
   kOrderedVertex = 1,
   kAnchor = 2,
   kProposal = 3,
+  // Compaction barrier: the first record of a WAL that was cut against a
+  // durable snapshot. Everything the log used to hold up to the snapshot's
+  // commit round now lives in the snapshot file; `seq` names which one, and
+  // `order_count` is the number of total-order positions the snapshot covers
+  // (the base every later ordered record's global position builds on).
+  kSnapshotMark = 4,
 };
 
 struct WalRecord {
   WalRecordType type = WalRecordType::kOrderedVertex;
-  Vertex vertex;   // kOrderedVertex only.
-  Round round = 0; // kAnchor / kProposal only.
+  Vertex vertex;            // kOrderedVertex only.
+  Round round = 0;          // kAnchor / kProposal / kSnapshotMark (commit round).
+  uint64_t seq = 0;         // kSnapshotMark only.
+  uint64_t order_count = 0; // kSnapshotMark only.
 };
 
 Bytes EncodeVertexRecord(const Vertex& v);
 Bytes EncodeAnchorRecord(Round round);
 Bytes EncodeProposalRecord(Round round);
+Bytes EncodeSnapshotMarkRecord(uint64_t seq, uint64_t order_count, Round committed);
 [[nodiscard]] std::optional<WalRecord> DecodeWalRecord(const Bytes& payload);
 
 // Everything a restarting node restores before rejoining the protocol.
 struct RecoveryState {
   std::vector<Vertex> ordered;   // Committed prefix in total order.
   std::vector<Vertex> trailing;  // Ordered past the last anchor barrier.
-  int64_t last_committed = -1;   // Round of the last anchor marker.
+  int64_t last_committed = -1;   // Round of the last anchor/snapshot barrier.
   Round propose_floor = 0;       // First round this node may propose for.
   uint64_t records = 0;          // Intact records replayed (incl. duplicates).
+  // Snapshot mark, when the log was compacted (0 = never): the snapshot that
+  // must be loaded alongside this WAL, the global total-order position its
+  // contents end at, and its commit round. `ordered` holds only positions
+  // order_base.. — the snapshot supplies positions 0..order_base-1.
+  uint64_t snapshot_seq = 0;
+  uint64_t order_base = 0;
+  int64_t snapshot_committed = -1;
 
   bool HasData() const { return records > 0; }
 };

@@ -1,0 +1,261 @@
+#include "sync/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/codec.h"
+#include "common/log.h"
+#include "sync/wal.h"
+
+namespace clandag {
+
+namespace {
+
+// On-disk file layout: magic, version, payload length, payload checksum,
+// payload (EncodeSnapshotData bytes). All fixed-width little-endian.
+constexpr uint32_t kSnapshotMagic = 0x504E5343;  // "CSNP"
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint64_t kMaxSnapshotFileBytes = 1ull << 30;
+
+void FsyncDirOf(const std::string& file_path) {
+  // Best-effort: make the rename itself durable. A failure here only means
+  // the rename could be lost on power failure, which the fallback chain
+  // already tolerates.
+  const size_t slash = file_path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : file_path.substr(0, slash);
+  const int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    fsync(fd);
+    close(fd);
+  }
+}
+
+bool WriteFileDurable(const std::string& path, const uint8_t* data, size_t len) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  bool ok = len == 0 || std::fwrite(data, 1, len, f) == len;
+  ok = std::fflush(f) == 0 && ok;
+  ok = fsync(fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+std::optional<Bytes> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  std::optional<Bytes> out;
+  do {
+    if (std::fseek(f, 0, SEEK_END) != 0) {
+      break;
+    }
+    const long end = std::ftell(f);
+    if (end < 0 || static_cast<uint64_t>(end) > kMaxSnapshotFileBytes) {
+      break;
+    }
+    if (std::fseek(f, 0, SEEK_SET) != 0) {
+      break;
+    }
+    Bytes buf(static_cast<size_t>(end));
+    if (!buf.empty() && std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
+      break;
+    }
+    out = std::move(buf);
+  } while (false);
+  std::fclose(f);
+  return out;
+}
+
+Bytes FrameSnapshotFile(const Bytes& payload) {
+  Writer w;
+  w.U32(kSnapshotMagic);
+  w.U32(kSnapshotVersion);
+  w.U64(payload.size());
+  w.U32(WalChecksum(payload.data(), payload.size()));
+  w.Raw(payload.data(), payload.size());
+  return w.Take();
+}
+
+// Extracts and checksum-verifies the payload of a snapshot file image.
+std::optional<Bytes> UnframeSnapshotFile(const Bytes& file) {
+  Reader r(file);
+  const uint32_t magic = r.U32();
+  const uint32_t version = r.U32();
+  const uint64_t len = r.U64();
+  const uint32_t checksum = r.U32();
+  if (!r.ok() || magic != kSnapshotMagic || version != kSnapshotVersion ||
+      len != r.Remaining()) {
+    return std::nullopt;
+  }
+  Bytes payload(static_cast<size_t>(len));
+  r.Raw(payload.data(), payload.size());
+  if (!r.ok() || !r.AtEnd() || WalChecksum(payload.data(), payload.size()) != checksum) {
+    return std::nullopt;
+  }
+  return payload;
+}
+
+}  // namespace
+
+Bytes EncodeSnapshotData(const SnapshotData& snap) {
+  Writer w;
+  w.U64(snap.seq);
+  w.U64(snap.last_committed);
+  w.U64(snap.order_count);
+  w.U64(snap.dag_floor);
+  w.U64(snap.propose_floor);
+  w.U64(snap.initial_balance);
+  w.Varint(snap.balances.size());
+  for (const auto& [account, balance] : snap.balances) {
+    w.U32(account);
+    w.U64(balance);
+  }
+  snap.state_digest.Serialize(w);
+  w.U64(snap.executed_txs);
+  w.U64(snap.rejected_txs);
+  w.Varint(snap.vertices.size());
+  for (size_t i = 0; i < snap.vertices.size(); ++i) {
+    snap.vertices[i].Serialize(w);
+    w.U8(i < snap.ordered.size() && snap.ordered[i] != 0 ? 1 : 0);
+  }
+  return w.Take();
+}
+
+std::optional<SnapshotData> DecodeSnapshotData(const Bytes& payload) {
+  Reader r(payload);
+  SnapshotData snap;
+  snap.seq = r.U64();
+  snap.last_committed = r.U64();
+  snap.order_count = r.U64();
+  snap.dag_floor = r.U64();
+  snap.propose_floor = r.U64();
+  snap.initial_balance = r.U64();
+  const uint64_t accounts = r.Varint();
+  if (accounts > kMaxSnapshotAccounts) {
+    r.Invalidate();
+  } else {
+    // Reserve conservatively: a lying count must not pre-allocate memory the
+    // buffer cannot possibly back (the read loop fails fast at buffer end).
+    snap.balances.reserve(static_cast<size_t>(std::min<uint64_t>(accounts, 1024)));
+    for (uint64_t i = 0; r.ok() && i < accounts; ++i) {
+      const uint32_t account = r.U32();
+      const uint64_t balance = r.U64();
+      snap.balances.emplace_back(account, balance);
+    }
+  }
+  snap.state_digest = Digest::Parse(r);
+  snap.executed_txs = r.U64();
+  snap.rejected_txs = r.U64();
+  const uint64_t count = r.Varint();
+  if (count > kMaxSnapshotVertices) {
+    r.Invalidate();
+  } else {
+    snap.vertices.reserve(static_cast<size_t>(std::min<uint64_t>(count, 1024)));
+    snap.ordered.reserve(static_cast<size_t>(std::min<uint64_t>(count, 1024)));
+    for (uint64_t i = 0; r.ok() && i < count; ++i) {
+      snap.vertices.push_back(Vertex::Parse(r));
+      snap.ordered.push_back(r.U8() != 0 ? 1 : 0);
+    }
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return snap;
+}
+
+SnapshotStore::SnapshotStore(std::string base_path)
+    : path_(std::move(base_path)), prev_path_(path_ + ".prev"), tmp_path_(path_ + ".tmp") {}
+
+bool SnapshotStore::Write(const SnapshotData& snap) {
+  const Bytes payload = EncodeSnapshotData(snap);
+  Bytes file = FrameSnapshotFile(payload);
+
+  const SnapshotWriteFault fault =
+      write_fault_ ? write_fault_(snap.seq) : SnapshotWriteFault::kNone;
+  size_t write_len = file.size();
+  switch (fault) {
+    case SnapshotWriteFault::kNone:
+      break;
+    case SnapshotWriteFault::kTornTmp:
+      write_len = file.size() / 2;  // The crash landed mid-write.
+      break;
+    case SnapshotWriteFault::kSkipRename:
+      break;  // Full temp file, but the rename below is skipped.
+    case SnapshotWriteFault::kCorruptPayload:
+      // Bit rot on the way to disk: the checksum was computed over the good
+      // payload, so Load() will reject this file and fall back.
+      file[file.size() / 2] ^= 0x40;
+      break;
+  }
+
+  if (!WriteFileDurable(tmp_path_, file.data(), write_len)) {
+    CLANDAG_WARN("snapshot %s: temp write failed (seq %llu)", path_.c_str(),
+                 static_cast<unsigned long long>(snap.seq));
+    return false;
+  }
+  if (fault == SnapshotWriteFault::kTornTmp || fault == SnapshotWriteFault::kSkipRename) {
+    return false;  // Simulated crash before the rename.
+  }
+  // Rotate current -> prev before the rename: a crash in the gap leaves no
+  // current file but an intact prev, which Load() falls back to.
+  std::rename(path_.c_str(), prev_path_.c_str());
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    CLANDAG_WARN("snapshot %s: rename failed (seq %llu)", path_.c_str(),
+                 static_cast<unsigned long long>(snap.seq));
+    return false;
+  }
+  FsyncDirOf(path_);
+
+  last_seq_ = snap.seq;
+  auto serve = std::make_shared<SnapshotServeState>();
+  serve->seq = snap.seq;
+  serve->last_committed = snap.last_committed;
+  serve->order_count = snap.order_count;
+  serve->checksum = WalChecksum(payload.data(), payload.size());
+  serve->bytes = payload;  // In-memory copy is the uncorrupted encoding.
+  prev_serve_state_ = std::move(serve_state_);
+  serve_state_ = std::move(serve);
+  return true;
+}
+
+std::optional<SnapshotStore::Loaded> SnapshotStore::Load() {
+  for (const bool from_prev : {false, true}) {
+    const std::string& p = from_prev ? prev_path_ : path_;
+    auto file = ReadWholeFile(p);
+    if (!file.has_value()) {
+      continue;
+    }
+    auto payload = UnframeSnapshotFile(*file);
+    if (!payload.has_value()) {
+      CLANDAG_WARN("snapshot %s: corrupt or torn file, falling back", p.c_str());
+      continue;
+    }
+    auto data = DecodeSnapshotData(*payload);
+    if (!data.has_value()) {
+      CLANDAG_WARN("snapshot %s: undecodable payload, falling back", p.c_str());
+      continue;
+    }
+    last_seq_ = data->seq;
+    auto serve = std::make_shared<SnapshotServeState>();
+    serve->seq = data->seq;
+    serve->last_committed = data->last_committed;
+    serve->order_count = data->order_count;
+    serve->checksum = WalChecksum(payload->data(), payload->size());
+    serve->bytes = std::move(*payload);
+    serve_state_ = std::move(serve);
+    Loaded out;
+    out.data = std::move(*data);
+    out.from_prev = from_prev;
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace clandag

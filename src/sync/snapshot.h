@@ -1,0 +1,133 @@
+// Checkpointed snapshots: bounded crash recovery and deep catch-up.
+//
+// A snapshot captures everything a node needs to resume (or a deep-lagging
+// peer needs to join) at a committed anchor round R:
+//  - the executed state machine (smr/ExecutionEngine) at R's order barrier;
+//  - the DAG content at rounds <= R, each vertex tagged with its ordered
+//    flag. Unordered stragglers below R matter: a later weak edge to one
+//    must resolve the same way on an installed node as on everyone else, so
+//    the frontier is the full vertex set, not just the ordered prefix;
+//  - the capturing node's pruned floor and (local-only) propose floor;
+//  - order_count: how many total-order positions the snapshot covers, the
+//    base offset for every position ordered after it.
+//
+// SnapshotStore persists snapshots next to the WAL with a checksummed,
+// atomically-renamed format (write temp + fsync + rename), keeping the
+// previous snapshot as a fallback. A corrupt or torn current file degrades
+// to the previous one; with neither, recovery falls back to WAL replay.
+// After a successful write the WAL is cut to a single kSnapshotMark record,
+// so restart replay is bounded by the checkpoint interval.
+//
+// Threading: confined to the owning node's event-loop thread, like the WAL.
+
+#ifndef CLANDAG_SYNC_SNAPSHOT_H_
+#define CLANDAG_SYNC_SNAPSHOT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dag/types.h"
+
+namespace clandag {
+
+// Decode caps (checked before any allocation sized by an untrusted count).
+inline constexpr uint64_t kMaxSnapshotAccounts = 1u << 22;
+inline constexpr uint64_t kMaxSnapshotVertices = 1u << 20;
+
+struct SnapshotData {
+  uint64_t seq = 0;            // Monotone per-store sequence number.
+  Round last_committed = 0;    // Anchor round R the snapshot checkpoints.
+  uint64_t order_count = 0;    // Total-order positions covered (0..count-1).
+  Round dag_floor = 0;         // Capturing node's pruned floor.
+  Round propose_floor = 0;     // Local-only: never adopted from a peer.
+  // Execution state at R's order barrier.
+  uint64_t initial_balance = 0;
+  std::vector<std::pair<uint32_t, uint64_t>> balances;  // Sorted by account.
+  Digest state_digest;
+  uint64_t executed_txs = 0;
+  uint64_t rejected_txs = 0;
+  // DAG frontier: every vertex at rounds [dag_floor, R], ascending by round,
+  // with a parallel ordered flag per vertex.
+  std::vector<Vertex> vertices;
+  std::vector<uint8_t> ordered;
+};
+
+Bytes EncodeSnapshotData(const SnapshotData& snap);
+[[nodiscard]] std::optional<SnapshotData> DecodeSnapshotData(const Bytes& payload);
+
+// The latest durable snapshot's raw bytes, shared with the FetchResponder so
+// it can serve chunked transfers without re-reading disk.
+struct SnapshotServeState {
+  uint64_t seq = 0;
+  Round last_committed = 0;
+  uint64_t order_count = 0;
+  uint32_t checksum = 0;  // WalChecksum over `bytes`.
+  Bytes bytes;
+};
+
+// Write-fault injection points for chaos tests (what a crash or bit rot at
+// the worst moment would leave on disk).
+enum class SnapshotWriteFault : uint8_t {
+  kNone = 0,
+  kTornTmp,         // Crash mid-write: half a temp file, no rename.
+  kSkipRename,      // Crash pre-rename: complete temp file, no rename.
+  kCorruptPayload,  // Bit rot: rename lands but the payload is corrupted.
+};
+
+class SnapshotStore {
+ public:
+  // Files: `base_path` (current), `base_path`.prev, `base_path`.tmp.
+  explicit SnapshotStore(std::string base_path);
+
+  using WriteFaultFn = std::function<SnapshotWriteFault(uint64_t seq)>;
+  void SetWriteFault(WriteFaultFn fn) { write_fault_ = std::move(fn); }
+
+  // Atomically persists `snap`: temp + fsync + rename, rotating the old
+  // current file to .prev first. On success the serve state points at the
+  // new snapshot. False on IO error (or injected fault) — the previous
+  // on-disk state is still intact.
+  bool Write(const SnapshotData& snap);
+
+  struct Loaded {
+    SnapshotData data;
+    bool from_prev = false;  // True when the current file was unusable.
+  };
+  // Loads the newest intact snapshot (current, else .prev), priming the
+  // serve state and sequence counter. nullopt when neither file is usable.
+  std::optional<Loaded> Load();
+
+  // Latest durable snapshot for the responder's chunk serving; null until a
+  // Load() or Write() succeeded.
+  std::shared_ptr<const SnapshotServeState> serve_state() const { return serve_state_; }
+
+  // Lookup by sequence for in-flight chunk transfers: checkpoints rotate
+  // every interval, so a transfer that started against seq N must stay
+  // servable after seq N+1 lands. Keeps current + previous (mirroring the
+  // on-disk .prev rotation); null for anything older.
+  std::shared_ptr<const SnapshotServeState> serve_state_for(uint64_t seq) const {
+    if (serve_state_ && serve_state_->seq == seq) return serve_state_;
+    if (prev_serve_state_ && prev_serve_state_->seq == seq) return prev_serve_state_;
+    return nullptr;
+  }
+
+  uint64_t NextSeq() const { return last_seq_ + 1; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string prev_path_;
+  std::string tmp_path_;
+  uint64_t last_seq_ = 0;
+  WriteFaultFn write_fault_;
+  std::shared_ptr<const SnapshotServeState> serve_state_;
+  std::shared_ptr<const SnapshotServeState> prev_serve_state_;
+};
+
+}  // namespace clandag
+
+#endif  // CLANDAG_SYNC_SNAPSHOT_H_

@@ -28,6 +28,14 @@ struct SyncStats {
   uint64_t vertices_served = 0;      // Vertex bodies sent back (live DAG + WAL).
   uint64_t wal_vertices_served = 0;  // Of those, served from pruned WAL history.
 
+  // Snapshot subsystem (checkpointing + snapshot-assisted catch-up).
+  uint64_t snapshots_written = 0;        // Durable checkpoints persisted.
+  uint64_t snapshots_installed = 0;      // Snapshots adopted (recovery or catch-up).
+  uint64_t wal_records_truncated = 0;    // Records dropped by WAL compaction.
+  uint64_t snapshot_chunk_retries = 0;   // Chunk re-requests after a timeout.
+  uint64_t snapshot_offers_sent = 0;     // Offers sent to deep-lagging peers.
+  uint64_t snapshot_chunks_served = 0;   // Chunk bodies sent back.
+
   SyncStats& operator+=(const SyncStats& o) {
     requests_sent += o.requests_sent;
     retries += o.retries;
@@ -38,6 +46,12 @@ struct SyncStats {
     requests_served += o.requests_served;
     vertices_served += o.vertices_served;
     wal_vertices_served += o.wal_vertices_served;
+    snapshots_written += o.snapshots_written;
+    snapshots_installed += o.snapshots_installed;
+    wal_records_truncated += o.wal_records_truncated;
+    snapshot_chunk_retries += o.snapshot_chunk_retries;
+    snapshot_offers_sent += o.snapshot_offers_sent;
+    snapshot_chunks_served += o.snapshot_chunks_served;
     return *this;
   }
 };

@@ -64,4 +64,84 @@ std::optional<FetchResponseMsg> FetchResponseMsg::Decode(const Bytes& payload) {
   return m;
 }
 
+Bytes SnapshotOfferMsg::Encode() const {
+  Writer w;
+  w.U64(seq);
+  w.U64(last_committed);
+  w.U64(order_count);
+  w.U64(total_bytes);
+  w.U32(chunk_size);
+  w.U32(total_checksum);
+  return w.Take();
+}
+
+std::optional<SnapshotOfferMsg> SnapshotOfferMsg::Decode(const Bytes& payload) {
+  Reader r(payload);
+  SnapshotOfferMsg m;
+  m.seq = r.U64();
+  m.last_committed = r.U64();
+  m.order_count = r.U64();
+  m.total_bytes = r.U64();
+  m.chunk_size = r.U32();
+  m.total_checksum = r.U32();
+  if (m.total_bytes == 0 || m.total_bytes > kMaxSnapshotTransferBytes || m.chunk_size == 0 ||
+      m.chunk_size > kMaxSnapshotChunkBytes) {
+    r.Invalidate();
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+Bytes SnapshotChunkRequestMsg::Encode() const {
+  Writer w;
+  w.U64(seq);
+  w.U32(chunk_index);
+  return w.Take();
+}
+
+std::optional<SnapshotChunkRequestMsg> SnapshotChunkRequestMsg::Decode(const Bytes& payload) {
+  Reader r(payload);
+  SnapshotChunkRequestMsg m;
+  m.seq = r.U64();
+  m.chunk_index = r.U32();
+  if (m.chunk_index >= kMaxSnapshotChunks) {
+    r.Invalidate();
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+Bytes SnapshotChunkMsg::Encode() const {
+  Writer w;
+  w.U64(seq);
+  w.U32(chunk_index);
+  w.U32(chunk_count);
+  w.U32(checksum);
+  w.Blob(data);
+  return w.Take();
+}
+
+std::optional<SnapshotChunkMsg> SnapshotChunkMsg::Decode(const Bytes& payload) {
+  Reader r(payload);
+  SnapshotChunkMsg m;
+  m.seq = r.U64();
+  m.chunk_index = r.U32();
+  m.chunk_count = r.U32();
+  m.checksum = r.U32();
+  m.data = r.Blob();
+  if (m.chunk_count == 0 || m.chunk_count > kMaxSnapshotChunks ||
+      m.chunk_index >= m.chunk_count || m.data.empty() ||
+      m.data.size() > kMaxSnapshotChunkBytes) {
+    r.Invalidate();
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
 }  // namespace clandag

@@ -23,10 +23,16 @@ namespace clandag {
 
 inline constexpr MsgType kSyncFetchRequest = 12;
 inline constexpr MsgType kSyncFetchResponse = 13;
+inline constexpr MsgType kSyncSnapshotOffer = 14;
+inline constexpr MsgType kSyncSnapshotChunkRequest = 15;
+inline constexpr MsgType kSyncSnapshotChunk = 16;
 
 // Hard decode-side caps (a request/response larger than this is malformed).
 inline constexpr uint32_t kMaxFetchWants = 128;
 inline constexpr uint32_t kMaxFetchVertices = 512;
+inline constexpr uint32_t kMaxSnapshotChunkBytes = 1u << 20;
+inline constexpr uint64_t kMaxSnapshotTransferBytes = 256ull << 20;
+inline constexpr uint32_t kMaxSnapshotChunks = 16384;
 
 // Identity of a vertex the requester is missing.
 struct VertexRef {
@@ -58,6 +64,41 @@ struct FetchResponseMsg {
 
   Bytes Encode() const;
   [[nodiscard]] static std::optional<FetchResponseMsg> Decode(const Bytes& payload);
+};
+
+// Snapshot catch-up handshake. A responder that cannot serve a want because
+// it lies below its pruned horizon offers its latest durable snapshot
+// instead; the requester pulls it chunk by chunk (each chunk checksummed,
+// the reassembled whole checksummed again) and installs it.
+struct SnapshotOfferMsg {
+  uint64_t seq = 0;
+  Round last_committed = 0;
+  uint64_t order_count = 0;
+  uint64_t total_bytes = 0;    // Size of the encoded SnapshotData payload.
+  uint32_t chunk_size = 0;     // Fixed size of every chunk but the last.
+  uint32_t total_checksum = 0; // WalChecksum over the whole payload.
+
+  Bytes Encode() const;
+  [[nodiscard]] static std::optional<SnapshotOfferMsg> Decode(const Bytes& payload);
+};
+
+struct SnapshotChunkRequestMsg {
+  uint64_t seq = 0;
+  uint32_t chunk_index = 0;
+
+  Bytes Encode() const;
+  [[nodiscard]] static std::optional<SnapshotChunkRequestMsg> Decode(const Bytes& payload);
+};
+
+struct SnapshotChunkMsg {
+  uint64_t seq = 0;
+  uint32_t chunk_index = 0;
+  uint32_t chunk_count = 0;
+  uint32_t checksum = 0;  // WalChecksum over `data` alone.
+  Bytes data;
+
+  Bytes Encode() const;
+  [[nodiscard]] static std::optional<SnapshotChunkMsg> Decode(const Bytes& payload);
 };
 
 }  // namespace clandag

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/log.h"
+#include "sync/wal.h"
 
 namespace clandag {
 
@@ -156,6 +157,120 @@ void VertexFetcher::OnResponse(NodeId from, const Bytes& payload) {
     }
   }
   in_response_ = false;
+}
+
+void VertexFetcher::OnSnapshotOffer(NodeId from, const Bytes& payload) {
+  auto msg = SnapshotOfferMsg::Decode(payload);
+  if (!msg.has_value() || !config_.enabled || snapshot_deliver_ == nullptr) {
+    return;
+  }
+  if (snap_.has_value()) {
+    // One transfer at a time — but the serving side rotates checkpoints, so
+    // a newer offer from the same peer means our in-flight seq is (or will
+    // shortly be) unservable. Restart against the fresh seq; anything else
+    // waits until this transfer finishes or is abandoned.
+    if (from != snap_->peer || msg->seq <= snap_->seq) {
+      return;
+    }
+    snap_.reset();
+  }
+  const Round watermark = watermark_ ? watermark_() : 0;
+  if (msg->last_committed <= watermark) {
+    return;  // Stale offer: normal fetch already covers this gap.
+  }
+  if (msg->total_bytes > config_.snapshot_max_bytes) {
+    CLANDAG_WARN("node %u: rejecting oversized snapshot offer from %u (%llu bytes)",
+                 runtime_.id(), from, static_cast<unsigned long long>(msg->total_bytes));
+    return;
+  }
+  const uint64_t chunks = (msg->total_bytes + msg->chunk_size - 1) / msg->chunk_size;
+  if (chunks == 0 || chunks > kMaxSnapshotChunks) {
+    return;
+  }
+  SnapshotTransfer t;
+  t.peer = from;
+  t.seq = msg->seq;
+  t.total_bytes = msg->total_bytes;
+  t.chunk_size = msg->chunk_size;
+  t.chunk_count = static_cast<uint32_t>(chunks);
+  t.total_checksum = msg->total_checksum;
+  t.buf.reserve(static_cast<size_t>(msg->total_bytes));
+  snap_ = std::move(t);
+  ++snap_gen_;
+  CLANDAG_INFO("node %u: pulling snapshot seq %llu (commit round %llu, %llu bytes, %u chunks) "
+               "from %u",
+               runtime_.id(), static_cast<unsigned long long>(msg->seq),
+               static_cast<unsigned long long>(msg->last_committed),
+               static_cast<unsigned long long>(msg->total_bytes), snap_->chunk_count, from);
+  RequestSnapshotChunk();
+}
+
+void VertexFetcher::RequestSnapshotChunk() {
+  SnapshotChunkRequestMsg req;
+  req.seq = snap_->seq;
+  req.chunk_index = snap_->next_chunk;
+  runtime_.Send(snap_->peer, kSyncSnapshotChunkRequest, req.Encode());
+  const uint64_t gen = snap_gen_;
+  const uint32_t chunk = snap_->next_chunk;
+  const TimeMicros backoff = config_.snapshot_chunk_timeout + NextBackoff(snap_->attempts);
+  runtime_.Schedule(backoff, [this, gen, chunk] { OnSnapshotTimer(gen, chunk); });
+}
+
+void VertexFetcher::OnSnapshotTimer(uint64_t gen, uint32_t chunk) {
+  if (!snap_.has_value() || gen != snap_gen_ || chunk != snap_->next_chunk) {
+    return;  // Transfer finished, abandoned, or the chunk already arrived.
+  }
+  if (++snap_->attempts > config_.snapshot_max_chunk_attempts) {
+    CLANDAG_WARN("node %u: abandoning snapshot transfer seq %llu at chunk %u/%u", runtime_.id(),
+                 static_cast<unsigned long long>(snap_->seq), chunk, snap_->chunk_count);
+    snap_.reset();
+    ++snap_gen_;
+    return;  // Normal fetch keeps running; a later offer restarts the pull.
+  }
+  ++stats_.snapshot_chunk_retries;
+  RequestSnapshotChunk();
+}
+
+void VertexFetcher::OnSnapshotChunk(NodeId from, const Bytes& payload) {
+  auto msg = SnapshotChunkMsg::Decode(payload);
+  if (!msg.has_value() || !snap_.has_value()) {
+    return;
+  }
+  if (from != snap_->peer || msg->seq != snap_->seq || msg->chunk_index != snap_->next_chunk ||
+      msg->chunk_count != snap_->chunk_count) {
+    return;  // Duplicate, stale, or out-of-order chunk; the timer re-requests.
+  }
+  const uint64_t begin = static_cast<uint64_t>(msg->chunk_index) * snap_->chunk_size;
+  const uint64_t expect =
+      std::min<uint64_t>(snap_->chunk_size, snap_->total_bytes - begin);
+  if (msg->data.size() != expect ||
+      WalChecksum(msg->data.data(), msg->data.size()) != msg->checksum) {
+    return;  // Torn or corrupt chunk; keep the transfer and let the retry run.
+  }
+  snap_->buf.insert(snap_->buf.end(), msg->data.begin(), msg->data.end());
+  snap_->attempts = 0;
+  ++snap_->next_chunk;
+  if (snap_->next_chunk < snap_->chunk_count) {
+    RequestSnapshotChunk();
+    return;
+  }
+  // Whole payload assembled: verify end to end, decode, deliver.
+  SnapshotTransfer done = std::move(*snap_);
+  snap_.reset();
+  ++snap_gen_;
+  if (done.buf.size() != done.total_bytes ||
+      WalChecksum(done.buf.data(), done.buf.size()) != done.total_checksum) {
+    CLANDAG_WARN("node %u: snapshot transfer seq %llu failed whole-payload checksum",
+                 runtime_.id(), static_cast<unsigned long long>(done.seq));
+    return;
+  }
+  auto snap = DecodeSnapshotData(done.buf);
+  if (!snap.has_value()) {
+    CLANDAG_WARN("node %u: snapshot transfer seq %llu undecodable", runtime_.id(),
+                 static_cast<unsigned long long>(done.seq));
+    return;
+  }
+  snapshot_deliver_(done.peer, std::move(*snap));
 }
 
 std::vector<std::pair<Vertex, Digest>> VertexFetcher::TakeAdmissible() {

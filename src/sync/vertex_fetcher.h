@@ -19,6 +19,12 @@
 // abandoned together with the children that need them — exactly the old
 // buffer-drop behaviour, but bounded and counted.
 //
+// Snapshot catch-up: when a responder answers a want with a snapshot offer
+// instead (the want lies below its servable horizon), the fetcher pulls the
+// snapshot in checksummed chunks — one transfer at a time, each chunk
+// re-requested with the usual exponential backoff on timeout and the whole
+// payload checksum-verified before it is decoded and handed to consensus.
+//
 // Threading: confined to the owning node's event-loop thread. Timer
 // callbacks (grace period, retry backoff) are scheduled on the same
 // Runtime and therefore also run on that thread; no internal locking.
@@ -35,6 +41,7 @@
 #include "common/rng.h"
 #include "dag/dag_store.h"
 #include "net/runtime.h"
+#include "sync/snapshot.h"
 #include "sync/sync_stats.h"
 #include "sync/sync_wire.h"
 
@@ -62,6 +69,10 @@ struct FetcherConfig {
   TimeMicros response_fast_delay = Millis(20);
   uint32_t max_wants_per_request = 64;
   uint32_t max_attempts = 16;
+  // Snapshot catch-up (accepting a responder's offer and pulling chunks).
+  TimeMicros snapshot_chunk_timeout = Millis(800);
+  uint32_t snapshot_max_chunk_attempts = 8;
+  uint64_t snapshot_max_bytes = 64ull << 20;
 };
 
 class VertexFetcher {
@@ -77,8 +88,13 @@ class VertexFetcher {
   VertexFetcher(const VertexFetcher&) = delete;
   VertexFetcher& operator=(const VertexFetcher&) = delete;
 
+  // Receives a fully reassembled, checksum-verified, decoded snapshot from a
+  // peer (the consensus layer installs it).
+  using SnapshotDeliverFn = std::function<void(NodeId from, SnapshotData snap)>;
+
   void SetDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
   void SetLowWatermark(WatermarkFn fn) { watermark_ = std::move(fn); }
+  void SetSnapshotDeliver(SnapshotDeliverFn fn) { snapshot_deliver_ = std::move(fn); }
 
   // Holds a completed-but-causally-incomplete vertex and schedules fetches
   // for its missing parents.
@@ -86,6 +102,15 @@ class VertexFetcher {
 
   // Handles a kFetchResponse payload.
   void OnResponse(NodeId from, const Bytes& payload);
+
+  // Handles a kSyncSnapshotOffer payload: starts a chunked transfer when the
+  // offer is ahead of our committed frontier and no transfer is running.
+  void OnSnapshotOffer(NodeId from, const Bytes& payload);
+  // Handles a kSyncSnapshotChunk payload: verifies and appends the chunk,
+  // requesting the next one (or finalizing and delivering the snapshot).
+  void OnSnapshotChunk(NodeId from, const Bytes& payload);
+
+  bool SnapshotTransferActive() const { return snap_.has_value(); }
 
   // Removes and returns every blocked vertex whose parents are now all
   // present-or-pruned (the caller admits them, oldest rounds first). Also
@@ -133,6 +158,22 @@ class VertexFetcher {
   void Abandon(const Key& key);
   void SweepOrphanedMissing();
 
+  // One in-flight chunked snapshot transfer (a second offer is ignored until
+  // this one completes or is abandoned).
+  struct SnapshotTransfer {
+    NodeId peer = 0;
+    uint64_t seq = 0;
+    uint64_t total_bytes = 0;
+    uint32_t chunk_size = 0;
+    uint32_t chunk_count = 0;
+    uint32_t total_checksum = 0;
+    Bytes buf;
+    uint32_t next_chunk = 0;
+    uint32_t attempts = 0;  // Timeouts for the current chunk.
+  };
+  void RequestSnapshotChunk();
+  void OnSnapshotTimer(uint64_t gen, uint32_t chunk);
+
   Runtime& runtime_;
   const DagStore& dag_;
   FetcherConfig config_;
@@ -141,6 +182,9 @@ class VertexFetcher {
 
   std::map<Key, Blocked> blocked_;
   std::map<Key, Missing> missing_;
+  std::optional<SnapshotTransfer> snap_;
+  uint64_t snap_gen_ = 0;  // Bumped on start/abandon; stales old timers.
+  SnapshotDeliverFn snapshot_deliver_;
   // Registrations made while dispatching a fetch response use the fast
   // first-request delay.
   bool in_response_ = false;

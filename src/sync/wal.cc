@@ -1,20 +1,25 @@
 #include "sync/wal.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cstring>
 
 namespace clandag {
 
-namespace {
-
-// FNV-1a; sufficient to detect torn writes (not adversarial corruption).
-uint32_t Checksum(const uint8_t* data, size_t len) {
+uint32_t WalChecksum(const uint8_t* data, size_t len) {
   uint32_t h = 2166136261u;
   for (size_t i = 0; i < len; ++i) {
     h = (h ^ data[i]) * 16777619u;
   }
   return h;
+}
+
+namespace {
+
+// FNV-1a; sufficient to detect torn writes (not adversarial corruption).
+uint32_t Checksum(const uint8_t* data, size_t len) {
+  return WalChecksum(data, len);
 }
 
 void PutU32(uint8_t out[4], uint32_t v) {
@@ -109,16 +114,25 @@ int64_t Wal::Replay(const std::string& path, const std::function<void(const Byte
 
 int64_t Wal::ReplayFrames(const std::string& path,
                           const std::function<void(uint64_t, const Bytes&)>& fn) {
+  return ReplayFramesChecked(path, fn).records;
+}
+
+WalReplayStatus Wal::ReplayFramesChecked(const std::string& path,
+                                         const std::function<void(uint64_t, const Bytes&)>& fn) {
+  WalReplayStatus status;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    return -1;
+    return status;
   }
-  int64_t count = 0;
+  status.records = 0;
   uint64_t offset = 0;
+  bool clean_eof = false;
   while (true) {
     uint8_t header[8];
-    if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
-      break;  // Clean EOF or torn header.
+    const size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got != sizeof(header)) {
+      clean_eof = got == 0 && std::feof(f);  // Partial header = torn tail.
+      break;
     }
     uint32_t len = GetU32(header);
     uint32_t checksum = GetU32(header + 4);
@@ -134,10 +148,23 @@ int64_t Wal::ReplayFrames(const std::string& path,
     }
     fn(offset, record);
     offset += sizeof(header) + len;
-    ++count;
+    ++status.records;
   }
   std::fclose(f);
-  return count;
+  status.valid_bytes = offset;
+  status.torn_tail = !clean_eof;
+  return status;
+}
+
+bool Wal::TruncateTo(const std::string& path, uint64_t valid_bytes) {
+  const int fd = open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return false;
+  }
+  bool ok = ftruncate(fd, static_cast<off_t>(valid_bytes)) == 0;
+  ok = fsync(fd) == 0 && ok;
+  close(fd);
+  return ok;
 }
 
 std::optional<Bytes> Wal::ReadRecordAt(const std::string& path, uint64_t offset) {

@@ -26,6 +26,19 @@
 
 namespace clandag {
 
+// FNV-1a over `len` bytes; the WAL frame checksum. Exposed because the
+// snapshot subsystem uses the same checksum for its file format and chunked
+// transfer (sufficient to detect torn writes, not adversarial corruption).
+uint32_t WalChecksum(const uint8_t* data, size_t len);
+
+// Outcome of a checked replay: how much of the file is an intact record
+// prefix, and whether garbage follows it (torn tail / corruption).
+struct WalReplayStatus {
+  int64_t records = -1;      // Intact records replayed; -1 = file unopenable.
+  uint64_t valid_bytes = 0;  // Byte length of the intact record prefix.
+  bool torn_tail = false;    // Bytes past valid_bytes failed framing/checksum.
+};
+
 class Wal {
  public:
   explicit Wal(std::string path);
@@ -61,6 +74,18 @@ class Wal {
   static int64_t ReplayFrames(
       const std::string& path,
       const std::function<void(uint64_t offset, const Bytes&)>& fn);
+
+  // Like ReplayFrames, but also reports where the intact prefix ends and
+  // whether a torn tail follows it. Callers that will re-open the log for
+  // appending must TruncateTo(valid_bytes) first when torn_tail is set —
+  // appending after garbage would leave every later record unreachable.
+  static WalReplayStatus ReplayFramesChecked(
+      const std::string& path,
+      const std::function<void(uint64_t offset, const Bytes&)>& fn);
+
+  // Truncates the file to `valid_bytes` and fsyncs, discarding a torn tail.
+  // Returns false on IO error (missing file counts as an error).
+  static bool TruncateTo(const std::string& path, uint64_t valid_bytes);
 
   // Random access: reads and checksum-verifies the record whose frame starts
   // at `offset`. nullopt on any IO/framing/checksum failure.

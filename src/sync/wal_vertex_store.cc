@@ -14,7 +14,8 @@ bool WalVertexStore::Load() {
   // Vertices ordered since the last anchor barrier; promoted to the committed
   // prefix when the next kAnchor record shows up, left as `trailing` at EOF.
   std::vector<Vertex> pending;
-  Wal::ReplayFrames(wal_.path(), [&](uint64_t offset, const Bytes& payload) {
+  const WalReplayStatus status =
+      Wal::ReplayFramesChecked(wal_.path(), [&](uint64_t offset, const Bytes& payload) {
     auto rec = DecodeWalRecord(payload);
     if (!rec.has_value()) {
       CLANDAG_WARN("wal %s: skipping undecodable record at offset %llu", wal_.path().c_str(),
@@ -42,10 +43,70 @@ bool WalVertexStore::Load() {
       case WalRecordType::kProposal:
         recovery_.propose_floor = std::max(recovery_.propose_floor, rec->round + 1);
         break;
+      case WalRecordType::kSnapshotMark:
+        // Compaction barrier: this log starts where snapshot `seq` ends.
+        recovery_.snapshot_seq = rec->seq;
+        recovery_.order_base = rec->order_count;
+        recovery_.snapshot_committed =
+            std::max(recovery_.snapshot_committed, static_cast<int64_t>(rec->round));
+        recovery_.last_committed =
+            std::max(recovery_.last_committed, static_cast<int64_t>(rec->round));
+        break;
     }
   });
   recovery_.trailing = std::move(pending);
+  record_count_ = status.records > 0 ? static_cast<uint64_t>(status.records) : 0;
+  if (status.torn_tail) {
+    // Bounded data loss at the tail: drop the garbage so future appends stay
+    // reachable (appending after a torn frame would orphan every later
+    // record on the next replay).
+    std::FILE* probe = std::fopen(wal_.path().c_str(), "rb");
+    uint64_t file_bytes = status.valid_bytes;
+    if (probe != nullptr) {
+      if (std::fseek(probe, 0, SEEK_END) == 0) {
+        const long end = std::ftell(probe);
+        file_bytes = end >= 0 ? static_cast<uint64_t>(end) : status.valid_bytes;
+      }
+      std::fclose(probe);
+    }
+    torn_bytes_truncated_ = file_bytes > status.valid_bytes ? file_bytes - status.valid_bytes : 0;
+    CLANDAG_WARN("wal %s: torn tail, truncating %llu bytes after %lld intact records",
+                 wal_.path().c_str(), static_cast<unsigned long long>(torn_bytes_truncated_),
+                 static_cast<long long>(status.records));
+    if (!Wal::TruncateTo(wal_.path(), status.valid_bytes)) {
+      CLANDAG_WARN("wal %s: torn-tail truncation failed", wal_.path().c_str());
+      return false;
+    }
+  }
   return wal_.Open();
+}
+
+uint64_t WalVertexStore::CutToSnapshot(uint64_t seq, uint64_t order_count, Round committed) {
+  const std::string cut_path = wal_.path() + ".cut";
+  std::remove(cut_path.c_str());
+  {
+    Wal cut(cut_path);
+    if (!cut.Open() || !cut.Append(EncodeSnapshotMarkRecord(seq, order_count, committed)) ||
+        !cut.Sync()) {
+      CLANDAG_WARN("wal %s: compaction write failed, keeping full log", wal_.path().c_str());
+      std::remove(cut_path.c_str());
+      return 0;
+    }
+  }
+  wal_.Close();
+  if (std::rename(cut_path.c_str(), wal_.path().c_str()) != 0) {
+    CLANDAG_WARN("wal %s: compaction rename failed, keeping full log", wal_.path().c_str());
+    std::remove(cut_path.c_str());
+    wal_.Open();
+    return 0;
+  }
+  if (!wal_.Open()) {
+    CLANDAG_WARN("wal %s: reopen after compaction failed", wal_.path().c_str());
+  }
+  index_.clear();  // Every old offset points into the discarded log.
+  const uint64_t dropped = record_count_;
+  record_count_ = 1;
+  return dropped;
 }
 
 void WalVertexStore::AppendOrdered(const Vertex& v) {
@@ -60,16 +121,19 @@ void WalVertexStore::AppendOrdered(const Vertex& v) {
     return;
   }
   index_.emplace(key, static_cast<uint64_t>(offset));
+  ++record_count_;
   wal_.Flush();
 }
 
 void WalVertexStore::AppendAnchor(Round round) {
   wal_.Append(EncodeAnchorRecord(round));
+  ++record_count_;
   wal_.Sync();
 }
 
 void WalVertexStore::AppendProposal(Round round) {
   wal_.Append(EncodeProposalRecord(round));
+  ++record_count_;
   wal_.Sync();
 }
 

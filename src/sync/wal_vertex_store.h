@@ -38,10 +38,22 @@ class WalVertexStore {
   WalVertexStore& operator=(const WalVertexStore&) = delete;
 
   // Replays the log (building the offset index and the recovery state), then
-  // opens it for appending. Returns false on IO error opening for append.
+  // opens it for appending. A torn tail is truncated away first (with a
+  // warning) so new appends land after the intact prefix, not after garbage.
+  // Returns false on IO error opening for append.
   bool Load();
 
   const RecoveryState& recovery() const { return recovery_; }
+
+  // Bytes discarded by Load()'s torn-tail truncation (0 = the tail was clean).
+  uint64_t torn_bytes_truncated() const { return torn_bytes_truncated_; }
+
+  // WAL compaction against a durable snapshot: atomically replaces the log
+  // with a single kSnapshotMark record (temp + fsync + rename) and drops the
+  // offset index — history at rounds <= `committed` is now served from the
+  // snapshot. Returns the number of records discarded (0 on IO failure, in
+  // which case the old log is still intact and fully replayable).
+  uint64_t CutToSnapshot(uint64_t seq, uint64_t order_count, Round committed);
 
   // Appends an ordered vertex (flush, no fsync). Duplicates of an already
   // indexed (round, source) are skipped — replay after a crash-during-catchup
@@ -64,6 +76,8 @@ class WalVertexStore {
   Wal wal_;
   RecoveryState recovery_;
   std::map<std::pair<Round, NodeId>, uint64_t> index_;
+  uint64_t record_count_ = 0;  // Decoded records currently in the log.
+  uint64_t torn_bytes_truncated_ = 0;
 };
 
 }  // namespace clandag

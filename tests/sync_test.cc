@@ -26,6 +26,7 @@
 #include "core/byzantine.h"
 #include "sim/network.h"
 #include "sync/recovery.h"
+#include "sync/sync_wire.h"
 #include "sync/fetch_responder.h"
 #include "sync/vertex_fetcher.h"
 #include "sync/wal.h"
@@ -104,6 +105,40 @@ TEST_F(WalTest, CorruptChecksumStopsReplay) {
   std::fclose(f);
   int64_t count = Wal::Replay(path_, [](const Bytes&) {});
   EXPECT_EQ(count, 0);  // First record corrupt: replay stops immediately.
+}
+
+// A tail sheared mid-frame (power cut truncating the final record, not just
+// trailing garbage) must be detected, reported, and then physically cut so
+// records appended after recovery stay reachable.
+TEST_F(WalTest, ShearedTailTruncatedThenAppendsStayReachable) {
+  int64_t third_offset = 0;
+  {
+    Wal wal(path_);
+    ASSERT_TRUE(wal.Open());
+    wal.AppendIndexed(ToBytes("one"));
+    wal.AppendIndexed(ToBytes("two"));
+    third_offset = wal.AppendIndexed(ToBytes("three"));
+    wal.Sync();
+  }
+  // Shear: keep the third record's header plus half its payload.
+  ASSERT_TRUE(Wal::TruncateTo(path_, static_cast<uint64_t>(third_offset) + 8 + 2));
+
+  WalReplayStatus status = Wal::ReplayFramesChecked(path_, [](uint64_t, const Bytes&) {});
+  EXPECT_EQ(status.records, 2);
+  EXPECT_TRUE(status.torn_tail);
+  EXPECT_EQ(status.valid_bytes, static_cast<uint64_t>(third_offset));
+
+  ASSERT_TRUE(Wal::TruncateTo(path_, status.valid_bytes));
+  {
+    Wal wal(path_);
+    ASSERT_TRUE(wal.Open());
+    wal.Append(ToBytes("four"));
+    wal.Sync();
+  }
+  std::vector<std::string> records;
+  EXPECT_EQ(Wal::Replay(path_, [&](const Bytes& r) { records.push_back(ToString(r)); }), 3);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2], "four");
 }
 
 TEST_F(WalTest, EmptyRecordRoundTrips) {
@@ -226,6 +261,84 @@ TEST(RecoveryRecord, MalformedRecordsRejected) {
   Bytes trailing = EncodeProposalRecord(5);
   trailing.push_back(0xcd);
   EXPECT_FALSE(DecodeWalRecord(trailing).has_value());
+}
+
+TEST(RecoveryRecord, SnapshotMarkRecordRoundTrips) {
+  auto mark = DecodeWalRecord(EncodeSnapshotMarkRecord(7, 1234, 88));
+  ASSERT_TRUE(mark.has_value());
+  EXPECT_EQ(mark->type, WalRecordType::kSnapshotMark);
+  EXPECT_EQ(mark->seq, 7u);
+  EXPECT_EQ(mark->order_count, 1234u);
+  EXPECT_EQ(mark->round, 88u);
+
+  Bytes truncated = EncodeSnapshotMarkRecord(7, 1234, 88);
+  truncated.pop_back();
+  EXPECT_FALSE(DecodeWalRecord(truncated).has_value());
+}
+
+// ---- Snapshot wire codecs ----
+
+TEST(SnapshotWire, OfferRoundTripsAndRejectsMalformed) {
+  SnapshotOfferMsg offer;
+  offer.seq = 5;
+  offer.last_committed = 64;
+  offer.order_count = 300;
+  offer.total_bytes = 70000;
+  offer.chunk_size = 65536;
+  offer.total_checksum = 0x1234abcd;
+  auto decoded = SnapshotOfferMsg::Decode(offer.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, offer.seq);
+  EXPECT_EQ(decoded->last_committed, offer.last_committed);
+  EXPECT_EQ(decoded->order_count, offer.order_count);
+  EXPECT_EQ(decoded->total_bytes, offer.total_bytes);
+  EXPECT_EQ(decoded->chunk_size, offer.chunk_size);
+  EXPECT_EQ(decoded->total_checksum, offer.total_checksum);
+
+  Bytes truncated = offer.Encode();
+  truncated.pop_back();
+  EXPECT_FALSE(SnapshotOfferMsg::Decode(truncated).has_value());
+  Bytes trailing = offer.Encode();
+  trailing.push_back(0x00);
+  EXPECT_FALSE(SnapshotOfferMsg::Decode(trailing).has_value());
+}
+
+TEST(SnapshotWire, ChunkRequestRoundTripsAndRejectsMalformed) {
+  SnapshotChunkRequestMsg req;
+  req.seq = 5;
+  req.chunk_index = 11;
+  auto decoded = SnapshotChunkRequestMsg::Decode(req.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, 5u);
+  EXPECT_EQ(decoded->chunk_index, 11u);
+
+  Bytes truncated = req.Encode();
+  truncated.pop_back();
+  EXPECT_FALSE(SnapshotChunkRequestMsg::Decode(truncated).has_value());
+  EXPECT_FALSE(SnapshotChunkRequestMsg::Decode(Bytes{}).has_value());
+}
+
+TEST(SnapshotWire, ChunkRoundTripsAndRejectsMalformed) {
+  SnapshotChunkMsg chunk;
+  chunk.seq = 5;
+  chunk.chunk_index = 2;
+  chunk.chunk_count = 4;
+  chunk.data = ToBytes("the chunk payload");
+  chunk.checksum = WalChecksum(chunk.data.data(), chunk.data.size());
+  auto decoded = SnapshotChunkMsg::Decode(chunk.Encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, 5u);
+  EXPECT_EQ(decoded->chunk_index, 2u);
+  EXPECT_EQ(decoded->chunk_count, 4u);
+  EXPECT_EQ(decoded->checksum, chunk.checksum);
+  EXPECT_EQ(decoded->data, chunk.data);
+
+  Bytes truncated = chunk.Encode();
+  truncated.pop_back();
+  EXPECT_FALSE(SnapshotChunkMsg::Decode(truncated).has_value());
+  Bytes trailing = chunk.Encode();
+  trailing.push_back(0xee);
+  EXPECT_FALSE(SnapshotChunkMsg::Decode(trailing).has_value());
 }
 
 // ---- WalVertexStore ----

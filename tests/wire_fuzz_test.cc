@@ -11,6 +11,9 @@
 #include "rbc/wire.h"
 #include "smr/mempool.h"
 #include "sync/recovery.h"
+#include "sync/snapshot.h"
+#include "sync/sync_wire.h"
+#include "sync/wal.h"
 
 namespace clandag {
 namespace {
@@ -200,6 +203,77 @@ TEST(WireFuzz, FetchResponseHugeVertexCountRejected) {
   Writer w2;
   w2.Varint(kMaxFetchVertices + 1);
   EXPECT_FALSE(FetchResponseMsg::Decode(w2.Buffer()).has_value());
+}
+
+TEST(WireFuzz, SnapshotOffer) {
+  FuzzRandom(18, [](const Bytes& b) { (void)SnapshotOfferMsg::Decode(b); });
+  SnapshotOfferMsg offer;
+  offer.seq = 3;
+  offer.last_committed = 40;
+  offer.order_count = 120;
+  offer.total_bytes = 5000;
+  offer.chunk_size = 4096;
+  offer.total_checksum = 0xdeadbeef;
+  FuzzMutations(offer.Encode(), [](const Bytes& b) { (void)SnapshotOfferMsg::Decode(b); });
+  EXPECT_TRUE(SnapshotOfferMsg::Decode(offer.Encode()).has_value());
+}
+
+TEST(WireFuzz, SnapshotChunkRequest) {
+  FuzzRandom(19, [](const Bytes& b) { (void)SnapshotChunkRequestMsg::Decode(b); });
+  SnapshotChunkRequestMsg req;
+  req.seq = 3;
+  req.chunk_index = 7;
+  FuzzMutations(req.Encode(),
+                [](const Bytes& b) { (void)SnapshotChunkRequestMsg::Decode(b); });
+  EXPECT_TRUE(SnapshotChunkRequestMsg::Decode(req.Encode()).has_value());
+}
+
+TEST(WireFuzz, SnapshotChunk) {
+  FuzzRandom(20, [](const Bytes& b) { (void)SnapshotChunkMsg::Decode(b); });
+  SnapshotChunkMsg chunk;
+  chunk.seq = 3;
+  chunk.chunk_index = 1;
+  chunk.chunk_count = 2;
+  chunk.data = ToBytes("snapshot bytes");
+  chunk.checksum = WalChecksum(chunk.data.data(), chunk.data.size());
+  FuzzMutations(chunk.Encode(), [](const Bytes& b) { (void)SnapshotChunkMsg::Decode(b); });
+  EXPECT_TRUE(SnapshotChunkMsg::Decode(chunk.Encode()).has_value());
+}
+
+// A chunk claiming more payload than the per-chunk cap must be rejected
+// before the Bytes copy is sized from it.
+TEST(WireFuzz, SnapshotChunkOversizedRejected) {
+  Writer w;
+  w.U64(1);                          // seq
+  w.U32(0);                          // chunk_index
+  w.U32(1);                          // chunk_count
+  w.U32(0);                          // checksum
+  w.Varint(kMaxSnapshotChunkBytes + 1);
+  EXPECT_FALSE(SnapshotChunkMsg::Decode(w.Buffer()).has_value());
+}
+
+TEST(WireFuzz, SnapshotData) {
+  FuzzRandom(21, [](const Bytes& b) { (void)DecodeSnapshotData(b); });
+  SnapshotData snap;
+  snap.seq = 2;
+  snap.last_committed = 16;
+  snap.order_count = 48;
+  snap.dag_floor = 9;
+  snap.propose_floor = 17;
+  snap.initial_balance = 1000;
+  snap.balances = {{1, 900}, {4, 1100}};
+  snap.state_digest = Digest::Of(ToBytes("state"));
+  snap.executed_txs = 30;
+  snap.rejected_txs = 2;
+  Vertex v;
+  v.round = 16;
+  v.source = 1;
+  v.strong_edges = {StrongEdge{0, Digest::Of(ToBytes("p"))}};
+  snap.vertices.push_back(v);
+  snap.ordered.push_back(1);
+  FuzzMutations(EncodeSnapshotData(snap),
+                [](const Bytes& b) { (void)DecodeSnapshotData(b); });
+  EXPECT_TRUE(DecodeSnapshotData(EncodeSnapshotData(snap)).has_value());
 }
 
 // Trailing junk after a well-formed fetch message must invalidate it.

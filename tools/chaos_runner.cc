@@ -1,6 +1,6 @@
 // Chaos sweep driver: runs randomized FaultPlans and asserts the oracles.
 //
-//   chaos_runner [--seeds N] [--base-seed S] [--nodes N] [--verbose]
+//   chaos_runner [--seeds N] [--base-seed S] [--nodes N] [--snapshots] [--verbose]
 //
 // Runs N plans for seeds S, S+1, ..., S+N-1. On any failure the offending
 // seed is printed prominently; re-running with --base-seed <seed> --seeds 1
@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   uint64_t seeds = 20;
   uint64_t base_seed = 1;
   uint32_t nodes = 7;
+  bool snapshots = false;
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
@@ -42,11 +43,14 @@ int main(int argc, char** argv) {
       base_seed = ParseU64(argv[++i], base_seed);
     } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
       nodes = static_cast<uint32_t>(ParseU64(argv[++i], nodes));
+    } else if (std::strcmp(argv[i], "--snapshots") == 0) {
+      snapshots = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--seeds N] [--base-seed S] [--nodes N] [--verbose]\n",
+                   "usage: %s [--seeds N] [--base-seed S] [--nodes N] [--snapshots] "
+                   "[--verbose]\n",
                    argv[0]);
       return 2;
     }
@@ -58,17 +62,30 @@ int main(int argc, char** argv) {
 
   int failed = 0;
   for (uint64_t s = base_seed; s < base_seed + seeds; ++s) {
-    const clandag::FaultPlan plan = clandag::FaultPlan::Random(s, nodes);
-    const clandag::ChaosReport report = clandag::RunChaosPlan(plan, clandag::ChaosOptions{});
+    // --snapshots: checkpoint every 8 committed rounds and layer snapshot
+    // faults (torn writes, corruption, crash-mid-install) on the base plan.
+    const clandag::FaultPlan plan =
+        snapshots ? clandag::FaultPlan::RandomWithSnapshots(s, nodes)
+                  : clandag::FaultPlan::Random(s, nodes);
+    clandag::ChaosOptions options;
+    if (snapshots) {
+      options.snapshot_interval_rounds = 8;
+      // Tighter GC so a multi-second outage actually falls behind the
+      // in-memory horizon and must take the snapshot catch-up path.
+      options.gc_depth = 16;
+    }
+    const clandag::ChaosReport report = clandag::RunChaosPlan(plan, options);
     if (report.ok) {
       std::printf("seed %" PRIu64 ": OK  committed=%llu ordered=%llu drops=%llu "
-                  "delays=%llu dups=%llu restarts=%u\n",
+                  "delays=%llu dups=%llu restarts=%u snaps=%llu/%llu\n",
                   s, static_cast<unsigned long long>(report.final_committed_round),
                   static_cast<unsigned long long>(report.honest_ordered),
                   static_cast<unsigned long long>(report.injected.InjectedDrops()),
                   static_cast<unsigned long long>(report.injected.delays),
                   static_cast<unsigned long long>(report.injected.duplicates),
-                  report.restarts_recovered);
+                  report.restarts_recovered,
+                  static_cast<unsigned long long>(report.snapshots_written),
+                  static_cast<unsigned long long>(report.snapshots_installed));
       if (verbose) {
         std::printf("  plan: %s\n", report.plan_summary.c_str());
       }

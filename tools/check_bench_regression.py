@@ -14,8 +14,9 @@ A run fails (exit 1) when any baseline row's counterpart:
     --allocs-abs-slack allocations (the absolute slack keeps already-tiny
     alloc counts from tripping on scheduler noise).
 
-Rows are matched on (protocol, txs_per_proposal) for figure sweeps and
-(runtime, offered_tps) for ingress sweeps; the schema is auto-detected.
+Rows are matched on (protocol, txs_per_proposal) for figure sweeps,
+(runtime, offered_tps) for ingress sweeps, and (mode, history_rounds) for the
+recovery sweep (goodput key recovery_kverts_s); the schema is auto-detected.
 A markdown delta table goes to stdout and, with --summary, is appended to
 that file (CI passes $GITHUB_STEP_SUMMARY).
 
@@ -30,8 +31,9 @@ import argparse
 import json
 import sys
 
-GOODPUT_KEYS = ("throughput_ktps", "goodput_tps")
-KEY_FIELDS = (("protocol", "txs_per_proposal"), ("runtime", "offered_tps"))
+GOODPUT_KEYS = ("throughput_ktps", "goodput_tps", "recovery_kverts_s")
+KEY_FIELDS = (("protocol", "txs_per_proposal"), ("runtime", "offered_tps"),
+              ("mode", "history_rounds"))
 
 
 def row_key(row):
@@ -115,6 +117,8 @@ def self_test():
          "agreement_ok": True, "throughput_ktps": 100.0, "allocs_per_commit": 700.0},
         {"runtime": "sim", "offered_tps": 8000, "goodput_tps": 10000.0,
          "allocs_per_commit": 55.0},
+        {"mode": "snapshot", "history_rounds": 300, "ok": True,
+         "recovery_kverts_s": 300.0},
     ]
 
     # Identical sweep passes.
@@ -147,9 +151,19 @@ def self_test():
     failures, _ = compare(baseline, wiggle, 15.0, 10.0, 50.0)
     assert not failures, f"abs-slack wiggle flagged: {failures}"
 
-    # Missing row fails.
+    # Missing rows fail (one per dropped row).
     failures, _ = compare(baseline, baseline[:1], 15.0, 10.0, 50.0)
-    assert len(failures) == 1 and "missing" in failures[0], failures
+    assert len(failures) == 2 and all("missing" in f for f in failures), failures
+
+    # Recovery-schema rows gate on recovery_kverts_s and their ok flag.
+    slow_recovery = json.loads(json.dumps(baseline))
+    slow_recovery[2]["recovery_kverts_s"] = 100.0
+    failures, _ = compare(baseline, slow_recovery, 15.0, 10.0, 50.0)
+    assert len(failures) == 1 and "goodput" in failures[0], failures
+    broken_recovery = json.loads(json.dumps(baseline))
+    broken_recovery[2]["ok"] = False
+    failures, _ = compare(baseline, broken_recovery, 15.0, 10.0, 50.0)
+    assert len(failures) == 1 and "failure" in failures[0], failures
 
     # A row that ran but lost agreement fails.
     broken = json.loads(json.dumps(baseline))
