@@ -8,6 +8,9 @@
 //   ./build/examples/crash_recovery
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,8 +26,23 @@ namespace {
 constexpr uint32_t kNodes = 4;
 constexpr NodeId kVictim = 3;
 
+// WALs land under --dir <path> when given, else a scratch directory under
+// $TMPDIR (or /tmp) — never the working directory, which is typically the
+// repo checkout.
+std::string g_wal_dir;
+
+std::string WalDir(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--dir") == 0) {
+      return argv[i + 1];
+    }
+  }
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") + "/clandag_crash_recovery";
+}
+
 std::string WalPath(NodeId id) {
-  return "crash_recovery_wal_" + std::to_string(id) + ".log";
+  return g_wal_dir + "/crash_recovery_wal_" + std::to_string(id) + ".log";
 }
 
 std::unique_ptr<AppNode> MakeNode(Runtime& runtime, const Keychain& keychain,
@@ -49,7 +67,15 @@ std::unique_ptr<AppNode> MakeNode(Runtime& runtime, const Keychain& keychain,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_wal_dir = WalDir(argc, argv);
+  std::error_code ec;
+  std::filesystem::create_directories(g_wal_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create WAL directory %s: %s\n",
+                 g_wal_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
   for (NodeId id = 0; id < kNodes; ++id) {
     std::remove(WalPath(id).c_str());  // Fresh logs for a repeatable demo.
   }

@@ -5,22 +5,27 @@
 namespace clandag {
 
 void Writer::U8(uint8_t v) {
+  // bounded: one wire message; the transport caps frames (kMaxFrame).
   buf_.push_back(v);
 }
 
 void Writer::U16(uint16_t v) {
+  // bounded: one wire message; the transport caps frames (kMaxFrame).
   buf_.push_back(static_cast<uint8_t>(v));
+  // bounded: one wire message; the transport caps frames (kMaxFrame).
   buf_.push_back(static_cast<uint8_t>(v >> 8));
 }
 
 void Writer::U32(uint32_t v) {
   for (int i = 0; i < 4; ++i) {
+    // bounded: one wire message; the transport caps frames (kMaxFrame).
     buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
   }
 }
 
 void Writer::U64(uint64_t v) {
   for (int i = 0; i < 8; ++i) {
+    // bounded: one wire message; the transport caps frames (kMaxFrame).
     buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
   }
 }
@@ -31,9 +36,11 @@ void Writer::I64(int64_t v) {
 
 void Writer::Varint(uint64_t v) {
   while (v >= 0x80) {
+    // bounded: one wire message; the transport caps frames (kMaxFrame).
     buf_.push_back(static_cast<uint8_t>(v) | 0x80);
     v >>= 7;
   }
+  // bounded: one wire message; the transport caps frames (kMaxFrame).
   buf_.push_back(static_cast<uint8_t>(v));
 }
 
@@ -43,6 +50,7 @@ void Writer::Blob(const Bytes& b) {
 
 void Writer::Blob(const uint8_t* data, size_t len) {
   Varint(len);
+  // bounded: one wire message; the transport caps frames (kMaxFrame).
   buf_.insert(buf_.end(), data, data + len);
 }
 
@@ -55,6 +63,7 @@ void Writer::Bool(bool v) {
 }
 
 void Writer::Raw(const uint8_t* data, size_t len) {
+  // bounded: one wire message; the transport caps frames (kMaxFrame).
   buf_.insert(buf_.end(), data, data + len);
 }
 

@@ -1,0 +1,41 @@
+// Hot-path discipline annotations (DESIGN.md §15).
+//
+// The paper's throughput argument rests on the per-vertex common path staying
+// cheap: no heap traffic, no blocking, no unbounded state growth between two
+// commits. PR 6 bought the allocs-per-commit reduction at bench time; these
+// macros make the property compile-time-checkable instead of bench-observable.
+//
+// `CLANDAG_HOT` marks a function as part of the steady-state commit path.
+// The clandag-hotpath-alloc clang-tidy check (tools/clandag-tidy/) then bans
+// `new` / `malloc` / growing-container calls inside it — and, one call level
+// deep, inside any same-TU callee — unless the allocation is routed through
+// the pooling layer (BufferPool / ControlBlockArena / NodeArena / PooledBytes
+// / EncodeToShared / an Arena*-allocated container) or the callee is
+// explicitly `CLANDAG_COLD`.
+//
+// `CLANDAG_COLD` marks a function as off the steady-state path: setup,
+// teardown, reconnect, repair, refill slow paths. A cold callee terminates
+// the hot-path analysis; annotating a function cold is a reviewed claim that
+// it does not run once per message, so pair it with a comment saying why.
+//
+// Like common/thread_annotations.h, the macros are Clang `annotate`
+// attributes and expand to nothing elsewhere, so GCC builds are unaffected.
+// The annotations carry no codegen effect either way — they exist purely for
+// the out-of-tree analyzer.
+//
+// Escape hatch for true positives that are accepted (amortized growth of a
+// capped container, one-time lazy sizing): `// NOLINT(clandag-hotpath-alloc)`
+// with a justification, per the suppression policy in DESIGN.md §10.
+
+#ifndef CLANDAG_COMMON_HOT_PATH_H_
+#define CLANDAG_COMMON_HOT_PATH_H_
+
+#if defined(__clang__)
+#define CLANDAG_HOT __attribute__((annotate("clandag::hot")))
+#define CLANDAG_COLD __attribute__((annotate("clandag::cold")))
+#else
+#define CLANDAG_HOT   // GCC and others: no-op.
+#define CLANDAG_COLD  // GCC and others: no-op.
+#endif
+
+#endif  // CLANDAG_COMMON_HOT_PATH_H_

@@ -38,7 +38,10 @@
 #define CLANDAG_COMMON_POOL_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -121,6 +124,92 @@ class ArenaAllocator {
     return true;
   }
 };
+
+// Fixed-size slot arena for the node-based protocol containers (the
+// per-round vote-tracker maps, the DAG round index, the weak-edge frontier
+// set). Same recycling design as ControlBlockArena, but with slots wide
+// enough for a red-black-tree node carrying a Digest key plus a VoteTracker
+// — the widest node on the consensus hot path. Nodes freed by post-commit
+// pruning are recycled for the next round's inserts, so the steady state
+// allocates nothing: the working set is one window of rounds wide and the
+// free list absorbs it. Oversized or past-cap requests fall back to the
+// global heap; the arena never blocks and never fails.
+//
+// Threading: all methods are thread-safe (annotated Mutex), matching
+// ControlBlockArena — node containers live on single consensus threads
+// today, but buffers sharing this rank must stay safe to release anywhere.
+class NodeArena {
+ public:
+  static constexpr size_t kSlotBytes = 192;
+  static constexpr size_t kSlotsPerSlab = 64;
+  // Carve cap: bounds arena memory at 48 MiB. Sized like kMaxControlSlots —
+  // a saturated n = 150 run keeps one GC window of per-round map/set nodes
+  // live per node object, far below this; beyond it allocation degrades to
+  // operator new.
+  static constexpr size_t kMaxNodeSlots = 262144;
+
+  NodeArena() = default;
+  NodeArena(const NodeArena&) = delete;
+  NodeArena& operator=(const NodeArena&) = delete;
+
+  void* Allocate(size_t bytes);
+  void Free(void* p, size_t bytes);
+
+  // Leaked singleton (see ControlBlockArena::Global).
+  static NodeArena& Global();
+
+  size_t slots_carved() const {
+    MutexLock lock(mu_);
+    return slots_carved_;
+  }
+  // Allocations served by operator new because the carve cap was reached or
+  // the request outgrew kSlotBytes (a container node wider than a slot).
+  size_t heap_fallbacks() const {
+    MutexLock lock(mu_);
+    return heap_fallbacks_;
+  }
+
+ private:
+  bool Owns(const void* p) const CLANDAG_REQUIRES(mu_);
+
+  mutable Mutex mu_{"pool.nodes", lock_rank::kControlArena};
+  // Slabs are never returned; both vectors are bounded by kMaxNodeSlots.
+  std::vector<std::unique_ptr<unsigned char[]>> slabs_ CLANDAG_GUARDED_BY(mu_);
+  std::vector<void*> free_slots_ CLANDAG_GUARDED_BY(mu_);
+  size_t slots_carved_ CLANDAG_GUARDED_BY(mu_) = 0;
+  size_t heap_fallbacks_ CLANDAG_GUARDED_BY(mu_) = 0;
+};
+
+// std::allocator-compatible adaptor over NodeArena for node-based
+// containers. The clandag-hotpath-alloc check treats growth of a container
+// whose allocator is NodeAllocator/ArenaAllocator as pool-routed.
+template <typename T>
+class NodeAllocator {
+ public:
+  using value_type = T;
+
+  NodeAllocator() = default;
+  template <typename U>
+  NodeAllocator(const NodeAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(NodeArena::Global().Allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) { NodeArena::Global().Free(p, n * sizeof(T)); }
+
+  template <typename U>
+  friend bool operator==(const NodeAllocator&, const NodeAllocator<U>&) {
+    return true;
+  }
+};
+
+// Arena-backed drop-ins for the protocol's per-round indices. Node churn
+// (insert on message arrival, erase on post-commit GC) cycles through the
+// NodeArena free list instead of the heap.
+template <typename K, typename V, typename Cmp = std::less<K>>
+using ArenaMap = std::map<K, V, Cmp, NodeAllocator<std::pair<const K, V>>>;
+template <typename K, typename Cmp = std::less<K>>
+using ArenaSet = std::set<K, Cmp, NodeAllocator<K>>;
 
 class BufferPool;
 

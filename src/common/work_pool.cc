@@ -14,6 +14,7 @@ OrderedVerifyPool::OrderedVerifyPool(Options options, Executor deliver)
     CLANDAG_CHECK(deliver_ != nullptr);
     workers_.reserve(options_.num_workers);
     for (uint32_t i = 0; i < options_.num_workers; ++i) {
+      // bounded: exactly options_.num_workers threads, reserved above.
       workers_.emplace_back("verify-worker", [this] { WorkerLoop(); });
     }
   }
@@ -52,7 +53,9 @@ void OrderedVerifyPool::Submit(std::function<bool()> verify, std::function<void(
     Job job;
     job.verify = std::move(verify);
     job.done = std::move(done);
-    jobs_.push_back(std::move(job));
+    // Bounded by the max_pending backpressure wait above; deque chunk churn
+    // is amortized across the jobs each chunk holds.
+    jobs_.push_back(std::move(job));  // NOLINT(clandag-hotpath-alloc)
     ++submitted_;
   }
   work_cv_.NotifyOne();

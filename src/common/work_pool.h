@@ -45,6 +45,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "common/mutex.h"
 #include "common/thread.h"
 
@@ -78,7 +79,7 @@ class OrderedVerifyPool {
   // Queues one verification. `done(ok)` is executed by the executor; across
   // Submits, done callbacks run in submission order regardless of which
   // worker finished first.
-  void Submit(std::function<bool()> verify, std::function<void(bool)> done);
+  CLANDAG_HOT void Submit(std::function<bool()> verify, std::function<void(bool)> done);
 
   struct Stats {
     uint64_t submitted = 0;

@@ -57,6 +57,7 @@ void Committer::CountVote(const Vertex& voter) {
   }
   voters.Set(voter.source);
   if (voters.Count() >= quorum_ && !quorum_digest_.count(target)) {
+    // bounded: one entry per leader target; GC prunes with the committed rounds.
     quorum_digest_.emplace(target, vote->digest);
     TryDirectCommit(target);
   }

@@ -420,7 +420,10 @@ void VertexDisseminator::OnCert(NodeId from, const Bytes& payload) {
   }
   if (config_.verify_signatures) {
     if (config_.verify_pool != nullptr) {
-      auto m = std::make_shared<const RbcCertMsg>(std::move(*msg));
+      // allocate_shared through the NodeArena: the cert + control block
+      // recycle through pool slots instead of hitting the heap per cert.
+      auto m = std::allocate_shared<const RbcCertMsg>(NodeAllocator<RbcCertMsg>(),
+                                                      std::move(*msg));
       config_.verify_pool->Submit(
           [this, m] {
             return m->sig.Verify(keychain_,

@@ -29,6 +29,8 @@
 #include <optional>
 #include <unordered_map>
 
+#include "common/hot_path.h"
+#include "common/pool.h"
 #include "common/quorum.h"
 #include "common/work_pool.h"
 #include "consensus/clan.h"
@@ -91,10 +93,11 @@ class VertexDisseminator {
 
   // Broadcasts this node's vertex for a round; `block` must be set iff the
   // vertex carries a block digest.
-  void Propose(const Vertex& v, std::optional<BlockInfo> block);
+  // cold: once per round per node, not per message.
+  CLANDAG_COLD void Propose(const Vertex& v, std::optional<BlockInfo> block);
 
   // Routes a consensus dissemination message; false if not ours.
-  bool HandleMessage(NodeId from, MsgType type, const Bytes& payload);
+  CLANDAG_HOT bool HandleMessage(NodeId from, MsgType type, const Bytes& payload);
 
   bool HasBlock(NodeId source, Round round) const;
   const BlockInfo* GetBlock(NodeId source, Round round) const;
@@ -129,8 +132,10 @@ class VertexDisseminator {
     bool awaiting_vertex = false;  // Quorum met, body missing.
     bool pulling_block = false;
     Digest decided_digest;
-    std::map<Digest, VoteTracker> echoes;
-    std::map<Digest, VoteTracker> readies;
+    // NodeArena-backed (common/pool.h): echo/ready tracker nodes erased by
+    // PruneBelow recycle into the next instance's quorum bookkeeping.
+    ArenaMap<Digest, VoteTracker> echoes;
+    ArenaMap<Digest, VoteTracker> readies;
     uint32_t pull_rr = 0;
     // Completion evidence (two-round flavour: the encoded echo-certificate;
     // null for Bracha, which re-READYs). Shared, not copied: every echo
@@ -144,37 +149,41 @@ class VertexDisseminator {
     SignerBitmap evidence_sent;
   };
 
-  Instance& GetInstance(NodeId source, Round round);
-  const Instance* FindInstance(NodeId source, Round round) const;
+  CLANDAG_HOT Instance& GetInstance(NodeId source, Round round);
+  CLANDAG_HOT const Instance* FindInstance(NodeId source, Round round) const;
 
   bool NeedsBlockToEcho(const Vertex& v) const;
-  void MaybeEcho(NodeId source, Round round, Instance& inst);
+  CLANDAG_HOT void MaybeEcho(NodeId source, Round round, Instance& inst);
   // Late echo from `from` for a completed instance: re-send the completion
   // evidence (cert / own READY) so the straggler can finish the RBC too.
-  void ReplyCompletionEvidence(NodeId from, NodeId source, Round round, Instance& inst);
-  void OnQuorum(NodeId source, Round round, Instance& inst, const Digest& digest);
-  void Complete(NodeId source, Round round, Instance& inst);
-  void StartVertexPull(NodeId source, Round round);
-  void StartBlockPull(NodeId source, Round round);
+  // cold: repair path, fires only for post-completion stragglers.
+  CLANDAG_COLD void ReplyCompletionEvidence(NodeId from, NodeId source, Round round,
+                                            Instance& inst);
+  CLANDAG_HOT void OnQuorum(NodeId source, Round round, Instance& inst, const Digest& digest);
+  CLANDAG_HOT void Complete(NodeId source, Round round, Instance& inst);
+  // cold: pulls are the Byzantine-sender / lossy-network repair path.
+  CLANDAG_COLD void StartVertexPull(NodeId source, Round round);
+  CLANDAG_COLD void StartBlockPull(NodeId source, Round round);
 
-  void OnVertexVal(NodeId from, const Bytes& payload);
+  CLANDAG_HOT void OnVertexVal(NodeId from, const Bytes& payload);
   void OnBlock(NodeId from, const Bytes& payload);
-  void OnEcho(NodeId from, const Bytes& payload);
-  void OnReady(NodeId from, const Bytes& payload);
-  void OnCert(NodeId from, const Bytes& payload);
+  CLANDAG_HOT void OnEcho(NodeId from, const Bytes& payload);
+  CLANDAG_HOT void OnReady(NodeId from, const Bytes& payload);
+  CLANDAG_HOT void OnCert(NodeId from, const Bytes& payload);
   // Post-authentication halves of OnEcho/OnCert: run inline when the
   // signature checked on this thread, or as the verify pool's in-order
   // completion callback when it checked off-thread.
-  void ProcessEcho(NodeId from, const RbcVoteMsg& msg);
-  void ProcessCert(NodeId from, const RbcCertMsg& msg);
-  void OnVertexPullReq(NodeId from, const Bytes& payload);
-  void OnVertexPullResp(NodeId from, const Bytes& payload);
-  void OnBlockPullReq(NodeId from, const Bytes& payload);
-  void OnBlockPullResp(NodeId from, const Bytes& payload);
+  CLANDAG_HOT void ProcessEcho(NodeId from, const RbcVoteMsg& msg);
+  CLANDAG_HOT void ProcessCert(NodeId from, const RbcCertMsg& msg);
+  // cold: pull protocol, off the critical path by design (paper §5).
+  CLANDAG_COLD void OnVertexPullReq(NodeId from, const Bytes& payload);
+  CLANDAG_COLD void OnVertexPullResp(NodeId from, const Bytes& payload);
+  CLANDAG_COLD void OnBlockPullReq(NodeId from, const Bytes& payload);
+  CLANDAG_COLD void OnBlockPullResp(NodeId from, const Bytes& payload);
 
-  void AcceptVertexBody(NodeId source, Round round, Instance& inst, Vertex v,
-                        const Digest& digest);
-  void AcceptBlock(Instance& inst, BlockInfo block);
+  CLANDAG_HOT void AcceptVertexBody(NodeId source, Round round, Instance& inst, Vertex v,
+                                    const Digest& digest);
+  CLANDAG_HOT void AcceptBlock(Instance& inst, BlockInfo block);
 
   struct InstanceKeyHash {
     size_t operator()(const std::pair<NodeId, Round>& key) const {

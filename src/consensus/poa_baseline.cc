@@ -97,6 +97,7 @@ void PoaBftNode::ProposeBlockBatch() {
   content.U32(config_.txs_per_block);
   const Digest digest = Digest::Of(content.Buffer());
 
+  // bounded: one entry per in-flight batch, erased when the ack quorum completes.
   pending_acks_.emplace(batch, std::make_pair(digest, VoteTracker(config_.num_nodes)));
   pending_meta_.emplace(batch, std::make_pair(config_.txs_per_block, (last_batch_time_ + now) / 2));
   last_batch_time_ = now;
@@ -178,6 +179,7 @@ void PoaBftNode::OnCert(NodeId /*from*/, const Bytes& payload) {
   if (cert.acks.Count() < topology_.ClanQuorumFor(cert.proposer)) {
     return;
   }
+  // bounded: entries are consumed by MaybePropose / erased when a proposal carries them.
   cert_queue_.push_back(std::move(cert));
   MaybePropose();
 }
@@ -236,6 +238,7 @@ void PoaBftNode::OnProposal(NodeId from, const Bytes& payload) {
 
   const Digest digest = Digest::Of(payload);
   proposal_digests_[view] = digest;
+  // bounded: one entry per view, pruned on commit below.
   proposals_.emplace(view, std::move(certs));
   if (view + 1 > view_) {
     view_ = view + 1;
@@ -299,11 +302,13 @@ void PoaBftNode::OnVote(NodeId from, const Bytes& payload) {
   if (!keychain_.Verify(from, VoteMessage(view, digest), sig)) {
     return;
   }
+  // bounded: one tracker per view, pruned on commit.
   auto [it, inserted] = votes_.try_emplace(view, config_.num_nodes);
   if (!it->second.Add(from, false, sig)) {
     return;
   }
   if (it->second.Count() >= config_.Quorum() && !qcs_.count(view)) {
+    // bounded: one QC per view, pruned on commit.
     qcs_.emplace(view, it->second.BuildCert());
     proposal_digests_[view] = digest;
     MaybePropose();

@@ -159,8 +159,7 @@ bool SailfishNode::RestoreVertex(const Vertex& v, bool ordered) {
                  runtime_.id(), static_cast<unsigned long long>(v.round), v.source);
     return false;
   }
-  Vertex copy = v;
-  if (!dag_.Insert(std::move(copy))) {
+  if (!dag_.Insert(v)) {
     return false;
   }
   if (ordered) {
@@ -315,7 +314,7 @@ void SailfishNode::OnFetchedVertex(Vertex v, const Digest& digest) {
   // No RBC ran locally, so the block push never happened; pull it if this
   // node is responsible for the vertex's block.
   dissem_->EnsureBlockPull(v, digest);
-  TryAdmit(std::move(v), digest);
+  TryAdmit(v, digest);
 }
 
 void SailfishNode::OnBlock(const BlockInfo& /*block*/) {
@@ -369,22 +368,23 @@ bool SailfishNode::Justified(const Vertex& v) const {
   return false;
 }
 
-void SailfishNode::TryAdmit(Vertex v, const Digest& digest) {
+void SailfishNode::TryAdmit(const Vertex& v, const Digest& digest) {
   if (dag_.Has(v.round, v.source)) {
     return;
   }
   if (!dag_.ParentsPresent(v)) {
-    fetcher_->AddBlocked(std::move(v), digest);
+    // Repair path: the fetcher owns its copy until the parents arrive.
+    fetcher_->AddBlocked(v, digest);
     return;
   }
-  if (AdmitNow(std::move(v), digest)) {
+  if (AdmitNow(v, digest)) {
     DrainFetcher();
     MaybeAdvance();
     TryPendingProposal();
   }
 }
 
-bool SailfishNode::AdmitNow(Vertex v, const Digest& /*digest*/) {
+bool SailfishNode::AdmitNow(const Vertex& v, const Digest& /*digest*/) {
   // Edge digests must match the vertices actually in the DAG (a Byzantine
   // vertex cannot smuggle in references to equivocated bodies). A parent in
   // a fully-pruned round is committed history whose digest the DAG no longer
@@ -414,7 +414,7 @@ bool SailfishNode::AdmitNow(Vertex v, const Digest& /*digest*/) {
   }
   const Round round = v.round;
   const NodeId source = v.source;
-  if (!dag_.Insert(std::move(v))) {
+  if (!dag_.Insert(v)) {
     return false;
   }
   const Vertex* stored = dag_.Get(round, source);

@@ -28,6 +28,8 @@
 #include <optional>
 #include <set>
 
+#include "common/hot_path.h"
+#include "common/pool.h"
 #include "common/quorum.h"
 #include "consensus/clan.h"
 #include "consensus/committer.h"
@@ -150,7 +152,7 @@ class SailfishNode final : public MessageHandler {
   void CaptureSnapshot(Round anchor_round, SnapshotData* out) const;
 
   // MessageHandler.
-  void OnMessage(NodeId from, MsgType type, const Bytes& payload) override;
+  CLANDAG_HOT void OnMessage(NodeId from, MsgType type, const Bytes& payload) override;
 
   // Round-robin leader schedule shared by all parties.
   NodeId LeaderOf(Round round) const { return static_cast<NodeId>(round % config_.num_nodes); }
@@ -165,36 +167,43 @@ class SailfishNode final : public MessageHandler {
   SyncStats sync_stats() const;
 
  private:
-  void OnVertexVal(const Vertex& v);
-  void OnVertexComplete(const Vertex& v, const Digest& digest);
-  void OnFetchedVertex(Vertex v, const Digest& digest);
+  CLANDAG_HOT void OnVertexVal(const Vertex& v);
+  CLANDAG_HOT void OnVertexComplete(const Vertex& v, const Digest& digest);
+  // cold: sync-repair delivery, not the broadcast fast path.
+  CLANDAG_COLD void OnFetchedVertex(Vertex v, const Digest& digest);
   void OnBlock(const BlockInfo& block);
 
-  bool StructurallyValid(const Vertex& v) const;
-  bool Justified(const Vertex& v) const;
-  // Admits `v` if its parents are present (else hands it to the fetcher,
-  // which repairs the missing parents); drains dependents.
-  void TryAdmit(Vertex v, const Digest& digest);
-  bool AdmitNow(Vertex v, const Digest& digest);
-  void DrainFetcher();
+  CLANDAG_HOT bool StructurallyValid(const Vertex& v) const;
+  CLANDAG_HOT bool Justified(const Vertex& v) const;
+  // Admits `v` if its parents are present (else hands a copy to the fetcher,
+  // which repairs the missing parents); drains dependents. Takes a reference
+  // because admission only copies into the DAG's recycled storage — the
+  // blocked/repair path is the one that needs ownership, and it is cold.
+  CLANDAG_HOT void TryAdmit(const Vertex& v, const Digest& digest);
+  CLANDAG_HOT bool AdmitNow(const Vertex& v, const Digest& digest);
+  CLANDAG_HOT void DrainFetcher();
 
-  void MaybeAdvance();
+  CLANDAG_HOT void MaybeAdvance();
   // Attempts the proposal for `round`; returns false when it must wait (for
   // more round-(r-1) vertices or for a justification certificate).
-  bool ProposeForRound(Round round);
+  // cold: once per round, not per message.
+  CLANDAG_COLD bool ProposeForRound(Round round);
   void TryPendingProposal();
   void ScheduleTimeout(Round round);
-  void OnTimeout(Round round);
-  void OnTimeoutMsg(NodeId from, const Bytes& payload);
-  void OnNoVoteMsg(NodeId from, const Bytes& payload);
+  // cold: timeouts fire only when a round stalls.
+  CLANDAG_COLD void OnTimeout(Round round);
+  CLANDAG_HOT void OnTimeoutMsg(NodeId from, const Bytes& payload);
+  CLANDAG_HOT void OnNoVoteMsg(NodeId from, const Bytes& payload);
   void GarbageCollect();
   // Adopts a peer-served snapshot mid-run: resets the DAG to its frontier,
   // advances the commit frontier and jumps the round. No-op when stale.
-  void InstallSnapshot(NodeId from, SnapshotData snap);
+  // cold: deep catch-up only.
+  CLANDAG_COLD void InstallSnapshot(NodeId from, SnapshotData snap);
   // Shared by WAL replay and snapshot install: inserts a restored vertex if
   // its parents resolve, marking it ordered when flagged. Returns false (and
   // warns) on an inconsistent record instead of crashing.
-  bool RestoreVertex(const Vertex& v, bool ordered);
+  // cold: recovery only.
+  CLANDAG_COLD bool RestoreVertex(const Vertex& v, bool ordered);
 
   Runtime& runtime_;
   const Keychain& keychain_;
@@ -219,15 +228,18 @@ class SailfishNode final : public MessageHandler {
   // exclusion, or missing NVC/TC justification for a leader skip).
   std::optional<Round> pending_proposal_;
 
-  std::set<Round> timeout_fired_;
+  // Per-round vote bookkeeping is NodeArena-backed (common/pool.h): nodes
+  // erased by GarbageCollect recycle into the next round's inserts, keeping
+  // the per-round state machine off the heap (DESIGN.md §15).
+  ArenaSet<Round> timeout_fired_;
   // Repeat-timeout bookkeeping for the current round (anti-entropy beats).
   Round timeout_round_ = 0;
   uint32_t timeout_repeats_ = 0;
-  std::set<Round> no_voted_;  // Rounds whose leader this node refused to vote for.
-  std::map<Round, VoteTracker> timeout_votes_;
-  std::map<Round, TimeoutCert> tcs_;
-  std::map<Round, VoteTracker> novote_votes_;
-  std::map<Round, NoVoteCert> nvcs_;
+  ArenaSet<Round> no_voted_;  // Rounds whose leader this node refused to vote for.
+  ArenaMap<Round, VoteTracker> timeout_votes_;
+  ArenaMap<Round, TimeoutCert> tcs_;
+  ArenaMap<Round, VoteTracker> novote_votes_;
+  ArenaMap<Round, NoVoteCert> nvcs_;
   // Scratch for StructurallyValid's duplicate-source check (capacity
   // retained across calls; single-threaded like all consensus state).
   mutable std::vector<uint8_t> dup_scratch_;

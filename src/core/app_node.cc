@@ -288,6 +288,7 @@ void AppNode::OnOrdered(const Vertex& v) {
     callbacks_.on_ordered(v);
   }
   if (v.HasBlock() && topology_.ReceivesBlocksOf(v.source, runtime_.id())) {
+    // bounded: drained synchronously by DrainExecutionQueue below.
     execution_queue_.push_back(v);
     DrainExecutionQueue();
   }

@@ -10,6 +10,7 @@ void LatencyStats::Add(double value_ms, uint64_t weight) {
   if (weight == 0) {
     return;
   }
+  // bounded: one sample per measured event; stats objects are run-scoped.
   samples_.push_back(Sample{value_ms, weight});
   sorted_ = false;
   total_weight_ += weight;
@@ -20,6 +21,7 @@ void LatencyStats::Merge(const LatencyStats& other) {
   if (&other == this || other.samples_.empty()) {
     return;
   }
+  // bounded: merge of two run-scoped sample sets.
   samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
   sorted_ = false;
   total_weight_ += other.total_weight_;

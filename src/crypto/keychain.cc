@@ -14,6 +14,7 @@ Keychain::Keychain(uint64_t system_seed, uint32_t num_parties) {
     w.U64(system_seed);
     w.U32(i);
     Sha256::DigestBytes key = Sha256::Hash(w.Buffer());
+    // bounded: exactly num_parties keys, fixed at construction.
     keys_.emplace_back(key.begin(), key.end());
   }
 }

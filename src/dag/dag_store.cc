@@ -21,7 +21,32 @@ const DagStore::Stored* DagStore::Find(Round round, NodeId source) const {
   return const_cast<DagStore*>(this)->Find(round, source);
 }
 
-bool DagStore::Insert(Vertex v) {
+std::unique_ptr<DagStore::Stored> DagStore::AcquireStored() {
+  if (!free_stored_.empty()) {
+    std::unique_ptr<Stored> s = std::move(free_stored_.back());
+    free_stored_.pop_back();
+    return s;
+  }
+  // Refill slow path: steady state pops the free list PruneBelow keeps fed.
+  return std::make_unique<Stored>();  // NOLINT(clandag-hotpath-alloc)
+}
+
+void DagStore::ReleaseStored(std::unique_ptr<Stored> s) {
+  if (free_stored_.size() >= kMaxFreeStored) {
+    return;  // s destroys on scope exit.
+  }
+  // clear() keeps the edge-vector capacity — the whole point of recycling:
+  // a vertex that once held n strong edges never re-grows its vectors.
+  s->v.strong_edges.clear();
+  s->v.weak_edges.clear();
+  s->v.nvc.reset();
+  s->v.tc.reset();
+  s->v.block_digest = Digest();
+  s->ordered = false;
+  free_stored_.push_back(std::move(s));
+}
+
+bool DagStore::Insert(const Vertex& v) {
   CLANDAG_CHECK(v.source < num_nodes_);
   if (v.round < pruned_floor_ && rounds_.find(v.round) == rounds_.end()) {
     // The whole round was ordered and pruned: this is a re-delivery of
@@ -31,12 +56,14 @@ bool DagStore::Insert(Vertex v) {
   CLANDAG_CHECK_MSG(ParentsPresent(v), "DagStore::Insert requires causally-complete vertices");
   RoundSlot& slot = rounds_[v.round];
   if (slot.by_source.empty()) {
-    slot.by_source.resize(num_nodes_);
+    // One allocation per round (not per vertex), amortized across the
+    // round's n inserts.
+    slot.by_source.resize(num_nodes_);  // NOLINT(clandag-hotpath-alloc)
   }
   if (slot.by_source[v.source] != nullptr) {
     return false;
   }
-  auto stored = std::make_unique<Stored>();
+  std::unique_ptr<Stored> stored = AcquireStored();
   stored->digest = v.ComputeDigest();
   // Update the weak-edge frontier: this vertex covers its parents and is
   // itself now an uncovered tip.
@@ -47,8 +74,10 @@ bool DagStore::Insert(Vertex v) {
     uncovered_.erase({e.round, e.source});
   }
   uncovered_.insert({v.round, v.source});
-  stored->v = std::move(v);
-  slot.by_source[stored->v.source] = std::move(stored);
+  // Copy-assign into the recycled vertex: element-wise copy reuses the
+  // retained vector capacity instead of stealing the caller's buffers.
+  stored->v = v;
+  slot.by_source[v.source] = std::move(stored);
   ++slot.count;
   ++total_;
   return true;
@@ -260,10 +289,12 @@ void DagStore::PruneBelow(Round round) {
       continue;
     }
     // Dropped vertices must leave the weak-edge frontier too: a proposal
-    // must never reference a body the store no longer holds.
+    // must never reference a body the store no longer holds. Their Stored
+    // nodes recycle into future inserts with vector capacity intact.
     for (NodeId source = 0; source < num_nodes_; ++source) {
       if (it->second.by_source[source] != nullptr) {
         uncovered_.erase({it->first, source});
+        ReleaseStored(std::move(it->second.by_source[source]));
       }
     }
     total_ -= it->second.count;

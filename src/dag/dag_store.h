@@ -23,6 +23,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hot_path.h"
+#include "common/pool.h"
 #include "dag/types.h"
 
 namespace clandag {
@@ -42,8 +44,10 @@ class DagStore {
 
   // Inserts a vertex whose parents are all present-or-pruned (CHECKed).
   // Returns false if a vertex from (round, source) already exists or the
-  // round was already pruned (re-delivery of committed history).
-  bool Insert(Vertex v);
+  // round was already pruned (re-delivery of committed history). The vertex
+  // is copied into recycled storage (see free_stored_), so the argument's
+  // buffers are not stolen.
+  CLANDAG_HOT bool Insert(const Vertex& v);
 
   bool Has(Round round, NodeId source) const { return Get(round, source) != nullptr; }
   const Vertex* Get(Round round, NodeId source) const;
@@ -126,14 +130,28 @@ class DagStore {
   Stored* Find(Round round, NodeId source);
   const Stored* Find(Round round, NodeId source) const;
 
+  // Pops a recycled node (capacity intact) or heap-allocates on refill.
+  std::unique_ptr<Stored> AcquireStored();
+  // Clears `s` (keeping its Vertex edge-vector capacity) and free-lists it.
+  void ReleaseStored(std::unique_ptr<Stored> s);
+
+  // Free-list length cap: one GC release batch is ~a few rounds x n
+  // vertices; anything beyond kMaxFreeStored is destroyed instead of cached.
+  static constexpr size_t kMaxFreeStored = 4096;
+
   uint32_t num_nodes_;
   size_t total_ = 0;
   size_t ordered_count_ = 0;
   Round pruned_floor_ = 0;
   PrunedLookupFn pruned_lookup_;
-  std::map<Round, RoundSlot> rounds_;
+  // Round index and weak-edge frontier are NodeArena-backed: nodes freed by
+  // post-commit pruning recycle into the next round's inserts (DESIGN.md
+  // §15), keeping the steady-state commit path off the heap.
+  ArenaMap<Round, RoundSlot> rounds_;
   // (round, source) pairs no vertex references yet (weak-edge frontier).
-  std::set<std::pair<Round, NodeId>> uncovered_;
+  ArenaSet<std::pair<Round, NodeId>> uncovered_;
+  // Pruned Stored nodes awaiting reuse; bounded by kMaxFreeStored.
+  std::vector<std::unique_ptr<Stored>> free_stored_;
 };
 
 }  // namespace clandag

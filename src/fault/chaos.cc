@@ -75,6 +75,7 @@ class ChaosCluster {
         // genuine duplicates.
         lg.client_id_base = id << 24;
         lg.offered_load_tps = opts_.ingress_load_tps;
+        // bounded: one load generator per node.
         loadgens_.push_back(std::make_unique<OpenLoopLoadGen>(lg, 0));
         SchedulePump(id);
       }
@@ -419,6 +420,8 @@ class ChaosCluster {
   }
 
   void Restart(NodeId id) {
+    // bounded: one zombie stack per Restart(); restart counts are capped by the experiment
+    // schedule.
     zombies_.push_back(std::move(stacks_[id]));
     BuildNode(id);
     network_.SetCrashed(id, false);

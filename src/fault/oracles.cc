@@ -23,6 +23,8 @@ void SafetyOracle::OnCompleted(NodeId node, Round round, NodeId source,
     return;
   }
   const auto key = std::make_pair(round, source);
+  // bounded: one entry per (round, source) seen this run; oracle state is experiment-scoped and
+  // reset between runs.
   auto [it, inserted] = completed_.try_emplace(key, digest, node);
   if (!inserted && it->second.first != digest && violation_.empty()) {
     violation_ = "RBC delivery divergence for (round " + std::to_string(round) +

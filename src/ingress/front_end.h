@@ -26,6 +26,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/hot_path.h"
 #include "consensus/sailfish.h"
 #include "ingress/admission.h"
 #include "ingress/batcher.h"
@@ -63,13 +64,14 @@ class IngressFrontEnd final : public BlockSource {
   IngressFrontEnd(NodeId self, uint32_t clan_quorum, IngressOptions options, ReplyFn reply_fn);
 
   // Feeds one raw client request frame through the pipeline.
-  void SubmitRaw(const Bytes& frame, TimeMicros now);
+  CLANDAG_HOT void SubmitRaw(const Bytes& frame, TimeMicros now);
 
   // BlockSource: the consensus layer pulls the next closed batch here.
-  std::optional<BlockInfo> NextBlock(Round round, TimeMicros now) override;
+  CLANDAG_HOT std::optional<BlockInfo> NextBlock(Round round, TimeMicros now) override;
 
   // One clan member's execution receipt for some block.
-  void OnExecutorReceipt(NodeId executor, const ExecutionReceipt& receipt, TimeMicros now);
+  CLANDAG_HOT void OnExecutorReceipt(NodeId executor, const ExecutionReceipt& receipt,
+                                     TimeMicros now);
 
   // Total bytes the front end holds on behalf of unresolved requests
   // (admission in-flight: open batch + closed batches + proposed blocks).

@@ -111,6 +111,7 @@ void OpenLoopLoadGen::ScheduleRetry(uint64_t packed_id, TimeMicros due, TimeMicr
   retry.frame = it->second.frame;
   retry.packed_id = packed_id;
   retry.attempts = it->second.attempts;
+  // bounded: at most one queued retry per tracked in-flight request (max_retries attempts each).
   retries_.push_back(std::move(retry));
 }
 

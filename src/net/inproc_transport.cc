@@ -152,6 +152,7 @@ class InProcCluster::NodeLoop final : public Runtime {
 InProcCluster::InProcCluster(uint32_t num_nodes) {
   nodes_.reserve(num_nodes);
   for (NodeId id = 0; id < num_nodes; ++id) {
+    // bounded: exactly num_nodes loops, fixed at construction.
     nodes_.push_back(std::make_unique<NodeLoop>(*this, id, num_nodes));
   }
   epoch_ = std::chrono::steady_clock::now();

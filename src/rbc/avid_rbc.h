@@ -21,6 +21,7 @@
 #include <map>
 #include <optional>
 
+#include "common/pool.h"
 #include "common/quorum.h"
 #include "crypto/keychain.h"
 #include "crypto/reed_solomon.h"
@@ -68,8 +69,9 @@ class AvidRbc {
     bool echoed = false;
     bool ready_sent = false;
     bool delivered = false;
-    std::map<Digest, VoteTracker> echo_votes;
-    std::map<Digest, VoteTracker> ready_votes;
+    // NodeArena-backed (common/pool.h): vote nodes recycle across instances.
+    ArenaMap<Digest, VoteTracker> echo_votes;
+    ArenaMap<Digest, VoteTracker> ready_votes;
     uint32_t ready_count_at_decide = 0;
   };
 

@@ -16,6 +16,8 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/hot_path.h"
+#include "common/pool.h"
 #include "crypto/keychain.h"
 #include "net/runtime.h"
 #include "rbc/config.h"
@@ -54,8 +56,10 @@ class RbcEngineBase {
     // Delivery condition met; value still being downloaded (clan members).
     bool awaiting_value = false;
     Digest decided_digest;
-    std::map<Digest, VoteTracker> echoes;
-    std::map<Digest, VoteTracker> readies;
+    // NodeArena-backed (common/pool.h): tracker nodes recycle across
+    // instances instead of churning the heap per broadcast.
+    ArenaMap<Digest, VoteTracker> echoes;
+    ArenaMap<Digest, VoteTracker> readies;
     uint32_t pull_round_robin = 0;
   };
 

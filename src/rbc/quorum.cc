@@ -16,6 +16,7 @@ bool VoteTracker::Add(NodeId voter, bool in_clan, std::optional<Signature> sig) 
     if (sigs_.empty()) {
       sigs_.reserve(voters_.num_parties());
     }
+    // capped at num_parties: the voters_ bitmap above dedups voters before this append.
     sigs_.emplace_back(voter, *sig);
   }
   return true;

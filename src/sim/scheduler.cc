@@ -15,6 +15,8 @@ uint32_t Scheduler::AcquireSlot() {
     free_slots_.pop_back();
     return slot;
   }
+  // bounded: pool high-water is the max simultaneously in-flight messages; slots recycle through
+  // free_slots_.
   pool_.emplace_back();
   return static_cast<uint32_t>(pool_.size() - 1);
 }
@@ -62,6 +64,7 @@ bool Scheduler::Step() {
     const uint32_t slot = messages_.Pop().slot;
     MsgEvent ev = std::move(pool_[slot]);
     pool_[slot].payload.reset();
+    // bounded: returns a slot already counted in pool_.
     free_slots_.push_back(slot);
     if (sink_) {
       sink_(ev);

@@ -50,6 +50,7 @@ void ExecutionEngine::RestoreState(uint64_t initial_balance,
                                    uint64_t rejected_txs) {
   initial_balance_ = initial_balance;
   balances_.clear();
+  // bounded: restore copies one snapshot's balance table (cold recovery path).
   balances_.insert(balances.begin(), balances.end());
   state_digest_ = state_digest;
   executed_txs_ = executed_txs;

@@ -59,6 +59,8 @@ std::optional<std::vector<Transaction>> DecodeTxBatch(const Bytes& payload) {
 }
 
 void Mempool::Submit(Transaction tx) {
+  // bounded: bench/test harness only; the production path is the ingress front end, whose admission
+  // controller caps in-flight bytes.
   queue_.push_back(std::move(tx));
 }
 

@@ -46,11 +46,14 @@ void VertexFetcher::AddBlocked(Vertex v, const Digest& digest) {
       Register(e.round, e.source, e.digest);
     }
   }
+  // bounded: one entry per completed-but-parentless vertex; PruneBelow and admission both erase.
   blocked_.emplace(key, Blocked{std::move(v), digest});
 }
 
 void VertexFetcher::Register(Round round, NodeId source, const Digest& expected) {
   const Key key{round, source};
+  // bounded: one entry per missing (round, source); resolved/pruned entries are erased and
+  // max_attempts gives up.
   auto [it, inserted] = missing_.try_emplace(key);
   if (!inserted) {
     return;  // Already being fetched (dedup across blocked children).

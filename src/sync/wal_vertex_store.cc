@@ -26,6 +26,8 @@ bool WalVertexStore::Load() {
     switch (rec->type) {
       case WalRecordType::kOrderedVertex: {
         const auto key = std::make_pair(rec->vertex.round, rec->vertex.source);
+        // bounded: one index entry per WAL record; compaction rewrites the file and rebuilds the
+        // index.
         if (!index_.emplace(key, offset).second) {
           return;  // Duplicate append from a crash-during-catchup; keep first.
         }
@@ -34,6 +36,7 @@ bool WalVertexStore::Load() {
       }
       case WalRecordType::kAnchor:
         for (Vertex& v : pending) {
+          // bounded: replay of one (compacted) WAL's records.
           recovery_.ordered.push_back(std::move(v));
         }
         pending.clear();
@@ -120,6 +123,7 @@ void WalVertexStore::AppendOrdered(const Vertex& v) {
                  static_cast<unsigned long long>(v.round), v.source);
     return;
   }
+  // bounded: one index entry per appended record; compaction keeps the WAL finite.
   index_.emplace(key, static_cast<uint64_t>(offset));
   ++record_count_;
   wal_.Flush();

@@ -90,6 +90,7 @@ uint32_t DfsState::Pick(size_t pos, uint32_t n) {
                       "on replay)");
     return stack_[pos].first;
   }
+  // bounded: one frame per scheduling decision along the current DFS path.
   stack_.emplace_back(0u, n);
   return 0;
 }
@@ -113,6 +114,7 @@ Scheduler::Scheduler(const ScheduleOptions& options, DfsState* dfs)
   if (options_.strategy == Strategy::kPct) {
     const uint64_t k = options_.pct_steps_estimate > 0 ? options_.pct_steps_estimate : 1;
     for (int i = 0; i + 1 < options_.pct_depth; ++i) {
+      // bounded: at most pct_depth - 1 change points.
       change_points_.insert(1 + rng_.NextBelow(k));
     }
   }
@@ -136,6 +138,7 @@ void Scheduler::RegisterMain() {
   rec->priority = static_cast<int64_t>(rng_.Next() >> 1);
   tl_self_ = rec.get();
   tl_sched_ = this;
+  // bounded: one record per spawned thread; tests spawn a fixed cast.
   threads_.push_back(std::move(rec));
   g_active = this;
 }
@@ -276,6 +279,7 @@ void Scheduler::Trace(ThreadRec* self, OpKind op, const void* obj, const char* n
   if (name != nullptr && obj != nullptr) {
     obj_names_[obj] = name;
   }
+  // bounded: one event per executed step; runs are capped by the test's step budget.
   trace_.push_back(TraceEvent{steps_, self->tid, op, obj, name});
 }
 
@@ -417,6 +421,7 @@ uint64_t Scheduler::PreRegisterThread(const char* name) {
   // modeled decision sequence is unaffected by thread-startup timing.
   rec->state = State::kRunnable;
   ThreadRec* raw = rec.get();
+  // bounded: one record per spawned thread.
   threads_.push_back(std::move(rec));
   Trace(self, OpKind::kThreadCreate, raw, name);
   return raw->tid;

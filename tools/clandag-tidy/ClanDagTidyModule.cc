@@ -11,13 +11,21 @@
 //   clandag-callback-under-lock no subscriber callback while holding a Mutex
 //   clandag-unchecked-verify    Verify/Decode/Try* results must be consumed
 //   clandag-cv-wait-loop        CondVar waits must sit in a predicate loop
+//   clandag-hotpath-alloc       CLANDAG_HOT functions allocate only through
+//                               the pools (BufferPool / NodeArena / ...)
+//   clandag-loop-blocking       ThreadRole-bound functions never block or
+//                               take locks ranked above the leaf bands
+//   clandag-unbounded-growth    member containers must name their bound
 
 #include "clang-tidy/ClangTidyModule.h"
 #include "clang-tidy/ClangTidyModuleRegistry.h"
 
 #include "CallbackUnderLockCheck.h"
 #include "CvWaitLoopCheck.h"
+#include "HotpathAllocCheck.h"
+#include "LoopBlockingCheck.h"
 #include "QuorumLiteralCheck.h"
+#include "UnboundedGrowthCheck.h"
 #include "UncheckedVerifyCheck.h"
 #include "WireTaintCheck.h"
 
@@ -31,6 +39,9 @@ class ClanDagTidyModule : public ClangTidyModule {
     factories.registerCheck<CallbackUnderLockCheck>("clandag-callback-under-lock");
     factories.registerCheck<UncheckedVerifyCheck>("clandag-unchecked-verify");
     factories.registerCheck<CvWaitLoopCheck>("clandag-cv-wait-loop");
+    factories.registerCheck<HotpathAllocCheck>("clandag-hotpath-alloc");
+    factories.registerCheck<LoopBlockingCheck>("clandag-loop-blocking");
+    factories.registerCheck<UnboundedGrowthCheck>("clandag-unbounded-growth");
   }
 };
 

@@ -1,0 +1,79 @@
+// clandag-hotpath-alloc: no heap allocation on CLANDAG_HOT paths.
+//
+// The commit path — TCP loop, RBC echo/cert handling, Sailfish vote/commit
+// processing, ingress decode->admit->batch — is annotated CLANDAG_HOT
+// (common/hot_path.h). Inside a hot function, and one call level below it,
+// the following are findings:
+//
+//   - operator new / make_unique / make_shared / malloc-family calls;
+//   - growing member calls (push_back / emplace / insert / ...) on std
+//     containers, unless the container's allocator is the NodeArena's
+//     (ArenaMap / ArenaSet / NodeAllocator) or the call is the
+//     reserve-then-fill idiom on a local (a `.reserve()` on the same
+//     variable anywhere in the function sanctions its growth).
+//
+// Escape hatches, in preference order: route the allocation through
+// BufferPool / ControlBlockArena / NodeArena / PooledBytes; annotate the
+// callee CLANDAG_COLD (repair / once-per-round paths); or suppress a single
+// amortized site with `// NOLINT(clandag-hotpath-alloc)` plus a `bounded:`
+// justification comment.
+//
+// Call-graph awareness is one level deep and deliberately deterministic:
+// alloc sites are diagnosed in hot functions and in *unannotated* functions
+// defined in the same main file that a hot function calls directly (header
+// helpers are shared infrastructure audited at their own definitions). The
+// `SummaryDir` option makes each TU write a `<file>.sum` call-graph summary
+// (hot / cold / warm / edge / alloc lines) and pre-loads every summary
+// already present, so annotations propagate across TUs in a sequential lint
+// run and CI can archive the hot call graph as an artifact.
+
+#ifndef CLANDAG_TIDY_HOTPATH_ALLOC_CHECK_H_
+#define CLANDAG_TIDY_HOTPATH_ALLOC_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/DenseMap.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringSet.h"
+
+namespace clang::tidy::clandag {
+
+class HotpathAllocCheck : public ClangTidyCheck {
+ public:
+  HotpathAllocCheck(StringRef Name, ClangTidyContext* Context);
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+  void onEndOfTranslationUnit() override;
+  void storeOptions(ClangTidyOptions::OptionMap& Opts) override;
+
+ private:
+  struct AllocSite {
+    SourceLocation Loc;
+    std::string What;               // Human description of the operation.
+    const FunctionDecl* Enclosing;  // Canonical decl of the named function.
+    bool InMainFile;
+  };
+
+  void RecordSite(const ast_matchers::MatchFinder::MatchResult& Result,
+                  const Stmt* Site, StringRef What);
+  void LoadSummaries();
+  void WriteSummary();
+
+  const std::string SummaryDir;
+  bool SummariesLoaded = false;
+  llvm::StringSet<> ExternalHot;
+  llvm::StringSet<> ExternalCold;
+
+  const SourceManager* SM = nullptr;
+  std::vector<AllocSite> Sites;
+  // Direct call edges, caller -> callees (canonical decls).
+  llvm::DenseMap<const FunctionDecl*, llvm::SmallVector<const FunctionDecl*, 8>>
+      Edges;
+};
+
+}  // namespace clang::tidy::clandag
+
+#endif  // CLANDAG_TIDY_HOTPATH_ALLOC_CHECK_H_

@@ -1,0 +1,183 @@
+#include "LoopBlockingCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::clandag {
+
+namespace {
+
+// Does the enclosing function REQUIRE a ThreadRole capability? (The macro
+// CLANDAG_REQUIRES expands to requires_capability; Mutex capabilities are
+// the other checks' business.)
+bool RequiresThreadRole(const FunctionDecl* FD) {
+  if (FD == nullptr) {
+    return false;
+  }
+  for (const auto* A : FD->specific_attrs<RequiresCapabilityAttr>()) {
+    for (const Expr* Arg : A->args()) {
+      if (Arg == nullptr) {
+        continue;
+      }
+      const CXXRecordDecl* RD = Arg->getType()
+                                    .getNonReferenceType()
+                                    .getCanonicalType()
+                                    ->getAsCXXRecordDecl();
+      if (RD != nullptr && RD->getIdentifier() != nullptr &&
+          RD->getName() == "ThreadRole") {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// The nearest enclosing function, NOT climbing through lambdas: a lambda
+// body runs on whatever thread invokes it, so a role contract on the
+// lexical owner says nothing about it.
+const FunctionDecl* EnclosingFunction(ASTContext& Ctx, const Stmt* S) {
+  DynTypedNode Node = DynTypedNode::create(*S);
+  while (true) {
+    const auto Parents = Ctx.getParents(Node);
+    if (Parents.empty()) {
+      return nullptr;
+    }
+    Node = Parents[0];
+    if (Node.get<LambdaExpr>() != nullptr) {
+      return nullptr;
+    }
+    if (const auto* FD = Node.get<FunctionDecl>()) {
+      return FD;
+    }
+  }
+}
+
+// Ranks "above a leaf" in the §13 rank table: locks held across oracle
+// scans and fault-injection decisions. Leaf bands (kWorkPool and below in
+// the table, i.e. numerically >= kWorkPool) are fine to take briefly.
+bool IsCoarseRankName(StringRef Name) {
+  return Name == "kOracle" || Name == "kInjector";
+}
+
+// Does the expression tree reference a lock_rank constant above the leaf
+// bands? Used on a Mutex field's in-class initializer:
+//   Mutex mu_{"oracle", lock_rank::kOracle};
+bool MentionsCoarseRank(const Stmt* S) {
+  if (S == nullptr) {
+    return false;
+  }
+  if (const auto* DRE = dyn_cast<DeclRefExpr>(S)) {
+    const NamedDecl* ND = DRE->getDecl();
+    if (ND != nullptr && ND->getIdentifier() != nullptr &&
+        IsCoarseRankName(ND->getName())) {
+      return true;
+    }
+  }
+  for (const Stmt* Child : S->children()) {
+    if (MentionsCoarseRank(Child)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The Mutex member a MutexLock construction locks, if the argument is a
+// member of the enclosing class (the repo's only locking shape).
+const FieldDecl* LockedMutexField(const VarDecl* VD) {
+  const Expr* Init = VD->getInit();
+  if (Init == nullptr) {
+    return nullptr;
+  }
+  const auto* CE = dyn_cast<CXXConstructExpr>(Init->IgnoreParenImpCasts());
+  if (CE == nullptr || CE->getNumArgs() == 0) {
+    return nullptr;
+  }
+  const auto* ME =
+      dyn_cast<MemberExpr>(CE->getArg(0)->IgnoreParenImpCasts());
+  if (ME == nullptr) {
+    return nullptr;
+  }
+  return dyn_cast<FieldDecl>(ME->getMemberDecl());
+}
+
+}  // namespace
+
+void LoopBlockingCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(
+                            hasAnyName("Wait", "WaitUntil", "WaitFor"),
+                            ofClass(hasName("CondVar")))))
+          .bind("cv-wait"),
+      this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(
+                            hasAnyName("Join", "WaitConnected"))))
+          .bind("block-call"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::sleep", "::usleep", "::nanosleep", "::fsync",
+                   "::fdatasync", "::sync", "::poll", "::select", "::pselect",
+                   "::getaddrinfo", "::gethostbyname", "sleep_for",
+                   "sleep_until"))))
+          .bind("block-call"),
+      this);
+  Finder->addMatcher(
+      varDecl(hasType(cxxRecordDecl(hasName("MutexLock")))).bind("lock"),
+      this);
+}
+
+void LoopBlockingCheck::check(const MatchFinder::MatchResult& Result) {
+  ASTContext& Ctx = *Result.Context;
+
+  if (const auto* VD = Result.Nodes.getNodeAs<VarDecl>("lock")) {
+    const auto Parents = Ctx.getParents(*VD);
+    if (Parents.empty()) {
+      return;
+    }
+    const auto* DS = Parents[0].get<DeclStmt>();
+    if (DS == nullptr) {
+      return;
+    }
+    const FunctionDecl* FD = EnclosingFunction(Ctx, DS);
+    if (!RequiresThreadRole(FD)) {
+      return;
+    }
+    const FieldDecl* Mu = LockedMutexField(VD);
+    if (Mu == nullptr || !Mu->hasInClassInitializer() ||
+        !MentionsCoarseRank(Mu->getInClassInitializer())) {
+      return;
+    }
+    diag(VD->getLocation(),
+         "%0 locks %1, ranked above the leaf bands, inside loop-role "
+         "function %2; the loop must only take leaf locks — hand the work "
+         "to a worker or re-rank the mutex")
+        << VD << Mu << FD;
+    return;
+  }
+
+  const Stmt* Site = Result.Nodes.getNodeAs<CXXMemberCallExpr>("cv-wait");
+  StringRef Kind = "condition-variable wait";
+  if (Site == nullptr) {
+    Site = Result.Nodes.getNodeAs<Expr>("block-call");
+    Kind = "blocking call";
+  }
+  if (Site == nullptr) {
+    return;
+  }
+  const FunctionDecl* FD = EnclosingFunction(Ctx, Site);
+  if (!RequiresThreadRole(FD)) {
+    return;
+  }
+  diag(Site->getBeginLoc(),
+       "%1 inside loop-role function %0; a stalled loop stalls every peer "
+       "— post the work to a worker thread instead")
+      << FD << Kind;
+}
+
+}  // namespace clang::tidy::clandag

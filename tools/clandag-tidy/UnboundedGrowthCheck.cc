@@ -1,0 +1,184 @@
+#include "UnboundedGrowthCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Lex/Lexer.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::clandag {
+
+namespace {
+
+// The repo's limit-naming vocabulary. Matching errs toward silence: a false
+// exemption costs one missing nag, a false positive costs CI.
+bool MentionsCap(StringRef Text) {
+  return Text.contains("kMax") || Text.contains("max") ||
+         Text.contains("Max") || Text.contains("bound") ||
+         Text.contains("Bound") || Text.contains("cap") ||
+         Text.contains("Cap");
+}
+
+// Is the growth target reached through `this` (directly or via a chain of
+// member accesses)? Locals and parameters die with the call; members are
+// the durable state this check is about.
+bool IsThisRootedMember(const Expr* E) {
+  const Expr* Cur = E->IgnoreParenImpCasts();
+  while (const auto* ME = dyn_cast<MemberExpr>(Cur)) {
+    Cur = ME->getBase()->IgnoreParenImpCasts();
+  }
+  return isa<CXXThisExpr>(Cur);
+}
+
+bool IsArenaBackedType(QualType QT) {
+  const std::string Printed = QT.getCanonicalType().getAsString();
+  return Printed.find("NodeAllocator") != std::string::npos ||
+         Printed.find("ArenaAllocator") != std::string::npos;
+}
+
+bool HasColdAnnotation(const FunctionDecl* FD) {
+  for (const FunctionDecl* RD : FD->redecls()) {
+    for (const auto* A : RD->specific_attrs<AnnotateAttr>()) {
+      if (A->getAnnotation() == "clandag::cold") {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Named function enclosing `S`, climbing through lambdas (a GC lambda in a
+// cold function shares its bound).
+const FunctionDecl* EnclosingNamedFunction(ASTContext& Ctx, const Stmt* S) {
+  DynTypedNode Node = DynTypedNode::create(*S);
+  while (true) {
+    const auto Parents = Ctx.getParents(Node);
+    if (Parents.empty()) {
+      return nullptr;
+    }
+    Node = Parents[0];
+    if (const auto* FD = Node.get<FunctionDecl>()) {
+      const auto* MD = dyn_cast<CXXMethodDecl>(FD);
+      if (MD != nullptr && MD->getParent()->isLambda()) {
+        continue;
+      }
+      return FD;
+    }
+  }
+}
+
+// Scans every control-flow condition in `S` for cap vocabulary. The source
+// text is read at the expansion site so CLANDAG_CHECK(x < kMaxY) counts.
+bool AnyCapCondition(const Stmt* S, const SourceManager& SM,
+                     const LangOptions& LO) {
+  if (S == nullptr) {
+    return false;
+  }
+  const Expr* Cond = nullptr;
+  if (const auto* If = dyn_cast<IfStmt>(S)) {
+    Cond = If->getCond();
+  } else if (const auto* While = dyn_cast<WhileStmt>(S)) {
+    Cond = While->getCond();
+  } else if (const auto* For = dyn_cast<ForStmt>(S)) {
+    Cond = For->getCond();
+  } else if (const auto* Do = dyn_cast<DoStmt>(S)) {
+    Cond = Do->getCond();
+  } else if (const auto* CO = dyn_cast<ConditionalOperator>(S)) {
+    Cond = CO->getCond();
+  }
+  if (Cond != nullptr) {
+    const CharSourceRange Range = CharSourceRange::getTokenRange(
+        SM.getExpansionRange(Cond->getSourceRange()));
+    if (MentionsCap(Lexer::getSourceText(Range, SM, LO))) {
+      return true;
+    }
+  }
+  for (const Stmt* Child : S->children()) {
+    if (AnyCapCondition(Child, SM, LO)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Does the growth line, or any of the `Window` lines above it, carry cap
+// vocabulary (the named-cap comment escape)?
+bool NearbyCapComment(SourceLocation Loc, const SourceManager& SM,
+                      unsigned Window) {
+  const SourceLocation Exp = SM.getExpansionLoc(Loc);
+  const FileID FID = SM.getFileID(Exp);
+  const unsigned Line = SM.getSpellingLineNumber(Exp);
+  bool Invalid = false;
+  const StringRef Buffer = SM.getBufferData(FID, &Invalid);
+  if (Invalid) {
+    return false;
+  }
+  const unsigned First = Line > Window ? Line - Window : 1;
+  for (unsigned L = First; L <= Line; ++L) {
+    const SourceLocation LineStart = SM.translateLineCol(FID, L, 1);
+    if (LineStart.isInvalid()) {
+      continue;
+    }
+    const unsigned Offset = SM.getFileOffset(LineStart);
+    const StringRef LineText =
+        Buffer.substr(Offset).take_until([](char C) { return C == '\n'; });
+    if (MentionsCap(LineText)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void UnboundedGrowthCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName(
+                            "push_back", "emplace_back", "push_front",
+                            "emplace_front", "insert", "emplace",
+                            "try_emplace"))))
+          .bind("grow"),
+      this);
+}
+
+void UnboundedGrowthCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* MC = Result.Nodes.getNodeAs<CXXMemberCallExpr>("grow");
+  const CXXMethodDecl* MD = MC->getMethodDecl();
+  if (MD == nullptr || MD->getParent() == nullptr ||
+      !MD->getParent()->isInStdNamespace()) {
+    return;
+  }
+  const Expr* Obj = MC->getImplicitObjectArgument();
+  if (Obj == nullptr || !IsThisRootedMember(Obj)) {
+    return;
+  }
+  if (IsArenaBackedType(Obj->getType())) {
+    return;
+  }
+  const FunctionDecl* FD = EnclosingNamedFunction(*Result.Context, MC);
+  if (FD == nullptr || !FD->hasBody()) {
+    return;
+  }
+  if (HasColdAnnotation(FD)) {
+    return;
+  }
+  const SourceManager& SM = *Result.SourceManager;
+  if (AnyCapCondition(FD->getBody(), SM, Result.Context->getLangOpts())) {
+    return;
+  }
+  if (NearbyCapComment(MC->getBeginLoc(), SM, /*Window=*/4)) {
+    return;
+  }
+  diag(MC->getExprLoc(),
+       "member container grows in %0 with no visible bound; enforce a cap "
+       "(kMax* / max_*) before growing, or state the protocol fact that "
+       "bounds it in a comment here (e.g. \"bounded: one entry per round, "
+       "pruned by GC\")")
+      << FD;
+}
+
+}  // namespace clang::tidy::clandag

@@ -1,0 +1,44 @@
+// clandag-unbounded-growth: every member container that grows must name its
+// bound.
+//
+// A BFT node's memory is part of its attack surface: any map or queue a
+// Byzantine peer can append to without a cap is a remote OOM. This check
+// flags growth calls (push_back / emplace / insert / try_emplace / ...) on
+// std containers reached through `this` — the durable, attacker-feedable
+// state — unless the bound is visible at the site:
+//
+//   - a condition anywhere in the enclosing function mentioning a cap
+//     (kMax* / max_* / *bound* / *cap* — the repo's naming for limits,
+//     including CLANDAG_CHECK(x < kMaxY) guards), or
+//   - a `bounded:` / `capped` style comment on the growth line or within
+//     the four lines above it naming what bounds the container, or
+//   - an arena-backed container (ArenaMap / ArenaSet: the NodeArena's caps
+//     apply), or
+//   - a CLANDAG_COLD enclosing function (recovery / setup paths copy
+//     bounded snapshots).
+//
+// Locals and parameters are exempt — their lifetime bounds them; the check
+// targets state that outlives the message that grew it. The comment escape
+// is deliberate: some bounds are protocol facts (one entry per round,
+// pruned by GC) no static analysis can see, and the check's job is to make
+// the engineer write that fact down where the growth happens.
+
+#ifndef CLANDAG_TIDY_UNBOUNDED_GROWTH_CHECK_H_
+#define CLANDAG_TIDY_UNBOUNDED_GROWTH_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::clandag {
+
+class UnboundedGrowthCheck : public ClangTidyCheck {
+ public:
+  UnboundedGrowthCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace clang::tidy::clandag
+
+#endif  // CLANDAG_TIDY_UNBOUNDED_GROWTH_CHECK_H_

@@ -1,0 +1,37 @@
+// Negative fixture for clandag-hotpath-alloc: every sanctioned route through
+// a hot function — arena-backed growth, pooled buffers, a CLANDAG_COLD
+// callee, reserve-then-fill locals, and an explicit NOLINT. Zero findings.
+
+#include <cstdint>
+#include <vector>
+
+#include "clandag_stubs.h"
+
+namespace clandag {
+
+class PooledEngine {
+ public:
+  CLANDAG_HOT void OnMessage(int from) {
+    votes_.try_emplace(from, 1);  // ArenaMap: NodeArena-backed growth
+    PooledBytes buf = BufferPool::Global().Acquire();  // pooled acquisition
+    (*buf).resize(64);
+    Persist(from);  // CLANDAG_COLD callee: allowed to allocate
+
+    std::vector<int> local;  // reserve-then-fill on a local
+    local.reserve(4);
+    local.push_back(from);
+
+    peers_.push_back(from);  // NOLINT(clandag-hotpath-alloc)
+  }
+
+  CLANDAG_COLD void Persist(int from) {
+    scratch_.push_back(from);  // off the commit path by annotation
+  }
+
+ private:
+  ArenaMap<int, int> votes_;
+  std::vector<int> peers_;
+  std::vector<int> scratch_;
+};
+
+}  // namespace clandag

@@ -1,0 +1,32 @@
+// Positive fixture for clandag-hotpath-alloc: raw heap traffic inside
+// CLANDAG_HOT functions, plus an unannotated same-file callee of a hot
+// function (the one-level call-graph case). Each site must fire.
+
+#include <memory>
+#include <vector>
+
+#include "clandag_stubs.h"
+
+namespace clandag {
+
+class HotEngine {
+ public:
+  CLANDAG_HOT void OnMessage(int from) {
+    auto* state = new int(from);               // operator new on the hot path
+    (void)state;
+    queue_.push_back(from);                    // bare std container growth
+    auto owned = std::make_shared<int>(from);  // tracked allocator call
+    (void)owned;
+    Record(from);
+  }
+
+ private:
+  // Unannotated but called from CLANDAG_HOT OnMessage above: the warm-callee
+  // diagnostic must flag the growth here too.
+  void Record(int from) { log_.push_back(from); }
+
+  std::vector<int> queue_;
+  std::vector<int> log_;
+};
+
+}  // namespace clandag

@@ -1,0 +1,36 @@
+// Negative fixture for clandag-loop-blocking: leaf-ranked locks in role
+// functions, blocking calls in role-free functions, and waits inside lambdas
+// (which run wherever their invoker runs). Zero findings.
+
+#include "clandag_stubs.h"
+
+extern "C" unsigned sleep(unsigned seconds);
+
+namespace clandag {
+
+class LoopThreadOk {
+ public:
+  void RunOnce() CLANDAG_REQUIRES(loop_role_) {
+    MutexLock lock(cmd_mu_);  // leaf rank (kTcpCommand): brief, sanctioned
+  }
+
+  void Defer() CLANDAG_REQUIRES(loop_role_) {
+    // The lambda body executes on whichever thread invokes it — the role
+    // contract on Defer says nothing about it.
+    auto task = [this] { cv_.Wait(mu_); };
+    (void)task;
+  }
+
+  void Stop() {  // no role contract: shutdown may block freely
+    cv_.Wait(mu_);
+    ::sleep(1);
+  }
+
+ private:
+  ThreadRole loop_role_;
+  Mutex mu_;
+  CondVar cv_;
+  Mutex cmd_mu_{"cmd", lock_rank::kTcpCommand};
+};
+
+}  // namespace clandag

@@ -1,0 +1,28 @@
+// Positive fixture for clandag-loop-blocking: blocking operations and a
+// coarse-ranked lock inside functions that REQUIRE a ThreadRole capability.
+// Each site must fire.
+
+#include "clandag_stubs.h"
+
+extern "C" unsigned sleep(unsigned seconds);
+extern "C" int fsync(int fd);
+
+namespace clandag {
+
+class LoopThread {
+ public:
+  void RunOnce() CLANDAG_REQUIRES(loop_role_) {
+    cv_.Wait(mu_);               // condition-variable wait on the loop thread
+    ::sleep(1);                  // outright sleep
+    ::fsync(3);                  // disk flush stalls the loop
+    MutexLock lock(oracle_mu_);  // lock ranked above the leaf bands
+  }
+
+ private:
+  ThreadRole loop_role_;
+  Mutex mu_;
+  CondVar cv_;
+  Mutex oracle_mu_{"oracle", lock_rank::kOracle};
+};
+
+}  // namespace clandag

@@ -1,0 +1,47 @@
+// Negative fixture for clandag-unbounded-growth: every member growth names
+// its limit — a kMax* guard, a bounded: comment, a CLANDAG_COLD function, an
+// arena-backed container, or a local that dies with the call. Zero findings.
+
+#include <vector>
+
+#include "clandag_stubs.h"
+
+namespace clandag {
+
+inline constexpr unsigned kMaxPending = 1024;
+
+class Limited {
+ public:
+  void Enqueue(int v) {
+    if (pending_.size() >= kMaxPending) {
+      return;
+    }
+    pending_.push_back(v);
+  }
+
+  void Note(int v) {
+    // bounded: one entry per round, pruned by GC every commit.
+    notes_.push_back(v);
+  }
+
+  CLANDAG_COLD void Restore(int v) {
+    restored_.push_back(v);  // recovery copies an already-finite snapshot
+  }
+
+  void Vote(int k, int v) {
+    arena_votes_.try_emplace(k, v);  // NodeArena slots enforce the limit
+  }
+
+  void Scratch(int v) {
+    std::vector<int> tmp;
+    tmp.push_back(v);  // locals die with the call
+  }
+
+ private:
+  std::vector<int> pending_;
+  std::vector<int> notes_;
+  std::vector<int> restored_;
+  ArenaMap<int, int> arena_votes_;
+};
+
+}  // namespace clandag

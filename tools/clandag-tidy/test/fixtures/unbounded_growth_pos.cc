@@ -1,0 +1,24 @@
+// Positive fixture for clandag-unbounded-growth: member containers growing
+// with nothing visible that limits them. Each site must fire. (Wording here
+// deliberately avoids the check's vocabulary so nothing is exempted.)
+
+#include <map>
+#include <vector>
+
+#include "clandag_stubs.h"
+
+namespace clandag {
+
+class Tracker {
+ public:
+  void OnVote(int round, int voter) {
+    votes_.push_back(voter);
+    by_round_.try_emplace(round, voter);
+  }
+
+ private:
+  std::vector<int> votes_;
+  std::map<int, int> by_round_;
+};
+
+}  // namespace clandag

@@ -10,11 +10,35 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
 #include <vector>
+
+// Hot-path annotation macros, mirroring src/common/hot_path.h: fixtures are
+// always analyzed by clang, so the annotate attribute is unconditional here.
+#define CLANDAG_HOT __attribute__((annotate("clandag::hot")))
+#define CLANDAG_COLD __attribute__((annotate("clandag::cold")))
+#define CLANDAG_REQUIRES(...) __attribute__((requires_capability(__VA_ARGS__)))
 
 namespace clandag {
 
 using Bytes = std::vector<uint8_t>;
+
+// Thread-role capability — what clandag-loop-blocking keys on. A function
+// annotated CLANDAG_REQUIRES(<ThreadRole member>) runs pinned to that
+// thread (the TCP loop, an in-process node loop).
+class __attribute__((capability("role"))) ThreadRole {};
+
+// Mirror of common/mutex.h §13's rank table: kOracle / kInjector are the
+// coarse bands a loop thread must never wait behind.
+namespace lock_rank {
+inline constexpr int kOracle = 10;
+inline constexpr int kInjector = 20;
+inline constexpr int kWorkPool = 40;
+inline constexpr int kTcpCommand = 80;
+}  // namespace lock_rank
 
 // Wire decoder — the taint source for clandag-wire-taint.
 class Reader {
@@ -30,9 +54,13 @@ class Reader {
   bool ok() const;
 };
 
-// Lock types — what clandag-callback-under-lock keys on.
+// Lock types — what clandag-callback-under-lock keys on. The (name, rank)
+// constructor mirrors the real Mutex so fixtures can declare ranked members
+// for clandag-loop-blocking.
 class __attribute__((capability("mutex"))) Mutex {
  public:
+  Mutex();
+  Mutex(const char* name, int rank);
   void Lock() __attribute__((acquire_capability()));
   void Unlock() __attribute__((release_capability()));
 };
@@ -63,6 +91,46 @@ class MessageHandler {
   virtual ~MessageHandler() = default;
   virtual void OnMessage(int from) = 0;
 };
+
+// Pooling types — the sanctioned allocation routes clandag-hotpath-alloc
+// whitelists by class name. Declarations only: fixtures never link.
+class PooledBytes {
+ public:
+  PooledBytes();
+  Bytes& operator*();
+  Bytes* operator->();
+  explicit operator bool() const;
+};
+
+class BufferPool {
+ public:
+  static BufferPool& Global();
+  PooledBytes Acquire();
+};
+
+// Arena allocator + aliases: growth through NodeAllocator recycles NodeArena
+// slots, so ArenaMap/ArenaSet growth is exempt. Members are declared but
+// never defined — fixture TUs are analyzed, not linked.
+template <typename T>
+class NodeAllocator {
+ public:
+  using value_type = T;
+  NodeAllocator() noexcept;
+  template <typename U>
+  NodeAllocator(const NodeAllocator<U>&) noexcept;  // NOLINT(google-explicit-constructor)
+  T* allocate(size_t n);
+  void deallocate(T* p, size_t n) noexcept;
+};
+
+template <typename A, typename B>
+bool operator==(const NodeAllocator<A>&, const NodeAllocator<B>&) noexcept;
+template <typename A, typename B>
+bool operator!=(const NodeAllocator<A>&, const NodeAllocator<B>&) noexcept;
+
+template <typename K, typename V, typename Cmp = std::less<K>>
+using ArenaMap = std::map<K, V, Cmp, NodeAllocator<std::pair<const K, V>>>;
+template <typename K, typename Cmp = std::less<K>>
+using ArenaSet = std::set<K, Cmp, NodeAllocator<K>>;
 
 // Canonical quorum helpers (declarations only — the real arithmetic lives in
 // src/common/quorum.h, the one file clandag-quorum-literal whitelists).

@@ -61,6 +61,15 @@ pool-capacity-contract
     node sends or verifies; an uncapped free list or job queue is unbounded
     memory on the hot path.
 
+hot-path-annotation
+    On the hot-path surface (src/net/tcp_transport.*, src/rbc/,
+    src/consensus/sailfish.*), every function declaration that acquires the
+    loop ThreadRole — CLANDAG_REQUIRES on a *role* capability — must state
+    its temperature: CLANDAG_HOT / CLANDAG_COLD on the declaration, or a
+    `// cold:` justification comment within the three lines above. The
+    clandag-hotpath-alloc and clandag-loop-blocking checks key on these
+    annotations; an unlabeled loop-role function silently escapes both.
+
 nolint-justification
     A `NOLINT` / `NOLINTNEXTLINE` / `NOLINTBEGIN` that suppresses a
     clandag-* protocol check (or names no check at all, which suppresses
@@ -266,6 +275,41 @@ class Linter:
                         f"protocol check is wrong here",
                         line)
 
+    # -- Rule: hot-path-annotation ------------------------------------------
+    # A declaration "acquires" the loop role when CLANDAG_REQUIRES names a
+    # *role* capability (loop_role_, verify_role_, ...); Mutex-typed REQUIRES
+    # are lock discipline, not thread pinning, and stay out of scope.
+    HOT_PATH_PREFIXES = ("src/net/tcp_transport.", "src/rbc/",
+                         "src/consensus/sailfish.")
+    ROLE_REQUIRES_RE = re.compile(r"CLANDAG_REQUIRES\(\s*\w*role\w*\s*\)")
+    TEMPERATURE_RE = re.compile(r"CLANDAG_HOT\b|CLANDAG_COLD\b")
+
+    def check_hot_path_annotations(self):
+        for path in self.src_files({".h", ".cc"}):
+            rel = str(path.relative_to(self.root))
+            if not rel.startswith(self.HOT_PATH_PREFIXES):
+                continue
+            lines = path.read_text().splitlines()
+            for lineno, line in enumerate(lines, 1):
+                if not self.ROLE_REQUIRES_RE.search(strip_comments(line)):
+                    continue
+                # The temperature macro may sit earlier on a wrapped
+                # declaration; accept it on this line or the two above.
+                decl = lines[max(0, lineno - 3):lineno]
+                if any(self.TEMPERATURE_RE.search(l) for l in decl):
+                    continue
+                above = lines[max(0, lineno - 4):lineno - 1]
+                if any(l.strip().startswith("//") and "cold:" in l
+                       for l in above):
+                    continue
+                self.report(
+                    "hot-path-annotation", path, lineno,
+                    "loop-role function has no stated temperature: add "
+                    "CLANDAG_HOT (commit path, checked by "
+                    "clandag-hotpath-alloc) or CLANDAG_COLD / a '// cold:' "
+                    "comment explaining why it is off the hot path",
+                    line)
+
     # -- Rules: ingress-queue-caps + pool-capacity-contract -----------------
     def _check_capped_header(self, rule, path, contract_msg, cap_msg):
         lines = path.read_text().splitlines()
@@ -337,6 +381,7 @@ class Linter:
         self.check_decoders()
         self.check_asserts()
         self.check_nolint_justifications()
+        self.check_hot_path_annotations()
         self.check_ingress_queue_caps()
         self.check_pool_capacity_contracts()
         self.check_threading_contracts()

@@ -13,6 +13,10 @@
 # clandag-* checks that .clang-tidy requests. Auto-detected from the build
 # dir; override with CLANDAG_TIDY_PLUGIN=/path/to/clandag_tidy.so, or set
 # CLANDAG_TIDY_PLUGIN=none to force the stock checks only.
+#
+# Set CLANDAG_TIDY_SUMMARY_DIR=/path to have clandag-hotpath-alloc write its
+# per-TU call-graph summaries (<file>.sum: hot/cold/warm/edge/alloc lines)
+# there — CI uploads the directory as a debugging artifact.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,16 +46,27 @@ else
   echo "clang-tidy: clandag_tidy plugin not found; running stock checks only"
 fi
 
+# InheritParentConfig keeps .clang-tidy authoritative; the inline config only
+# adds the summary-directory option on top of it.
+CONFIG_ARGS=()
+if [ -n "${CLANDAG_TIDY_SUMMARY_DIR:-}" ]; then
+  mkdir -p "${CLANDAG_TIDY_SUMMARY_DIR}"
+  CONFIG_ARGS=(-config "{InheritParentConfig: true, CheckOptions: [{key: clandag-hotpath-alloc.SummaryDir, value: '${CLANDAG_TIDY_SUMMARY_DIR}'}]}")
+  echo "clang-tidy: writing call-graph summaries to ${CLANDAG_TIDY_SUMMARY_DIR}"
+fi
+
 FILES=$(find src -name '*.cc' | sort)
 JOBS=$(nproc 2>/dev/null || echo 2)
 
 if command -v run-clang-tidy >/dev/null 2>&1; then
   # run-clang-tidy wants regexes of file paths, anchored at the path root.
   run-clang-tidy -p "${BUILD_DIR}" -j "${JOBS}" -quiet \
-    ${LOAD_ARGS:+-load "${PLUGIN}"} ${FILES}
+    ${LOAD_ARGS:+-load "${PLUGIN}"} \
+    ${CONFIG_ARGS[@]+"${CONFIG_ARGS[@]}"} ${FILES}
 else
   echo "${FILES}" | xargs -P "${JOBS}" -n 4 \
-    clang-tidy -p "${BUILD_DIR}" --quiet "${LOAD_ARGS[@]}"
+    clang-tidy -p "${BUILD_DIR}" --quiet "${LOAD_ARGS[@]}" \
+    ${CONFIG_ARGS[@]+"${CONFIG_ARGS[@]}"}
 fi
 
 echo "clang-tidy: clean"
